@@ -1,0 +1,47 @@
+//! Ablation benchmarks: full Perceus with each optimization of §2
+//! individually disabled, on the workloads where the paper says it
+//! matters most (rbtree for reuse and specialization, cfold for drop
+//! specialization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perceus_core::passes::{Ablation, PassConfig};
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_with_config, run_workload, workload, Strategy};
+
+fn ablation(c: &mut Criterion) {
+    let configs: Vec<(String, PassConfig)> =
+        std::iter::once(("full".to_string(), PassConfig::perceus()))
+            .chain(
+                [
+                    Ablation::Reuse,
+                    Ablation::ReuseSpec,
+                    Ablation::DropSpec,
+                    Ablation::Fuse,
+                    Ablation::Inline,
+                ]
+                .into_iter()
+                .map(|ab| (format!("without-{ab:?}"), PassConfig::perceus().without(ab))),
+            )
+            .collect();
+    for (name, n) in [("rbtree", 6_000i64), ("cfold", 12)] {
+        let w = workload(name).expect("registered");
+        let mut group = c.benchmark_group(format!("ablate/{name}"));
+        for (label, cfg) in &configs {
+            let compiled = compile_with_config(w.source, cfg.clone()).expect("compile");
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    run_workload(&compiled, Strategy::Perceus, n, RunConfig::default())
+                        .expect("run")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Compiler-speed benchmarks: the cost of the front end and of each
+//! Perceus pass on the largest suite program (rbtree-ck). Not a paper
+//! figure, but documents that the insertion algorithm and its
+//! optimizations are cheap (near-linear) — a practical claim the paper
+//! makes implicitly by shipping them in a production compiler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perceus_core::passes::{PassConfig, Pipeline};
+use perceus_suite::workload;
+
+fn compiler(c: &mut Criterion) {
+    let src = workload("rbtree-ck").expect("registered").source;
+    c.bench_function("compile/frontend", |b| {
+        b.iter(|| perceus_lang::compile_str(src).expect("compiles"))
+    });
+    let program = perceus_lang::compile_str(src).expect("compiles");
+    for (label, cfg) in [
+        ("perceus", PassConfig::perceus()),
+        ("no-opt", PassConfig::perceus_no_opt()),
+        ("scoped", PassConfig::scoped()),
+    ] {
+        c.bench_function(&format!("compile/passes-{label}"), |b| {
+            b.iter(|| {
+                Pipeline::new(cfg.clone())
+                    .run(program.clone())
+                    .expect("passes run")
+            })
+        });
+    }
+    let compiled = Pipeline::new(PassConfig::perceus())
+        .run(program.clone())
+        .expect("passes run");
+    c.bench_function("compile/backend", |b| {
+        b.iter(|| perceus_runtime::code::compile(&compiled).expect("backend"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = compiler
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for Fig. 9: the five evaluation benchmarks of
+//! §4, each under all five memory-management strategies. Problem sizes
+//! are reduced relative to the `figures` binary so the statistical
+//! sampling stays tractable; the *relative* shape (who wins, by what
+//! factor) is what reproduces the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_workload, run_workload, workload, Strategy};
+
+fn bench_sizes(name: &str) -> i64 {
+    match name {
+        "rbtree" => 8_000,
+        "rbtree-ck" => 4_000,
+        "deriv" => 96,
+        "nqueens" => 7,
+        "cfold" => 12,
+        _ => 1_000,
+    }
+}
+
+fn figure9(c: &mut Criterion) {
+    for w in perceus_suite::workloads().iter().filter(|w| w.in_figure9) {
+        let mut group = c.benchmark_group(format!("fig9/{}", w.name));
+        let n = bench_sizes(w.name);
+        for s in Strategy::ALL {
+            let compiled = compile_workload(w.source, s).expect("compile");
+            group.bench_with_input(BenchmarkId::new(s.label(), n), &n, |b, &n| {
+                b.iter(|| run_workload(&compiled, s, n, RunConfig::default()).expect("run"))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn fbip(c: &mut Criterion) {
+    // §2.6: FBIP traversal vs recursive traversal (both under Perceus).
+    let mut group = c.benchmark_group("fbip");
+    for name in ["tmap", "tmap-rec"] {
+        let w = workload(name).expect("registered");
+        let compiled = compile_workload(w.source, Strategy::Perceus).expect("compile");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_workload(&compiled, Strategy::Perceus, 20_000, RunConfig::default())
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure9, fbip
+}
+criterion_main!(benches);

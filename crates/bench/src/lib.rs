@@ -1,0 +1,12 @@
+//! # perceus-bench
+//!
+//! The measurement harness behind every figure of the paper's
+//! evaluation. The [`measure()`] function runs a workload under a strategy
+//! with warmup and repetition and reports wall time plus the full
+//! runtime statistics; the `figures` binary (`src/bin/figures.rs`)
+//! formats the paper's tables; the Criterion benches under `benches/`
+//! provide statistically robust timing for the same experiments.
+
+pub mod measure;
+
+pub use measure::{measure, Measurement};

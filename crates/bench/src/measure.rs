@@ -1,0 +1,84 @@
+//! Timing and statistics collection for the figure harness.
+
+use perceus_runtime::machine::RunConfig;
+use perceus_runtime::Stats;
+use perceus_suite::{compile_workload, run_workload, Strategy, SuiteError, Workload};
+use std::time::{Duration, Instant};
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Strategy measured.
+    pub strategy: Strategy,
+    /// Problem size.
+    pub n: i64,
+    /// Median wall time over the repetitions.
+    pub time: Duration,
+    /// All repetition times.
+    pub times: Vec<Duration>,
+    /// Runtime statistics of the last run.
+    pub stats: Stats,
+    /// The integer result (sanity: must agree across strategies).
+    pub result: i64,
+}
+
+impl Measurement {
+    /// Median time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+}
+
+/// Compiles and runs `workload` under `strategy`, `repeat` times after
+/// one warmup, returning the median time and the final statistics.
+pub fn measure(
+    workload: &Workload,
+    strategy: Strategy,
+    n: i64,
+    repeat: usize,
+) -> Result<Measurement, SuiteError> {
+    let compiled = compile_workload(workload.source, strategy)?;
+    let mut times = Vec::with_capacity(repeat);
+    let mut stats = Stats::default();
+    let mut result = 0i64;
+    // Warmup (also validates the run).
+    let out = run_workload(&compiled, strategy, n, RunConfig::default())?;
+    if let perceus_runtime::DeepValue::Int(v) = out.value {
+        result = v;
+    }
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let out = run_workload(&compiled, strategy, n, RunConfig::default())?;
+        times.push(start.elapsed());
+        stats = out.stats;
+    }
+    times.sort();
+    let time = times[times.len() / 2];
+    Ok(Measurement {
+        workload: workload.name,
+        strategy,
+        n,
+        time,
+        times,
+        stats,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perceus_suite::workload;
+
+    #[test]
+    fn measure_produces_consistent_results() {
+        let w = workload("map").unwrap();
+        let a = measure(&w, Strategy::Perceus, 500, 2).unwrap();
+        let b = measure(&w, Strategy::Gc, 500, 2).unwrap();
+        assert_eq!(a.result, b.result, "strategies must agree");
+        assert_eq!(a.times.len(), 2);
+        assert!(a.secs() > 0.0);
+    }
+}

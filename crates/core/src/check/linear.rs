@@ -1,0 +1,538 @@
+//! The *resource checker*: an executable counterpart of the declarative
+//! linear resource calculus (Fig. 5 of the paper).
+//!
+//! After insertion (and after each optimization pass), every function
+//! must satisfy a path-sensitive ownership discipline:
+//!
+//! * every owned reference is consumed **exactly once** on every
+//!   control-flow path (uses, `drop`, `decref`, `free`, `drop-reuse`,
+//!   `&x`, closure capture, and constructor/call arguments all consume);
+//! * `dup` may only target a variable that is provably alive: one that
+//!   is currently owned, or a match binder whose parent cell is alive
+//!   (the borrowed-field rule that justifies Fig. 1b's
+//!   `dup x; dup xx; drop xs` ordering);
+//! * at a control-flow join (the arms of a `match` or of an
+//!   `is-unique`), every path must agree on the resulting ownership;
+//! * entering the unique branch of `is-unique(x)` transfers the cell's
+//!   ownership of its fields to the arm binders (one count each), which
+//!   is what makes the fused fast path of Fig. 1d/1g — `free x` with no
+//!   other rc instruction — check out.
+//!
+//! Theorem 3 of the paper (the syntax-directed system is sound w.r.t.
+//! the declarative one) corresponds to: everything the insertion pass
+//! emits passes this checker; the test suites of `perceus-core` and the
+//! integration tests enforce it for every program and every pass
+//! combination.
+
+use crate::ir::expr::{Expr, Lambda};
+use crate::ir::program::{FunId, Program};
+use crate::ir::var::Var;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A violation of the linear ownership discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearError {
+    /// Function in which the violation occurred.
+    pub fun: Option<FunId>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for LinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fun {
+            Some(id) => write!(f, "linearity (fun #{}): {}", id.0, self.message),
+            None => write!(f, "linearity: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LinearError {}
+
+/// Ownership environment: per-variable owned count plus the binder
+/// parent chain used for aliveness, plus the borrowed parameters, which
+/// are pinned alive for the whole function body (§6).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Env {
+    owned: HashMap<Var, isize>,
+    parent: HashMap<Var, Var>,
+    pinned: HashSet<Var>,
+}
+
+impl Env {
+    fn alive(&self, v: &Var) -> bool {
+        if self.pinned.contains(v) || self.owned.get(v).copied().unwrap_or(0) > 0 {
+            return true;
+        }
+        match self.parent.get(v) {
+            Some(p) => self.alive(p),
+            None => false,
+        }
+    }
+
+    fn consume(&mut self, v: &Var, what: &str) -> Result<(), String> {
+        let c = self
+            .owned
+            .get_mut(v)
+            .ok_or_else(|| format!("{what} of {v:?} which is not a tracked resource"))?;
+        if *c < 1 {
+            return Err(format!("{what} of {v:?} without ownership (count {c})"));
+        }
+        *c -= 1;
+        Ok(())
+    }
+
+    fn grant(&mut self, v: &Var) {
+        *self.owned.entry(v.clone()).or_insert(0) += 1;
+    }
+
+    fn bind(&mut self, v: &Var, count: isize) {
+        self.owned.insert(v.clone(), count);
+    }
+
+    fn unbind(&mut self, v: &Var, what: &str) -> Result<(), String> {
+        match self.owned.remove(v) {
+            Some(0) => Ok(()),
+            Some(n) => Err(format!("{what} {v:?} leaves scope with count {n}")),
+            None => Err(format!("{what} {v:?} was never bound")),
+        }
+    }
+
+    /// The comparable footprint: variables with a non-zero count.
+    fn footprint(&self) -> Vec<(Var, isize)> {
+        let mut v: Vec<(Var, isize)> = self
+            .owned
+            .iter()
+            .filter(|(_, c)| **c != 0)
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Checks every function of a program, honoring its borrow masks.
+pub fn check_program(p: &Program) -> Result<(), LinearError> {
+    let cx = Cx {
+        borrows: &p.borrows,
+    };
+    for (id, f) in p.funs() {
+        let mask = p.borrows.get(id.0 as usize).cloned().unwrap_or_default();
+        check_fun_body_in(&cx, &f.params, &mask, &f.body).map_err(|message| LinearError {
+            fun: Some(id),
+            message,
+        })?;
+    }
+    Ok(())
+}
+
+/// Call-site context: the borrow masks of the whole program.
+struct Cx<'a> {
+    borrows: &'a [Vec<bool>],
+}
+
+impl<'a> Cx<'a> {
+    fn borrowed_pos(&self, f: FunId, i: usize) -> bool {
+        self.borrows
+            .get(f.0 as usize)
+            .and_then(|m| m.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Checks one function body under the owned calling convention
+/// (parameters owned with count 1, all consumed by the end).
+pub fn check_fun_body(params: &[Var], body: &Expr) -> Result<(), String> {
+    check_fun_body_in(&Cx { borrows: &[] }, params, &[], body)
+}
+
+fn check_fun_body_in(
+    cx: &Cx<'_>,
+    params: &[Var],
+    mask: &[bool],
+    body: &Expr,
+) -> Result<(), String> {
+    let mut env = Env::default();
+    for (i, par) in params.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            // Borrowed: alive for the whole body, never consumed here.
+            env.bind(par, 0);
+            env.pinned.insert(par.clone());
+        } else {
+            env.bind(par, 1);
+        }
+    }
+    let out = check(cx, body, env)?;
+    if let Some(env) = out {
+        let leftover = env.footprint();
+        if !leftover.is_empty() {
+            return Err(format!("resources leaked at function exit: {leftover:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks `e`; returns the resulting environment, or `None` if the path
+/// diverges (aborts).
+fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
+    match e {
+        Expr::Var(x) => {
+            env.consume(x, "use")?;
+            Ok(Some(env))
+        }
+        Expr::Lit(_) | Expr::Global(_) | Expr::NullToken => Ok(Some(env)),
+        Expr::Abort(_) => Ok(None),
+        Expr::TokenOf(x) => {
+            env.consume(x, "&")?;
+            Ok(Some(env))
+        }
+        Expr::App(f, args) => {
+            let mut cur = match check(cx, f, env)? {
+                Some(e) => e,
+                None => return Ok(None),
+            };
+            for a in args {
+                cur = match check(cx, a, cur)? {
+                    Some(e) => e,
+                    None => return Ok(None),
+                };
+            }
+            Ok(Some(cur))
+        }
+        Expr::Call(f, args) => {
+            let mut cur = env;
+            for (i, a) in args.iter().enumerate() {
+                // A variable in a borrowed position is used without
+                // being consumed; it only has to be alive (§6).
+                if cx.borrowed_pos(*f, i) {
+                    if let Expr::Var(v) = a {
+                        if !cur.alive(v) {
+                            return Err(format!("borrowed argument {v:?} is dead at the call"));
+                        }
+                        continue;
+                    }
+                }
+                cur = match check(cx, a, cur)? {
+                    Some(e) => e,
+                    None => return Ok(None),
+                };
+            }
+            Ok(Some(cur))
+        }
+        Expr::Prim(_, args) => {
+            let mut cur = env;
+            for a in args {
+                cur = match check(cx, a, cur)? {
+                    Some(e) => e,
+                    None => return Ok(None),
+                };
+            }
+            Ok(Some(cur))
+        }
+        Expr::Con { args, reuse, .. } => {
+            if let Some(t) = reuse {
+                env.consume(t, "reuse")?;
+            }
+            let mut cur = env;
+            for a in args {
+                cur = match check(cx, a, cur)? {
+                    Some(e) => e,
+                    None => return Ok(None),
+                };
+            }
+            Ok(Some(cur))
+        }
+        Expr::Lam(Lambda {
+            params,
+            captures,
+            body,
+        }) => {
+            // The closure consumes its captures …
+            for c in captures {
+                env.consume(c, "capture")?;
+            }
+            // … and the body is its own resource world: params and
+            // captures owned, everything consumed by the end.
+            let mut inner = Env::default();
+            for v in captures.iter().chain(params.iter()) {
+                inner.bind(v, 1);
+            }
+            if let Some(out) = check(cx, body, inner)? {
+                let leftover = out.footprint();
+                if !leftover.is_empty() {
+                    return Err(format!("lambda leaks resources: {leftover:?}"));
+                }
+            }
+            Ok(Some(env))
+        }
+        Expr::Let { var, rhs, body } => {
+            let mut cur = match check(cx, rhs, env)? {
+                Some(e) => e,
+                None => return Ok(None),
+            };
+            cur.bind(var, 1);
+            match check(cx, body, cur)? {
+                Some(mut out) => {
+                    out.unbind(var, "let binding")?;
+                    Ok(Some(out))
+                }
+                None => Ok(None),
+            }
+        }
+        Expr::Seq(a, b) => {
+            let cur = match check(cx, a, env)? {
+                Some(e) => e,
+                None => return Ok(None),
+            };
+            check(cx, b, cur)
+        }
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => {
+            if !env.alive(scrutinee) {
+                return Err(format!("match on dead scrutinee {scrutinee:?}"));
+            }
+            let mut results: Vec<Env> = Vec::new();
+            for arm in arms {
+                let mut local = env.clone();
+                let binders: Vec<Var> = arm.binders.iter().flatten().cloned().collect();
+                for b in &binders {
+                    local.bind(b, 0); // borrowed from the scrutinee cell
+                    local.parent.insert(b.clone(), scrutinee.clone());
+                }
+                if let Some(t) = &arm.reuse_token {
+                    return Err(format!(
+                        "unlowered reuse annotation @{t:?} (insertion should have consumed it)"
+                    ));
+                }
+                if let Some(mut out) = check(cx, &arm.body, local)? {
+                    for b in &binders {
+                        out.unbind(b, "match binder")?;
+                        out.parent.remove(b);
+                    }
+                    results.push(out);
+                }
+            }
+            if let Some(d) = default {
+                if let Some(out) = check(cx, d, env.clone())? {
+                    results.push(out);
+                }
+            }
+            join(results, "match")
+        }
+        Expr::IsUnique {
+            var,
+            binders,
+            unique,
+            shared,
+        } => {
+            if env.owned.get(var).copied().unwrap_or(0) < 1 {
+                return Err(format!("is-unique on unowned {var:?}"));
+            }
+            let mut uenv = env.clone();
+            // Entering the unique branch transfers the cell's field
+            // references to the binders.
+            for b in binders {
+                uenv.grant(b);
+            }
+            let mut results = Vec::new();
+            if let Some(out) = check(cx, unique, uenv)? {
+                results.push(out);
+            }
+            if let Some(out) = check(cx, shared, env)? {
+                results.push(out);
+            }
+            join(results, "is-unique")
+        }
+        Expr::Dup(x, rest) => {
+            if !env.alive(x) {
+                return Err(format!("dup of dead variable {x:?}"));
+            }
+            env.grant(x);
+            check(cx, rest, env)
+        }
+        Expr::Drop(x, rest) | Expr::DecRef(x, rest) | Expr::Free(x, rest) => {
+            let what = match e {
+                Expr::Drop(..) => "drop",
+                Expr::DecRef(..) => "decref",
+                _ => "free",
+            };
+            env.consume(x, what)?;
+            check(cx, rest, env)
+        }
+        Expr::DropToken(t, rest) => {
+            env.consume(t, "drop-token")?;
+            check(cx, rest, env)
+        }
+        Expr::DropReuse { var, token, body } => {
+            env.consume(var, "drop-reuse")?;
+            env.bind(token, 1);
+            match check(cx, body, env)? {
+                Some(mut out) => {
+                    out.unbind(token, "reuse token")?;
+                    Ok(Some(out))
+                }
+                None => Ok(None),
+            }
+        }
+    }
+}
+
+/// All surviving paths must agree on the ownership footprint.
+fn join(mut results: Vec<Env>, what: &str) -> Result<Option<Env>, String> {
+    let Some(first) = results.pop() else {
+        return Ok(None); // all paths diverge
+    };
+    let fp = first.footprint();
+    for other in &results {
+        if other.footprint() != fp {
+            return Err(format!(
+                "{what} branches disagree on ownership: {:?} vs {:?}",
+                fp,
+                other.footprint()
+            ));
+        }
+    }
+    Ok(Some(first))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::var::Var;
+
+    fn v(id: u32, hint: &str) -> Var {
+        Var::new(id, hint)
+    }
+
+    #[test]
+    fn accepts_single_use() {
+        let x = v(0, "x");
+        assert!(check_fun_body(std::slice::from_ref(&x), &Expr::Var(x.clone())).is_ok());
+    }
+
+    #[test]
+    fn rejects_double_use() {
+        use crate::ir::expr::PrimOp;
+        let x = v(0, "x");
+        let e = Expr::Prim(
+            PrimOp::Add,
+            vec![Expr::Var(x.clone()), Expr::Var(x.clone())],
+        );
+        let err = check_fun_body(&[x], &e).unwrap_err();
+        assert!(err.contains("without ownership"), "{err}");
+    }
+
+    #[test]
+    fn accepts_dup_then_double_use() {
+        use crate::ir::expr::PrimOp;
+        let x = v(0, "x");
+        let e = Expr::dup(
+            x.clone(),
+            Expr::Prim(
+                PrimOp::Add,
+                vec![Expr::Var(x.clone()), Expr::Var(x.clone())],
+            ),
+        );
+        assert!(check_fun_body(&[x], &e).is_ok());
+    }
+
+    #[test]
+    fn rejects_leak() {
+        let x = v(0, "x");
+        let e = Expr::int(1); // x never consumed
+        let err = check_fun_body(&[x], &e).unwrap_err();
+        assert!(err.contains("leaked"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_branches() {
+        use crate::ir::builder::ite;
+        let c = v(0, "c");
+        let x = v(1, "x");
+        // if c then x else 0 — x consumed on one path only.
+        let e = ite(c.clone(), Expr::Var(x.clone()), Expr::int(0));
+        let err = check_fun_body(&[c, x], &e).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+    }
+
+    #[test]
+    fn unique_branch_grants_binders() {
+        // The fused fast path (Fig. 1d): free consumes the cell, binders
+        // become owned and are consumed by the continuation.
+        use crate::ir::builder::{arm, con, ProgramBuilder};
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = ctors[1];
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let cond = Expr::IsUnique {
+            var: xs.clone(),
+            binders: vec![x.clone(), xx.clone()],
+            unique: Box::new(Expr::Free(xs.clone(), Box::new(Expr::unit()))),
+            shared: Box::new(Expr::dup(
+                x.clone(),
+                Expr::dup(xx.clone(), Expr::DecRef(xs.clone(), Box::new(Expr::unit()))),
+            )),
+        };
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![arm(
+                cons,
+                vec![x.clone(), xx.clone()],
+                Expr::seq(
+                    cond,
+                    con(cons, vec![Expr::Var(x.clone()), Expr::Var(xx.clone())]),
+                ),
+            )],
+            default: Some(Box::new(Expr::drop_(xs.clone(), Expr::unit()))),
+        };
+        pb.fun("f", vec![xs], body);
+        let p = pb.finish();
+        check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_dup_of_dead_binder() {
+        use crate::ir::builder::arm;
+        let mut pb = crate::ir::builder::ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = ctors[1];
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        // drop xs (frees the cell), *then* dup x — invalid order.
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![arm(
+                cons,
+                vec![x.clone(), xx.clone()],
+                Expr::drop_(xs.clone(), Expr::dup(x.clone(), Expr::Var(x.clone()))),
+            )],
+            default: Some(Box::new(Expr::drop_(xs.clone(), Expr::unit()))),
+        };
+        pb.fun("f", vec![xs], body);
+        let p = pb.finish();
+        let err = check_program(&p).unwrap_err();
+        assert!(err.message.contains("dup of dead"), "{err}");
+    }
+
+    #[test]
+    fn closure_consumes_captures() {
+        use crate::ir::expr::Lambda;
+        let x = v(0, "x");
+        let y = v(1, "y");
+        let lam = Expr::Lam(Lambda {
+            params: vec![y.clone()],
+            captures: vec![x.clone()],
+            body: Box::new(Expr::drop_(y.clone(), Expr::Var(x.clone()))),
+        });
+        // x consumed by the capture; nothing leaks.
+        assert!(check_fun_body(&[x], &lam).is_ok());
+    }
+}

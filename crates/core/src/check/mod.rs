@@ -1,0 +1,5 @@
+//! Static verifiers for pass output.
+
+pub mod linear;
+
+pub use linear::{check_fun_body, check_program, LinearError};

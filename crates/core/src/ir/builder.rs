@@ -1,0 +1,180 @@
+//! Ergonomic construction of core programs, used by tests, examples and
+//! the benchmark suite when a program is easier to build directly than
+//! to write in the surface language.
+
+use super::expr::{Arm, Expr};
+use super::program::{CtorId, DataId, FunDef, FunId, Program};
+use super::var::{Var, VarGen};
+
+/// Builds a [`Program`] incrementally.
+///
+/// ```
+/// use perceus_core::ir::builder::ProgramBuilder;
+/// use perceus_core::ir::Expr;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let x = pb.fresh("x");
+/// let id = pb.fun("id", vec![x.clone()], Expr::Var(x));
+/// pb.entry(id);
+/// let program = pb.finish();
+/// assert_eq!(program.funs().count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    gen: VarGen,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            program: Program::new(),
+            gen: VarGen::default(),
+        }
+    }
+
+    /// Returns a fresh variable.
+    pub fn fresh(&mut self, hint: &str) -> Var {
+        self.gen.fresh(hint)
+    }
+
+    /// Declares a data type with `(name, arity)` constructors; returns the
+    /// data id and the constructor ids in declaration order.
+    pub fn data(&mut self, name: &str, ctors: &[(&str, usize)]) -> (DataId, Vec<CtorId>) {
+        let d = self.program.types.add_data(name);
+        let ids = ctors
+            .iter()
+            .map(|(n, a)| self.program.types.add_ctor_arity(d, *n, *a))
+            .collect();
+        (d, ids)
+    }
+
+    /// Adds a function.
+    pub fn fun(&mut self, name: &str, params: Vec<Var>, body: Expr) -> FunId {
+        self.program.add_fun(FunDef {
+            name: name.into(),
+            params,
+            body,
+        })
+    }
+
+    /// Reserves a function id before its body exists (for recursion
+    /// between builder-made functions); fill it later with
+    /// [`set_body`](Self::set_body).
+    pub fn declare(&mut self, name: &str, params: Vec<Var>) -> FunId {
+        self.program.add_fun(FunDef {
+            name: name.into(),
+            params,
+            body: Expr::Abort(format!("body of {name} not set")),
+        })
+    }
+
+    /// Sets the body of a previously declared function.
+    pub fn set_body(&mut self, id: FunId, body: Expr) {
+        self.program.funs[id.0 as usize].body = body;
+    }
+
+    /// Marks the entry point.
+    pub fn entry(&mut self, id: FunId) {
+        self.program.entry = Some(id);
+    }
+
+    /// Finishes the program, recording the fresh-variable high-water mark.
+    pub fn finish(mut self) -> Program {
+        self.program.var_gen = self.gen;
+        self.program
+    }
+
+    /// Immutable view of the program under construction.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// Builds a plain constructor application (no reuse).
+pub fn con(ctor: CtorId, args: Vec<Expr>) -> Expr {
+    Expr::Con {
+        ctor,
+        args,
+        reuse: None,
+        skip: Vec::new(),
+    }
+}
+
+/// Builds a match arm with all fields bound.
+pub fn arm(ctor: CtorId, binders: Vec<Var>, body: Expr) -> Arm {
+    Arm {
+        ctor,
+        binders: binders.into_iter().map(Some).collect(),
+        reuse_token: None,
+        body,
+    }
+}
+
+/// Builds a match arm for a singleton (arity-0) constructor.
+pub fn arm0(ctor: CtorId, body: Expr) -> Arm {
+    Arm {
+        ctor,
+        binders: Vec::new(),
+        reuse_token: None,
+        body,
+    }
+}
+
+/// `if cond then t else f` as a match on the built-in `bool`.
+pub fn ite(cond_var: Var, then_e: Expr, else_e: Expr) -> Expr {
+    use super::program::TypeTable;
+    Expr::Match {
+        scrutinee: cond_var,
+        arms: vec![
+            arm0(TypeTable::TRUE, then_e),
+            arm0(TypeTable::FALSE, else_e),
+        ],
+        default: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::wf::assert_well_formed;
+
+    #[test]
+    fn builds_recursive_function() {
+        // fun count(n) { if n <= 0 then 0 else count(n - 1) }
+        use crate::ir::expr::PrimOp;
+        let mut pb = ProgramBuilder::new();
+        let n = pb.fresh("n");
+        let c = pb.fresh("c");
+        let m = pb.fresh("m");
+        let f = pb.declare("count", vec![n.clone()]);
+        let body = Expr::let_(
+            c.clone(),
+            Expr::Prim(PrimOp::Le, vec![Expr::Var(n.clone()), Expr::int(0)]),
+            ite(
+                c.clone(),
+                Expr::int(0),
+                Expr::let_(
+                    m.clone(),
+                    Expr::Prim(PrimOp::Sub, vec![Expr::Var(n.clone()), Expr::int(1)]),
+                    Expr::Call(f, vec![Expr::Var(m.clone())]),
+                ),
+            ),
+        );
+        pb.set_body(f, body);
+        pb.entry(f);
+        let p = pb.finish();
+        assert_well_formed(&p);
+        assert_eq!(p.entry, Some(f));
+    }
+
+    #[test]
+    fn data_declaration() {
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        assert_eq!(ctors.len(), 2);
+        let p = pb.finish();
+        assert_eq!(p.types.ctor(ctors[1]).arity, 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Erasure `⌈e⌉` of reference-counting instructions (Lemma 1 of the
+//! paper: a Perceus translation only inserts `dup`/`drop`, so erasing
+//! them recovers the original expression).
+//!
+//! Erasure is also used to feed the standard-semantics oracle
+//! (`perceus-runtime`'s differential tests for Theorem 1): the erased
+//! program evaluates under the plain semantics of Fig. 6.
+
+use super::expr::{Arm, Expr, Lambda};
+use super::program::{FunDef, Program};
+
+/// Erases every reference-counting instruction from a program.
+pub fn erase_program(p: &Program) -> Program {
+    let mut out = p.clone();
+    for f in &mut out.funs {
+        let body = std::mem::replace(&mut f.body, Expr::unit());
+        f.body = erase(body);
+    }
+    out
+}
+
+/// Erases every reference-counting instruction from a function.
+pub fn erase_fun(f: &FunDef) -> FunDef {
+    FunDef {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: erase(f.body.clone()),
+    }
+}
+
+/// Erases `dup`, `drop`, `free`, `decref`, `drop-token`, `drop-reuse`,
+/// `is-unique` (keeping the shared branch, which is the unspecialized
+/// continuation) and reuse annotations from `e`.
+pub fn erase(e: Expr) -> Expr {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) | Expr::Global(_) | Expr::Abort(_) => e,
+        Expr::TokenOf(_) | Expr::NullToken => Expr::unit(),
+        Expr::App(f, args) => Expr::App(Box::new(erase(*f)), args.into_iter().map(erase).collect()),
+        Expr::Call(f, args) => Expr::Call(f, args.into_iter().map(erase).collect()),
+        Expr::Prim(op, args) => Expr::Prim(op, args.into_iter().map(erase).collect()),
+        Expr::Lam(Lambda {
+            params,
+            captures,
+            body,
+        }) => Expr::Lam(Lambda {
+            params,
+            captures,
+            body: Box::new(erase(*body)),
+        }),
+        Expr::Con { ctor, args, .. } => Expr::Con {
+            ctor,
+            args: args.into_iter().map(erase).collect(),
+            reuse: None,
+            skip: Vec::new(),
+        },
+        Expr::Let { var, rhs, body } => Expr::let_(var, erase(*rhs), erase(*body)),
+        Expr::Seq(a, b) => {
+            let a = erase(*a);
+            let b = erase(*b);
+            // RC statements erase to trivia; collapse pure left sides so
+            // that erasing a specialized program gives clean output.
+            if a.is_atom() || a == Expr::unit() {
+                b
+            } else {
+                Expr::seq(a, b)
+            }
+        }
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => Expr::Match {
+            scrutinee,
+            arms: arms
+                .into_iter()
+                .map(|arm| Arm {
+                    ctor: arm.ctor,
+                    binders: arm.binders,
+                    reuse_token: None,
+                    body: erase(arm.body),
+                })
+                .collect(),
+            default: default.map(|d| Box::new(erase(*d))),
+        },
+        Expr::Dup(_, rest)
+        | Expr::Drop(_, rest)
+        | Expr::Free(_, rest)
+        | Expr::DecRef(_, rest)
+        | Expr::DropToken(_, rest) => erase(*rest),
+        Expr::DropReuse { body, .. } => erase(*body),
+        // Both branches of an is-unique are the same continuation plus RC
+        // noise; the shared branch is the unspecialized one (Fig. 1c/1f).
+        Expr::IsUnique { shared, .. } => erase(*shared),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::var::Var;
+
+    fn v(id: u32, hint: &str) -> Var {
+        Var::new(id, hint)
+    }
+
+    #[test]
+    fn erases_dup_drop() {
+        let x = v(0, "x");
+        let e = Expr::dup(x.clone(), Expr::drop_(x.clone(), Expr::Var(x.clone())));
+        assert_eq!(erase(e), Expr::Var(x));
+    }
+
+    #[test]
+    fn erases_reuse_annotations() {
+        use crate::ir::program::CtorId;
+        let ru = v(1, "ru");
+        let e = Expr::DropReuse {
+            var: v(0, "xs"),
+            token: ru.clone(),
+            body: Box::new(Expr::Con {
+                ctor: CtorId(0),
+                args: vec![],
+                reuse: None,
+                skip: vec![],
+            }),
+        };
+        let erased = erase(e);
+        assert_eq!(
+            erased,
+            Expr::Con {
+                ctor: CtorId(0),
+                args: vec![],
+                reuse: None,
+                skip: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn is_unique_erases_to_shared_branch() {
+        let x = v(0, "x");
+        let e = Expr::IsUnique {
+            var: x.clone(),
+            binders: vec![],
+            unique: Box::new(Expr::Free(x.clone(), Box::new(Expr::int(1)))),
+            shared: Box::new(Expr::DecRef(x.clone(), Box::new(Expr::int(1)))),
+        };
+        assert_eq!(erase(e), Expr::int(1));
+    }
+
+    #[test]
+    fn idempotent_on_user_fragment() {
+        let x = v(0, "x");
+        let e = Expr::let_(x.clone(), Expr::int(1), Expr::Var(x.clone()));
+        assert_eq!(erase(e.clone()), e);
+    }
+}

@@ -1,0 +1,197 @@
+//! Free-variable computation for core expressions.
+
+use super::expr::{Expr, Lambda};
+use super::var::{Var, VarSet};
+
+/// Returns the free variables of `e` as an ordered set.
+pub fn free_vars(e: &Expr) -> VarSet {
+    let mut out = VarSet::new();
+    collect(e, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Returns the free variables of a lambda: `fv(body) − params`.
+pub fn lambda_free_vars(lam: &Lambda) -> VarSet {
+    let mut out = VarSet::new();
+    let mut bound: Vec<Var> = lam.params.clone();
+    collect(&lam.body, &mut bound, &mut out);
+    out
+}
+
+fn collect(e: &Expr, bound: &mut Vec<Var>, out: &mut VarSet) {
+    let use_var = |v: &Var, bound: &Vec<Var>, out: &mut VarSet| {
+        if !bound.contains(v) {
+            out.insert(v.clone());
+        }
+    };
+    match e {
+        Expr::Var(v) | Expr::TokenOf(v) => use_var(v, bound, out),
+        Expr::Lit(_) | Expr::Global(_) | Expr::Abort(_) | Expr::NullToken => {}
+        Expr::App(f, args) => {
+            collect(f, bound, out);
+            for a in args {
+                collect(a, bound, out);
+            }
+        }
+        Expr::Call(_, args) | Expr::Prim(_, args) => {
+            for a in args {
+                collect(a, bound, out);
+            }
+        }
+        Expr::Lam(lam) => {
+            let n = bound.len();
+            bound.extend(lam.params.iter().cloned());
+            collect(&lam.body, bound, out);
+            bound.truncate(n);
+        }
+        Expr::Con { args, reuse, .. } => {
+            if let Some(t) = reuse {
+                use_var(t, bound, out);
+            }
+            for a in args {
+                collect(a, bound, out);
+            }
+        }
+        Expr::Let { var, rhs, body } => {
+            collect(rhs, bound, out);
+            bound.push(var.clone());
+            collect(body, bound, out);
+            bound.pop();
+        }
+        Expr::Seq(a, b) => {
+            collect(a, bound, out);
+            collect(b, bound, out);
+        }
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => {
+            use_var(scrutinee, bound, out);
+            for arm in arms {
+                let n = bound.len();
+                bound.extend(arm.binders.iter().flatten().cloned());
+                if let Some(t) = &arm.reuse_token {
+                    bound.push(t.clone());
+                }
+                collect(&arm.body, bound, out);
+                bound.truncate(n);
+            }
+            if let Some(d) = default {
+                collect(d, bound, out);
+            }
+        }
+        Expr::Dup(v, e)
+        | Expr::Drop(v, e)
+        | Expr::Free(v, e)
+        | Expr::DecRef(v, e)
+        | Expr::DropToken(v, e) => {
+            use_var(v, bound, out);
+            collect(e, bound, out);
+        }
+        Expr::DropReuse { var, token, body } => {
+            use_var(var, bound, out);
+            bound.push(token.clone());
+            collect(body, bound, out);
+            bound.pop();
+        }
+        Expr::IsUnique {
+            var,
+            unique,
+            shared,
+            ..
+        } => {
+            use_var(var, bound, out);
+            collect(unique, bound, out);
+            collect(shared, bound, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::Lambda;
+
+    fn v(id: u32, hint: &str) -> Var {
+        Var::new(id, hint)
+    }
+
+    #[test]
+    fn let_binds() {
+        let x = v(0, "x");
+        let y = v(1, "y");
+        let e = Expr::let_(x.clone(), Expr::Var(y.clone()), Expr::Var(x.clone()));
+        let fv = free_vars(&e);
+        assert!(fv.contains(&y));
+        assert!(!fv.contains(&x));
+    }
+
+    #[test]
+    fn lambda_params_bound() {
+        let x = v(0, "x");
+        let y = v(1, "y");
+        let lam = Lambda {
+            params: vec![x.clone()],
+            captures: vec![],
+            body: Box::new(Expr::App(
+                Box::new(Expr::Var(y.clone())),
+                vec![Expr::Var(x.clone())],
+            )),
+        };
+        let fv = lambda_free_vars(&lam);
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&y));
+    }
+
+    #[test]
+    fn match_binders_and_token_bound() {
+        use crate::ir::expr::Arm;
+        use crate::ir::program::CtorId;
+        let s = v(0, "s");
+        let h = v(1, "h");
+        let t = v(2, "t");
+        let ru = v(3, "ru");
+        let e = Expr::Match {
+            scrutinee: s.clone(),
+            arms: vec![Arm {
+                ctor: CtorId(0),
+                binders: vec![Some(h.clone()), Some(t.clone())],
+                reuse_token: Some(ru.clone()),
+                body: Expr::Con {
+                    ctor: CtorId(0),
+                    args: vec![Expr::Var(h.clone()), Expr::Var(t.clone())],
+                    reuse: Some(ru.clone()),
+                    skip: vec![],
+                },
+            }],
+            default: None,
+        };
+        let fv = free_vars(&e);
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&s));
+    }
+
+    #[test]
+    fn rc_instructions_use_their_var() {
+        let x = v(0, "x");
+        let fv = free_vars(&Expr::dup(x.clone(), Expr::unit()));
+        assert!(fv.contains(&x));
+        let fv = free_vars(&Expr::TokenOf(x.clone()));
+        assert!(fv.contains(&x));
+    }
+
+    #[test]
+    fn drop_reuse_binds_token() {
+        let x = v(0, "x");
+        let t = v(1, "ru");
+        let e = Expr::DropReuse {
+            var: x.clone(),
+            token: t.clone(),
+            body: Box::new(Expr::Var(t.clone())),
+        };
+        let fv = free_vars(&e);
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&x));
+    }
+}

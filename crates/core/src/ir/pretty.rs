@@ -1,0 +1,378 @@
+//! Pretty printer for core programs and expressions.
+//!
+//! Reference-counting instructions are printed in the paper's notation:
+//! `dup x; e`, `drop x; e`, `val ru = drop-reuse x; e`,
+//! `if is-unique(x) { … } else { … }` and `Cons@ru(…)`.
+
+use super::expr::{Arm, Expr, Lambda};
+use super::program::{FunDef, Program, TypeTable};
+use std::fmt;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    write_program(&mut s, p).expect("writing to String cannot fail");
+    s
+}
+
+/// Renders one expression using `types` for constructor names.
+pub fn expr_to_string(e: &Expr, types: &TypeTable) -> String {
+    let mut s = String::new();
+    let mut pr = Printer::new(&mut s, types);
+    pr.expr(e, 0).expect("writing to String cannot fail");
+    s
+}
+
+/// Writes a whole program to `out` (used by `Display for Program`).
+pub fn write_program(out: &mut dyn fmt::Write, p: &Program) -> fmt::Result {
+    for (di, data) in (0..p.types.data_count()).map(|i| {
+        let id = super::program::DataId(i as u32);
+        (id, p.types.data(id))
+    }) {
+        if di == TypeTable::BOOL {
+            continue; // built-in
+        }
+        write!(out, "type {} {{ ", data.name)?;
+        for (i, c) in data.ctors.iter().enumerate() {
+            if i > 0 {
+                write!(out, "; ")?;
+            }
+            let info = p.types.ctor(*c);
+            write!(out, "{}", info.name)?;
+            if info.arity > 0 {
+                write!(out, "/{}", info.arity)?;
+            }
+        }
+        writeln!(out, " }}")?;
+    }
+    for (_, f) in p.funs() {
+        write_fun(out, f, &p.types)?;
+    }
+    Ok(())
+}
+
+/// Writes one function definition.
+pub fn write_fun(out: &mut dyn fmt::Write, f: &FunDef, types: &TypeTable) -> fmt::Result {
+    write!(out, "fun {}(", f.name)?;
+    for (i, par) in f.params.iter().enumerate() {
+        if i > 0 {
+            write!(out, ", ")?;
+        }
+        write!(out, "{par}")?;
+    }
+    writeln!(out, ") {{")?;
+    let mut pr = Printer::new(out, types);
+    pr.indented(|pr| pr.stmt_line(&f.body, 1))?;
+    writeln!(out, "}}")
+}
+
+struct Printer<'a> {
+    out: &'a mut dyn fmt::Write,
+    types: &'a TypeTable,
+}
+
+impl<'a> Printer<'a> {
+    fn new(out: &'a mut dyn fmt::Write, types: &'a TypeTable) -> Self {
+        Printer { out, types }
+    }
+
+    fn indented(&mut self, f: impl FnOnce(&mut Self) -> fmt::Result) -> fmt::Result {
+        f(self)
+    }
+
+    fn indent(&mut self, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            self.out.write_str("  ")?;
+        }
+        Ok(())
+    }
+
+    /// Prints `e` as an indented statement sequence ending in a newline.
+    fn stmt_line(&mut self, e: &Expr, depth: usize) -> fmt::Result {
+        match e {
+            Expr::Let { var, rhs, body } => {
+                self.indent(depth)?;
+                write!(self.out, "val {var} = ")?;
+                self.inline_or_block(rhs, depth)?;
+                self.out.write_char('\n')?;
+                self.stmt_line(body, depth)
+            }
+            Expr::Seq(a, b) => {
+                self.indent(depth)?;
+                self.inline_or_block(a, depth)?;
+                self.out.write_char('\n')?;
+                self.stmt_line(b, depth)
+            }
+            Expr::Dup(x, rest) => {
+                self.indent(depth)?;
+                writeln!(self.out, "dup {x}")?;
+                self.stmt_line(rest, depth)
+            }
+            Expr::Drop(x, rest) => {
+                self.indent(depth)?;
+                writeln!(self.out, "drop {x}")?;
+                self.stmt_line(rest, depth)
+            }
+            Expr::Free(x, rest) => {
+                self.indent(depth)?;
+                writeln!(self.out, "free {x}")?;
+                self.stmt_line(rest, depth)
+            }
+            Expr::DecRef(x, rest) => {
+                self.indent(depth)?;
+                writeln!(self.out, "decref {x}")?;
+                self.stmt_line(rest, depth)
+            }
+            Expr::DropToken(x, rest) => {
+                self.indent(depth)?;
+                writeln!(self.out, "drop-token {x}")?;
+                self.stmt_line(rest, depth)
+            }
+            Expr::DropReuse { var, token, body } => {
+                self.indent(depth)?;
+                writeln!(self.out, "val {token} = drop-reuse {var}")?;
+                self.stmt_line(body, depth)
+            }
+            Expr::Match {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                self.indent(depth)?;
+                writeln!(self.out, "match {scrutinee} {{")?;
+                for arm in arms {
+                    self.arm(arm, depth + 1)?;
+                }
+                if let Some(d) = default {
+                    self.indent(depth + 1)?;
+                    writeln!(self.out, "_ ->")?;
+                    self.stmt_line(d, depth + 2)?;
+                }
+                self.indent(depth)?;
+                writeln!(self.out, "}}")
+            }
+            Expr::IsUnique {
+                var,
+                unique,
+                shared,
+                ..
+            } => {
+                self.indent(depth)?;
+                writeln!(self.out, "if is-unique({var}) {{")?;
+                self.stmt_line(unique, depth + 1)?;
+                self.indent(depth)?;
+                writeln!(self.out, "}} else {{")?;
+                self.stmt_line(shared, depth + 1)?;
+                self.indent(depth)?;
+                writeln!(self.out, "}}")
+            }
+            _ => {
+                self.indent(depth)?;
+                self.expr(e, depth)?;
+                self.out.write_char('\n')
+            }
+        }
+    }
+
+    /// Prints an rhs: simple expressions inline, compound ones as blocks.
+    fn inline_or_block(&mut self, e: &Expr, depth: usize) -> fmt::Result {
+        match e {
+            Expr::Match { .. }
+            | Expr::IsUnique { .. }
+            | Expr::Let { .. }
+            | Expr::Seq(..)
+            | Expr::Dup(..)
+            | Expr::Drop(..)
+            | Expr::DropReuse { .. }
+            | Expr::Free(..)
+            | Expr::DecRef(..)
+            | Expr::DropToken(..) => {
+                writeln!(self.out, "{{")?;
+                self.stmt_line(e, depth + 1)?;
+                self.indent(depth)?;
+                self.out.write_char('}')
+            }
+            _ => self.expr(e, depth),
+        }
+    }
+
+    fn arm(&mut self, arm: &Arm, depth: usize) -> fmt::Result {
+        self.indent(depth)?;
+        let info = self.types.ctor(arm.ctor);
+        write!(self.out, "{}", info.name)?;
+        if !arm.binders.is_empty() {
+            self.out.write_char('(')?;
+            for (i, b) in arm.binders.iter().enumerate() {
+                if i > 0 {
+                    self.out.write_str(", ")?;
+                }
+                match b {
+                    Some(v) => write!(self.out, "{v}")?,
+                    None => self.out.write_char('_')?,
+                }
+            }
+            self.out.write_char(')')?;
+        }
+        if let Some(t) = &arm.reuse_token {
+            write!(self.out, " @{t}")?;
+        }
+        writeln!(self.out, " ->")?;
+        self.stmt_line(&arm.body, depth + 1)
+    }
+
+    fn expr(&mut self, e: &Expr, depth: usize) -> fmt::Result {
+        match e {
+            Expr::Var(v) => write!(self.out, "{v}"),
+            Expr::Lit(l) => write!(self.out, "{l}"),
+            Expr::Global(f) => write!(self.out, "@fun{}", f.0),
+            Expr::App(f, args) => {
+                self.expr(f, depth)?;
+                self.args(args, depth)
+            }
+            Expr::Call(f, args) => {
+                write!(self.out, "@fun{}", f.0)?;
+                self.args(args, depth)
+            }
+            Expr::Prim(op, args) => {
+                write!(self.out, "{}", op.name())?;
+                self.args(args, depth)
+            }
+            Expr::Lam(Lambda {
+                params, captures, ..
+            }) => {
+                self.out.write_str("fn")?;
+                if !captures.is_empty() {
+                    self.out.write_char('[')?;
+                    for (i, c) in captures.iter().enumerate() {
+                        if i > 0 {
+                            self.out.write_str(", ")?;
+                        }
+                        write!(self.out, "{c}")?;
+                    }
+                    self.out.write_char(']')?;
+                }
+                self.out.write_char('(')?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        self.out.write_str(", ")?;
+                    }
+                    write!(self.out, "{p}")?;
+                }
+                self.out.write_str(") { … }")
+            }
+            Expr::Con {
+                ctor,
+                args,
+                reuse,
+                skip,
+            } => {
+                let info = self.types.ctor(*ctor);
+                write!(self.out, "{}", info.name)?;
+                if let Some(t) = reuse {
+                    write!(self.out, "@{t}")?;
+                }
+                if !args.is_empty() {
+                    self.out.write_char('(')?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.write_str(", ")?;
+                        }
+                        if skip.get(i).copied().unwrap_or(false) {
+                            self.out.write_char('=')?; // field kept in place
+                        }
+                        self.expr(a, depth)?;
+                    }
+                    self.out.write_char(')')?;
+                }
+                Ok(())
+            }
+            Expr::Abort(msg) => write!(self.out, "abort({msg:?})"),
+            Expr::TokenOf(v) => write!(self.out, "&{v}"),
+            Expr::NullToken => self.out.write_str("NULL"),
+            // Compound forms in expression position: print as a block.
+            other => {
+                writeln!(self.out, "{{")?;
+                self.stmt_line(other, depth + 1)?;
+                self.indent(depth)?;
+                self.out.write_char('}')
+            }
+        }
+    }
+
+    fn args(&mut self, args: &[Expr], depth: usize) -> fmt::Result {
+        self.out.write_char('(')?;
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.write_str(", ")?;
+            }
+            self.expr(a, depth)?;
+        }
+        self.out.write_char(')')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::var::Var;
+
+    fn v(id: u32, hint: &str) -> Var {
+        Var::new(id, hint)
+    }
+
+    #[test]
+    fn prints_rc_instructions() {
+        let types = TypeTable::new();
+        let x = v(0, "x");
+        let e = Expr::dup(x.clone(), Expr::drop_(x.clone(), Expr::unit()));
+        let s = expr_to_string(&e, &types);
+        assert!(s.contains("dup x"), "{s}");
+        assert!(s.contains("drop x"), "{s}");
+    }
+
+    #[test]
+    fn prints_constructor_with_reuse() {
+        let mut types = TypeTable::new();
+        let list = types.add_data("list");
+        let cons = types.add_ctor_arity(list, "Cons", 2);
+        let ru = v(9, "ru");
+        let e = Expr::Con {
+            ctor: cons,
+            args: vec![Expr::int(1), Expr::int(2)],
+            reuse: Some(ru),
+            skip: vec![false, true],
+        };
+        let s = expr_to_string(&e, &types);
+        assert_eq!(s, "Cons@ru(1, =2)");
+    }
+
+    #[test]
+    fn prints_is_unique_blocks() {
+        let types = TypeTable::new();
+        let x = v(0, "xs");
+        let e = Expr::IsUnique {
+            var: x.clone(),
+            binders: vec![],
+            unique: Box::new(Expr::Free(x.clone(), Box::new(Expr::unit()))),
+            shared: Box::new(Expr::DecRef(x.clone(), Box::new(Expr::unit()))),
+        };
+        let s = expr_to_string(&e, &types);
+        assert!(s.contains("if is-unique(xs)"), "{s}");
+        assert!(s.contains("free xs"), "{s}");
+        assert!(s.contains("decref xs"), "{s}");
+    }
+
+    #[test]
+    fn prints_program() {
+        use crate::ir::program::{FunDef, Program};
+        let mut p = Program::new();
+        let x = v(0, "x");
+        p.add_fun(FunDef {
+            name: "id".into(),
+            params: vec![x.clone()],
+            body: Expr::Var(x),
+        });
+        let s = program_to_string(&p);
+        assert!(s.contains("fun id(x) {"), "{s}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Whole-program structure: data type declarations, top-level functions,
+//! and the tables that describe constructors.
+
+use super::expr::Expr;
+use super::var::{Var, VarGen};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a data type declaration in a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataId(pub u32);
+
+/// Identifies a constructor in a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtorId(pub u32);
+
+/// Identifies a top-level function in a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunId(pub u32);
+
+/// Description of one constructor.
+#[derive(Debug, Clone)]
+pub struct CtorInfo {
+    /// Source name, e.g. `Cons`.
+    pub name: Arc<str>,
+    /// The data type this constructor belongs to.
+    pub data: DataId,
+    /// Tag within the data type (0-based declaration order).
+    pub tag: u32,
+    /// Number of fields. Arity-0 constructors are *singletons*: they are
+    /// represented as immediate values at runtime and are never heap
+    /// allocated nor reference counted (like Koka's `Nil`/`Leaf`/`True`).
+    pub arity: usize,
+    /// Field names for diagnostics (empty strings when unnamed).
+    pub field_names: Vec<Arc<str>>,
+}
+
+/// Description of one data type.
+#[derive(Debug, Clone)]
+pub struct DataInfo {
+    /// Source name, e.g. `list`.
+    pub name: Arc<str>,
+    /// Constructors in declaration order.
+    pub ctors: Vec<CtorId>,
+}
+
+/// All data types and constructors of a program.
+///
+/// A fresh table always contains the built-in `bool` type with singleton
+/// constructors `False` (tag 0) and `True` (tag 1), which the comparison
+/// primitives produce and `if` consumes.
+#[derive(Debug, Clone)]
+pub struct TypeTable {
+    datas: Vec<DataInfo>,
+    ctors: Vec<CtorInfo>,
+}
+
+impl TypeTable {
+    /// The built-in `bool` data type.
+    pub const BOOL: DataId = DataId(0);
+    /// The built-in `False` constructor (singleton).
+    pub const FALSE: CtorId = CtorId(0);
+    /// The built-in `True` constructor (singleton).
+    pub const TRUE: CtorId = CtorId(1);
+
+    /// Creates a table containing only the built-in `bool` type.
+    pub fn new() -> Self {
+        let mut t = TypeTable {
+            datas: Vec::new(),
+            ctors: Vec::new(),
+        };
+        let b = t.add_data("bool");
+        let f = t.add_ctor(b, "False", Vec::new());
+        let tr = t.add_ctor(b, "True", Vec::new());
+        debug_assert_eq!(b, Self::BOOL);
+        debug_assert_eq!(f, Self::FALSE);
+        debug_assert_eq!(tr, Self::TRUE);
+        t
+    }
+
+    /// Declares a new data type with no constructors yet.
+    pub fn add_data(&mut self, name: impl Into<Arc<str>>) -> DataId {
+        let id = DataId(self.datas.len() as u32);
+        self.datas.push(DataInfo {
+            name: name.into(),
+            ctors: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a constructor to `data`. Field names may be empty strings.
+    pub fn add_ctor(
+        &mut self,
+        data: DataId,
+        name: impl Into<Arc<str>>,
+        field_names: Vec<Arc<str>>,
+    ) -> CtorId {
+        let id = CtorId(self.ctors.len() as u32);
+        let tag = self.datas[data.0 as usize].ctors.len() as u32;
+        self.ctors.push(CtorInfo {
+            name: name.into(),
+            data,
+            tag,
+            arity: field_names.len(),
+            field_names,
+        });
+        self.datas[data.0 as usize].ctors.push(id);
+        id
+    }
+
+    /// Convenience: adds a constructor with `arity` unnamed fields.
+    pub fn add_ctor_arity(
+        &mut self,
+        data: DataId,
+        name: impl Into<Arc<str>>,
+        arity: usize,
+    ) -> CtorId {
+        self.add_ctor(data, name, vec![Arc::from(""); arity])
+    }
+
+    /// Looks up a constructor.
+    pub fn ctor(&self, id: CtorId) -> &CtorInfo {
+        &self.ctors[id.0 as usize]
+    }
+
+    /// Looks up a data type.
+    pub fn data(&self, id: DataId) -> &DataInfo {
+        &self.datas[id.0 as usize]
+    }
+
+    /// Number of constructors.
+    pub fn ctor_count(&self) -> usize {
+        self.ctors.len()
+    }
+
+    /// Number of data types.
+    pub fn data_count(&self) -> usize {
+        self.datas.len()
+    }
+
+    /// Iterates all constructors with their ids.
+    pub fn ctors(&self) -> impl Iterator<Item = (CtorId, &CtorInfo)> + '_ {
+        self.ctors
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CtorId(i as u32), c))
+    }
+
+    /// Finds a constructor by name (linear scan; front-end use only).
+    pub fn find_ctor(&self, name: &str) -> Option<CtorId> {
+        self.ctors()
+            .find(|(_, c)| &*c.name == name)
+            .map(|(id, _)| id)
+    }
+}
+
+impl Default for TypeTable {
+    fn default() -> Self {
+        TypeTable::new()
+    }
+}
+
+/// A top-level function definition.
+#[derive(Debug, Clone)]
+pub struct FunDef {
+    /// Source name.
+    pub name: Arc<str>,
+    /// Parameters, owned by the function body (owned calling convention:
+    /// the callee is in charge of consuming each parameter, §2.2).
+    pub params: Vec<Var>,
+    /// The body expression.
+    pub body: Expr,
+}
+
+/// A whole program: type table, top-level functions, and the entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// All data types and constructors.
+    pub types: TypeTable,
+    /// Top-level functions; `FunId(i)` indexes this vector.
+    pub funs: Vec<FunDef>,
+    /// The function evaluated by `run` (usually `main`).
+    pub entry: Option<FunId>,
+    /// Fresh-variable generator positioned past every id in the program.
+    pub var_gen: VarGen,
+    /// Per-function borrow masks (`borrows[f][i]` ⇒ parameter `i` of
+    /// function `f` is *borrowed*, §6 / the Lean convention). Empty
+    /// means every parameter is owned — the paper's default, which is
+    /// what keeps programs garbage-free. Filled by the opt-in
+    /// [`passes::borrow`](crate::passes::borrow) pass.
+    pub borrows: Vec<Vec<bool>>,
+}
+
+impl Program {
+    /// An empty program (only the built-in `bool` type).
+    pub fn new() -> Self {
+        Program {
+            types: TypeTable::new(),
+            funs: Vec::new(),
+            entry: None,
+            var_gen: VarGen::default(),
+            borrows: Vec::new(),
+        }
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_fun(&mut self, def: FunDef) -> FunId {
+        let id = FunId(self.funs.len() as u32);
+        self.funs.push(def);
+        id
+    }
+
+    /// Looks up a function.
+    pub fn fun(&self, id: FunId) -> &FunDef {
+        &self.funs[id.0 as usize]
+    }
+
+    /// Finds a function by name (linear scan; front-end and test use).
+    pub fn find_fun(&self, name: &str) -> Option<FunId> {
+        self.funs
+            .iter()
+            .position(|f| &*f.name == name)
+            .map(|i| FunId(i as u32))
+    }
+
+    /// The borrow mask for a function (`None` when every parameter is
+    /// owned — the default convention).
+    pub fn borrow_mask(&self, id: FunId) -> Option<&[bool]> {
+        self.borrows
+            .get(id.0 as usize)
+            .map(|m| m.as_slice())
+            .filter(|m| m.iter().any(|b| *b))
+    }
+
+    /// Iterates functions with their ids.
+    pub fn funs(&self) -> impl Iterator<Item = (FunId, &FunDef)> + '_ {
+        self.funs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FunId(i as u32), f))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        super::pretty::write_program(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_bool_is_present() {
+        let t = TypeTable::new();
+        assert_eq!(&*t.ctor(TypeTable::TRUE).name, "True");
+        assert_eq!(&*t.ctor(TypeTable::FALSE).name, "False");
+        assert_eq!(t.ctor(TypeTable::TRUE).arity, 0);
+        assert_eq!(t.ctor(TypeTable::TRUE).data, TypeTable::BOOL);
+        assert_eq!(t.ctor(TypeTable::TRUE).tag, 1);
+    }
+
+    #[test]
+    fn add_data_and_ctors() {
+        let mut t = TypeTable::new();
+        let list = t.add_data("list");
+        let nil = t.add_ctor_arity(list, "Nil", 0);
+        let cons = t.add_ctor(list, "Cons", vec!["head".into(), "tail".into()]);
+        assert_eq!(t.ctor(cons).arity, 2);
+        assert_eq!(t.ctor(nil).arity, 0);
+        assert_eq!(t.data(list).ctors, vec![nil, cons]);
+        assert_eq!(t.find_ctor("Cons"), Some(cons));
+        assert_eq!(t.find_ctor("Snoc"), None);
+    }
+
+    #[test]
+    fn program_functions() {
+        let mut p = Program::new();
+        let f = p.add_fun(FunDef {
+            name: "id".into(),
+            params: vec![Var::new(0, "x")],
+            body: Expr::Var(Var::new(0, "x")),
+        });
+        assert_eq!(p.find_fun("id"), Some(f));
+        assert_eq!(&*p.fun(f).name, "id");
+        assert_eq!(p.funs().count(), 1);
+    }
+}

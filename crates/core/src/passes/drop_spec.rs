@@ -1,0 +1,309 @@
+//! Drop specialization and drop-reuse specialization (§2.3/§2.4,
+//! Fig. 1c and Fig. 1f of the paper).
+//!
+//! Inside a match arm the constructor of the scrutinee is statically
+//! known, so its `drop` can be inlined and specialized:
+//!
+//! ```text
+//! drop x; e                       if is-unique(x) { drop b₁ … drop bₙ; free x }
+//!            ──────────────▶      else            { decref x }
+//!                                 e
+//! ```
+//!
+//! and a `drop-reuse` becomes the token-producing conditional of Fig. 1f:
+//!
+//! ```text
+//! val ru = drop-reuse x; e   ⇒   val ru = if is-unique(x) { drop bᵢ…; &x }
+//!                                         else            { decref x; NULL }
+//!                                e
+//! ```
+//!
+//! Following the paper, a plain `drop` is only specialized when at least
+//! one child is used afterwards — otherwise the generic `drop` is both
+//! smaller and just as fast (e.g. the `Nil` branch of `map`).
+//!
+//! In the unique branch, the cell's ownership of its children transfers
+//! to the arm binders (recorded in [`Expr::IsUnique::binders`]); the
+//! resource checker relies on this to validate the output.
+
+use crate::ir::expr::{Arm, Expr};
+use crate::ir::fv::free_vars;
+use crate::ir::program::Program;
+use crate::ir::var::Var;
+use std::collections::HashMap;
+
+/// Which specializations to perform.
+#[derive(Debug, Clone, Copy)]
+pub struct DropSpecConfig {
+    /// Specialize plain `drop` of matched cells (Fig. 1c).
+    pub specialize_drop: bool,
+    /// Specialize `drop-reuse` into the token conditional (Fig. 1f).
+    pub specialize_drop_reuse: bool,
+}
+
+impl Default for DropSpecConfig {
+    fn default() -> Self {
+        DropSpecConfig {
+            specialize_drop: true,
+            specialize_drop_reuse: true,
+        }
+    }
+}
+
+/// Information about the innermost match arm that bound a variable.
+#[derive(Clone)]
+struct ArmInfo {
+    binders: Vec<Var>,
+    /// All fields must be named for the cell to be dismantled statically.
+    complete: bool,
+}
+
+/// Runs the pass over every function.
+pub fn drop_spec_program(p: &mut Program, config: &DropSpecConfig) {
+    for f in &mut p.funs {
+        let body = std::mem::replace(&mut f.body, Expr::unit());
+        f.body = rewrite(body, &mut HashMap::new(), config);
+    }
+}
+
+fn rewrite(e: Expr, ctx: &mut HashMap<Var, ArmInfo>, config: &DropSpecConfig) -> Expr {
+    match e {
+        Expr::Drop(x, rest) => {
+            let rest_fv_has_child = ctx.get(&x).map(|info| {
+                let fv = free_vars(&rest);
+                info.binders.iter().any(|b| fv.contains(b))
+            });
+            match ctx.get(&x) {
+                Some(info)
+                    if config.specialize_drop
+                        && info.complete
+                        && !info.binders.is_empty()
+                        && rest_fv_has_child == Some(true) =>
+                {
+                    let bs = info.binders.clone();
+                    let unique =
+                        Expr::drop_all(bs.clone(), Expr::Free(x.clone(), Box::new(Expr::unit())));
+                    let shared = Expr::DecRef(x.clone(), Box::new(Expr::unit()));
+                    let test = Expr::IsUnique {
+                        var: x,
+                        binders: bs,
+                        unique: Box::new(unique),
+                        shared: Box::new(shared),
+                    };
+                    Expr::seq(test, rewrite(*rest, ctx, config))
+                }
+                _ => Expr::drop_(x, rewrite(*rest, ctx, config)),
+            }
+        }
+        Expr::DropReuse { var, token, body } => match ctx.get(&var) {
+            Some(info) if config.specialize_drop_reuse && info.complete => {
+                let bs = info.binders.clone();
+                let unique = Expr::drop_all(bs.clone(), Expr::TokenOf(var.clone()));
+                let shared = Expr::DecRef(var.clone(), Box::new(Expr::NullToken));
+                let rhs = Expr::IsUnique {
+                    var,
+                    binders: bs,
+                    unique: Box::new(unique),
+                    shared: Box::new(shared),
+                };
+                Expr::let_(token, rhs, rewrite(*body, ctx, config))
+            }
+            _ => Expr::DropReuse {
+                var,
+                token,
+                body: Box::new(rewrite(*body, ctx, config)),
+            },
+        },
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => {
+            let arms = arms
+                .into_iter()
+                .map(|arm| {
+                    let binders: Vec<Var> = arm.binders.iter().flatten().cloned().collect();
+                    let complete = binders.len() == arm.binders.len();
+                    let saved = ctx.insert(scrutinee.clone(), ArmInfo { binders, complete });
+                    let body = rewrite(arm.body, ctx, config);
+                    match saved {
+                        Some(s) => {
+                            ctx.insert(scrutinee.clone(), s);
+                        }
+                        None => {
+                            ctx.remove(&scrutinee);
+                        }
+                    }
+                    Arm { body, ..arm }
+                })
+                .collect();
+            let default = default.map(|d| Box::new(rewrite(*d, ctx, config)));
+            Expr::Match {
+                scrutinee,
+                arms,
+                default,
+            }
+        }
+        Expr::Lam(mut lam) => {
+            // Binders of enclosing arms may not be captured by the
+            // closure; dismantling is not available inside it.
+            let body = std::mem::replace(&mut *lam.body, Expr::unit());
+            let mut inner = HashMap::new();
+            *lam.body = rewrite(body, &mut inner, config);
+            Expr::Lam(lam)
+        }
+        Expr::Let { var, rhs, body } => {
+            Expr::let_(var, rewrite(*rhs, ctx, config), rewrite(*body, ctx, config))
+        }
+        Expr::Seq(a, b) => Expr::seq(rewrite(*a, ctx, config), rewrite(*b, ctx, config)),
+        Expr::Dup(v, rest) => Expr::dup(v, rewrite(*rest, ctx, config)),
+        Expr::Free(v, rest) => Expr::Free(v, Box::new(rewrite(*rest, ctx, config))),
+        Expr::DecRef(v, rest) => Expr::DecRef(v, Box::new(rewrite(*rest, ctx, config))),
+        Expr::DropToken(v, rest) => Expr::DropToken(v, Box::new(rewrite(*rest, ctx, config))),
+        Expr::IsUnique {
+            var,
+            binders,
+            unique,
+            shared,
+        } => Expr::IsUnique {
+            var,
+            binders,
+            unique: Box::new(rewrite(*unique, ctx, config)),
+            shared: Box::new(rewrite(*shared, ctx, config)),
+        },
+        Expr::App(f, args) => Expr::App(Box::new(rewrite(*f, ctx, config)), args),
+        // ANF: argument positions are atoms; nothing to rewrite inside.
+        Expr::Call(..)
+        | Expr::Prim(..)
+        | Expr::Con { .. }
+        | Expr::Var(_)
+        | Expr::Lit(_)
+        | Expr::Global(_)
+        | Expr::Abort(_)
+        | Expr::TokenOf(_)
+        | Expr::NullToken => e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::{arm, con, ProgramBuilder};
+    use crate::ir::pretty::program_to_string;
+
+    /// match xs { Cons(x, xx) -> dup x; dup xx; drop xs; Cons(x, xx) }
+    fn sample(reuse: bool) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = ctors[1];
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let ru = pb.fresh("ru");
+        let alloc = if reuse {
+            Expr::Con {
+                ctor: cons,
+                args: vec![Expr::Var(x.clone()), Expr::Var(xx.clone())],
+                reuse: Some(ru.clone()),
+                skip: vec![],
+            }
+        } else {
+            con(cons, vec![Expr::Var(x.clone()), Expr::Var(xx.clone())])
+        };
+        let inner = if reuse {
+            Expr::DropReuse {
+                var: xs.clone(),
+                token: ru.clone(),
+                body: Box::new(alloc),
+            }
+        } else {
+            Expr::drop_(xs.clone(), alloc)
+        };
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![arm(
+                cons,
+                vec![x.clone(), xx.clone()],
+                Expr::dup(x.clone(), Expr::dup(xx.clone(), inner)),
+            )],
+            default: Some(Box::new(Expr::unit())),
+        };
+        pb.fun("f", vec![xs], body);
+        pb.finish()
+    }
+
+    #[test]
+    fn specializes_drop_of_matched_cell() {
+        let mut p = sample(false);
+        drop_spec_program(&mut p, &DropSpecConfig::default());
+        let s = program_to_string(&p);
+        assert!(s.contains("if is-unique(xs)"), "{s}");
+        assert!(s.contains("free xs"), "{s}");
+        assert!(s.contains("decref xs"), "{s}");
+        // Children dropped in the unique branch (Fig. 1c).
+        let unique = s.split("if is-unique").nth(1).unwrap();
+        assert!(unique.contains("drop x"), "{s}");
+        assert!(unique.contains("drop xx"), "{s}");
+    }
+
+    #[test]
+    fn specializes_drop_reuse_into_token_conditional() {
+        let mut p = sample(true);
+        drop_spec_program(&mut p, &DropSpecConfig::default());
+        let s = program_to_string(&p);
+        assert!(s.contains("val ru = {"), "{s}");
+        assert!(s.contains("&xs"), "{s}");
+        assert!(s.contains("NULL"), "{s}");
+        assert!(s.contains("decref xs"), "{s}");
+    }
+
+    #[test]
+    fn leaves_unrelated_drops_alone() {
+        // drop of a variable that was never matched stays generic.
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        pb.fun("f", vec![x.clone()], Expr::drop_(x.clone(), Expr::int(0)));
+        let mut p = pb.finish();
+        drop_spec_program(&mut p, &DropSpecConfig::default());
+        assert_eq!(p.funs[0].body, Expr::drop_(x, Expr::int(0)));
+    }
+
+    #[test]
+    fn does_not_specialize_when_children_unused() {
+        // match xs { Cons(x, xx) -> drop xs; 42 } — no child used after.
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = ctors[1];
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![arm(
+                cons,
+                vec![x, xx],
+                Expr::drop_(xs.clone(), Expr::int(42)),
+            )],
+            default: Some(Box::new(Expr::unit())),
+        };
+        pb.fun("f", vec![xs], body);
+        let mut p = pb.finish();
+        drop_spec_program(&mut p, &DropSpecConfig::default());
+        let s = program_to_string(&p);
+        assert!(!s.contains("is-unique"), "{s}");
+    }
+
+    #[test]
+    fn config_can_disable() {
+        let mut p = sample(false);
+        drop_spec_program(
+            &mut p,
+            &DropSpecConfig {
+                specialize_drop: false,
+                specialize_drop_reuse: false,
+            },
+        );
+        let s = program_to_string(&p);
+        assert!(!s.contains("is-unique"), "{s}");
+    }
+}

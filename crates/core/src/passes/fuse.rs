@@ -1,0 +1,365 @@
+//! Dup push-down and dup/drop fusion (§2.3/§2.4, Fig. 1d and Fig. 1g).
+//!
+//! After drop specialization, a match arm typically looks like
+//!
+//! ```text
+//! dup x; dup xx
+//! if is-unique(xs) { drop x; drop xx; free xs } else { decref xs }
+//! …
+//! ```
+//!
+//! Pushing the binder `dup`s into both branches lets them cancel against
+//! the child `drop`s in the unique branch, yielding the paper's fast
+//! path with *no* reference-count operations at all:
+//!
+//! ```text
+//! if is-unique(xs) { free xs } else { dup x; dup xx; decref xs }
+//! …
+//! ```
+//!
+//! Soundness of the reorderings relies on two facts: `dup`s of distinct
+//! variables commute freely, and a `dup` of a *binder of the tested
+//! cell's arm* may move across other instructions because the cell keeps
+//! its children alive until it is consumed inside the conditional
+//! (inductive data is acyclic, §2.7.4, so a binder can never alias an
+//! unrelated dropped variable into deallocation). Only binder `dup`s are
+//! pushed; everything else stays put.
+
+use crate::ir::expr::{Arm, Expr};
+use crate::ir::program::Program;
+use crate::ir::var::Var;
+
+/// One instruction of a dup/drop prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RcOp {
+    Dup(Var),
+    Drop(Var),
+}
+
+/// Runs fusion over every function of the program.
+pub fn fuse_program(p: &mut Program) {
+    for f in &mut p.funs {
+        let body = std::mem::replace(&mut f.body, Expr::unit());
+        f.body = fuse(body);
+    }
+}
+
+/// Fuses one expression (exposed for tests and the Fig. 1 example).
+pub fn fuse(e: Expr) -> Expr {
+    let (mut ops, tail) = peel(e);
+    cancel(&mut ops);
+    match tail {
+        // Statement-position is-unique (drop specialization output).
+        Expr::Seq(first, rest) if matches!(*first, Expr::IsUnique { .. }) => {
+            let cond = push_into(*first, &mut ops);
+            rebuild(ops, Expr::seq(cond, fuse(*rest)))
+        }
+        // Token-producing is-unique (drop-reuse specialization output).
+        Expr::Let { var, rhs, body } if matches!(*rhs, Expr::IsUnique { .. }) => {
+            let cond = push_into(*rhs, &mut ops);
+            rebuild(ops, Expr::let_(var, cond, fuse(*body)))
+        }
+        other => rebuild(ops, descend(other)),
+    }
+}
+
+/// Pushes the binder `dup`s of `ops` into both branches of `cond`
+/// (which must be an `IsUnique`), then fuses the branches.
+fn push_into(cond: Expr, ops: &mut Vec<RcOp>) -> Expr {
+    let Expr::IsUnique {
+        var,
+        binders,
+        unique,
+        shared,
+    } = cond
+    else {
+        unreachable!("push_into requires is-unique")
+    };
+    let mut pushed = Vec::new();
+    ops.retain(|op| match op {
+        RcOp::Dup(y) if binders.contains(y) && *y != var => {
+            pushed.push(y.clone());
+            false
+        }
+        _ => true,
+    });
+    let prepend = |e: Expr| Expr::dup_all(pushed.iter().cloned(), e);
+    Expr::IsUnique {
+        var,
+        binders,
+        unique: Box::new(fuse(prepend(*unique))),
+        shared: Box::new(fuse(prepend(*shared))),
+    }
+}
+
+/// Splits a maximal leading run of `dup`/`drop` instructions.
+fn peel(mut e: Expr) -> (Vec<RcOp>, Expr) {
+    let mut ops = Vec::new();
+    loop {
+        match e {
+            Expr::Dup(v, rest) => {
+                ops.push(RcOp::Dup(v));
+                e = *rest;
+            }
+            Expr::Drop(v, rest) => {
+                ops.push(RcOp::Drop(v));
+                e = *rest;
+            }
+            other => return (ops, other),
+        }
+    }
+}
+
+/// Cancels `dup x … drop x` pairs separated only by `dup`s, to fixpoint.
+fn cancel(ops: &mut Vec<RcOp>) {
+    loop {
+        let mut cancelled = false;
+        'scan: for j in 0..ops.len() {
+            if let RcOp::Drop(x) = &ops[j] {
+                // Find a preceding dup of x with only dups in between.
+                for i in (0..j).rev() {
+                    match &ops[i] {
+                        RcOp::Dup(y) if y == x => {
+                            ops.remove(j);
+                            ops.remove(i);
+                            cancelled = true;
+                            break 'scan;
+                        }
+                        RcOp::Dup(_) => continue,
+                        RcOp::Drop(_) => break,
+                    }
+                }
+            }
+        }
+        if !cancelled {
+            return;
+        }
+    }
+}
+
+fn rebuild(ops: Vec<RcOp>, tail: Expr) -> Expr {
+    ops.into_iter().rev().fold(tail, |acc, op| match op {
+        RcOp::Dup(v) => Expr::dup(v, acc),
+        RcOp::Drop(v) => Expr::drop_(v, acc),
+    })
+}
+
+/// Structural recursion for everything that is not a dup/drop prefix.
+fn descend(e: Expr) -> Expr {
+    match e {
+        Expr::Let { var, rhs, body } => Expr::let_(var, fuse(*rhs), fuse(*body)),
+        Expr::Seq(a, b) => Expr::seq(fuse(*a), fuse(*b)),
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => Expr::Match {
+            scrutinee,
+            arms: arms
+                .into_iter()
+                .map(|arm| Arm {
+                    body: fuse(arm.body),
+                    ..arm
+                })
+                .collect(),
+            default: default.map(|d| Box::new(fuse(*d))),
+        },
+        Expr::Lam(mut lam) => {
+            let body = std::mem::replace(&mut *lam.body, Expr::unit());
+            *lam.body = fuse(body);
+            Expr::Lam(lam)
+        }
+        Expr::IsUnique {
+            var,
+            binders,
+            unique,
+            shared,
+        } => Expr::IsUnique {
+            var,
+            binders,
+            unique: Box::new(fuse(*unique)),
+            shared: Box::new(fuse(*shared)),
+        },
+        Expr::DropReuse { var, token, body } => Expr::DropReuse {
+            var,
+            token,
+            body: Box::new(fuse(*body)),
+        },
+        Expr::Free(v, rest) => Expr::Free(v, Box::new(fuse(*rest))),
+        Expr::DecRef(v, rest) => Expr::DecRef(v, Box::new(fuse(*rest))),
+        Expr::DropToken(v, rest) => Expr::DropToken(v, Box::new(fuse(*rest))),
+        Expr::Dup(..) | Expr::Drop(..) => unreachable!("peeled by caller"),
+        // ANF leaves: atoms inside, nothing to do.
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32, hint: &str) -> Var {
+        Var::new(id, hint)
+    }
+
+    #[test]
+    fn cancels_adjacent_pairs() {
+        let x = v(0, "x");
+        let e = Expr::dup(x.clone(), Expr::drop_(x.clone(), Expr::int(1)));
+        assert_eq!(fuse(e), Expr::int(1));
+    }
+
+    #[test]
+    fn cancels_across_dups_only() {
+        let x = v(0, "x");
+        let y = v(1, "y");
+        // dup x; dup y; drop x; 1  ⇒  dup y; 1
+        let e = Expr::dup(
+            x.clone(),
+            Expr::dup(y.clone(), Expr::drop_(x.clone(), Expr::int(1))),
+        );
+        assert_eq!(fuse(e), Expr::dup(y, Expr::int(1)));
+    }
+
+    #[test]
+    fn does_not_cancel_across_other_drops() {
+        let x = v(0, "x");
+        let z = v(1, "z");
+        // dup x; drop z; drop x — the drop of z may free, so x's pair
+        // must not cancel (conservative aliasing rule).
+        let e = Expr::dup(
+            x.clone(),
+            Expr::drop_(z.clone(), Expr::drop_(x.clone(), Expr::int(1))),
+        );
+        let out = fuse(e.clone());
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn figure_1c_to_1d() {
+        // dup x; dup xx; if is-unique(xs) { drop x; drop xx; free xs }
+        //                else { decref xs }; rest
+        // ⇒ if is-unique(xs) { free xs } else { dup x; dup xx; decref xs }; rest
+        let xs = v(0, "xs");
+        let x = v(1, "x");
+        let xx = v(2, "xx");
+        let unique = Expr::drop_(
+            x.clone(),
+            Expr::drop_(xx.clone(), Expr::Free(xs.clone(), Box::new(Expr::unit()))),
+        );
+        let shared = Expr::DecRef(xs.clone(), Box::new(Expr::unit()));
+        let e = Expr::dup(
+            x.clone(),
+            Expr::dup(
+                xx.clone(),
+                Expr::seq(
+                    Expr::IsUnique {
+                        var: xs.clone(),
+                        binders: vec![x.clone(), xx.clone()],
+                        unique: Box::new(unique),
+                        shared: Box::new(shared),
+                    },
+                    Expr::int(7),
+                ),
+            ),
+        );
+        let out = fuse(e);
+        match out {
+            Expr::Seq(first, rest) => {
+                assert_eq!(*rest, Expr::int(7));
+                match *first {
+                    Expr::IsUnique { unique, shared, .. } => {
+                        assert_eq!(
+                            *unique,
+                            Expr::Free(xs.clone(), Box::new(Expr::unit())),
+                            "fast path must be rc-free"
+                        );
+                        assert_eq!(
+                            *shared,
+                            Expr::dup(
+                                x.clone(),
+                                Expr::dup(
+                                    xx.clone(),
+                                    Expr::DecRef(xs.clone(), Box::new(Expr::unit()))
+                                )
+                            )
+                        );
+                    }
+                    other => panic!("expected is-unique, got {other:?}"),
+                }
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure_1f_to_1g() {
+        // dup x; dup xx; val ru = if is-unique(xs) { drop x; drop xx; &xs }
+        //                         else { decref xs; NULL }; body
+        let xs = v(0, "xs");
+        let x = v(1, "x");
+        let xx = v(2, "xx");
+        let ru = v(3, "ru");
+        let rhs = Expr::IsUnique {
+            var: xs.clone(),
+            binders: vec![x.clone(), xx.clone()],
+            unique: Box::new(Expr::drop_(
+                x.clone(),
+                Expr::drop_(xx.clone(), Expr::TokenOf(xs.clone())),
+            )),
+            shared: Box::new(Expr::DecRef(xs.clone(), Box::new(Expr::NullToken))),
+        };
+        let e = Expr::dup(
+            x.clone(),
+            Expr::dup(
+                xx.clone(),
+                Expr::let_(ru.clone(), rhs, Expr::Var(ru.clone())),
+            ),
+        );
+        let out = fuse(e);
+        match out {
+            Expr::Let { rhs, .. } => match *rhs {
+                Expr::IsUnique { unique, shared, .. } => {
+                    assert_eq!(*unique, Expr::TokenOf(xs.clone()));
+                    assert_eq!(
+                        *shared,
+                        Expr::dup(
+                            x,
+                            Expr::dup(xx, Expr::DecRef(xs, Box::new(Expr::NullToken)))
+                        )
+                    );
+                }
+                other => panic!("expected is-unique rhs, got {other:?}"),
+            },
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_binder_dups_stay_outside() {
+        let xs = v(0, "xs");
+        let x = v(1, "x");
+        let f = v(2, "f");
+        let e = Expr::dup(
+            f.clone(),
+            Expr::dup(
+                x.clone(),
+                Expr::seq(
+                    Expr::IsUnique {
+                        var: xs.clone(),
+                        binders: vec![x.clone()],
+                        unique: Box::new(Expr::drop_(
+                            x.clone(),
+                            Expr::Free(xs.clone(), Box::new(Expr::unit())),
+                        )),
+                        shared: Box::new(Expr::DecRef(xs.clone(), Box::new(Expr::unit()))),
+                    },
+                    Expr::unit(),
+                ),
+            ),
+        );
+        let out = fuse(e);
+        // dup f is not a binder of xs's arm: it must remain in front.
+        assert!(matches!(&out, Expr::Dup(d, _) if *d == f), "{out:?}");
+    }
+}

@@ -1,0 +1,392 @@
+//! A small-function inliner.
+//!
+//! §2.5 of the paper notes that the compiler inlines `bal-left` into
+//! `ins`, at which point *every* matched `Node` has a corresponding
+//! `Node` allocation and reuse analysis eliminates all allocations on
+//! the fast path. This pass provides exactly that: direct calls to
+//! small, non-recursive top-level functions are replaced by their
+//! (alpha-renamed) bodies, before reuse analysis runs.
+
+use crate::ir::expr::{Arm, Expr, Lambda};
+use crate::ir::program::{FunId, Program};
+use crate::ir::var::{Var, VarGen};
+use std::collections::{HashMap, HashSet};
+
+/// Tuning knobs for the inliner.
+#[derive(Debug, Clone)]
+pub struct InlineConfig {
+    /// Maximum body size (IR nodes) of an inlinable function.
+    pub max_size: usize,
+    /// How many rounds to run (each round may expose new direct calls).
+    pub rounds: usize,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig {
+            max_size: 256,
+            rounds: 2,
+        }
+    }
+}
+
+/// Runs the inliner; returns the number of call sites inlined.
+pub fn inline_program(p: &mut Program, config: &InlineConfig) -> usize {
+    let mut total = 0;
+    for _ in 0..config.rounds {
+        let recursive = recursive_funs(p);
+        // Snapshot candidate bodies for this round.
+        let candidates: HashMap<FunId, (Vec<Var>, Expr)> = p
+            .funs()
+            .filter(|(id, f)| !recursive.contains(id) && f.body.size() <= config.max_size)
+            .map(|(id, f)| (id, (f.params.clone(), f.body.clone())))
+            .collect();
+        if candidates.is_empty() {
+            return total;
+        }
+        let mut gen = std::mem::take(&mut p.var_gen);
+        let mut round = 0;
+        for (id, f) in p.funs.iter_mut().enumerate() {
+            let body = std::mem::replace(&mut f.body, Expr::unit());
+            f.body = inline_expr(body, FunId(id as u32), &candidates, &mut gen, &mut round);
+        }
+        p.var_gen = gen;
+        total += round;
+        if round == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Functions that participate in a call-graph cycle (conservatively, any
+/// function from which itself is reachable through direct calls).
+fn recursive_funs(p: &Program) -> HashSet<FunId> {
+    // Build direct-call edges; a Global reference also counts (it may be
+    // applied indirectly, and inlining through it is impossible anyway —
+    // we only need cycles among *direct* calls plus self-references).
+    let n = p.funs.len();
+    let mut edges: Vec<HashSet<FunId>> = vec![HashSet::new(); n];
+    for (id, f) in p.funs() {
+        f.body.visit(&mut |e| {
+            if let Expr::Call(callee, _) | Expr::Global(callee) = e {
+                edges[id.0 as usize].insert(*callee);
+            }
+        });
+    }
+    let mut recursive = HashSet::new();
+    for start in 0..n {
+        // DFS from each successor of `start`, looking for `start`.
+        let target = FunId(start as u32);
+        let mut stack: Vec<FunId> = edges[start].iter().copied().collect();
+        let mut seen: HashSet<FunId> = stack.iter().copied().collect();
+        let mut found = edges[start].contains(&target);
+        while let Some(cur) = stack.pop() {
+            if cur == target {
+                found = true;
+                break;
+            }
+            for next in &edges[cur.0 as usize] {
+                if seen.insert(*next) {
+                    stack.push(*next);
+                }
+            }
+        }
+        if found {
+            recursive.insert(target);
+        }
+    }
+    recursive
+}
+
+fn inline_expr(
+    e: Expr,
+    current: FunId,
+    candidates: &HashMap<FunId, (Vec<Var>, Expr)>,
+    gen: &mut VarGen,
+    count: &mut usize,
+) -> Expr {
+    let recur = |e: Expr, gen: &mut VarGen, count: &mut usize| {
+        inline_expr(e, current, candidates, gen, count)
+    };
+    match e {
+        Expr::Call(callee, args) if callee != current && candidates.contains_key(&callee) => {
+            let args: Vec<Expr> = args.into_iter().map(|a| recur(a, gen, count)).collect();
+            let (params, body) = &candidates[&callee];
+            *count += 1;
+            // Fresh copy of the body, with parameters bound to arguments.
+            let mut map = HashMap::new();
+            let fresh_params: Vec<Var> = params
+                .iter()
+                .map(|p| {
+                    let fp = gen.fresh(p.hint());
+                    map.insert(p.clone(), fp.clone());
+                    fp
+                })
+                .collect();
+            let body = alpha_rename(body.clone(), &mut map, gen);
+            fresh_params
+                .into_iter()
+                .zip(args)
+                .rev()
+                .fold(body, |acc, (p, a)| Expr::let_(p, a, acc))
+        }
+        Expr::Call(callee, args) => Expr::Call(
+            callee,
+            args.into_iter().map(|a| recur(a, gen, count)).collect(),
+        ),
+        Expr::App(f, args) => Expr::App(
+            Box::new(recur(*f, gen, count)),
+            args.into_iter().map(|a| recur(a, gen, count)).collect(),
+        ),
+        Expr::Prim(op, args) => {
+            Expr::Prim(op, args.into_iter().map(|a| recur(a, gen, count)).collect())
+        }
+        Expr::Con {
+            ctor,
+            args,
+            reuse,
+            skip,
+        } => Expr::Con {
+            ctor,
+            args: args.into_iter().map(|a| recur(a, gen, count)).collect(),
+            reuse,
+            skip,
+        },
+        Expr::Let { var, rhs, body } => {
+            Expr::let_(var, recur(*rhs, gen, count), recur(*body, gen, count))
+        }
+        Expr::Seq(a, b) => Expr::seq(recur(*a, gen, count), recur(*b, gen, count)),
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => Expr::Match {
+            scrutinee,
+            arms: arms
+                .into_iter()
+                .map(|arm| Arm {
+                    body: recur(arm.body, gen, count),
+                    ..arm
+                })
+                .collect(),
+            default: default.map(|d| Box::new(recur(*d, gen, count))),
+        },
+        Expr::Lam(mut lam) => {
+            let body = std::mem::replace(&mut *lam.body, Expr::unit());
+            *lam.body = recur(body, gen, count);
+            Expr::Lam(lam)
+        }
+        other => other,
+    }
+}
+
+/// Renames every bound variable of `e` to a fresh one, applying `map` to
+/// occurrences. Used when splicing a function body into a new context so
+/// variable ids stay globally unique.
+pub fn alpha_rename(e: Expr, map: &mut HashMap<Var, Var>, gen: &mut VarGen) -> Expr {
+    let ren = |v: &Var, map: &HashMap<Var, Var>| map.get(v).cloned().unwrap_or_else(|| v.clone());
+    match e {
+        Expr::Var(v) => Expr::Var(ren(&v, map)),
+        Expr::Lit(_) | Expr::Global(_) | Expr::Abort(_) | Expr::NullToken => e,
+        Expr::TokenOf(v) => Expr::TokenOf(ren(&v, map)),
+        Expr::App(f, args) => Expr::App(
+            Box::new(alpha_rename(*f, map, gen)),
+            args.into_iter()
+                .map(|a| alpha_rename(a, map, gen))
+                .collect(),
+        ),
+        Expr::Call(id, args) => Expr::Call(
+            id,
+            args.into_iter()
+                .map(|a| alpha_rename(a, map, gen))
+                .collect(),
+        ),
+        Expr::Prim(op, args) => Expr::Prim(
+            op,
+            args.into_iter()
+                .map(|a| alpha_rename(a, map, gen))
+                .collect(),
+        ),
+        Expr::Con {
+            ctor,
+            args,
+            reuse,
+            skip,
+        } => Expr::Con {
+            ctor,
+            args: args
+                .into_iter()
+                .map(|a| alpha_rename(a, map, gen))
+                .collect(),
+            reuse: reuse.map(|t| ren(&t, map)),
+            skip,
+        },
+        Expr::Lam(lam) => {
+            let params: Vec<Var> = lam
+                .params
+                .iter()
+                .map(|p| {
+                    let fp = gen.fresh(p.hint());
+                    map.insert(p.clone(), fp.clone());
+                    fp
+                })
+                .collect();
+            let captures = lam.captures.iter().map(|c| ren(c, map)).collect();
+            let body = alpha_rename(*lam.body, map, gen);
+            Expr::Lam(Lambda {
+                params,
+                captures,
+                body: Box::new(body),
+            })
+        }
+        Expr::Let { var, rhs, body } => {
+            let rhs = alpha_rename(*rhs, map, gen);
+            let fv = gen.fresh(var.hint());
+            map.insert(var, fv.clone());
+            Expr::let_(fv, rhs, alpha_rename(*body, map, gen))
+        }
+        Expr::Seq(a, b) => Expr::seq(alpha_rename(*a, map, gen), alpha_rename(*b, map, gen)),
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => Expr::Match {
+            scrutinee: ren(&scrutinee, map),
+            arms: arms
+                .into_iter()
+                .map(|arm| {
+                    let binders: Vec<Option<Var>> = arm
+                        .binders
+                        .into_iter()
+                        .map(|b| {
+                            b.map(|b| {
+                                let fb = gen.fresh(b.hint());
+                                map.insert(b, fb.clone());
+                                fb
+                            })
+                        })
+                        .collect();
+                    let reuse_token = arm.reuse_token.map(|t| {
+                        let ft = gen.fresh(t.hint());
+                        map.insert(t, ft.clone());
+                        ft
+                    });
+                    Arm {
+                        ctor: arm.ctor,
+                        binders,
+                        reuse_token,
+                        body: alpha_rename(arm.body, map, gen),
+                    }
+                })
+                .collect(),
+            default: default.map(|d| Box::new(alpha_rename(*d, map, gen))),
+        },
+        Expr::Dup(v, rest) => Expr::dup(ren(&v, map), alpha_rename(*rest, map, gen)),
+        Expr::Drop(v, rest) => Expr::drop_(ren(&v, map), alpha_rename(*rest, map, gen)),
+        Expr::Free(v, rest) => Expr::Free(ren(&v, map), Box::new(alpha_rename(*rest, map, gen))),
+        Expr::DecRef(v, rest) => {
+            Expr::DecRef(ren(&v, map), Box::new(alpha_rename(*rest, map, gen)))
+        }
+        Expr::DropToken(v, rest) => {
+            Expr::DropToken(ren(&v, map), Box::new(alpha_rename(*rest, map, gen)))
+        }
+        Expr::DropReuse { var, token, body } => {
+            let var = ren(&var, map);
+            let ft = gen.fresh(token.hint());
+            map.insert(token, ft.clone());
+            Expr::DropReuse {
+                var,
+                token: ft,
+                body: Box::new(alpha_rename(*body, map, gen)),
+            }
+        }
+        Expr::IsUnique {
+            var,
+            binders,
+            unique,
+            shared,
+        } => Expr::IsUnique {
+            var: ren(&var, map),
+            binders: binders.iter().map(|b| ren(b, map)).collect(),
+            unique: Box::new(alpha_rename(*unique, map, gen)),
+            shared: Box::new(alpha_rename(*shared, map, gen)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::ProgramBuilder;
+    use crate::ir::expr::PrimOp;
+    use crate::ir::wf::assert_well_formed;
+
+    #[test]
+    fn inlines_small_helper() {
+        // fun inc(x) { x + 1 }   fun main(n) { inc(n) }
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let inc = pb.fun(
+            "inc",
+            vec![x.clone()],
+            Expr::Prim(PrimOp::Add, vec![Expr::Var(x.clone()), Expr::int(1)]),
+        );
+        let n = pb.fresh("n");
+        let main = pb.fun("main", vec![n.clone()], Expr::Call(inc, vec![Expr::Var(n)]));
+        pb.entry(main);
+        let mut p = pb.finish();
+        let count = inline_program(&mut p, &InlineConfig::default());
+        assert_eq!(count, 1);
+        assert_well_formed(&p);
+        let s = crate::ir::pretty::program_to_string(&p);
+        let main_part = s.split("fun main").nth(1).unwrap();
+        assert!(!main_part.contains("@fun0("), "call not inlined: {s}");
+        assert!(main_part.contains('+'), "{s}");
+    }
+
+    #[test]
+    fn leaves_recursive_functions() {
+        let mut pb = ProgramBuilder::new();
+        let n = pb.fresh("n");
+        let f = pb.declare("loopy", vec![n.clone()]);
+        pb.set_body(f, Expr::Call(f, vec![Expr::Var(n.clone())]));
+        let m = pb.fresh("m");
+        pb.fun("main", vec![m.clone()], Expr::Call(f, vec![Expr::Var(m)]));
+        let mut p = pb.finish();
+        assert_eq!(inline_program(&mut p, &InlineConfig::default()), 0);
+    }
+
+    #[test]
+    fn respects_size_limit() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        // A chain of additions well over the limit.
+        let mut body = Expr::Var(x.clone());
+        for _ in 0..100 {
+            body = Expr::Prim(PrimOp::Add, vec![body, Expr::int(1)]);
+        }
+        let big = pb.fun("big", vec![x.clone()], body);
+        let n = pb.fresh("n");
+        pb.fun("main", vec![n.clone()], Expr::Call(big, vec![Expr::Var(n)]));
+        let mut p = pb.finish();
+        let cfg = InlineConfig {
+            max_size: 16,
+            rounds: 1,
+        };
+        assert_eq!(inline_program(&mut p, &cfg), 0);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.fresh("a");
+        let f = pb.declare("even", vec![a.clone()]);
+        let b = pb.fresh("b");
+        let g = pb.declare("odd", vec![b.clone()]);
+        pb.set_body(f, Expr::Call(g, vec![Expr::Var(a)]));
+        pb.set_body(g, Expr::Call(f, vec![Expr::Var(b)]));
+        let mut p = pb.finish();
+        assert_eq!(inline_program(&mut p, &InlineConfig::default()), 0);
+    }
+}

@@ -1,0 +1,948 @@
+//! The Perceus reference-count insertion algorithm — the syntax-directed
+//! linear resource rules of Fig. 8 of the paper, generalized to n-ary
+//! functions, direct calls, primitives and data constructors, and
+//! (optionally) to *borrowed* parameters (§6 / the Lean convention).
+//!
+//! The derivation `Δ | Γ ⊢ₛ e ⇝ e′` threads a *borrowed* environment Δ
+//! and an *owned* environment Γ with the invariants of the paper:
+//!
+//! 1. `Δ ∩ Γ = ∅`
+//! 2. `Γ ⊆ fv(e)`
+//! 3. `fv(e) ⊆ Δ ∪ Γ`
+//!
+//! The algorithm is *precise* (garbage-free): `dup`s are pushed to the
+//! leaves (as late as possible) and `drop`s are emitted as early as
+//! possible — immediately after a binding or at the start of a match arm.
+//!
+//! Match arms follow the paper's compiled form (Fig. 1b): the match
+//! itself borrows the scrutinee; the generated arm code first `dup`s the
+//! pattern binders that the arm actually uses, then `drop`s (or
+//! `drop-reuse`s, when reuse analysis attached a token) the scrutinee,
+//! then `drop`s any owned variables that are dead in this arm. This is
+//! the fusion of rule (matchᵣ)'s implicit `dup ys; drop x` with rule
+//! *smatch*'s arm-entry drops, which is exactly what the Koka compiler
+//! emits. A match on a *borrowed* scrutinee emits neither the scrutinee
+//! drop nor any dup for it — the borrower guarantees liveness.
+//!
+//! With borrow masks present (see [`crate::passes::borrow`]), arguments
+//! in borrowed positions of a direct call are not consumed: the caller
+//! retains ownership and, when the call was the last use, releases the
+//! value right after the call returns.
+
+use crate::ir::expr::{Arm, Expr, Lambda};
+use crate::ir::fv::{free_vars, lambda_free_vars};
+use crate::ir::program::Program;
+use crate::ir::var::{Var, VarGen, VarSet};
+use std::fmt;
+
+/// An error from the insertion algorithm. These indicate ill-scoped
+/// input or an internal invariant violation — a well-formed user-fragment
+/// program never triggers one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertError(pub String);
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "perceus insertion: {}", self.0)
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// Shared context for a derivation: the program's borrow masks and a
+/// fresh-variable source (needed when a borrowed argument must be
+/// released right after its call).
+pub struct InsertCx<'a> {
+    borrows: &'a [Vec<bool>],
+    gen: &'a mut VarGen,
+}
+
+impl<'a> InsertCx<'a> {
+    /// A context with the given borrow masks (empty slice = all owned).
+    pub fn new(borrows: &'a [Vec<bool>], gen: &'a mut VarGen) -> Self {
+        InsertCx { borrows, gen }
+    }
+
+    fn mask(&self, fun: crate::ir::program::FunId) -> Option<Vec<bool>> {
+        self.borrows
+            .get(fun.0 as usize)
+            .filter(|m| m.iter().any(|b| *b))
+            .cloned()
+    }
+}
+
+/// Runs Perceus insertion over every function of the program, honoring
+/// `program.borrows` when present.
+///
+/// Expects the user fragment (plus reuse-analysis annotations) in ANF;
+/// produces a program whose functions contain explicit `dup`/`drop`/
+/// `drop-reuse` instructions and consume their owned parameters (the
+/// owned calling convention of §2.2).
+pub fn insert_program(p: &mut Program) -> Result<(), InsertError> {
+    let borrows = std::mem::take(&mut p.borrows);
+    let mut gen = std::mem::take(&mut p.var_gen);
+    let funs = std::mem::take(&mut p.funs);
+    let mut out = Vec::with_capacity(funs.len());
+    let mut failure = None;
+    for (fi, f) in funs.into_iter().enumerate() {
+        if failure.is_some() {
+            out.push(f);
+            continue;
+        }
+        let mask = borrows.get(fi).cloned().unwrap_or_default();
+        let fv = free_vars(&f.body);
+        let mut owned = VarSet::new();
+        let mut delta = VarSet::new();
+        let mut dead = Vec::new();
+        for (pi, par) in f.params.iter().enumerate() {
+            let borrowed = mask.get(pi).copied().unwrap_or(false);
+            if borrowed {
+                delta.insert(par.clone());
+            } else if fv.contains(par) {
+                owned.insert(par.clone());
+            } else {
+                dead.push(par.clone());
+            }
+        }
+        let mut cx = InsertCx::new(&borrows, &mut gen);
+        match infer(&mut cx, &delta, owned, f.body) {
+            Ok(body) => {
+                // Unused owned parameters are dropped on entry
+                // (slam-drop); borrowed parameters are never dropped.
+                let body = Expr::drop_all(dead, body);
+                out.push(crate::ir::program::FunDef {
+                    name: f.name,
+                    params: f.params,
+                    body,
+                });
+            }
+            Err(e) => failure = Some(e),
+        }
+    }
+    p.funs = out;
+    p.var_gen = gen;
+    p.borrows = borrows;
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// The derivation `Δ | Γ ⊢ₛ e ⇝ e′`.
+///
+/// Exposed for tests and for the examples that reproduce the paper's
+/// Fig. 1 step by step.
+pub fn infer(
+    cx: &mut InsertCx<'_>,
+    delta: &VarSet,
+    gamma: VarSet,
+    e: Expr,
+) -> Result<Expr, InsertError> {
+    debug_assert!(
+        delta.intersect(&gamma).is_empty(),
+        "Δ ∩ Γ must be empty: Δ={delta:?} Γ={gamma:?}"
+    );
+    match e {
+        // [svar] / [svar-dup]
+        Expr::Var(x) => {
+            if gamma.contains(&x) && gamma.len() == 1 {
+                Ok(Expr::Var(x))
+            } else if gamma.is_empty() && delta.contains(&x) {
+                Ok(Expr::dup(x.clone(), Expr::Var(x)))
+            } else {
+                Err(InsertError(format!(
+                    "variable {x:?} not exactly owned (Γ={gamma:?}) nor borrowed (Δ={delta:?})"
+                )))
+            }
+        }
+        Expr::Lit(_) | Expr::Global(_) | Expr::Abort(_) | Expr::NullToken => {
+            expect_empty(&gamma, "literal")?;
+            Ok(e)
+        }
+        Expr::TokenOf(_) | Expr::IsUnique { .. } | Expr::Free(..) | Expr::DecRef(..) => Err(
+            InsertError("specialized instruction in insertion input".into()),
+        ),
+        Expr::Dup(..) | Expr::Drop(..) | Expr::DropReuse { .. } => Err(InsertError(
+            "reference-count instruction in insertion input".into(),
+        )),
+        // Reuse analysis runs before insertion and releases unused tokens
+        // with drop-token; the token is a linear resource consumed here.
+        Expr::DropToken(t, rest) => {
+            let mut gamma = gamma;
+            if !gamma.remove(&t) {
+                return Err(InsertError(format!("token {t:?} not owned at drop-token")));
+            }
+            Ok(Expr::DropToken(
+                t,
+                Box::new(infer(cx, delta, gamma, *rest)?),
+            ))
+        }
+
+        // [sapp] generalized: callee first, then arguments left to right.
+        Expr::App(f, args) => {
+            let mut exprs = Vec::with_capacity(args.len() + 1);
+            exprs.push(*f);
+            exprs.extend(args);
+            let exprs = infer_sequence(cx, delta, &gamma, exprs)?;
+            let (dups, mut exprs) = hoist_atom_dups(exprs);
+            let f = exprs.remove(0);
+            Ok(Expr::dup_all(dups, Expr::App(Box::new(f), exprs)))
+        }
+        Expr::Call(id, args) => {
+            if let Some(mask) = cx.mask(id) {
+                return infer_borrowing_call(cx, delta, gamma, id, args, mask);
+            }
+            let args = infer_sequence(cx, delta, &gamma, args)?;
+            let (dups, args) = hoist_atom_dups(args);
+            Ok(Expr::dup_all(dups, Expr::Call(id, args)))
+        }
+        Expr::Prim(op, args) => {
+            let args = infer_sequence(cx, delta, &gamma, args)?;
+            let (dups, args) = hoist_atom_dups(args);
+            Ok(Expr::dup_all(dups, Expr::Prim(op, args)))
+        }
+        // [scon]; a reuse token is consumed by the allocation itself.
+        Expr::Con {
+            ctor,
+            args,
+            reuse,
+            skip,
+        } => {
+            let mut gamma = gamma;
+            if let Some(t) = &reuse {
+                if !gamma.remove(t) {
+                    return Err(InsertError(format!(
+                        "reuse token {t:?} not owned at constructor"
+                    )));
+                }
+            }
+            let args = infer_sequence(cx, delta, &gamma, args)?;
+            let (dups, args) = hoist_atom_dups(args);
+            Ok(Expr::dup_all(
+                dups,
+                Expr::Con {
+                    ctor,
+                    args,
+                    reuse,
+                    skip,
+                },
+            ))
+        }
+
+        // [slam] / [slam-drop]
+        Expr::Lam(lam) => {
+            let ys: VarSet = lambda_free_vars(&lam).iter().cloned().collect();
+            // Invariant (2) gives Γ ⊆ ys; the rest must be borrowed and
+            // gets dup'd to take ownership for the closure (Δ₁ = ys − Γ).
+            if !gamma.difference(&ys).is_empty() {
+                return Err(InsertError(format!(
+                    "lambda owns {gamma:?} beyond its free variables {ys:?}"
+                )));
+            }
+            let dup_first = ys.difference(&gamma);
+            for d in dup_first.iter() {
+                if !delta.contains(d) {
+                    return Err(InsertError(format!(
+                        "lambda capture {d:?} neither owned nor borrowed"
+                    )));
+                }
+            }
+            let body_fv = free_vars(&lam.body);
+            let mut body_owned = VarSet::new();
+            let mut dead = Vec::new();
+            for v in ys.iter().chain(lam.params.iter()) {
+                if body_fv.contains(v) {
+                    body_owned.insert(v.clone());
+                } else {
+                    dead.push(v.clone());
+                }
+            }
+            let body = infer(cx, &VarSet::new(), body_owned, *lam.body)?;
+            let body = Expr::drop_all(dead, body);
+            let out = Expr::Lam(Lambda {
+                params: lam.params,
+                captures: ys.clone().into_vec(),
+                body: Box::new(body),
+            });
+            Ok(Expr::dup_all(dup_first.into_vec(), out))
+        }
+
+        // [sbind] / [sbind-drop]
+        Expr::Let { var, rhs, body } => {
+            let body_fv = free_vars(&body);
+            let gamma2 = gamma.intersect(&body_fv); // Γ ∩ (fv(e₂) − x): x ∉ Γ
+            let gamma1 = gamma.difference(&gamma2);
+            let delta1 = delta.union(&gamma2);
+            let rhs = infer(cx, &delta1, gamma1, *rhs)?;
+            let body = if body_fv.contains(&var) {
+                let mut owned = gamma2;
+                owned.insert(var.clone());
+                infer(cx, delta, owned, *body)?
+            } else {
+                Expr::drop_(var.clone(), infer(cx, delta, gamma2, *body)?)
+            };
+            Ok(Expr::let_(var, rhs, body))
+        }
+        Expr::Seq(a, b) => {
+            // Like sbind with an anonymous unit binding (never dropped:
+            // unit is a value type).
+            let b_fv = free_vars(&b);
+            let gamma2 = gamma.intersect(&b_fv);
+            let gamma1 = gamma.difference(&gamma2);
+            let delta1 = delta.union(&gamma2);
+            let a = infer(cx, &delta1, gamma1, *a)?;
+            let b = infer(cx, delta, gamma2, *b)?;
+            Ok(Expr::seq(a, b))
+        }
+
+        // [smatch] in the compiled form of Fig. 1b.
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => {
+            if !gamma.contains(&scrutinee) {
+                if !delta.contains(&scrutinee) {
+                    return Err(InsertError(format!(
+                        "scrutinee {scrutinee:?} neither owned nor borrowed"
+                    )));
+                }
+                // Borrowed scrutinee. Without reuse tokens, the arms can
+                // simply borrow it too: no dup, no arm drop — this is
+                // what makes a borrowed `is-red(t)` entirely rc-free.
+                if arms.iter().all(|a| a.reuse_token.is_none()) {
+                    let mut out_arms = Vec::with_capacity(arms.len());
+                    for arm in arms {
+                        out_arms.push(infer_arm(
+                            cx,
+                            delta,
+                            &gamma,
+                            &scrutinee,
+                            arm,
+                            ScrutineeMode::Borrowed,
+                        )?);
+                    }
+                    let default = match default {
+                        Some(d) => Some(Box::new(infer_default(
+                            cx,
+                            delta,
+                            &gamma,
+                            &scrutinee,
+                            *d,
+                            ScrutineeMode::Borrowed,
+                        )?)),
+                        None => None,
+                    };
+                    return Ok(Expr::Match {
+                        scrutinee,
+                        arms: out_arms,
+                        default,
+                    });
+                }
+                // Reuse tokens require consumption: take ownership first
+                // (svar-dup).
+                let mut gamma = gamma;
+                gamma.insert(scrutinee.clone());
+                let delta = delta.difference(&std::iter::once(scrutinee.clone()).collect());
+                let inner = infer(
+                    cx,
+                    &delta,
+                    gamma,
+                    Expr::Match {
+                        scrutinee: scrutinee.clone(),
+                        arms,
+                        default,
+                    },
+                )?;
+                return Ok(Expr::dup(scrutinee, inner));
+            }
+            let gamma_rest = {
+                let mut g = gamma.clone();
+                g.remove(&scrutinee);
+                g
+            };
+            let mut out_arms = Vec::with_capacity(arms.len());
+            for arm in arms {
+                out_arms.push(infer_arm(
+                    cx,
+                    delta,
+                    &gamma_rest,
+                    &scrutinee,
+                    arm,
+                    ScrutineeMode::Owned,
+                )?);
+            }
+            let default = match default {
+                Some(d) => Some(Box::new(infer_default(
+                    cx,
+                    delta,
+                    &gamma_rest,
+                    &scrutinee,
+                    *d,
+                    ScrutineeMode::Owned,
+                )?)),
+                None => None,
+            };
+            Ok(Expr::Match {
+                scrutinee,
+                arms: out_arms,
+                default,
+            })
+        }
+    }
+}
+
+/// Whether the match owns its scrutinee (and must consume it per arm)
+/// or merely borrows it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ScrutineeMode {
+    Owned,
+    Borrowed,
+}
+
+/// Hoists `dup x; x` argument atoms (produced by [svar-dup]) out of
+/// argument positions, so that application nodes stay in ANF. Sound
+/// because the remaining arguments are effect-free atoms: the `dup`s
+/// commute with them and happen in the same order, just earlier.
+fn hoist_atom_dups(exprs: Vec<Expr>) -> (Vec<Var>, Vec<Expr>) {
+    let mut dups = Vec::new();
+    let out = exprs
+        .into_iter()
+        .map(|e| match e {
+            Expr::Dup(x, inner) if inner.is_atom() => {
+                dups.push(x);
+                *inner
+            }
+            other => other,
+        })
+        .collect();
+    (dups, out)
+}
+
+/// Splits Γ over a sequence of expressions evaluated left to right and
+/// derives each. Variable `γ ∈ Γ` is owned by the **last** expression
+/// whose free variables contain it; earlier expressions borrow it
+/// ([sapp]'s `Γ₂ = Γ ∩ fv(e₂)` generalized).
+fn infer_sequence(
+    cx: &mut InsertCx<'_>,
+    delta: &VarSet,
+    gamma: &VarSet,
+    exprs: Vec<Expr>,
+) -> Result<Vec<Expr>, InsertError> {
+    let fvs: Vec<VarSet> = exprs.iter().map(free_vars).collect();
+    let mut remaining = gamma.clone();
+    let mut owned: Vec<VarSet> = vec![VarSet::new(); exprs.len()];
+    for i in (0..exprs.len()).rev() {
+        let part = remaining.intersect(&fvs[i]);
+        remaining = remaining.difference(&part);
+        owned[i] = part;
+    }
+    if !remaining.is_empty() {
+        return Err(InsertError(format!(
+            "owned variables {remaining:?} unused in application"
+        )));
+    }
+    let mut out = Vec::with_capacity(exprs.len());
+    for (i, e) in exprs.into_iter().enumerate() {
+        // Everything owned by later components is surely alive while this
+        // component evaluates, so it may be borrowed here.
+        let mut d = delta.clone();
+        for later in owned.iter().skip(i + 1) {
+            d = d.union(later);
+        }
+        out.push(infer(cx, &d, owned[i].clone(), e)?);
+    }
+    Ok(out)
+}
+
+/// A direct call with a borrow mask: arguments in borrowed positions
+/// are not consumed. A variable whose *last* use is such a position is
+/// released immediately after the call returns — the closest a caller
+/// can get to garbage-free under borrowing (§6).
+fn infer_borrowing_call(
+    cx: &mut InsertCx<'_>,
+    delta: &VarSet,
+    gamma: VarSet,
+    id: crate::ir::program::FunId,
+    args: Vec<Expr>,
+    mask: Vec<bool>,
+) -> Result<Expr, InsertError> {
+    let is_borrowed = |i: usize| mask.get(i).copied().unwrap_or(false);
+    // Split Γ over *owned* positions only (right-to-left, as usual).
+    let fvs: Vec<VarSet> = args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if is_borrowed(i) {
+                VarSet::new()
+            } else {
+                free_vars(a)
+            }
+        })
+        .collect();
+    let mut remaining = gamma.clone();
+    let mut owned: Vec<VarSet> = vec![VarSet::new(); args.len()];
+    for i in (0..args.len()).rev() {
+        let part = remaining.intersect(&fvs[i]);
+        remaining = remaining.difference(&part);
+        owned[i] = part;
+    }
+    // Leftovers must occur in a borrowed position — they are released
+    // right after the call.
+    let mut release_after = Vec::new();
+    for x in remaining.iter() {
+        let used = args
+            .iter()
+            .enumerate()
+            .any(|(i, a)| is_borrowed(i) && free_vars(a).contains(x));
+        if !used {
+            return Err(InsertError(format!(
+                "owned variable {x:?} unused in borrowing call"
+            )));
+        }
+        release_after.push(x.clone());
+    }
+    let mut out_args = Vec::with_capacity(args.len());
+    for (i, a) in args.into_iter().enumerate() {
+        if is_borrowed(i) {
+            // Borrowed positions take atoms verbatim: no dup, no
+            // consumption. Aliveness: the variable is borrowed here, in
+            // a later owned split, or in the release set — all alive
+            // through the call.
+            if !a.is_atom() {
+                return Err(InsertError(
+                    "non-atomic argument in borrowed position (not in ANF)".into(),
+                ));
+            }
+            if let Expr::Var(v) = &a {
+                let alive =
+                    delta.contains(v) || gamma.contains(v) || owned.iter().any(|o| o.contains(v));
+                if !alive {
+                    return Err(InsertError(format!(
+                        "borrowed argument {v:?} is not alive at the call"
+                    )));
+                }
+            }
+            out_args.push(a);
+        } else {
+            let mut d = delta.clone();
+            for later in owned.iter().skip(i + 1) {
+                d = d.union(later);
+            }
+            for r in &release_after {
+                d.insert(r.clone());
+            }
+            out_args.push(infer(cx, &d, owned[i].clone(), a)?);
+        }
+    }
+    let (dups, out_args) = hoist_atom_dups(out_args);
+    let call = Expr::dup_all(dups, Expr::Call(id, out_args));
+    if release_after.is_empty() {
+        Ok(call)
+    } else {
+        // val r = f(…); drop x…; r
+        let r = cx.gen.fresh("_r");
+        Ok(Expr::let_(
+            r.clone(),
+            call,
+            Expr::drop_all(release_after, Expr::Var(r)),
+        ))
+    }
+}
+
+/// Derives one match arm (Fig. 1b form; see module docs).
+fn infer_arm(
+    cx: &mut InsertCx<'_>,
+    delta: &VarSet,
+    gamma_rest: &VarSet,
+    scrutinee: &Var,
+    arm: Arm,
+    mode: ScrutineeMode,
+) -> Result<Arm, InsertError> {
+    let body_fv = free_vars(&arm.body);
+    let binders: Vec<Var> = arm.binders.iter().flatten().cloned().collect();
+    let scrut_live = body_fv.contains(scrutinee);
+    if arm.reuse_token.is_some() && (scrut_live || mode == ScrutineeMode::Borrowed) {
+        return Err(InsertError(format!(
+            "reuse token on arm that cannot consume scrutinee {scrutinee:?}"
+        )));
+    }
+
+    if mode == ScrutineeMode::Borrowed {
+        // The cell is pinned for the whole derivation, so its fields can
+        // be borrowed too: no entry dups, no scrutinee drop. Uses that
+        // consume a binder dup at the use site (svar-dup).
+        let owned = gamma_rest.intersect(&body_fv);
+        let mut arm_delta = delta.clone();
+        for b in &binders {
+            arm_delta.insert(b.clone());
+        }
+        let dead: Vec<Var> = gamma_rest.difference(&body_fv).into_vec();
+        let body = infer(cx, &arm_delta, owned, arm.body)?;
+        let body = Expr::drop_all(dead, body);
+        return Ok(Arm {
+            ctor: arm.ctor,
+            binders: arm.binders,
+            reuse_token: None,
+            body,
+        });
+    }
+
+    let used_binders: Vec<Var> = binders
+        .iter()
+        .filter(|b| body_fv.contains(b))
+        .cloned()
+        .collect();
+    // Owned environment for the body.
+    let mut owned = gamma_rest.intersect(&body_fv);
+    for b in &used_binders {
+        owned.insert(b.clone());
+    }
+    if scrut_live {
+        owned.insert(scrutinee.clone());
+    }
+    if let Some(t) = &arm.reuse_token {
+        owned.insert(t.clone());
+    }
+
+    let dead: Vec<Var> = gamma_rest.difference(&body_fv).into_vec();
+    let mut body = infer(cx, delta, owned, arm.body)?;
+    // Emission order (innermost-out): dead drops, scrutinee consumption,
+    // binder dups — so the generated code reads: dups; drop scrutinee;
+    // drop dead; body.
+    body = Expr::drop_all(dead, body);
+    if !scrut_live {
+        body = match &arm.reuse_token {
+            Some(t) => Expr::DropReuse {
+                var: scrutinee.clone(),
+                token: t.clone(),
+                body: Box::new(body),
+            },
+            None => Expr::drop_(scrutinee.clone(), body),
+        };
+    }
+    body = Expr::dup_all(used_binders, body);
+    Ok(Arm {
+        ctor: arm.ctor,
+        binders: arm.binders,
+        reuse_token: None, // consumed: the DropReuse instruction carries it
+        body,
+    })
+}
+
+/// Derives the default arm of a match (no binders, no reuse).
+fn infer_default(
+    cx: &mut InsertCx<'_>,
+    delta: &VarSet,
+    gamma_rest: &VarSet,
+    scrutinee: &Var,
+    body: Expr,
+    mode: ScrutineeMode,
+) -> Result<Expr, InsertError> {
+    let body_fv = free_vars(&body);
+    let scrut_live = body_fv.contains(scrutinee);
+    let mut owned = gamma_rest.intersect(&body_fv);
+    if scrut_live && mode == ScrutineeMode::Owned {
+        owned.insert(scrutinee.clone());
+    }
+    let dead: Vec<Var> = gamma_rest.difference(&body_fv).into_vec();
+    let mut out = infer(cx, delta, owned, body)?;
+    out = Expr::drop_all(dead, out);
+    if !scrut_live && mode == ScrutineeMode::Owned {
+        out = Expr::drop_(scrutinee.clone(), out);
+    }
+    Ok(out)
+}
+
+fn expect_empty(gamma: &VarSet, what: &str) -> Result<(), InsertError> {
+    if gamma.is_empty() {
+        Ok(())
+    } else {
+        Err(InsertError(format!(
+            "owned variables {gamma:?} unused at {what}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::erase::erase;
+    use crate::ir::expr::PrimOp;
+    use crate::ir::pretty::expr_to_string;
+    use crate::ir::program::TypeTable;
+
+    fn v(id: u32, hint: &str) -> Var {
+        Var::new(id, hint)
+    }
+
+    fn owned(vars: &[&Var]) -> VarSet {
+        vars.iter().map(|v| (*v).clone()).collect()
+    }
+
+    /// Runs `infer` with no borrow masks (the default convention).
+    fn infer0(delta: &VarSet, gamma: VarSet, e: Expr) -> Result<Expr, InsertError> {
+        let mut gen = VarGen::starting_at(10_000);
+        let mut cx = InsertCx::new(&[], &mut gen);
+        infer(&mut cx, delta, gamma, e)
+    }
+
+    #[test]
+    fn k_combinator_drops_unused() {
+        // λx y. x  ⇒  body of the lambda drops y
+        let x = v(0, "x");
+        let y = v(1, "y");
+        let lam = Expr::Lam(Lambda {
+            params: vec![x.clone(), y.clone()],
+            captures: vec![],
+            body: Box::new(Expr::Var(x.clone())),
+        });
+        let out = infer0(&VarSet::new(), VarSet::new(), lam).unwrap();
+        match out {
+            Expr::Lam(l) => assert_eq!(*l.body, Expr::drop_(y, Expr::Var(x))),
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicated_use_dups_at_leaf() {
+        // x + x with x owned: the dup for the first (borrowing) use is
+        // hoisted in front of the application to keep it in ANF.
+        let x = v(0, "x");
+        let e = Expr::Prim(
+            PrimOp::Add,
+            vec![Expr::Var(x.clone()), Expr::Var(x.clone())],
+        );
+        let out = infer0(&VarSet::new(), owned(&[&x]), e).unwrap();
+        assert_eq!(
+            out,
+            Expr::dup(
+                x.clone(),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![Expr::Var(x.clone()), Expr::Var(x.clone())]
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn borrowed_variable_gets_dup() {
+        let x = v(0, "x");
+        let delta = owned(&[&x]);
+        let out = infer0(&delta, VarSet::new(), Expr::Var(x.clone())).unwrap();
+        assert_eq!(out, Expr::dup(x.clone(), Expr::Var(x)));
+    }
+
+    #[test]
+    fn unused_let_binding_dropped_immediately() {
+        // val y = x; 42  ⇒  val y = x; drop y; 42
+        let x = v(0, "x");
+        let y = v(1, "y");
+        let e = Expr::let_(y.clone(), Expr::Var(x.clone()), Expr::int(42));
+        let out = infer0(&VarSet::new(), owned(&[&x]), e).unwrap();
+        assert_eq!(
+            out,
+            Expr::let_(y.clone(), Expr::Var(x), Expr::drop_(y, Expr::int(42)))
+        );
+    }
+
+    #[test]
+    fn map_cons_arm_matches_figure_1b() {
+        // The running example of the paper (Fig. 1b): in the Cons arm the
+        // generated code is dup x; dup xx; drop xs; Cons(dup(f)(x), map(xx,f)).
+        let mut types = TypeTable::new();
+        let list = types.add_data("list");
+        let nil = types.add_ctor_arity(list, "Nil", 0);
+        let cons = types.add_ctor_arity(list, "Cons", 2);
+        let map = crate::ir::program::FunId(0);
+
+        let xs = v(0, "xs");
+        let f = v(1, "f");
+        let x = v(2, "x");
+        let xx = v(3, "xx");
+        let y = v(4, "y");
+        let ys = v(5, "ys");
+        // Cons arm body (ANF): val y = f(x); val ys = map(xx, f); Cons(y, ys)
+        let cons_body = Expr::let_(
+            y.clone(),
+            Expr::App(Box::new(Expr::Var(f.clone())), vec![Expr::Var(x.clone())]),
+            Expr::let_(
+                ys.clone(),
+                Expr::Call(map, vec![Expr::Var(xx.clone()), Expr::Var(f.clone())]),
+                Expr::Con {
+                    ctor: cons,
+                    args: vec![Expr::Var(y.clone()), Expr::Var(ys.clone())],
+                    reuse: None,
+                    skip: vec![],
+                },
+            ),
+        );
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                Arm {
+                    ctor: cons,
+                    binders: vec![Some(x.clone()), Some(xx.clone())],
+                    reuse_token: None,
+                    body: cons_body,
+                },
+                Arm {
+                    ctor: nil,
+                    binders: vec![],
+                    reuse_token: None,
+                    body: Expr::Con {
+                        ctor: nil,
+                        args: vec![],
+                        reuse: None,
+                        skip: vec![],
+                    },
+                },
+            ],
+            default: None,
+        };
+        let out = infer0(&VarSet::new(), owned(&[&xs, &f]), body.clone()).unwrap();
+        let printed = expr_to_string(&out, &types);
+        // Cons arm: dup x; dup xx; drop xs — then f is dup'd at its first
+        // use because it is borrowed there (used again by the map call).
+        let cons_arm = printed
+            .split("Cons(x, xx)")
+            .nth(1)
+            .expect("cons arm printed");
+        let dup_x = cons_arm.find("dup x").expect("dup x");
+        let dup_xx = cons_arm.find("dup xx").expect("dup xx");
+        let drop_xs = cons_arm.find("drop xs").expect("drop xs");
+        let dup_f = cons_arm.find("dup f").expect("dup f");
+        assert!(
+            dup_x < dup_xx && dup_xx < drop_xs && drop_xs < dup_f,
+            "{printed}"
+        );
+        // Nil arm drops both the scrutinee and the dead f.
+        let nil_arm = cons_arm.split("Nil ->").nth(1).expect("nil arm");
+        assert!(nil_arm.contains("drop xs"), "{printed}");
+        assert!(nil_arm.contains("drop f"), "{printed}");
+        // Lemma 1: erasing recovers the input.
+        assert_eq!(erase(out), body);
+    }
+
+    #[test]
+    fn rejects_rc_instructions_in_input() {
+        let x = v(0, "x");
+        let e = Expr::dup(x.clone(), Expr::Var(x.clone()));
+        assert!(infer0(&VarSet::new(), owned(&[&x]), e).is_err());
+    }
+
+    #[test]
+    fn lambda_captures_consume_ownership() {
+        // With x owned, λy. x + y consumes x into the closure: no dup.
+        let x = v(0, "x");
+        let y = v(1, "y");
+        let lam = Expr::Lam(Lambda {
+            params: vec![y.clone()],
+            captures: vec![x.clone()],
+            body: Box::new(Expr::Prim(
+                PrimOp::Add,
+                vec![Expr::Var(x.clone()), Expr::Var(y.clone())],
+            )),
+        });
+        let out = infer0(&VarSet::new(), owned(&[&x]), lam.clone()).unwrap();
+        assert!(matches!(out, Expr::Lam(_)), "no dup expected: {out:?}");
+        // With x merely borrowed, the closure must dup it first.
+        let out = infer0(&owned(&[&x]), VarSet::new(), lam).unwrap();
+        assert!(matches!(out, Expr::Dup(ref d, _) if *d == x), "{out:?}");
+    }
+
+    #[test]
+    fn borrowed_match_emits_no_scrutinee_rc_ops() {
+        // match t (borrowed) { C(a) -> 1; N -> 0 } — no dup t, no drop t.
+        let mut types = TypeTable::new();
+        let d = types.add_data("t");
+        let n0 = types.add_ctor_arity(d, "N", 0);
+        let c1 = types.add_ctor_arity(d, "C", 1);
+        let t = v(0, "t");
+        let a = v(1, "a");
+        let e = Expr::Match {
+            scrutinee: t.clone(),
+            arms: vec![
+                Arm {
+                    ctor: c1,
+                    binders: vec![Some(a.clone())],
+                    reuse_token: None,
+                    body: Expr::int(1),
+                },
+                Arm {
+                    ctor: n0,
+                    binders: vec![],
+                    reuse_token: None,
+                    body: Expr::int(0),
+                },
+            ],
+            default: None,
+        };
+        let out = infer0(&owned(&[&t]), VarSet::new(), e).unwrap();
+        let s = expr_to_string(&out, &types);
+        assert!(!s.contains("dup"), "{s}");
+        assert!(!s.contains("drop"), "{s}");
+    }
+
+    #[test]
+    fn borrowing_call_releases_last_use_after_call() {
+        // fun g(borrowed q) …; with x owned and dead after: the caller
+        // emits  val r = g(x); drop x; r.
+        let x = v(1, "x");
+        let g = crate::ir::program::FunId(0);
+        let borrows = vec![vec![true]];
+        let mut gen = VarGen::starting_at(100);
+        let mut cx = InsertCx::new(&borrows, &mut gen);
+        let e = Expr::Call(g, vec![Expr::Var(x.clone())]);
+        let out = infer(&mut cx, &VarSet::new(), owned(&[&x]), e).unwrap();
+        match out {
+            Expr::Let { rhs, body, .. } => {
+                assert!(matches!(*rhs, Expr::Call(..)));
+                assert!(matches!(*body, Expr::Drop(ref d, _) if *d == x), "{body:?}");
+            }
+            other => panic!("expected release-after-call wrapper, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowing_call_with_later_use_adds_nothing() {
+        // x used again after the borrowed call: no dup for the call, no
+        // release — the later use consumes.
+        let x = v(1, "x");
+        let r = v(2, "r");
+        let g = crate::ir::program::FunId(0);
+        let borrows = vec![vec![true]];
+        let mut gen = VarGen::starting_at(100);
+        let mut cx = InsertCx::new(&borrows, &mut gen);
+        let e = Expr::let_(
+            r.clone(),
+            Expr::Call(g, vec![Expr::Var(x.clone())]),
+            Expr::Var(x.clone()),
+        );
+        let out = infer(&mut cx, &VarSet::new(), owned(&[&x]), e).unwrap();
+        let types = TypeTable::new();
+        let s = expr_to_string(&out, &types);
+        assert!(!s.contains("dup x"), "{s}");
+        assert!(s.contains("drop r"), "unused result dropped: {s}");
+    }
+
+    #[test]
+    fn owned_positions_in_borrowing_call_still_split() {
+        // g(borrowed a, owned b): b consumed by the call, a borrowed and
+        // dead after → release-after wrapper for a only.
+        let a = v(1, "a");
+        let b = v(2, "b");
+        let g = crate::ir::program::FunId(0);
+        let borrows = vec![vec![true, false]];
+        let mut gen = VarGen::starting_at(100);
+        let mut cx = InsertCx::new(&borrows, &mut gen);
+        let e = Expr::Call(g, vec![Expr::Var(a.clone()), Expr::Var(b.clone())]);
+        let out = infer(&mut cx, &VarSet::new(), owned(&[&a, &b]), e).unwrap();
+        let types = TypeTable::new();
+        let s = expr_to_string(&out, &types);
+        assert!(s.contains("drop a"), "{s}");
+        assert!(!s.contains("drop b"), "{s}");
+        assert!(!s.contains("dup"), "{s}");
+    }
+}

@@ -1,0 +1,356 @@
+//! The Perceus pass pipeline.
+//!
+//! Pass order (paper §2, Fig. 1):
+//!
+//! 1. [`normalize`] — ANF, capture annotation, full binder naming.
+//! 2. [`inline`] — small-function inlining (enables whole-branch reuse,
+//!    §2.5's `bal-left` example).
+//! 3. [`reuse`] — reuse analysis: pair matched cells with allocations
+//!    (Fig. 1e).
+//! 4. [`insert`] — Perceus `dup`/`drop` insertion (Fig. 8 / Fig. 1b),
+//!    or [`scoped`] for the scope-tied baseline.
+//! 5. [`reuse_spec`] — reuse specialization: skip unchanged field writes
+//!    (§2.5).
+//! 6. [`drop_spec`] — drop / drop-reuse specialization (Fig. 1c/1f).
+//! 7. [`fuse`] — dup push-down and dup/drop fusion (Fig. 1d/1g).
+
+pub mod borrow;
+pub mod drop_spec;
+pub mod fuse;
+pub mod inline;
+pub mod insert;
+pub mod normalize;
+pub mod reuse;
+pub mod reuse_spec;
+pub mod scoped;
+
+use crate::ir::program::Program;
+use crate::ir::wf;
+use std::fmt;
+
+/// Which reference-counting discipline to insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RcStrategy {
+    /// Precise ownership-based insertion (the paper's contribution).
+    Perceus,
+    /// Scope-tied insertion (§2.2's `shared_ptr`/Swift baseline).
+    Scoped,
+    /// No reference counting at all — for the tracing-GC and arena
+    /// runtime modes, which reclaim (or leak) without counts.
+    None,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PassConfig {
+    /// Insertion discipline.
+    pub strategy: RcStrategy,
+    /// Infer and use borrowed parameters (§6 extension; sacrifices the
+    /// garbage-free property for fewer rc operations).
+    pub borrow: bool,
+    /// Run the inliner (before reuse analysis).
+    pub inline: bool,
+    /// Inliner knobs.
+    pub inline_config: inline::InlineConfig,
+    /// Run reuse analysis (Perceus only).
+    pub reuse: bool,
+    /// Reuse-analysis knobs.
+    pub reuse_config: reuse::ReuseConfig,
+    /// Run reuse specialization (requires `reuse`).
+    pub reuse_spec: bool,
+    /// Run drop / drop-reuse specialization.
+    pub drop_spec: bool,
+    /// Run dup push-down and fusion.
+    pub fuse: bool,
+}
+
+impl PassConfig {
+    /// Full Perceus with all optimizations — the paper's "Koka" column.
+    pub fn perceus() -> Self {
+        PassConfig {
+            strategy: RcStrategy::Perceus,
+            borrow: false,
+            inline: true,
+            inline_config: inline::InlineConfig::default(),
+            reuse: true,
+            reuse_config: reuse::ReuseConfig::default(),
+            reuse_spec: true,
+            drop_spec: true,
+            fuse: true,
+        }
+    }
+
+    /// Precise insertion only, no reuse and no specialization — the
+    /// paper's "Koka, no-opt" column.
+    pub fn perceus_no_opt() -> Self {
+        PassConfig {
+            strategy: RcStrategy::Perceus,
+            borrow: false,
+            inline: true,
+            inline_config: inline::InlineConfig::default(),
+            reuse: false,
+            reuse_config: reuse::ReuseConfig::default(),
+            reuse_spec: false,
+            drop_spec: false,
+            fuse: false,
+        }
+    }
+
+    /// Full Perceus plus inferred borrowed parameters (§6 extension).
+    /// Fewer rc operations, but no longer garbage-free: a caller holds
+    /// borrowed values across whole calls.
+    pub fn perceus_borrowing() -> Self {
+        PassConfig {
+            borrow: true,
+            ..PassConfig::perceus()
+        }
+    }
+
+    /// Scope-tied reference counting (§2.2 baseline).
+    pub fn scoped() -> Self {
+        PassConfig {
+            strategy: RcStrategy::Scoped,
+            borrow: false,
+            inline: true,
+            inline_config: inline::InlineConfig::default(),
+            reuse: false,
+            reuse_config: reuse::ReuseConfig::default(),
+            reuse_spec: false,
+            drop_spec: false,
+            fuse: false,
+        }
+    }
+
+    /// No reference counting: for the tracing-GC and arena runtimes.
+    pub fn erased() -> Self {
+        PassConfig {
+            strategy: RcStrategy::None,
+            borrow: false,
+            inline: true,
+            inline_config: inline::InlineConfig::default(),
+            reuse: false,
+            reuse_config: reuse::ReuseConfig::default(),
+            reuse_spec: false,
+            drop_spec: false,
+            fuse: false,
+        }
+    }
+
+    /// Returns a copy with one optimization toggled off — used by the
+    /// ablation benchmarks.
+    pub fn without(mut self, opt: Ablation) -> Self {
+        match opt {
+            Ablation::Reuse => {
+                self.reuse = false;
+                self.reuse_spec = false;
+            }
+            Ablation::ReuseSpec => self.reuse_spec = false,
+            Ablation::DropSpec => self.drop_spec = false,
+            Ablation::Fuse => self.fuse = false,
+            Ablation::Inline => self.inline = false,
+        }
+        self
+    }
+}
+
+/// Optimizations that can be individually disabled for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    Reuse,
+    ReuseSpec,
+    DropSpec,
+    Fuse,
+    Inline,
+}
+
+/// An error produced by the pipeline.
+#[derive(Debug)]
+pub enum PassError {
+    /// Perceus insertion failed (ill-scoped input).
+    Insert(insert::InsertError),
+    /// The output failed the well-formedness check (a pass bug).
+    Malformed(wf::WfError),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Insert(e) => write!(f, "{e}"),
+            PassError::Malformed(e) => write!(f, "pipeline produced ill-formed code: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PassError::Insert(e) => Some(e),
+            PassError::Malformed(e) => Some(e),
+        }
+    }
+}
+
+impl From<insert::InsertError> for PassError {
+    fn from(e: insert::InsertError) -> Self {
+        PassError::Insert(e)
+    }
+}
+
+/// Drives the configured passes over a program.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PassConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PassConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PassConfig {
+        &self.config
+    }
+
+    /// Runs all passes; returns the compiled program.
+    pub fn run(&self, mut p: Program) -> Result<Program, PassError> {
+        normalize::normalize_program(&mut p);
+        if self.config.inline {
+            inline::inline_program(&mut p, &self.config.inline_config);
+            // Inlining splices ANF terms under fresh lets; stay in ANF.
+            normalize::normalize_program(&mut p);
+        }
+        match self.config.strategy {
+            RcStrategy::Perceus => {
+                // Reuse analysis runs first; borrow inference then keeps
+                // any parameter that reuse wants to consume owned (the
+                // Lean ordering — reuse beats borrowing when both apply).
+                if self.config.reuse {
+                    reuse::reuse_program(&mut p, &self.config.reuse_config);
+                }
+                if self.config.borrow {
+                    borrow::borrow_program(&mut p);
+                }
+                insert::insert_program(&mut p)?;
+                if self.config.reuse_spec {
+                    reuse_spec::reuse_spec_program(&mut p);
+                }
+                if self.config.drop_spec {
+                    drop_spec::drop_spec_program(&mut p, &drop_spec::DropSpecConfig::default());
+                }
+                if self.config.fuse {
+                    fuse::fuse_program(&mut p);
+                }
+            }
+            RcStrategy::Scoped => {
+                scoped::scoped_program(&mut p);
+            }
+            RcStrategy::None => {}
+        }
+        wf::check_program(&p).map_err(PassError::Malformed)?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::{arm, arm0, con, ProgramBuilder};
+    use crate::ir::expr::Expr;
+    use crate::ir::pretty::program_to_string;
+
+    /// The paper's running example: `map` over a list.
+    fn map_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (ctors[0], ctors[1]);
+        let xs = pb.fresh("xs");
+        let f = pb.fresh("f");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let map = pb.declare("map", vec![xs.clone(), f.clone()]);
+        let cons_body = con(
+            cons,
+            vec![
+                Expr::App(Box::new(Expr::Var(f.clone())), vec![Expr::Var(x.clone())]),
+                Expr::Call(map, vec![Expr::Var(xx.clone()), Expr::Var(f.clone())]),
+            ],
+        );
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                arm(cons, vec![x.clone(), xx.clone()], cons_body),
+                arm0(nil, con(nil, vec![])),
+            ],
+            default: None,
+        };
+        pb.set_body(map, body);
+        pb.entry(map);
+        pb.finish()
+    }
+
+    #[test]
+    fn full_perceus_pipeline_produces_figure_1g() {
+        let p = Pipeline::new(PassConfig::perceus())
+            .run(map_program())
+            .unwrap();
+        let s = program_to_string(&p);
+        // The fast path has no rc ops: is-unique straight to &xs.
+        assert!(s.contains("is-unique(xs)"), "{s}");
+        assert!(s.contains("&xs"), "{s}");
+        assert!(s.contains("Cons@"), "{s}");
+        // The unique branch must not contain any dup/drop before &xs.
+        let unique_branch = s
+            .split("if is-unique(xs) {")
+            .nth(1)
+            .unwrap()
+            .split('}')
+            .next()
+            .unwrap();
+        assert!(
+            !unique_branch.contains("dup") && !unique_branch.contains("drop"),
+            "fast path should be rc-free: {unique_branch}"
+        );
+    }
+
+    #[test]
+    fn no_opt_pipeline_keeps_plain_drops() {
+        let p = Pipeline::new(PassConfig::perceus_no_opt())
+            .run(map_program())
+            .unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("drop xs"), "{s}");
+        assert!(!s.contains("is-unique"), "{s}");
+        assert!(!s.contains("Cons@"), "{s}");
+    }
+
+    #[test]
+    fn scoped_pipeline_emits_scope_drops() {
+        let p = Pipeline::new(PassConfig::scoped())
+            .run(map_program())
+            .unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("dup"), "{s}");
+        assert!(s.contains("drop"), "{s}");
+        assert!(!s.contains("is-unique"), "{s}");
+    }
+
+    #[test]
+    fn erased_pipeline_has_no_rc_ops() {
+        let p = Pipeline::new(PassConfig::erased())
+            .run(map_program())
+            .unwrap();
+        for (_, f) in p.funs() {
+            assert!(f.body.is_user_fragment(), "{}", program_to_string(&p));
+        }
+    }
+
+    #[test]
+    fn ablation_toggles() {
+        let c = PassConfig::perceus().without(Ablation::Reuse);
+        assert!(!c.reuse && !c.reuse_spec);
+        let c = PassConfig::perceus().without(Ablation::Fuse);
+        assert!(!c.fuse && c.reuse);
+    }
+}

@@ -1,0 +1,273 @@
+//! Reuse specialization (§2.5 of the paper).
+//!
+//! When a constructor allocation reuses the memory of a matched cell and
+//! some argument is exactly the binder of the field at the same position,
+//! the in-place field write can be skipped — the memory already holds
+//! that very value. For Okasaki-style rebalancing this removes most
+//! field assignments on the fast path (the paper's red-black tree
+//! example: only the changed child is re-assigned).
+//!
+//! The pass runs right after insertion, while `drop-reuse` instructions
+//! still record which cell a token came from. Only the field *writes*
+//! are affected; ownership transfer is unchanged (a skipped write means
+//! the argument's ownership replaces the cell's own reference to the
+//! same value — net zero, which is why fusion then cancels the
+//! corresponding `dup`).
+
+use crate::ir::expr::{Arm, Expr};
+use crate::ir::program::Program;
+use crate::ir::var::Var;
+use std::collections::HashMap;
+
+/// Statistics returned by the pass (used by tests and the ablation
+/// harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseSpecStats {
+    /// Constructors that got a (non-trivial) skip mask.
+    pub specialized_cons: usize,
+    /// Total field writes marked skippable.
+    pub skipped_fields: usize,
+}
+
+/// Source info for a token: the matched cell's field binders.
+#[derive(Clone)]
+struct TokenInfo {
+    binders: Vec<Option<Var>>,
+}
+
+/// Runs reuse specialization over every function.
+pub fn reuse_spec_program(p: &mut Program) -> ReuseSpecStats {
+    let mut stats = ReuseSpecStats::default();
+    for f in &mut p.funs {
+        let body = std::mem::replace(&mut f.body, Expr::unit());
+        f.body = rewrite(body, &mut HashMap::new(), &mut HashMap::new(), &mut stats);
+    }
+    stats
+}
+
+type ArmCtx = HashMap<Var, Vec<Option<Var>>>;
+type TokCtx = HashMap<Var, TokenInfo>;
+
+fn rewrite(e: Expr, arms: &mut ArmCtx, toks: &mut TokCtx, stats: &mut ReuseSpecStats) -> Expr {
+    match e {
+        Expr::Con {
+            ctor,
+            args,
+            reuse: Some(t),
+            skip,
+        } if skip.is_empty() => {
+            let mut skip = vec![false; args.len()];
+            if let Some(info) = toks.get(&t) {
+                if info.binders.len() == args.len() {
+                    for (i, a) in args.iter().enumerate() {
+                        if let (Expr::Var(av), Some(b)) = (a, &info.binders[i]) {
+                            if av == b {
+                                skip[i] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            let n = skip.iter().filter(|s| **s).count();
+            if n == 0 {
+                // Nothing stays in place: specialization buys nothing
+                // (the paper's map example) — keep the plain form.
+                skip.clear();
+            } else {
+                stats.specialized_cons += 1;
+                stats.skipped_fields += n;
+            }
+            Expr::Con {
+                ctor,
+                args,
+                reuse: Some(t),
+                skip,
+            }
+        }
+        Expr::Con { .. } => e,
+        Expr::DropReuse { var, token, body } => {
+            if let Some(binders) = arms.get(&var) {
+                toks.insert(
+                    token.clone(),
+                    TokenInfo {
+                        binders: binders.clone(),
+                    },
+                );
+            }
+            Expr::DropReuse {
+                var,
+                token,
+                body: Box::new(rewrite(*body, arms, toks, stats)),
+            }
+        }
+        Expr::Match {
+            scrutinee,
+            arms: match_arms,
+            default,
+        } => {
+            let match_arms = match_arms
+                .into_iter()
+                .map(|arm| {
+                    let saved = arms.insert(scrutinee.clone(), arm.binders.clone());
+                    let body = rewrite(arm.body, arms, toks, stats);
+                    match saved {
+                        Some(s) => {
+                            arms.insert(scrutinee.clone(), s);
+                        }
+                        None => {
+                            arms.remove(&scrutinee);
+                        }
+                    }
+                    Arm { body, ..arm }
+                })
+                .collect();
+            let default = default.map(|d| Box::new(rewrite(*d, arms, toks, stats)));
+            Expr::Match {
+                scrutinee,
+                arms: match_arms,
+                default,
+            }
+        }
+        Expr::Lam(mut lam) => {
+            let body = std::mem::replace(&mut *lam.body, Expr::unit());
+            let mut inner_arms = HashMap::new();
+            let mut inner_toks = HashMap::new();
+            *lam.body = rewrite(body, &mut inner_arms, &mut inner_toks, stats);
+            Expr::Lam(lam)
+        }
+        Expr::Let { var, rhs, body } => Expr::let_(
+            var,
+            rewrite(*rhs, arms, toks, stats),
+            rewrite(*body, arms, toks, stats),
+        ),
+        Expr::Seq(a, b) => Expr::seq(
+            rewrite(*a, arms, toks, stats),
+            rewrite(*b, arms, toks, stats),
+        ),
+        Expr::Dup(v, rest) => Expr::dup(v, rewrite(*rest, arms, toks, stats)),
+        Expr::Drop(v, rest) => Expr::drop_(v, rewrite(*rest, arms, toks, stats)),
+        Expr::Free(v, rest) => Expr::Free(v, Box::new(rewrite(*rest, arms, toks, stats))),
+        Expr::DecRef(v, rest) => Expr::DecRef(v, Box::new(rewrite(*rest, arms, toks, stats))),
+        Expr::DropToken(v, rest) => Expr::DropToken(v, Box::new(rewrite(*rest, arms, toks, stats))),
+        Expr::IsUnique {
+            var,
+            binders,
+            unique,
+            shared,
+        } => Expr::IsUnique {
+            var,
+            binders,
+            unique: Box::new(rewrite(*unique, arms, toks, stats)),
+            shared: Box::new(rewrite(*shared, arms, toks, stats)),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::ProgramBuilder;
+    use crate::ir::expr::Arm;
+
+    /// match t { Node(c, l, k, v2, r) -> val y = …;
+    ///           Node@ru(c, y, k, v2, r) }  — 4 of 5 fields unchanged.
+    #[test]
+    fn marks_unchanged_fields() {
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("tree", &[("Leaf", 0), ("Node", 5)]);
+        let node = ctors[1];
+        let t = pb.fresh("t");
+        let c = pb.fresh("c");
+        let l = pb.fresh("l");
+        let k = pb.fresh("k");
+        let v2 = pb.fresh("v2");
+        let r = pb.fresh("r");
+        let ru = pb.fresh("ru");
+        let y = pb.fresh("y");
+        let alloc = Expr::Con {
+            ctor: node,
+            args: vec![
+                Expr::Var(c.clone()),
+                Expr::Var(y.clone()),
+                Expr::Var(k.clone()),
+                Expr::Var(v2.clone()),
+                Expr::Var(r.clone()),
+            ],
+            reuse: Some(ru.clone()),
+            skip: vec![],
+        };
+        let inner = Expr::DropReuse {
+            var: t.clone(),
+            token: ru.clone(),
+            body: Box::new(Expr::let_(y.clone(), Expr::Var(l.clone()), alloc)),
+        };
+        let body = Expr::Match {
+            scrutinee: t.clone(),
+            arms: vec![Arm {
+                ctor: node,
+                binders: vec![
+                    Some(c.clone()),
+                    Some(l.clone()),
+                    Some(k.clone()),
+                    Some(v2.clone()),
+                    Some(r.clone()),
+                ],
+                reuse_token: None,
+                body: inner,
+            }],
+            default: Some(Box::new(Expr::unit())),
+        };
+        pb.fun("f", vec![t], body);
+        let mut p = pb.finish();
+        let stats = reuse_spec_program(&mut p);
+        assert_eq!(stats.specialized_cons, 1);
+        // c, k, v2, r stay in place; the rebound child (y) does not.
+        assert_eq!(stats.skipped_fields, 4);
+        let s = crate::ir::pretty::program_to_string(&p);
+        assert!(s.contains("Node@ru(=c, y, =k, =v2, =r)"), "{s}");
+    }
+
+    /// All fields change (the map example): no specialization.
+    #[test]
+    fn skips_when_all_fields_change() {
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = ctors[1];
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let ru = pb.fresh("ru");
+        let y = pb.fresh("y");
+        let ys = pb.fresh("ys");
+        let alloc = Expr::Con {
+            ctor: cons,
+            args: vec![Expr::Var(y.clone()), Expr::Var(ys.clone())],
+            reuse: Some(ru.clone()),
+            skip: vec![],
+        };
+        let inner = Expr::DropReuse {
+            var: xs.clone(),
+            token: ru.clone(),
+            body: Box::new(Expr::let_(
+                y.clone(),
+                Expr::Var(x.clone()),
+                Expr::let_(ys.clone(), Expr::Var(xx.clone()), alloc),
+            )),
+        };
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![Arm {
+                ctor: cons,
+                binders: vec![Some(x.clone()), Some(xx.clone())],
+                reuse_token: None,
+                body: inner,
+            }],
+            default: Some(Box::new(Expr::unit())),
+        };
+        pb.fun("f", vec![xs], body);
+        let mut p = pb.finish();
+        let stats = reuse_spec_program(&mut p);
+        assert_eq!(stats, ReuseSpecStats::default());
+    }
+}

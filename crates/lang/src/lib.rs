@@ -1,0 +1,81 @@
+//! # perceus-lang
+//!
+//! A Koka-like surface language for the Perceus reproduction: lexer,
+//! parser, name resolution, Hindley–Milner type inference, a
+//! nested-pattern match compiler, and lowering to the λ¹ core IR of
+//! `perceus-core`.
+//!
+//! ```
+//! let program = perceus_lang::compile_str(r#"
+//! type list<a> { Nil; Cons(head: a, tail: list<a>) }
+//! fun sum(xs: list<int>, acc: int): int {
+//!   match xs {
+//!     Cons(x, xx) -> sum(xx, acc + x)
+//!     Nil -> acc
+//!   }
+//! }
+//! fun main(): int { sum(Cons(1, Cons(2, Nil)), 0) }
+//! "#).unwrap();
+//! assert!(program.entry.is_some());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lower;
+pub mod parser;
+pub mod resolve;
+pub mod token;
+pub mod types;
+
+pub use error::{LangError, LangWarning, Span};
+
+use perceus_core::ir::Program;
+
+/// Compiles surface source text to a core program (user fragment).
+///
+/// Runs the full front end: parse → resolve → type check → match
+/// compilation and lowering. The entry point is the function named
+/// `main`, when present. Diagnostics are discarded; use
+/// [`compile_str_checked`] to collect them.
+pub fn compile_str(src: &str) -> Result<Program, LangError> {
+    compile_str_checked(src).map(|(p, _)| p)
+}
+
+/// Like [`compile_str`], additionally returning non-fatal diagnostics
+/// (unreachable match arms, matches that may abort at runtime).
+pub fn compile_str_checked(src: &str) -> Result<(Program, Vec<LangWarning>), LangError> {
+    let ast = parser::parse(src)?;
+    let syms = resolve::resolve(&ast)?;
+    types::check(&ast, &syms)?;
+    lower::lower_checked(&ast, &syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_str_end_to_end() {
+        let p = compile_str(
+            r#"
+fun double(x: int): int { x * 2 }
+fun main(): int { double(21) }
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.funs().count(), 2);
+        assert!(p.entry.is_some());
+    }
+
+    #[test]
+    fn reports_type_errors_with_phase() {
+        let err = compile_str("fun main(): int { 1 + True }").unwrap_err();
+        assert_eq!(err.phase, error::Phase::Type);
+    }
+
+    #[test]
+    fn reports_parse_errors() {
+        let err = compile_str("fun main( { }").unwrap_err();
+        assert_eq!(err.phase, error::Phase::Parse);
+    }
+}

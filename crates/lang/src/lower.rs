@@ -1,0 +1,889 @@
+//! Lowering: typed surface AST → core λ¹ IR.
+//!
+//! The main job is the *match compiler*: nested patterns (Okasaki's
+//! red-black rebalancing matches three constructors deep) are compiled
+//! into the flat, single-constructor matches of the core language using
+//! the classic column-specialization algorithm (à la Maranget). Rows
+//! with variable or wildcard patterns flow into every specialized arm,
+//! so right-hand sides may be lowered more than once; every lowering
+//! generates fresh core variables, keeping ids globally unique.
+//!
+//! Everything else is syntax-directed desugaring: `if` to a match on the
+//! built-in `bool`, `&&`/`||` to conditionals, operators to primitives,
+//! statement blocks to `val` chains, and bare constructors or builtins
+//! in value position to eta-expanded lambdas.
+
+use crate::ast::*;
+use crate::error::{LangError, LangWarning, Span};
+use crate::resolve::{Builtin, Symbols};
+use perceus_core::ir::builder::ite;
+use perceus_core::ir::expr::{Arm, Expr, Lambda, PrimOp};
+use perceus_core::ir::{CtorId, FunDef, Program, Var, VarGen};
+use std::collections::HashSet;
+
+/// Lowers a resolved, type-checked program to the core IR, discarding
+/// diagnostics (see [`lower_checked`] to collect them).
+pub fn lower(p: &SProgram, syms: &Symbols) -> Result<Program, LangError> {
+    lower_checked(p, syms).map(|(program, _)| program)
+}
+
+/// Lowers a program and collects non-fatal diagnostics: redundant match
+/// arms (an arm no scrutinee value can reach) and matches that can fall
+/// through at runtime.
+pub fn lower_checked(
+    p: &SProgram,
+    syms: &Symbols,
+) -> Result<(Program, Vec<LangWarning>), LangError> {
+    let mut out = Program::new();
+    out.types = syms.types.clone();
+    let mut gen = VarGen::default();
+    let mut warnings = Vec::new();
+    for fd in &p.funs {
+        let mut cx = Cx {
+            syms,
+            gen: &mut gen,
+            fun: &fd.name,
+            warnings: &mut warnings,
+        };
+        let mut scope: Vec<(String, Var)> = Vec::new();
+        let params: Vec<Var> = fd
+            .params
+            .iter()
+            .map(|par| {
+                let v = cx.gen.fresh(&par.name);
+                scope.push((par.name.clone(), v.clone()));
+                v
+            })
+            .collect();
+        let body = cx.expr(&fd.body, &mut scope)?;
+        // Explicit `borrow` annotations seed the program's borrow masks
+        // (the inference pass may add more when enabled, and never
+        // demotes an explicit request — a consuming use just retains).
+        out.borrows
+            .push(fd.params.iter().map(|p| p.borrowed).collect());
+        out.add_fun(FunDef {
+            name: fd.name.clone().into(),
+            params,
+            body,
+        });
+    }
+    out.entry = out.find_fun("main");
+    if let Some(entry) = out.entry {
+        if let Some(fd) = p.funs.get(entry.0 as usize) {
+            if let Some(par) = fd.params.iter().find(|p| p.borrowed) {
+                return Err(LangError::resolve(
+                    format!(
+                        "entry-point parameter `{}` cannot be `borrow` (the host passes owned values)",
+                        par.name
+                    ),
+                    fd.span,
+                ));
+            }
+        }
+    }
+    // Masks that request nothing are dropped so the default stays the
+    // paper's all-owned convention.
+    if out.borrows.iter().all(|m| m.iter().all(|b| !b)) {
+        out.borrows.clear();
+    }
+    out.var_gen = gen;
+    Ok((out, warnings))
+}
+
+struct Cx<'a> {
+    syms: &'a Symbols,
+    gen: &'a mut VarGen,
+    fun: &'a str,
+    warnings: &'a mut Vec<LangWarning>,
+}
+
+type Scope = Vec<(String, Var)>;
+
+impl<'a> Cx<'a> {
+    fn lookup(&self, scope: &Scope, name: &str) -> Option<Var> {
+        scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn expr(&mut self, e: &SExpr, scope: &mut Scope) -> Result<Expr, LangError> {
+        match e {
+            SExpr::Int(i, _) => Ok(Expr::int(*i)),
+            SExpr::Unit(_) => Ok(Expr::unit()),
+            SExpr::Var(name, span) => {
+                if let Some(v) = self.lookup(scope, name) {
+                    return Ok(Expr::Var(v));
+                }
+                if let Some((fid, _)) = self.syms.funs.get(name) {
+                    return Ok(Expr::Global(*fid));
+                }
+                if let Some((_, b)) = Builtin::ALL.iter().find(|(n, _)| *n == name) {
+                    return Ok(self.eta_builtin(*b));
+                }
+                Err(LangError::resolve(
+                    format!("unbound variable `{name}`"),
+                    *span,
+                ))
+            }
+            SExpr::Con(name, span) => {
+                let sym = self.syms.ctors.get(name).ok_or_else(|| {
+                    LangError::resolve(format!("unknown constructor `{name}`"), *span)
+                })?;
+                let arity = self.syms.types.ctor(sym.id).arity;
+                if arity == 0 {
+                    Ok(con(sym.id, Vec::new()))
+                } else {
+                    // Eta-expand a bare constructor used as a function.
+                    let params: Vec<Var> = (0..arity)
+                        .map(|i| self.gen.fresh(&format!("c{i}")))
+                        .collect();
+                    let args = params.iter().cloned().map(Expr::Var).collect();
+                    Ok(Expr::Lam(Lambda {
+                        params,
+                        captures: Vec::new(),
+                        body: Box::new(con(sym.id, args)),
+                    }))
+                }
+            }
+            SExpr::Call(f, args, span) => self.call(f, args, *span, scope),
+            SExpr::Binop(op, a, b, span) => self.binop(*op, a, b, *span, scope),
+            SExpr::Neg(a, _) => {
+                let a = self.expr(a, scope)?;
+                Ok(Expr::Prim(PrimOp::Neg, vec![a]))
+            }
+            SExpr::Deref(a, _) => {
+                let a = self.expr(a, scope)?;
+                Ok(Expr::Prim(PrimOp::RefGet, vec![a]))
+            }
+            SExpr::If(c, t, f, _) => {
+                let c = self.expr(c, scope)?;
+                let t = self.expr(t, scope)?;
+                let f = self.expr(f, scope)?;
+                Ok(self.ite_expr(c, t, f))
+            }
+            SExpr::Match(scrut, arms, span) => {
+                let scrut_e = self.expr(scrut, scope)?;
+                let occ = self.gen.fresh("m");
+                let rows: Vec<Row> = arms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, arm)| Row {
+                        pats: vec![arm.pattern.clone()],
+                        bindings: Vec::new(),
+                        body: &arm.body,
+                        arm_id: i,
+                    })
+                    .collect();
+                let mut diag = MatchDiag::default();
+                let body = self.compile_match(vec![occ.clone()], rows, scope, *span, &mut diag)?;
+                for (i, arm) in arms.iter().enumerate() {
+                    if !diag.used.contains(&i) {
+                        self.warnings.push(LangWarning {
+                            message: format!(
+                                "unreachable match arm in `{}` (covered by earlier arms)",
+                                self.fun
+                            ),
+                            span: arm.span,
+                        });
+                    }
+                }
+                if diag.fell_through {
+                    self.warnings.push(LangWarning {
+                        message: format!(
+                            "non-exhaustive match in `{}` may abort at runtime",
+                            self.fun
+                        ),
+                        span: *span,
+                    });
+                }
+                Ok(Expr::let_(occ, scrut_e, body))
+            }
+            SExpr::Block(stmts, tail, _) => {
+                let before = scope.len();
+                let mut bindings: Vec<(Var, Expr)> = Vec::new();
+                for s in stmts {
+                    match s {
+                        SStmt::Val(name, rhs, _) => {
+                            let rhs = self.expr(rhs, scope)?;
+                            let v = self.gen.fresh(name);
+                            scope.push((name.clone(), v.clone()));
+                            bindings.push((v, rhs));
+                        }
+                        SStmt::Expr(e) => {
+                            // Bind to a throwaway; insertion will drop it
+                            // right after (sbind-drop), so non-unit
+                            // statement results are still reclaimed.
+                            let rhs = self.expr(e, scope)?;
+                            let v = self.gen.fresh("_s");
+                            bindings.push((v, rhs));
+                        }
+                    }
+                }
+                let tail = self.expr(tail, scope)?;
+                scope.truncate(before);
+                Ok(bindings
+                    .into_iter()
+                    .rev()
+                    .fold(tail, |acc, (v, rhs)| Expr::let_(v, rhs, acc)))
+            }
+            SExpr::Lam(params, body, _) => {
+                let before = scope.len();
+                let params: Vec<Var> = params
+                    .iter()
+                    .map(|n| {
+                        let v = self.gen.fresh(n);
+                        scope.push((n.clone(), v.clone()));
+                        v
+                    })
+                    .collect();
+                let body = self.expr(body, scope)?;
+                scope.truncate(before);
+                Ok(Expr::Lam(Lambda {
+                    params,
+                    captures: Vec::new(), // computed by normalization
+                    body: Box::new(body),
+                }))
+            }
+        }
+    }
+
+    /// `if c then t else f` with arbitrary expressions: bind the
+    /// condition so the core match scrutinee is a variable.
+    fn ite_expr(&mut self, c: Expr, t: Expr, f: Expr) -> Expr {
+        let cv = self.gen.fresh("c");
+        let m = ite(cv.clone(), t, f);
+        Expr::let_(cv, c, m)
+    }
+
+    fn call(
+        &mut self,
+        f: &SExpr,
+        args: &[SExpr],
+        span: Span,
+        scope: &mut Scope,
+    ) -> Result<Expr, LangError> {
+        let largs: Vec<Expr> = args
+            .iter()
+            .map(|a| self.expr(a, scope))
+            .collect::<Result<_, _>>()?;
+        match f {
+            SExpr::Con(name, cspan) => {
+                let sym = self.syms.ctors.get(name).ok_or_else(|| {
+                    LangError::resolve(format!("unknown constructor `{name}`"), *cspan)
+                })?;
+                let arity = self.syms.types.ctor(sym.id).arity;
+                if arity != largs.len() {
+                    return Err(LangError::resolve(
+                        format!(
+                            "constructor `{name}` expects {arity} arguments, got {}",
+                            largs.len()
+                        ),
+                        span,
+                    ));
+                }
+                Ok(con(sym.id, largs))
+            }
+            SExpr::Var(name, _) if self.lookup(scope, name).is_none() => {
+                if let Some((fid, arity)) = self.syms.funs.get(name) {
+                    if *arity != largs.len() {
+                        return Err(LangError::resolve(
+                            format!("`{name}` expects {arity} arguments, got {}", largs.len()),
+                            span,
+                        ));
+                    }
+                    return Ok(Expr::Call(*fid, largs));
+                }
+                if let Some((_, b)) = Builtin::ALL.iter().find(|(n, _)| *n == name) {
+                    return self.builtin_call(*b, largs, span);
+                }
+                Err(LangError::resolve(
+                    format!("unbound function `{name}`"),
+                    span,
+                ))
+            }
+            other => {
+                let f = self.expr(other, scope)?;
+                Ok(Expr::App(Box::new(f), largs))
+            }
+        }
+    }
+
+    fn builtin_call(&mut self, b: Builtin, args: Vec<Expr>, span: Span) -> Result<Expr, LangError> {
+        if args.len() != b.arity() {
+            return Err(LangError::resolve(
+                format!(
+                    "builtin expects {} arguments, got {}",
+                    b.arity(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        Ok(match b {
+            Builtin::Println => Expr::Prim(PrimOp::Println, args),
+            Builtin::RefNew => Expr::Prim(PrimOp::RefNew, args),
+            Builtin::TShare => Expr::Prim(PrimOp::TShare, args),
+            Builtin::Min => Expr::Prim(PrimOp::Min, args),
+            Builtin::Max => Expr::Prim(PrimOp::Max, args),
+            Builtin::Not => {
+                let [a] = <[Expr; 1]>::try_from(args).expect("arity checked");
+                self.ite_expr(
+                    a,
+                    con(perceus_core::ir::TypeTable::FALSE, vec![]),
+                    con(perceus_core::ir::TypeTable::TRUE, vec![]),
+                )
+            }
+        })
+    }
+
+    fn binop(
+        &mut self,
+        op: BinOp,
+        a: &SExpr,
+        b: &SExpr,
+        _span: Span,
+        scope: &mut Scope,
+    ) -> Result<Expr, LangError> {
+        let la = self.expr(a, scope)?;
+        // Short-circuit operators must not evaluate the rhs eagerly.
+        match op {
+            BinOp::And => {
+                let lb = self.expr(b, scope)?;
+                return Ok(self.ite_expr(la, lb, con(perceus_core::ir::TypeTable::FALSE, vec![])));
+            }
+            BinOp::Or => {
+                let lb = self.expr(b, scope)?;
+                return Ok(self.ite_expr(la, con(perceus_core::ir::TypeTable::TRUE, vec![]), lb));
+            }
+            _ => {}
+        }
+        let lb = self.expr(b, scope)?;
+        let prim = match op {
+            BinOp::Add => PrimOp::Add,
+            BinOp::Sub => PrimOp::Sub,
+            BinOp::Mul => PrimOp::Mul,
+            BinOp::Div => PrimOp::Div,
+            BinOp::Rem => PrimOp::Rem,
+            BinOp::Lt => PrimOp::Lt,
+            BinOp::Le => PrimOp::Le,
+            BinOp::Gt => PrimOp::Gt,
+            BinOp::Ge => PrimOp::Ge,
+            BinOp::Eq => PrimOp::Eq,
+            BinOp::Ne => PrimOp::Ne,
+            BinOp::Assign => PrimOp::RefSet,
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        };
+        Ok(Expr::Prim(prim, vec![la, lb]))
+    }
+
+    // ---- the match compiler ---------------------------------------------
+
+    #[allow(clippy::only_used_in_recursion)] // span: kept for future diagnostics
+    fn compile_match(
+        &mut self,
+        occs: Vec<Var>,
+        rows: Vec<Row<'_>>,
+        scope: &mut Scope,
+        span: Span,
+        diag: &mut MatchDiag,
+    ) -> Result<Expr, LangError> {
+        let Some(first) = rows.first() else {
+            diag.fell_through = true;
+            return Ok(Expr::Abort(format!(
+                "non-exhaustive match in `{}`",
+                self.fun
+            )));
+        };
+        // Irrefutable first row: bind and lower its body.
+        if first
+            .pats
+            .iter()
+            .all(|p| matches!(p, SPat::Wild(_) | SPat::Var(..)))
+        {
+            diag.used.insert(first.arm_id);
+            let before = scope.len();
+            scope.extend(first.bindings.iter().cloned());
+            for (p, occ) in first.pats.iter().zip(occs.iter()) {
+                if let SPat::Var(name, _) = p {
+                    scope.push((name.clone(), occ.clone()));
+                }
+            }
+            let out = self.expr(first.body, scope)?;
+            scope.truncate(before);
+            return Ok(out);
+        }
+        // Pick the first column containing a refutable pattern.
+        let col = (0..occs.len())
+            .find(|i| {
+                rows.iter()
+                    .any(|r| matches!(r.pats[*i], SPat::Ctor(..) | SPat::Int(..)))
+            })
+            .expect("refutable row implies a constructor or literal column");
+        // Literal columns compile to equality chains.
+        if rows.iter().any(|r| matches!(r.pats[col], SPat::Int(..))) {
+            return self.compile_literal_column(occs, rows, col, scope, span, diag);
+        }
+        // The data type of the column, from any constructor in it.
+        let data = rows
+            .iter()
+            .find_map(|r| match &r.pats[col] {
+                SPat::Ctor(name, _, _) => self.syms.ctors.get(name).map(|c| c.data),
+                _ => None,
+            })
+            .expect("constructor column");
+        // Constructors present in the column, in first-appearance order.
+        let mut present: Vec<(String, CtorId, usize)> = Vec::new();
+        for r in &rows {
+            if let SPat::Ctor(name, _, cspan) = &r.pats[col] {
+                let sym = self.syms.ctors.get(name).ok_or_else(|| {
+                    LangError::resolve(format!("unknown constructor `{name}`"), *cspan)
+                })?;
+                if sym.data != data {
+                    return Err(LangError::resolve(
+                        format!("pattern `{name}` belongs to a different type"),
+                        *cspan,
+                    ));
+                }
+                if !present.iter().any(|(n, _, _)| n == name) {
+                    present.push((name.clone(), sym.id, self.syms.types.ctor(sym.id).arity));
+                }
+            }
+        }
+        let all_ctors = self
+            .syms
+            .datas
+            .values()
+            .find(|d| d.id == data)
+            .expect("data exists")
+            .ctors
+            .len();
+
+        let mut arms = Vec::with_capacity(present.len());
+        for (name, ctor, arity) in &present {
+            // Fresh binders for the fields.
+            let info = self.syms.types.ctor(*ctor);
+            let binders: Vec<Var> = (0..*arity)
+                .map(|i| {
+                    let hint = info
+                        .field_names
+                        .get(i)
+                        .filter(|n| !n.is_empty())
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| format!("f{i}"));
+                    self.gen.fresh(&hint)
+                })
+                .collect();
+            // Specialized sub-matrix.
+            let mut sub_rows = Vec::new();
+            for r in &rows {
+                match &r.pats[col] {
+                    SPat::Int(..) => unreachable!("literal in constructor column"),
+                    SPat::Ctor(n, subpats, _) if n == name => {
+                        let mut pats = r.pats.clone();
+                        let mut expanded: Vec<SPat> = subpats.clone();
+                        // Prefix patterns: pad trailing wildcards.
+                        while expanded.len() < *arity {
+                            expanded.push(SPat::Wild(Span::default()));
+                        }
+                        pats.splice(col..=col, expanded);
+                        sub_rows.push(Row {
+                            pats,
+                            bindings: r.bindings.clone(),
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                    SPat::Ctor(..) => {}
+                    SPat::Wild(_) => {
+                        let mut pats = r.pats.clone();
+                        pats.splice(col..=col, (0..*arity).map(|_| SPat::Wild(Span::default())));
+                        sub_rows.push(Row {
+                            pats,
+                            bindings: r.bindings.clone(),
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                    SPat::Var(n, _) => {
+                        let mut pats = r.pats.clone();
+                        pats.splice(col..=col, (0..*arity).map(|_| SPat::Wild(Span::default())));
+                        let mut bindings = r.bindings.clone();
+                        bindings.push((n.clone(), occs[col].clone()));
+                        sub_rows.push(Row {
+                            pats,
+                            bindings,
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                }
+            }
+            let mut sub_occs = occs.clone();
+            sub_occs.splice(col..=col, binders.iter().cloned());
+            let body = self.compile_match(sub_occs, sub_rows, scope, span, diag)?;
+            arms.push(Arm {
+                ctor: *ctor,
+                binders: binders.into_iter().map(Some).collect(),
+                reuse_token: None,
+                body,
+            });
+        }
+
+        // Default arm for constructors not in the column.
+        let default = if present.len() == all_ctors {
+            None
+        } else {
+            let mut def_rows = Vec::new();
+            for r in &rows {
+                match &r.pats[col] {
+                    SPat::Int(..) => unreachable!("literal in constructor column"),
+                    SPat::Ctor(..) => {}
+                    SPat::Wild(_) => {
+                        let mut pats = r.pats.clone();
+                        pats.remove(col);
+                        def_rows.push(Row {
+                            pats,
+                            bindings: r.bindings.clone(),
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                    SPat::Var(n, _) => {
+                        let mut pats = r.pats.clone();
+                        pats.remove(col);
+                        let mut bindings = r.bindings.clone();
+                        bindings.push((n.clone(), occs[col].clone()));
+                        def_rows.push(Row {
+                            pats,
+                            bindings,
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                }
+            }
+            let mut def_occs = occs.clone();
+            def_occs.remove(col);
+            Some(Box::new(
+                self.compile_match(def_occs, def_rows, scope, span, diag)?,
+            ))
+        };
+
+        Ok(Expr::Match {
+            scrutinee: occs[col].clone(),
+            arms,
+            default,
+        })
+    }
+
+    /// Compiles a column of integer-literal patterns into an equality
+    /// chain: `if occ == ℓ₁ then … elif occ == ℓ₂ then … else default`.
+    /// Integer matches are never exhaustive, so the default sub-matrix
+    /// (wildcard/variable rows) supplies the fall-through; when it is
+    /// empty, the chain ends in a runtime abort.
+    fn compile_literal_column(
+        &mut self,
+        occs: Vec<Var>,
+        rows: Vec<Row<'_>>,
+        col: usize,
+        scope: &mut Scope,
+        span: Span,
+        diag: &mut MatchDiag,
+    ) -> Result<Expr, LangError> {
+        // Distinct literals, first-appearance order.
+        let mut lits: Vec<i64> = Vec::new();
+        for r in &rows {
+            if let SPat::Int(i, _) = &r.pats[col] {
+                if !lits.contains(i) {
+                    lits.push(*i);
+                }
+            }
+        }
+        // Default sub-matrix: wildcard/variable rows with the column
+        // removed.
+        let mut def_rows = Vec::new();
+        for r in &rows {
+            match &r.pats[col] {
+                SPat::Int(..) => {}
+                SPat::Ctor(..) => unreachable!("ctor in literal column"),
+                SPat::Wild(_) => {
+                    let mut pats = r.pats.clone();
+                    pats.remove(col);
+                    def_rows.push(Row {
+                        pats,
+                        bindings: r.bindings.clone(),
+                        body: r.body,
+                        arm_id: r.arm_id,
+                    });
+                }
+                SPat::Var(n, _) => {
+                    let mut pats = r.pats.clone();
+                    pats.remove(col);
+                    let mut bindings = r.bindings.clone();
+                    bindings.push((n.clone(), occs[col].clone()));
+                    def_rows.push(Row {
+                        pats,
+                        bindings,
+                        body: r.body,
+                        arm_id: r.arm_id,
+                    });
+                }
+            }
+        }
+        let mut def_occs = occs.clone();
+        def_occs.remove(col);
+        let mut chain = self.compile_match(def_occs, def_rows, scope, span, diag)?;
+        // Build the chain inside-out: later literals first.
+        for lit in lits.into_iter().rev() {
+            let mut sub_rows = Vec::new();
+            for r in &rows {
+                match &r.pats[col] {
+                    SPat::Int(i, _) if *i == lit => {
+                        let mut pats = r.pats.clone();
+                        pats.remove(col);
+                        sub_rows.push(Row {
+                            pats,
+                            bindings: r.bindings.clone(),
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                    SPat::Int(..) | SPat::Ctor(..) => {}
+                    SPat::Wild(_) => {
+                        let mut pats = r.pats.clone();
+                        pats.remove(col);
+                        sub_rows.push(Row {
+                            pats,
+                            bindings: r.bindings.clone(),
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                    SPat::Var(n, _) => {
+                        let mut pats = r.pats.clone();
+                        pats.remove(col);
+                        let mut bindings = r.bindings.clone();
+                        bindings.push((n.clone(), occs[col].clone()));
+                        sub_rows.push(Row {
+                            pats,
+                            bindings,
+                            body: r.body,
+                            arm_id: r.arm_id,
+                        });
+                    }
+                }
+            }
+            let mut sub_occs = occs.clone();
+            sub_occs.remove(col);
+            let hit = self.compile_match(sub_occs, sub_rows, scope, span, diag)?;
+            let c = self.gen.fresh("c");
+            let test = Expr::Prim(
+                PrimOp::Eq,
+                vec![Expr::Var(occs[col].clone()), Expr::int(lit)],
+            );
+            chain = Expr::let_(c.clone(), test, ite(c, hit, chain));
+        }
+        Ok(chain)
+    }
+
+    /// Eta-expands a builtin used as a first-class value.
+    fn eta_builtin(&mut self, b: Builtin) -> Expr {
+        let params: Vec<Var> = (0..b.arity())
+            .map(|i| self.gen.fresh(&format!("b{i}")))
+            .collect();
+        let args: Vec<Expr> = params.iter().cloned().map(Expr::Var).collect();
+        let body = self
+            .builtin_call(b, args, Span::default())
+            .expect("arity matches by construction");
+        Expr::Lam(Lambda {
+            params,
+            captures: Vec::new(),
+            body: Box::new(body),
+        })
+    }
+}
+
+/// Diagnostics collected while compiling one surface `match`.
+#[derive(Default)]
+struct MatchDiag {
+    /// Surface arms whose bodies were reached by some leaf.
+    used: HashSet<usize>,
+    /// Some path falls through to a runtime abort.
+    fell_through: bool,
+}
+
+/// One row of the pattern matrix.
+struct Row<'s> {
+    pats: Vec<SPat>,
+    /// Variable-pattern bindings accumulated so far (name → occurrence).
+    bindings: Vec<(String, Var)>,
+    body: &'s SExpr,
+    /// Index of the surface arm this row descends from (diagnostics).
+    arm_id: usize,
+}
+
+fn con(ctor: CtorId, args: Vec<Expr>) -> Expr {
+    Expr::Con {
+        ctor,
+        args,
+        reuse: None,
+        skip: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+    use perceus_core::ir::wf::assert_well_formed;
+
+    fn lower_src(src: &str) -> Program {
+        let p = parse(src).unwrap();
+        let syms = resolve(&p).unwrap();
+        crate::types::check(&p, &syms).unwrap();
+        let prog = lower(&p, &syms).unwrap();
+        // Normalize to establish capture annotations before checking.
+        let mut prog = prog;
+        perceus_core::passes::normalize::normalize_program(&mut prog);
+        assert_well_formed(&prog);
+        prog
+    }
+
+    #[test]
+    fn lowers_map() {
+        let p = lower_src(
+            r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun map(xs: list<a>, f: (a) -> b): list<b> {
+  match xs {
+    Cons(x, xx) -> Cons(f(x), map(xx, f))
+    Nil -> Nil
+  }
+}
+"#,
+        );
+        assert_eq!(p.funs().count(), 1);
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        assert!(s.contains("match"), "{s}");
+        assert!(s.contains("Cons"), "{s}");
+    }
+
+    #[test]
+    fn compiles_nested_patterns_to_flat_matches() {
+        let p = lower_src(
+            r#"
+type color { Red; Black }
+type tree { Leaf; Node(c: color, l: tree, k: int, v: bool, r: tree) }
+fun deep(t: tree): int {
+  match t {
+    Node(_, Node(Red, lx), ky) -> ky
+    Node(_, l, k) -> k
+    Leaf -> 0
+  }
+}
+"#,
+        );
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        // Two nested flat matches: outer on t, inner on the left child,
+        // and one on the color.
+        let count = s.matches("match").count();
+        assert!(count >= 3, "expected nested flat matches: {s}");
+    }
+
+    #[test]
+    fn exhaustive_match_has_no_default() {
+        let p = lower_src(
+            r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun f(xs: list<int>): int {
+  match xs {
+    Cons(x, _) -> x
+    Nil -> 0
+  }
+}
+"#,
+        );
+        // Normalization copy-propagates the scrutinee binding away.
+        match &p.funs[0].body {
+            Expr::Match { default, arms, .. } => {
+                assert!(default.is_none());
+                assert_eq!(arms.len(), 2);
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_exhaustive_match_gets_abort_default() {
+        let p = lower_src(
+            r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun f(xs: list<int>): int {
+  match xs {
+    Cons(x, _) -> x
+  }
+}
+"#,
+        );
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        assert!(s.contains("abort"), "{s}");
+    }
+
+    #[test]
+    fn if_lowers_to_bool_match() {
+        let p = lower_src("fun f(x: int): int { if x < 3 then 1 else 2 }");
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        assert!(s.contains("True ->"), "{s}");
+        assert!(s.contains("False ->"), "{s}");
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        // `f(x) && g(x)` must not evaluate g eagerly: it lowers to a
+        // conditional around the second operand.
+        let p = lower_src(
+            r#"
+fun f(x: int): bool { x > 0 }
+fun g(x: int): bool { 10 / x > 1 }
+fun both(x: int): bool { f(x) && g(x) }
+"#,
+        );
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        let both = s.split("fun both").nth(1).unwrap();
+        assert!(both.contains("match"), "short-circuit via match: {both}");
+    }
+
+    #[test]
+    fn bare_ctor_eta_expands() {
+        let p = lower_src(
+            r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun apply(f: (int, list<int>) -> list<int>): list<int> { f(1, Nil) }
+fun main(): list<int> { apply(Cons) }
+"#,
+        );
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        assert!(s.contains("fn"), "{s}");
+    }
+
+    #[test]
+    fn prefix_pattern_pads_wildcards() {
+        let p = lower_src(
+            r#"
+type color { Red; Black }
+type tree { Leaf; Node(c: color, l: tree, k: int, v: bool, r: tree) }
+fun is-red(t: tree): bool {
+  match t {
+    Node(Red) -> True
+    _ -> False
+  }
+}
+"#,
+        );
+        let s = perceus_core::ir::pretty::program_to_string(&p);
+        assert!(s.contains("Node("), "{s}");
+    }
+}

@@ -1,0 +1,857 @@
+//! Recursive-descent parser for the surface language.
+//!
+//! Newlines are statement separators inside blocks and arm separators in
+//! `match`/`type` bodies; they are transparent inside parentheses,
+//! argument lists, and after binary operators and `->`.
+
+use crate::ast::*;
+use crate::error::{LangError, Span};
+use crate::token::{lex, Spanned, Tok};
+
+/// Parses a whole source file.
+pub fn parse(src: &str) -> Result<SProgram, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    /// The next non-newline token (for lookahead across line breaks).
+    fn peek_past_newlines(&self) -> &Tok {
+        let mut i = self.pos;
+        while matches!(self.toks[i].tok, Tok::Newline) {
+            i += 1;
+        }
+        &self.toks[i].tok
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Span, LangError> {
+        if self.peek() == &tok {
+            Ok(self.bump().span)
+        } else {
+            Err(LangError::parse(
+                format!("expected {tok}, found {}", self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    /// Skips newlines and semicolons.
+    fn skip_seps(&mut self) {
+        while matches!(self.peek(), Tok::Newline | Tok::Semi) {
+            self.bump();
+        }
+    }
+
+    /// Skips newlines only (inside delimiters).
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    /// Layout rule (as in Koka): a line that *starts* with a non-prefix
+    /// binary operator continues the previous expression. `-` and `!`
+    /// are excluded — they are prefix operators, so a leading one starts
+    /// a new statement.
+    fn continue_line_if(&mut self, tok: &Tok) {
+        if matches!(self.peek(), Tok::Newline) && self.peek_past_newlines() == tok {
+            self.skip_newlines();
+        }
+    }
+
+    /// Like [`continue_line_if`](Self::continue_line_if) for a class of
+    /// operators.
+    fn continue_line_if_any(&mut self, toks: &[Tok]) {
+        if matches!(self.peek(), Tok::Newline) && toks.contains(self.peek_past_newlines()) {
+            self.skip_newlines();
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let span = self.bump().span;
+                Ok((s, span))
+            }
+            other => Err(LangError::parse(
+                format!("expected an identifier, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    // ---- declarations ------------------------------------------------
+
+    fn program(&mut self) -> Result<SProgram, LangError> {
+        let mut out = SProgram::default();
+        self.skip_seps();
+        while !matches!(self.peek(), Tok::Eof) {
+            match self.peek() {
+                Tok::Type => out.types.push(self.typedef()?),
+                Tok::Fun => out.funs.push(self.fundef()?),
+                other => {
+                    return Err(LangError::parse(
+                        format!("expected `type` or `fun`, found {other}"),
+                        self.peek_span(),
+                    ))
+                }
+            }
+            self.skip_seps();
+        }
+        Ok(out)
+    }
+
+    fn typedef(&mut self) -> Result<STypeDef, LangError> {
+        let start = self.expect(Tok::Type)?;
+        let (name, _) = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::Lt) {
+            loop {
+                let (p, _) = self.ident()?;
+                params.push(p);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        self.skip_newlines();
+        self.expect(Tok::LBrace)?;
+        self.skip_seps();
+        let mut ctors = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            ctors.push(self.ctordef()?);
+            self.skip_seps();
+        }
+        let end = self.expect(Tok::RBrace)?;
+        Ok(STypeDef {
+            name,
+            params,
+            ctors,
+            span: start.merge(end),
+        })
+    }
+
+    fn ctordef(&mut self) -> Result<SCtorDef, LangError> {
+        let (name, span) = match self.peek().clone() {
+            Tok::ConId(s) => {
+                let span = self.bump().span;
+                (s, span)
+            }
+            other => {
+                return Err(LangError::parse(
+                    format!("expected a constructor name, found {other}"),
+                    self.peek_span(),
+                ))
+            }
+        };
+        let mut fields = Vec::new();
+        if self.eat(&Tok::LParen) {
+            self.skip_newlines();
+            loop {
+                // `name : type` or bare `type`; disambiguate by looking
+                // one token past an identifier for a colon.
+                let field_name = if matches!(self.peek(), Tok::Ident(_))
+                    && matches!(self.toks[self.pos + 1].tok, Tok::Colon)
+                {
+                    let (n, _) = self.ident()?;
+                    self.expect(Tok::Colon)?;
+                    Some(n)
+                } else {
+                    None
+                };
+                let ty = self.type_()?;
+                fields.push((field_name, ty));
+                self.skip_newlines();
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+                self.skip_newlines();
+            }
+            self.expect(Tok::RParen)?;
+        }
+        Ok(SCtorDef { name, fields, span })
+    }
+
+    fn fundef(&mut self) -> Result<SFunDef, LangError> {
+        let start = self.expect(Tok::Fun)?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::LParen)?;
+        self.skip_newlines();
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                // `borrow` is a soft keyword: it modifies the parameter
+                // that follows (a plain parameter may still be *named*
+                // `borrow` when nothing follows it).
+                let borrowed = matches!(self.peek(), Tok::Ident(s) if s == "borrow")
+                    && matches!(&self.toks[self.pos + 1].tok, Tok::Ident(_));
+                if borrowed {
+                    self.bump();
+                }
+                let (p, _) = self.ident()?;
+                let ann = if self.eat(&Tok::Colon) {
+                    Some(self.type_()?)
+                } else {
+                    None
+                };
+                params.push(crate::ast::SParam {
+                    name: p,
+                    ann,
+                    borrowed,
+                });
+                self.skip_newlines();
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+                self.skip_newlines();
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let ret = if self.eat(&Tok::Colon) {
+            Some(self.type_()?)
+        } else {
+            None
+        };
+        self.skip_newlines();
+        let body = self.block()?;
+        let span = start.merge(body.span());
+        Ok(SFunDef {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
+    }
+
+    // ---- types ---------------------------------------------------------
+
+    fn type_(&mut self) -> Result<SType, LangError> {
+        // `( … )` may open a function-type parameter list or a
+        // parenthesized/unit type.
+        if self.eat(&Tok::LParen) {
+            self.skip_newlines();
+            let mut parts = Vec::new();
+            if !matches!(self.peek(), Tok::RParen) {
+                loop {
+                    parts.push(self.type_()?);
+                    self.skip_newlines();
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    self.skip_newlines();
+                }
+            }
+            self.expect(Tok::RParen)?;
+            if self.eat(&Tok::Arrow) {
+                let ret = self.type_()?;
+                return Ok(SType::Fn(parts, Box::new(ret)));
+            }
+            return match parts.len() {
+                0 => Ok(SType::Unit),
+                1 => Ok(parts.into_iter().next().expect("len checked")),
+                n => Err(LangError::parse(
+                    format!("tuple types are not supported ({n} components)"),
+                    self.peek_span(),
+                )),
+            };
+        }
+        let (name, _) = self.ident()?;
+        let mut args = Vec::new();
+        if self.eat(&Tok::Lt) {
+            loop {
+                args.push(self.type_()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Gt)?;
+        }
+        let base = SType::Name(name, args);
+        // Single-argument function sugar: `int -> int`.
+        if self.eat(&Tok::Arrow) {
+            let ret = self.type_()?;
+            return Ok(SType::Fn(vec![base], Box::new(ret)));
+        }
+        Ok(base)
+    }
+
+    // ---- statements and blocks ------------------------------------------
+
+    fn block(&mut self) -> Result<SExpr, LangError> {
+        let start = self.expect(Tok::LBrace)?;
+        self.skip_seps();
+        let mut stmts: Vec<SStmt> = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            if self.eat(&Tok::Val) {
+                let (name, vspan) = self.ident()?;
+                self.expect(Tok::Eq)?;
+                self.skip_newlines();
+                let rhs = self.expr()?;
+                let span = vspan.merge(rhs.span());
+                stmts.push(SStmt::Val(name, rhs, span));
+            } else {
+                let e = self.expr()?;
+                stmts.push(SStmt::Expr(e));
+            }
+            // A statement ends at a newline, semicolon or the brace.
+            if !matches!(self.peek(), Tok::RBrace) {
+                if !matches!(self.peek(), Tok::Newline | Tok::Semi) {
+                    return Err(LangError::parse(
+                        format!("expected end of statement, found {}", self.peek()),
+                        self.peek_span(),
+                    ));
+                }
+                self.skip_seps();
+            }
+        }
+        let end = self.expect(Tok::RBrace)?;
+        let span = start.merge(end);
+        // The tail is the last expression statement; a trailing `val`
+        // makes the block unit-valued.
+        let tail = match stmts.pop() {
+            Some(SStmt::Expr(e)) => e,
+            Some(v @ SStmt::Val(..)) => {
+                stmts.push(v);
+                SExpr::Unit(span)
+            }
+            None => SExpr::Unit(span),
+        };
+        Ok(SExpr::Block(stmts, Box::new(tail), span))
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<SExpr, LangError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<SExpr, LangError> {
+        let lhs = self.or_expr()?;
+        if self.eat(&Tok::Assign) {
+            self.skip_newlines();
+            let rhs = self.assign_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            return Ok(SExpr::Binop(
+                BinOp::Assign,
+                Box::new(lhs),
+                Box::new(rhs),
+                span,
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.and_expr()?;
+        loop {
+            self.continue_line_if(&Tok::OrOr);
+            if !self.eat(&Tok::OrOr) {
+                break;
+            }
+            self.skip_newlines();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = SExpr::Binop(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        loop {
+            self.continue_line_if(&Tok::AndAnd);
+            if !self.eat(&Tok::AndAnd) {
+                break;
+            }
+            self.skip_newlines();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = SExpr::Binop(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<SExpr, LangError> {
+        let lhs = self.add_expr()?;
+        self.continue_line_if_any(&[Tok::EqEq, Tok::NotEq, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]);
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        self.skip_newlines();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(SExpr::Binop(op, Box::new(lhs), Box::new(rhs), span))
+    }
+
+    fn add_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            self.continue_line_if(&Tok::Plus);
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = SExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            self.continue_line_if_any(&[Tok::Star, Tok::Slash, Tok::Percent]);
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = SExpr::Binop(op, Box::new(lhs), Box::new(rhs), span);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<SExpr, LangError> {
+        match self.peek() {
+            Tok::Minus => {
+                let start = self.bump().span;
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span());
+                Ok(SExpr::Neg(Box::new(e), span))
+            }
+            Tok::Bang => {
+                let start = self.bump().span;
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span());
+                Ok(SExpr::Deref(Box::new(e), span))
+            }
+            _ => self.call_expr(),
+        }
+    }
+
+    fn call_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut e = self.atom()?;
+        while matches!(self.peek(), Tok::LParen) {
+            self.bump();
+            self.skip_newlines();
+            let mut args = Vec::new();
+            if !matches!(self.peek(), Tok::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    self.skip_newlines();
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    self.skip_newlines();
+                }
+            }
+            let end = self.expect(Tok::RParen)?;
+            let span = e.span().merge(end);
+            e = SExpr::Call(Box::new(e), args, span);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<SExpr, LangError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                let span = self.bump().span;
+                Ok(SExpr::Int(i, span))
+            }
+            Tok::Ident(s) => {
+                let span = self.bump().span;
+                Ok(SExpr::Var(s, span))
+            }
+            Tok::ConId(s) => {
+                let span = self.bump().span;
+                Ok(SExpr::Con(s, span))
+            }
+            Tok::LParen => {
+                self.bump();
+                self.skip_newlines();
+                if self.eat(&Tok::RParen) {
+                    return Ok(SExpr::Unit(self.peek_span()));
+                }
+                let e = self.expr()?;
+                self.skip_newlines();
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBrace => self.block(),
+            Tok::If => self.if_expr(),
+            Tok::Match => self.match_expr(),
+            Tok::Fn => self.fn_expr(),
+            other => Err(LangError::parse(
+                format!("expected an expression, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<SExpr, LangError> {
+        let start = self.expect(Tok::If)?;
+        let cond = self.expr()?;
+        self.skip_newlines();
+        self.expect(Tok::Then)?;
+        self.skip_newlines();
+        let then_e = self.expr()?;
+        // `elif`/`else` may start on the following line.
+        if matches!(self.peek_past_newlines(), Tok::Elif) {
+            self.skip_newlines();
+            // Parse `elif …` by reusing if_expr with the elif consumed.
+            let elif_span = self.expect(Tok::Elif)?;
+            // Rebuild as a nested if: push a synthetic If token? Simpler:
+            // parse the rest inline.
+            let inner = self.if_tail(elif_span)?;
+            let span = start.merge(inner.span());
+            return Ok(SExpr::If(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(inner),
+                span,
+            ));
+        }
+        if !matches!(self.peek_past_newlines(), Tok::Else) {
+            return Err(LangError::parse(
+                "`if` requires an `else` branch".into(),
+                self.peek_span(),
+            ));
+        }
+        self.skip_newlines();
+        self.expect(Tok::Else)?;
+        self.skip_newlines();
+        let else_e = self.expr()?;
+        let span = start.merge(else_e.span());
+        Ok(SExpr::If(
+            Box::new(cond),
+            Box::new(then_e),
+            Box::new(else_e),
+            span,
+        ))
+    }
+
+    /// Parses the continuation of an `elif`: condition, then-branch and
+    /// the rest of the chain.
+    fn if_tail(&mut self, start: Span) -> Result<SExpr, LangError> {
+        let cond = self.expr()?;
+        self.skip_newlines();
+        self.expect(Tok::Then)?;
+        self.skip_newlines();
+        let then_e = self.expr()?;
+        if matches!(self.peek_past_newlines(), Tok::Elif) {
+            self.skip_newlines();
+            let elif_span = self.expect(Tok::Elif)?;
+            let inner = self.if_tail(elif_span)?;
+            let span = start.merge(inner.span());
+            return Ok(SExpr::If(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(inner),
+                span,
+            ));
+        }
+        self.skip_newlines();
+        self.expect(Tok::Else)?;
+        self.skip_newlines();
+        let else_e = self.expr()?;
+        let span = start.merge(else_e.span());
+        Ok(SExpr::If(
+            Box::new(cond),
+            Box::new(then_e),
+            Box::new(else_e),
+            span,
+        ))
+    }
+
+    fn match_expr(&mut self) -> Result<SExpr, LangError> {
+        let start = self.expect(Tok::Match)?;
+        let scrutinee = self.expr()?;
+        self.skip_newlines();
+        self.expect(Tok::LBrace)?;
+        self.skip_seps();
+        let mut arms = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            let pattern = self.pattern()?;
+            self.skip_newlines();
+            self.expect(Tok::Arrow)?;
+            self.skip_newlines();
+            let body = self.expr()?;
+            let span = pattern.span().merge(body.span());
+            arms.push(SArm {
+                pattern,
+                body,
+                span,
+            });
+            self.skip_seps();
+        }
+        let end = self.expect(Tok::RBrace)?;
+        Ok(SExpr::Match(Box::new(scrutinee), arms, start.merge(end)))
+    }
+
+    fn fn_expr(&mut self) -> Result<SExpr, LangError> {
+        let start = self.expect(Tok::Fn)?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                let (p, _) = self.ident()?;
+                // Optional annotation, ignored (inference handles it).
+                if self.eat(&Tok::Colon) {
+                    self.type_()?;
+                }
+                params.push(p);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.skip_newlines();
+        let body = self.block()?;
+        let span = start.merge(body.span());
+        Ok(SExpr::Lam(params, Box::new(body), span))
+    }
+
+    fn pattern(&mut self) -> Result<SPat, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                let span = self.bump().span;
+                if s == "_" {
+                    Ok(SPat::Wild(span))
+                } else {
+                    Ok(SPat::Var(s, span))
+                }
+            }
+            Tok::Int(i) => {
+                let span = self.bump().span;
+                Ok(SPat::Int(i, span))
+            }
+            Tok::Minus => {
+                let start = self.bump().span;
+                match self.peek().clone() {
+                    Tok::Int(i) => {
+                        let span = start.merge(self.bump().span);
+                        Ok(SPat::Int(-i, span))
+                    }
+                    other => Err(LangError::parse(
+                        format!("expected an integer after `-`, found {other}"),
+                        self.peek_span(),
+                    )),
+                }
+            }
+            Tok::ConId(s) => {
+                let mut span = self.bump().span;
+                let mut fields = Vec::new();
+                if self.eat(&Tok::LParen) {
+                    self.skip_newlines();
+                    loop {
+                        fields.push(self.pattern()?);
+                        self.skip_newlines();
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                        self.skip_newlines();
+                    }
+                    span = span.merge(self.expect(Tok::RParen)?);
+                }
+                Ok(SPat::Ctor(s, fields, span))
+            }
+            other => Err(LangError::parse(
+                format!("expected a pattern, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typedef() {
+        let p = parse("type list<a> { Nil; Cons(head: a, tail: list<a>) }").unwrap();
+        assert_eq!(p.types.len(), 1);
+        let t = &p.types[0];
+        assert_eq!(t.name, "list");
+        assert_eq!(t.params, vec!["a"]);
+        assert_eq!(t.ctors.len(), 2);
+        assert_eq!(t.ctors[1].fields.len(), 2);
+        assert_eq!(t.ctors[1].fields[0].0.as_deref(), Some("head"));
+    }
+
+    #[test]
+    fn parses_fun_with_match() {
+        let src = r#"
+fun map(xs: list<a>, f: (a) -> b): list<b> {
+  match xs {
+    Cons(x, xx) -> Cons(f(x), map(xx, f))
+    Nil -> Nil
+  }
+}
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.funs.len(), 1);
+        let f = &p.funs[0];
+        assert_eq!(f.name, "map");
+        assert_eq!(f.params.len(), 2);
+        assert!(f.ret.is_some());
+    }
+
+    #[test]
+    fn parses_if_elif_chain() {
+        let src = "fun f(x: int): int { if x < 0 then 0 elif x == 0 then 1 else 2 }";
+        let p = parse(src).unwrap();
+        let SExpr::Block(_, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        let SExpr::If(_, _, else_b, _) = &**tail else {
+            panic!("expected if, got {tail:?}")
+        };
+        assert!(matches!(**else_b, SExpr::If(..)), "elif nests");
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let src = "fun f(a: int, b: int): bool { a + b * 2 < a * 3 }";
+        let p = parse(src).unwrap();
+        let SExpr::Block(_, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        let SExpr::Binop(BinOp::Lt, lhs, _, _) = &**tail else {
+            panic!("expected <, got {tail:?}")
+        };
+        assert!(matches!(**lhs, SExpr::Binop(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn parses_blocks_with_val() {
+        let src = "fun f(): int {\n  val x = 1\n  val y = 2\n  x + y\n}";
+        let p = parse(src).unwrap();
+        let SExpr::Block(stmts, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(**tail, SExpr::Binop(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn parses_lambda_and_calls() {
+        let src = "fun f(): int { (fn(x) { x + 1 })(41) }";
+        let p = parse(src).unwrap();
+        let SExpr::Block(_, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        assert!(matches!(**tail, SExpr::Call(..)));
+    }
+
+    #[test]
+    fn parses_nested_patterns() {
+        let src = r#"
+fun f(t: tree): tree {
+  match t {
+    Node(_, Node(Red, lx, kx, vx, rx), ky, vy, ry) -> lx
+    _ -> t
+  }
+}
+"#;
+        let p = parse(src).unwrap();
+        let SExpr::Block(_, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        let SExpr::Match(_, arms, _) = &**tail else {
+            panic!()
+        };
+        let SPat::Ctor(name, fields, _) = &arms[0].pattern else {
+            panic!()
+        };
+        assert_eq!(name, "Node");
+        assert_eq!(fields.len(), 5);
+        assert!(matches!(&fields[1], SPat::Ctor(n, f, _) if n == "Node" && f.len() == 5));
+    }
+
+    #[test]
+    fn parses_multiline_arguments() {
+        let src =
+            "fun f(): int {\n  g(1,\n    2,\n    3)\n}\nfun g(a: int, b: int, c: int): int { a }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_deref_and_assign() {
+        let src = "fun f(r: ref<int>): int {\n  r := 5\n  !r\n}";
+        let p = parse(src).unwrap();
+        let SExpr::Block(stmts, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        assert!(matches!(
+            stmts[0],
+            SStmt::Expr(SExpr::Binop(BinOp::Assign, ..))
+        ));
+        assert!(matches!(**tail, SExpr::Deref(..)));
+    }
+
+    #[test]
+    fn error_mentions_location() {
+        let err = parse("fun f() { ??? }").unwrap_err();
+        assert!(err.render("fun f() { ??? }").contains("1:"), "{err}");
+    }
+
+    #[test]
+    fn trailing_val_makes_unit_block() {
+        let src = "fun f() { val x = 1 }";
+        let p = parse(src).unwrap();
+        let SExpr::Block(stmts, tail, _) = &p.funs[0].body else {
+            panic!()
+        };
+        assert_eq!(stmts.len(), 1);
+        assert!(matches!(**tail, SExpr::Unit(_)));
+    }
+}

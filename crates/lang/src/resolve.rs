@@ -1,0 +1,281 @@
+//! Name resolution: builds the symbol tables (and the core
+//! [`TypeTable`]) that type inference and lowering share.
+
+use crate::ast::{SProgram, SType};
+use crate::error::{LangError, Span};
+use perceus_core::ir::{CtorId, DataId, FunId, TypeTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Information about one declared constructor.
+#[derive(Debug, Clone)]
+pub struct CtorSym {
+    /// Core constructor id.
+    pub id: CtorId,
+    /// The data type it belongs to.
+    pub data: DataId,
+    /// Declared field types (in terms of the parent's type parameters).
+    pub fields: Vec<SType>,
+}
+
+/// Information about one declared data type.
+#[derive(Debug, Clone)]
+pub struct DataSym {
+    /// Core data id.
+    pub id: DataId,
+    /// Type parameter names.
+    pub params: Vec<String>,
+    /// Constructors, in declaration order.
+    pub ctors: Vec<String>,
+}
+
+/// Built-in functions the resolver knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    Println,
+    RefNew,
+    TShare,
+    Not,
+    Min,
+    Max,
+}
+
+impl Builtin {
+    /// All builtins with their surface names.
+    pub const ALL: &'static [(&'static str, Builtin)] = &[
+        ("println", Builtin::Println),
+        ("ref", Builtin::RefNew),
+        ("tshare", Builtin::TShare),
+        ("not", Builtin::Not),
+        ("min", Builtin::Min),
+        ("max", Builtin::Max),
+    ];
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Min | Builtin::Max => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Symbol tables for a resolved program.
+#[derive(Debug, Clone)]
+pub struct Symbols {
+    /// The core type table (bool built in, user types appended).
+    pub types: TypeTable,
+    /// Data types by name.
+    pub datas: HashMap<String, DataSym>,
+    /// Constructors by name.
+    pub ctors: HashMap<String, CtorSym>,
+    /// Top-level functions by name, with parameter counts.
+    pub funs: HashMap<String, (FunId, usize)>,
+    /// Function names in declaration order (`FunId(i)` ↔ `fun_order[i]`).
+    pub fun_order: Vec<String>,
+}
+
+/// Resolves declarations; checks for duplicates and missing entry
+/// points is left to the driver.
+pub fn resolve(p: &SProgram) -> Result<Symbols, LangError> {
+    let mut types = TypeTable::new();
+    let mut datas = HashMap::new();
+    let mut ctors: HashMap<String, CtorSym> = HashMap::new();
+
+    // The built-in bool type participates in resolution like any other.
+    datas.insert(
+        "bool".to_string(),
+        DataSym {
+            id: TypeTable::BOOL,
+            params: Vec::new(),
+            ctors: vec!["False".into(), "True".into()],
+        },
+    );
+    ctors.insert(
+        "False".to_string(),
+        CtorSym {
+            id: TypeTable::FALSE,
+            data: TypeTable::BOOL,
+            fields: Vec::new(),
+        },
+    );
+    ctors.insert(
+        "True".to_string(),
+        CtorSym {
+            id: TypeTable::TRUE,
+            data: TypeTable::BOOL,
+            fields: Vec::new(),
+        },
+    );
+
+    for td in &p.types {
+        if datas.contains_key(&td.name) || matches!(td.name.as_str(), "int" | "unit" | "ref") {
+            return Err(LangError::resolve(
+                format!("duplicate or reserved type name `{}`", td.name),
+                td.span,
+            ));
+        }
+        let id = types.add_data(td.name.clone());
+        datas.insert(
+            td.name.clone(),
+            DataSym {
+                id,
+                params: td.params.clone(),
+                ctors: td.ctors.iter().map(|c| c.name.clone()).collect(),
+            },
+        );
+    }
+    // Second pass for constructors (fields may mention any data type).
+    for td in &p.types {
+        let data = datas[&td.name].id;
+        for cd in &td.ctors {
+            if ctors.contains_key(&cd.name) {
+                return Err(LangError::resolve(
+                    format!("duplicate constructor `{}`", cd.name),
+                    cd.span,
+                ));
+            }
+            let field_names: Vec<Arc<str>> = cd
+                .fields
+                .iter()
+                .map(|(n, _)| Arc::from(n.clone().unwrap_or_default().as_str()))
+                .collect();
+            let id = types.add_ctor(data, cd.name.clone(), field_names);
+            // Validate field types mention only known names / the
+            // parent's parameters.
+            for (_, ft) in &cd.fields {
+                check_type(ft, &td.params, &datas, cd.span)?;
+            }
+            ctors.insert(
+                cd.name.clone(),
+                CtorSym {
+                    id,
+                    data,
+                    fields: cd.fields.iter().map(|(_, t)| t.clone()).collect(),
+                },
+            );
+        }
+    }
+
+    let mut funs = HashMap::new();
+    let mut fun_order = Vec::new();
+    for (i, fd) in p.funs.iter().enumerate() {
+        if funs.contains_key(&fd.name) {
+            return Err(LangError::resolve(
+                format!("duplicate function `{}`", fd.name),
+                fd.span,
+            ));
+        }
+        if Builtin::ALL.iter().any(|(n, _)| *n == fd.name) {
+            return Err(LangError::resolve(
+                format!("`{}` shadows a builtin", fd.name),
+                fd.span,
+            ));
+        }
+        funs.insert(fd.name.clone(), (FunId(i as u32), fd.params.len()));
+        fun_order.push(fd.name.clone());
+    }
+
+    Ok(Symbols {
+        types,
+        datas,
+        ctors,
+        funs,
+        fun_order,
+    })
+}
+
+/// Checks that a surface type only mentions declared names and in-scope
+/// type variables.
+fn check_type(
+    t: &SType,
+    tyvars: &[String],
+    datas: &HashMap<String, DataSym>,
+    span: Span,
+) -> Result<(), LangError> {
+    match t {
+        SType::Unit => Ok(()),
+        SType::Fn(args, ret) => {
+            for a in args {
+                check_type(a, tyvars, datas, span)?;
+            }
+            check_type(ret, tyvars, datas, span)
+        }
+        SType::Name(name, args) => {
+            for a in args {
+                check_type(a, tyvars, datas, span)?;
+            }
+            match name.as_str() {
+                "int" | "unit" if args.is_empty() => Ok(()),
+                "ref" if args.len() == 1 => Ok(()),
+                _ => {
+                    if let Some(d) = datas.get(name) {
+                        if d.params.len() != args.len() {
+                            return Err(LangError::resolve(
+                                format!(
+                                    "type `{name}` expects {} parameters, got {}",
+                                    d.params.len(),
+                                    args.len()
+                                ),
+                                span,
+                            ));
+                        }
+                        Ok(())
+                    } else if tyvars.contains(name) && args.is_empty() {
+                        Ok(())
+                    } else {
+                        Err(LangError::resolve(format!("unknown type `{name}`"), span))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn resolves_list() {
+        let p = parse("type list<a> { Nil; Cons(head: a, tail: list<a>) }").unwrap();
+        let s = resolve(&p).unwrap();
+        assert!(s.ctors.contains_key("Cons"));
+        assert!(s.ctors.contains_key("Nil"));
+        assert_eq!(s.types.ctor(s.ctors["Cons"].id).arity, 2);
+        assert_eq!(s.datas["list"].params, vec!["a"]);
+    }
+
+    #[test]
+    fn bool_is_predefined() {
+        let p = parse("").unwrap();
+        let s = resolve(&p).unwrap();
+        assert_eq!(s.ctors["True"].id, TypeTable::TRUE);
+    }
+
+    #[test]
+    fn rejects_duplicate_ctor() {
+        let p = parse("type a { X }\ntype b { X }").unwrap();
+        assert!(resolve(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_field_type() {
+        let p = parse("type t { C(x: missing) }").unwrap();
+        let err = resolve(&p).unwrap_err();
+        assert!(err.message.contains("unknown type"), "{err}");
+    }
+
+    #[test]
+    fn rejects_shadowing_builtin() {
+        let p = parse("fun println(x: int): int { x }").unwrap();
+        assert!(resolve(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_type_arity_mismatch() {
+        let p = parse("type list<a> { Nil }\ntype t { C(x: list<int, int>) }").unwrap();
+        assert!(resolve(&p).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Robustness fuzzing for the front end: arbitrary input and mutated
+//! valid programs must produce `Ok` or a located `Err` — never a panic,
+//! and any accepted program must lower to well-formed core.
+
+use perceus_core::ir::wf;
+use perceus_core::passes::normalize;
+use proptest::prelude::*;
+
+const FRAGMENTS: &[&str] = &[
+    "fun", "type", "val", "match", "if", "then", "elif", "else", "fn", "main", "x", "xs", "Cons",
+    "Nil", "int", "bool", "list", "(", ")", "{", "}", "<", ">", ",", ";", "->", "=", "==", "!=",
+    "<=", ">=", "+", "-", "*", "/", "%", "&&", "||", ":=", "!", ":", "0", "1", "42", "_", "\n",
+    " ", "a", "b", "ref", "println",
+];
+
+const VALID: &str = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun map(xs: list<a>, f: (a) -> b): list<b> {
+  match xs {
+    Cons(x, xx) -> Cons(f(x), map(xx, f))
+    Nil -> Nil
+  }
+}
+fun main(n: int): int { n }
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random token soup: the compiler terminates with Ok or Err.
+    #[test]
+    fn token_soup_never_panics(parts in proptest::collection::vec(
+        proptest::sample::select(FRAGMENTS), 0..60
+    )) {
+        let src: String = parts.concat();
+        match perceus_lang::compile_str(&src) {
+            Ok(mut p) => {
+                normalize::normalize_program(&mut p);
+                wf::check_program(&p).expect("accepted programs are well-formed");
+            }
+            Err(e) => {
+                // The error must render against the source without
+                // panicking (span sanity).
+                let _ = e.render(&src);
+            }
+        }
+    }
+
+    /// Mutations of a valid program: delete or duplicate a random byte
+    /// range — again, no panics, and acceptance implies well-formedness.
+    #[test]
+    fn mutated_program_never_panics(
+        start in 0usize..200,
+        len in 0usize..40,
+        duplicate in any::<bool>(),
+    ) {
+        let bytes = VALID.as_bytes();
+        let start = start.min(bytes.len());
+        let end = (start + len).min(bytes.len());
+        let mutated: Vec<u8> = if duplicate {
+            [&bytes[..end], &bytes[start..end], &bytes[end..]].concat()
+        } else {
+            [&bytes[..start], &bytes[end..]].concat()
+        };
+        // Only valid UTF-8 inputs (the API takes &str).
+        if let Ok(src) = std::str::from_utf8(&mutated) {
+            match perceus_lang::compile_str(src) {
+                Ok(mut p) => {
+                    normalize::normalize_program(&mut p);
+                    wf::check_program(&p).expect("accepted programs are well-formed");
+                }
+                Err(e) => {
+                    let _ = e.render(src);
+                }
+            }
+        }
+    }
+}

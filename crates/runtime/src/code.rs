@@ -1,0 +1,579 @@
+//! Backend compilation: core IR → slot-resolved executable code.
+//!
+//! Variables become dense frame slots (the moral equivalent of Koka
+//! compiling to C locals), lambdas are lifted into a code table, and
+//! atoms are pre-evaluated into immediate [`Value`]s where possible.
+//! The abstract machine in [`crate::machine`] interprets this form.
+
+use crate::error::RuntimeError;
+use crate::heap::LamId;
+use crate::value::Value;
+use perceus_core::ir::expr::{Expr, Lit, PrimOp};
+use perceus_core::ir::{CtorId, FunId, Program, TypeTable, Var};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A frame slot index.
+pub type Slot = u32;
+
+/// A pre-resolved atom: either a slot read or an immediate value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Atom {
+    /// Read the value in a frame slot.
+    Slot(Slot),
+    /// An immediate (literal, global, or singleton constructor).
+    Const(Value),
+}
+
+/// One arm of a compiled match.
+#[derive(Debug, Clone)]
+pub struct RArm {
+    /// Constructor matched (singletons compare by id, blocks by tag).
+    pub ctor: CtorId,
+    /// Destination slots for the fields (`None` = field not bound).
+    pub binders: Vec<Option<Slot>>,
+    /// Arm body.
+    pub body: RExpr,
+}
+
+/// Slot-resolved executable expressions.
+#[derive(Debug, Clone)]
+pub enum RExpr {
+    /// Produce an atom's value.
+    Atom(Atom),
+    /// Indirect application of a closure or global value.
+    App { fun: Atom, args: Vec<Atom> },
+    /// Direct call of a top-level function.
+    Call { fun: FunId, args: Vec<Atom> },
+    /// Primitive application.
+    Prim { op: PrimOp, args: Vec<Atom> },
+    /// Closure allocation (consumes the captured values' ownership).
+    MkClosure { lam: LamId, captures: Vec<Slot> },
+    /// Constructor allocation; `reuse` names a token slot; `skip` is the
+    /// reuse-specialization mask (§2.5).
+    Con {
+        ctor: CtorId,
+        args: Vec<Atom>,
+        reuse: Option<Slot>,
+        skip: Arc<[bool]>,
+    },
+    /// `val slot = rhs; body`.
+    Let {
+        slot: Slot,
+        rhs: Box<RExpr>,
+        body: Box<RExpr>,
+    },
+    /// `rhs; body` (rhs value discarded).
+    Seq(Box<RExpr>, Box<RExpr>),
+    /// Flat match on the value in a slot.
+    Match {
+        scrut: Slot,
+        arms: Vec<RArm>,
+        default: Option<Box<RExpr>>,
+    },
+    /// Runtime failure.
+    Abort(Arc<str>),
+    /// `dup`.
+    Dup(Slot, Box<RExpr>),
+    /// `drop`.
+    Drop(Slot, Box<RExpr>),
+    /// `val token = drop-reuse var; body`.
+    DropReuse {
+        var: Slot,
+        token: Slot,
+        body: Box<RExpr>,
+    },
+    /// Specialized cell free (unique fast path).
+    Free(Slot, Box<RExpr>),
+    /// Specialized decrement (shared slow path).
+    DecRef(Slot, Box<RExpr>),
+    /// Release an unused reuse token.
+    DropToken(Slot, Box<RExpr>),
+    /// The uniqueness test of Fig. 1c/1f.
+    IsUnique {
+        var: Slot,
+        unique: Box<RExpr>,
+        shared: Box<RExpr>,
+    },
+    /// `&x` — claim the cell as a token.
+    TokenOf(Slot),
+    /// The null token.
+    NullToken,
+}
+
+/// A compiled top-level function.
+#[derive(Debug, Clone)]
+pub struct CodeFun {
+    /// Source name.
+    pub name: Arc<str>,
+    /// Parameter count (parameters live in slots `0..arity`).
+    pub arity: usize,
+    /// Total frame slots.
+    pub nslots: usize,
+    /// Body.
+    pub body: RExpr,
+}
+
+/// A compiled lambda. Captures live in slots `0..ncaptures`, parameters
+/// in `ncaptures..ncaptures+nparams`.
+#[derive(Debug, Clone)]
+pub struct CodeLam {
+    /// Capture count.
+    pub ncaptures: usize,
+    /// Parameter count.
+    pub nparams: usize,
+    /// Total frame slots.
+    pub nslots: usize,
+    /// Body.
+    pub body: RExpr,
+}
+
+/// A fully compiled program, ready for the machine.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Type table (for constructor arities and diagnostics).
+    pub types: TypeTable,
+    /// Functions, indexed by `FunId`.
+    pub funs: Vec<CodeFun>,
+    /// Lambdas, indexed by `LamId`.
+    pub lambdas: Vec<CodeLam>,
+    /// The entry point.
+    pub entry: Option<FunId>,
+}
+
+impl Compiled {
+    /// Looks up a function by name.
+    pub fn find_fun(&self, name: &str) -> Option<FunId> {
+        self.funs
+            .iter()
+            .position(|f| &*f.name == name)
+            .map(|i| FunId(i as u32))
+    }
+}
+
+/// Compiles a (pass-processed) core program to executable form.
+pub fn compile(p: &Program) -> Result<Compiled, RuntimeError> {
+    let mut out = Compiled {
+        types: p.types.clone(),
+        funs: Vec::with_capacity(p.funs.len()),
+        lambdas: Vec::new(),
+        entry: p.entry,
+    };
+    for (_, f) in p.funs() {
+        let mut cx = FrameCx::new(&p.types);
+        for par in &f.params {
+            cx.bind(par);
+        }
+        let body = cx.expr(&f.body, &mut out.lambdas)?;
+        out.funs.push(CodeFun {
+            name: f.name.clone(),
+            arity: f.params.len(),
+            nslots: cx.next as usize,
+            body,
+        });
+    }
+    Ok(out)
+}
+
+struct FrameCx<'t> {
+    types: &'t TypeTable,
+    slots: HashMap<u32, Slot>,
+    next: Slot,
+}
+
+impl<'t> FrameCx<'t> {
+    fn new(types: &'t TypeTable) -> Self {
+        FrameCx {
+            types,
+            slots: HashMap::new(),
+            next: 0,
+        }
+    }
+
+    fn bind(&mut self, v: &Var) -> Slot {
+        let s = self.next;
+        self.next += 1;
+        self.slots.insert(v.id(), s);
+        s
+    }
+
+    fn slot(&self, v: &Var) -> Result<Slot, RuntimeError> {
+        self.slots
+            .get(&v.id())
+            .copied()
+            .ok_or_else(|| RuntimeError::Internal(format!("unresolved variable {v:?}")))
+    }
+
+    fn atom(&self, e: &Expr) -> Result<Atom, RuntimeError> {
+        match e {
+            Expr::Var(v) => Ok(Atom::Slot(self.slot(v)?)),
+            Expr::Lit(Lit::Int(i)) => Ok(Atom::Const(Value::Int(*i))),
+            Expr::Lit(Lit::Unit) => Ok(Atom::Const(Value::Unit)),
+            Expr::Global(f) => Ok(Atom::Const(Value::Global(*f))),
+            Expr::Con { ctor, args, .. }
+                if args.is_empty() && self.types.ctor(*ctor).arity == 0 =>
+            {
+                Ok(Atom::Const(Value::Enum(*ctor)))
+            }
+            other => Err(RuntimeError::Internal(format!(
+                "non-atomic argument (not in ANF): {other:?}"
+            ))),
+        }
+    }
+
+    fn atoms(&self, es: &[Expr]) -> Result<Vec<Atom>, RuntimeError> {
+        es.iter().map(|e| self.atom(e)).collect()
+    }
+
+    fn expr(&mut self, e: &Expr, lambdas: &mut Vec<CodeLam>) -> Result<RExpr, RuntimeError> {
+        match e {
+            Expr::Var(_) | Expr::Lit(_) | Expr::Global(_) => Ok(RExpr::Atom(self.atom(e)?)),
+            Expr::App(f, args) => Ok(RExpr::App {
+                fun: self.atom(f)?,
+                args: self.atoms(args)?,
+            }),
+            Expr::Call(f, args) => Ok(RExpr::Call {
+                fun: *f,
+                args: self.atoms(args)?,
+            }),
+            Expr::Prim(op, args) => Ok(RExpr::Prim {
+                op: *op,
+                args: self.atoms(args)?,
+            }),
+            Expr::Lam(lam) => {
+                // Captures are read from the *enclosing* frame.
+                let cap_slots: Vec<Slot> = lam
+                    .captures
+                    .iter()
+                    .map(|c| self.slot(c))
+                    .collect::<Result<_, _>>()?;
+                let mut inner = FrameCx::new(self.types);
+                for c in &lam.captures {
+                    inner.bind(c);
+                }
+                for par in &lam.params {
+                    inner.bind(par);
+                }
+                let body = inner.expr(&lam.body, lambdas)?;
+                let id = LamId(lambdas.len() as u32);
+                lambdas.push(CodeLam {
+                    ncaptures: lam.captures.len(),
+                    nparams: lam.params.len(),
+                    nslots: inner.next as usize,
+                    body,
+                });
+                Ok(RExpr::MkClosure {
+                    lam: id,
+                    captures: cap_slots,
+                })
+            }
+            Expr::Con {
+                ctor,
+                args,
+                reuse,
+                skip,
+            } => {
+                if args.is_empty() && self.types.ctor(*ctor).arity == 0 {
+                    return Ok(RExpr::Atom(Atom::Const(Value::Enum(*ctor))));
+                }
+                Ok(RExpr::Con {
+                    ctor: *ctor,
+                    args: self.atoms(args)?,
+                    reuse: reuse.as_ref().map(|t| self.slot(t)).transpose()?,
+                    skip: skip.clone().into(),
+                })
+            }
+            Expr::Let { var, rhs, body } => {
+                let rhs = self.expr(rhs, lambdas)?;
+                let slot = self.bind(var);
+                let body = self.expr(body, lambdas)?;
+                Ok(RExpr::Let {
+                    slot,
+                    rhs: Box::new(rhs),
+                    body: Box::new(body),
+                })
+            }
+            Expr::Seq(a, b) => Ok(RExpr::Seq(
+                Box::new(self.expr(a, lambdas)?),
+                Box::new(self.expr(b, lambdas)?),
+            )),
+            Expr::Match {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                let scrut = self.slot(scrutinee)?;
+                let mut rarms = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    let binders: Vec<Option<Slot>> = arm
+                        .binders
+                        .iter()
+                        .map(|b| b.as_ref().map(|v| self.bind(v)))
+                        .collect();
+                    if let Some(t) = &arm.reuse_token {
+                        return Err(RuntimeError::Internal(format!(
+                            "unlowered reuse annotation @{t:?} reached the backend"
+                        )));
+                    }
+                    let body = self.expr(&arm.body, lambdas)?;
+                    rarms.push(RArm {
+                        ctor: arm.ctor,
+                        binders,
+                        body,
+                    });
+                }
+                let default = match default {
+                    Some(d) => Some(Box::new(self.expr(d, lambdas)?)),
+                    None => None,
+                };
+                Ok(RExpr::Match {
+                    scrut,
+                    arms: rarms,
+                    default,
+                })
+            }
+            Expr::Abort(msg) => Ok(RExpr::Abort(Arc::from(msg.as_str()))),
+            Expr::Dup(v, rest) => Ok(RExpr::Dup(
+                self.slot(v)?,
+                Box::new(self.expr(rest, lambdas)?),
+            )),
+            Expr::Drop(v, rest) => Ok(RExpr::Drop(
+                self.slot(v)?,
+                Box::new(self.expr(rest, lambdas)?),
+            )),
+            Expr::DropReuse { var, token, body } => {
+                let var = self.slot(var)?;
+                let token = self.bind(token);
+                Ok(RExpr::DropReuse {
+                    var,
+                    token,
+                    body: Box::new(self.expr(body, lambdas)?),
+                })
+            }
+            Expr::Free(v, rest) => Ok(RExpr::Free(
+                self.slot(v)?,
+                Box::new(self.expr(rest, lambdas)?),
+            )),
+            Expr::DecRef(v, rest) => Ok(RExpr::DecRef(
+                self.slot(v)?,
+                Box::new(self.expr(rest, lambdas)?),
+            )),
+            Expr::DropToken(v, rest) => Ok(RExpr::DropToken(
+                self.slot(v)?,
+                Box::new(self.expr(rest, lambdas)?),
+            )),
+            Expr::IsUnique {
+                var,
+                unique,
+                shared,
+                ..
+            } => Ok(RExpr::IsUnique {
+                var: self.slot(var)?,
+                unique: Box::new(self.expr(unique, lambdas)?),
+                shared: Box::new(self.expr(shared, lambdas)?),
+            }),
+            Expr::TokenOf(v) => Ok(RExpr::TokenOf(self.slot(v)?)),
+            Expr::NullToken => Ok(RExpr::NullToken),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perceus_core::ir::builder::ProgramBuilder;
+    use perceus_core::ir::Expr;
+
+    #[test]
+    fn compiles_simple_function() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let id = pb.fun("id", vec![x.clone()], Expr::Var(x));
+        pb.entry(id);
+        let c = compile(&pb.finish()).unwrap();
+        assert_eq!(c.funs.len(), 1);
+        assert_eq!(c.funs[0].arity, 1);
+        assert_eq!(c.funs[0].nslots, 1);
+        assert!(matches!(c.funs[0].body, RExpr::Atom(Atom::Slot(0))));
+        assert_eq!(c.find_fun("id"), Some(id));
+    }
+
+    #[test]
+    fn singleton_constructors_compile_to_immediates() {
+        use perceus_core::ir::builder::con;
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        pb.fun("f", vec![], con(ctors[0], vec![]));
+        let c = compile(&pb.finish()).unwrap();
+        assert!(matches!(
+            c.funs[0].body,
+            RExpr::Atom(Atom::Const(Value::Enum(_)))
+        ));
+    }
+
+    #[test]
+    fn lambdas_are_lifted() {
+        use perceus_core::ir::expr::Lambda;
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let y = pb.fresh("y");
+        let lam = Expr::Lam(Lambda {
+            params: vec![y.clone()],
+            captures: vec![x.clone()],
+            body: Box::new(Expr::Var(x.clone())),
+        });
+        pb.fun("f", vec![x.clone()], lam);
+        let c = compile(&pb.finish()).unwrap();
+        assert_eq!(c.lambdas.len(), 1);
+        assert_eq!(c.lambdas[0].ncaptures, 1);
+        assert_eq!(c.lambdas[0].nparams, 1);
+        assert!(matches!(
+            c.funs[0].body,
+            RExpr::MkClosure { captures: ref cs, .. } if cs == &vec![0]
+        ));
+    }
+
+    #[test]
+    fn rejects_non_anf() {
+        use perceus_core::ir::expr::PrimOp;
+        let mut pb = ProgramBuilder::new();
+        pb.fun(
+            "f",
+            vec![],
+            Expr::Prim(
+                PrimOp::Add,
+                vec![
+                    Expr::Prim(PrimOp::Add, vec![Expr::int(1), Expr::int(2)]),
+                    Expr::int(3),
+                ],
+            ),
+        );
+        assert!(compile(&pb.finish()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod shape_tests {
+    use super::*;
+    use perceus_core::ir::builder::ProgramBuilder;
+    use perceus_core::ir::Expr;
+    use perceus_core::passes::{PassConfig, Pipeline};
+    use perceus_core::Program;
+
+    fn compile_map(config: PassConfig) -> Compiled {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let f = pb.fresh("f");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let map = pb.declare("map", vec![xs.clone(), f.clone()]);
+        use perceus_core::ir::builder::{arm, arm0, con};
+        pb.set_body(
+            map,
+            Expr::Match {
+                scrutinee: xs.clone(),
+                arms: vec![
+                    arm(
+                        cons,
+                        vec![x.clone(), xx.clone()],
+                        con(
+                            cons,
+                            vec![
+                                Expr::App(
+                                    Box::new(Expr::Var(f.clone())),
+                                    vec![Expr::Var(x.clone())],
+                                ),
+                                Expr::Call(map, vec![Expr::Var(xx.clone()), Expr::Var(f.clone())]),
+                            ],
+                        ),
+                    ),
+                    arm0(nil, con(nil, vec![])),
+                ],
+                default: None,
+            },
+        );
+        pb.entry(map);
+        let p: Program = Pipeline::new(config).run(pb.finish()).unwrap();
+        compile(&p).unwrap()
+    }
+
+    fn count_nodes(e: &RExpr, pred: &dyn Fn(&RExpr) -> bool) -> usize {
+        let mut n = usize::from(pred(e));
+        match e {
+            RExpr::Let { rhs, body, .. } => {
+                n += count_nodes(rhs, pred) + count_nodes(body, pred);
+            }
+            RExpr::Seq(a, b) => n += count_nodes(a, pred) + count_nodes(b, pred),
+            RExpr::Match { arms, default, .. } => {
+                for a in arms {
+                    n += count_nodes(&a.body, pred);
+                }
+                if let Some(d) = default {
+                    n += count_nodes(d, pred);
+                }
+            }
+            RExpr::Dup(_, r)
+            | RExpr::Drop(_, r)
+            | RExpr::Free(_, r)
+            | RExpr::DecRef(_, r)
+            | RExpr::DropToken(_, r) => n += count_nodes(r, pred),
+            RExpr::DropReuse { body, .. } => n += count_nodes(body, pred),
+            RExpr::IsUnique { unique, shared, .. } => {
+                n += count_nodes(unique, pred) + count_nodes(shared, pred);
+            }
+            _ => {}
+        }
+        n
+    }
+
+    /// The fully-optimized map compiles exactly one is-unique, one
+    /// token-of, one reuse-annotated Con, and no plain drop-reuse.
+    #[test]
+    fn optimized_map_shape() {
+        let c = compile_map(PassConfig::perceus());
+        let body = &c.funs[0].body;
+        assert_eq!(
+            count_nodes(body, &|e| matches!(e, RExpr::IsUnique { .. })),
+            1
+        );
+        assert_eq!(count_nodes(body, &|e| matches!(e, RExpr::TokenOf(_))), 1);
+        assert_eq!(
+            count_nodes(body, &|e| matches!(e, RExpr::Con { reuse: Some(_), .. })),
+            1
+        );
+        assert_eq!(
+            count_nodes(body, &|e| matches!(e, RExpr::DropReuse { .. })),
+            0,
+            "drop-reuse must be specialized away"
+        );
+    }
+
+    /// The no-opt build keeps the generic instructions instead.
+    #[test]
+    fn no_opt_map_shape() {
+        let c = compile_map(PassConfig::perceus_no_opt());
+        let body = &c.funs[0].body;
+        assert_eq!(
+            count_nodes(body, &|e| matches!(e, RExpr::IsUnique { .. })),
+            0
+        );
+        assert_eq!(
+            count_nodes(body, &|e| matches!(e, RExpr::Con { reuse: Some(_), .. })),
+            0
+        );
+        assert!(count_nodes(body, &|e| matches!(e, RExpr::Drop(..))) >= 1);
+    }
+
+    /// Arity errors at machine entry are reported cleanly.
+    #[test]
+    fn run_fun_checks_arity() {
+        use crate::machine::{Machine, RunConfig};
+        use crate::{ReclaimMode, RuntimeError, Value};
+        let c = compile_map(PassConfig::perceus());
+        let mut m = Machine::new(&c, ReclaimMode::Rc, RunConfig::default());
+        let err = m.run_entry(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch(_)), "{err}");
+    }
+}

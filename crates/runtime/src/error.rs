@@ -1,0 +1,45 @@
+//! Runtime errors.
+
+use crate::value::Addr;
+use std::fmt;
+
+/// An error raised while executing a compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// `abort(...)` was executed (non-exhaustive match, etc.).
+    Abort(String),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// An address referenced a freed (or re-tenanted) cell. With the
+    /// generation-checked heap this is how any unsoundness in generated
+    /// reference counting surfaces — deterministically.
+    UseAfterFree(Addr),
+    /// An address was out of range entirely.
+    BadAddress(Addr),
+    /// The configured step budget was exhausted.
+    StepLimit(u64),
+    /// A value had the wrong shape for the operation (a compiler bug or
+    /// an ill-typed hand-built program).
+    TypeMismatch(String),
+    /// A pattern match fell through every arm with no default.
+    MatchFailure(String),
+    /// An internal invariant of the heap or machine was violated.
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Abort(m) => write!(f, "abort: {m}"),
+            RuntimeError::DivisionByZero => f.write_str("division by zero"),
+            RuntimeError::UseAfterFree(a) => write!(f, "use after free at {a}"),
+            RuntimeError::BadAddress(a) => write!(f, "bad address {a}"),
+            RuntimeError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            RuntimeError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            RuntimeError::MatchFailure(m) => write!(f, "match failure: {m}"),
+            RuntimeError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,809 @@
+//! The reference-counted heap — the runtime realization of the heap
+//! semantics of Fig. 7, with the representation choices of §2.7:
+//!
+//! * each block carries a signed header: positive values are plain
+//!   reference counts; negative values are *thread-shared* counts that
+//!   take the (simulated) atomic slow path; values at or below the
+//!   sticky floor never change again (§2.7.2's overflow/pinning range);
+//! * `drop` frees recursively with an explicit worklist (no native-stack
+//!   recursion, so dropping a million-element list is safe);
+//! * `drop-reuse` returns the cell as a *reuse token* instead of freeing
+//!   it (§2.4); a token is later consumed by a constructor-with-reuse
+//!   (in-place build) or released by `drop-token`;
+//! * every address is generation-checked, so a use-after-free in
+//!   generated code is a deterministic error, not corruption.
+//!
+//! The same heap serves the tracing-GC and arena baselines: in those
+//! modes the counting entry points are inert and reclamation is driven
+//! by [`crate::gc`] (or not at all).
+
+pub mod stats;
+
+pub use stats::Stats;
+
+use crate::error::RuntimeError;
+use crate::trace::{Event, Trace};
+use crate::value::{Addr, Value};
+use perceus_core::ir::CtorId;
+
+/// Identifies a lambda's code in the compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LamId(pub u32);
+
+/// What a heap block is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockTag {
+    /// A data constructor cell.
+    Ctor(CtorId),
+    /// A closure: code pointer + captured environment.
+    Closure(LamId),
+    /// A first-class mutable reference cell (§2.7.3).
+    MutRef,
+}
+
+/// A heap block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Signed reference count (see module docs). `0` means the cell is
+    /// *claimed* by a reuse token: memory held, contents meaningless.
+    pub header: i32,
+    /// Block kind.
+    pub tag: BlockTag,
+    /// Mark bit for the tracing collector.
+    pub mark: bool,
+    /// Fields (captured values for closures, one slot for mut refs).
+    pub fields: Box<[Value]>,
+}
+
+impl Block {
+    /// Words occupied (fields + one header word).
+    pub fn words(&self) -> u64 {
+        self.fields.len() as u64 + 1
+    }
+
+    /// True when thread-shared (negative header, §2.7.2).
+    pub fn is_shared(&self) -> bool {
+        self.header < 0
+    }
+}
+
+enum SlotState {
+    Free,
+    Used(Block),
+}
+
+struct SlotEntry {
+    gen: u32,
+    state: SlotState,
+}
+
+/// How the heap reclaims memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimMode {
+    /// Precise reference counting (Perceus / scoped).
+    Rc,
+    /// Tracing collection: counting entry points are inert; the
+    /// collector in [`crate::gc`] reclaims.
+    Gc,
+    /// Never reclaim (the paper's C++ leak baseline for deriv, nqueens,
+    /// cfold).
+    Arena,
+}
+
+/// Reference counts at or below this value are *sticky*: pinned alive
+/// for the rest of the run (the paper's overflow mitigation).
+pub const STICKY: i32 = i32::MIN / 2;
+
+/// The heap.
+pub struct Heap {
+    slots: Vec<SlotEntry>,
+    free_list: Vec<u32>,
+    mode: ReclaimMode,
+    /// Runtime statistics.
+    pub stats: Stats,
+    trace: Option<Trace>,
+}
+
+impl Heap {
+    /// Creates an empty heap in the given reclamation mode.
+    pub fn new(mode: ReclaimMode) -> Self {
+        Heap {
+            slots: Vec::new(),
+            free_list: Vec::new(),
+            mode,
+            stats: Stats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables the reference-count event tracer (see [`crate::trace`]),
+    /// retaining the most recent `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The event trace, when enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    #[inline]
+    fn tr(&mut self, e: Event) {
+        if let Some(t) = &mut self.trace {
+            t.record(e);
+        }
+    }
+
+    /// The reclamation mode.
+    pub fn mode(&self) -> ReclaimMode {
+        self.mode
+    }
+
+    /// True when reference counting is active.
+    pub fn rc_active(&self) -> bool {
+        self.mode == ReclaimMode::Rc
+    }
+
+    /// Number of currently live blocks.
+    pub fn live_blocks(&self) -> u64 {
+        self.stats.live_blocks
+    }
+
+    // ---- access ----------------------------------------------------
+
+    fn entry(&self, addr: Addr) -> Result<&Block, RuntimeError> {
+        Self::lookup(&self.slots, addr)
+    }
+
+    fn lookup(slots: &[SlotEntry], addr: Addr) -> Result<&Block, RuntimeError> {
+        let e = slots
+            .get(addr.index as usize)
+            .ok_or(RuntimeError::BadAddress(addr))?;
+        if e.gen != addr.gen {
+            return Err(RuntimeError::UseAfterFree(addr));
+        }
+        match &e.state {
+            SlotState::Used(b) => Ok(b),
+            SlotState::Free => Err(RuntimeError::UseAfterFree(addr)),
+        }
+    }
+
+    fn entry_mut(&mut self, addr: Addr) -> Result<&mut Block, RuntimeError> {
+        Self::lookup_mut(&mut self.slots, addr)
+    }
+
+    fn lookup_mut(slots: &mut [SlotEntry], addr: Addr) -> Result<&mut Block, RuntimeError> {
+        let e = slots
+            .get_mut(addr.index as usize)
+            .ok_or(RuntimeError::BadAddress(addr))?;
+        if e.gen != addr.gen {
+            return Err(RuntimeError::UseAfterFree(addr));
+        }
+        match &mut e.state {
+            SlotState::Used(b) => Ok(b),
+            SlotState::Free => Err(RuntimeError::UseAfterFree(addr)),
+        }
+    }
+
+    /// Reads a block (generation-checked).
+    pub fn block(&self, addr: Addr) -> Result<&Block, RuntimeError> {
+        self.entry(addr)
+    }
+
+    /// Reads a block mutably (generation-checked). Used by the machine
+    /// for mutable-reference writes.
+    pub fn block_mut(&mut self, addr: Addr) -> Result<&mut Block, RuntimeError> {
+        self.entry_mut(addr)
+    }
+
+    // ---- allocation -------------------------------------------------
+
+    /// Allocates a fresh block with reference count 1.
+    pub fn alloc(&mut self, tag: BlockTag, fields: Box<[Value]>) -> Addr {
+        let words = fields.len() as u64 + 1;
+        self.stats.on_fresh_alloc(words);
+        self.stats.field_writes += fields.len() as u64;
+        let block = Block {
+            header: 1,
+            tag,
+            mark: false,
+            fields,
+        };
+        let addr = match self.free_list.pop() {
+            Some(index) => {
+                let e = &mut self.slots[index as usize];
+                e.state = SlotState::Used(block);
+                Addr { index, gen: e.gen }
+            }
+            None => {
+                let index = self.slots.len() as u32;
+                self.slots.push(SlotEntry {
+                    gen: 0,
+                    state: SlotState::Used(block),
+                });
+                Addr { index, gen: 0 }
+            }
+        };
+        self.tr(Event::Alloc(addr, words));
+        addr
+    }
+
+    /// Builds a constructor in the memory held by a reuse token
+    /// (`Con@ru` with a valid token). `skip` elides writes whose field
+    /// already holds the value (reuse specialization, §2.5; validated in
+    /// debug builds).
+    pub fn alloc_into(
+        &mut self,
+        token: Addr,
+        ctor: CtorId,
+        args: &[Value],
+        skip: &[bool],
+    ) -> Result<Addr, RuntimeError> {
+        let b = self.entry_mut(token)?;
+        if b.header != 0 {
+            return Err(RuntimeError::Internal(format!(
+                "reuse of unclaimed cell {token} (header {})",
+                b.header
+            )));
+        }
+        if b.fields.len() != args.len() {
+            return Err(RuntimeError::Internal(format!(
+                "reuse size mismatch at {token}: cell has {} fields, constructor {}",
+                b.fields.len(),
+                args.len()
+            )));
+        }
+        b.header = 1;
+        b.tag = BlockTag::Ctor(ctor);
+        let mut written = 0;
+        for (i, v) in args.iter().enumerate() {
+            if skip.get(i).copied().unwrap_or(false) {
+                debug_assert_eq!(
+                    b.fields[i], *v,
+                    "skipped field {i} does not already hold the argument"
+                );
+            } else {
+                b.fields[i] = *v;
+                written += 1;
+            }
+        }
+        self.stats.field_writes += written;
+        self.stats.skipped_writes += (args.len() - written as usize) as u64;
+        self.stats.on_reuse();
+        self.tr(Event::Reuse(token));
+        Ok(token)
+    }
+
+    // ---- reference counting ------------------------------------------
+
+    /// `dup v` — the paper's fast/slow split on the header sign.
+    pub fn dup(&mut self, v: Value) -> Result<(), RuntimeError> {
+        if self.mode != ReclaimMode::Rc {
+            return Ok(());
+        }
+        let Value::Ref(addr) = v else { return Ok(()) };
+        self.stats.dups += 1;
+        let b = Self::lookup_mut(&mut self.slots, addr)?;
+        if b.header > 0 {
+            b.header += 1;
+        } else {
+            // Thread-shared: atomic decrement toward the sticky floor
+            // (more negative = more references).
+            self.stats.atomic_ops += 1;
+            if b.header > STICKY {
+                b.header -= 1;
+            }
+        }
+        let after = b.header;
+        self.tr(Event::Dup(addr, after));
+        Ok(())
+    }
+
+    /// `drop v` — decrement and free recursively at zero (worklist-based,
+    /// so arbitrarily deep structures are safe).
+    pub fn drop_value(&mut self, v: Value) -> Result<(), RuntimeError> {
+        if self.mode != ReclaimMode::Rc {
+            return Ok(());
+        }
+        let Value::Ref(addr) = v else { return Ok(()) };
+        self.stats.drops += 1;
+        let mut work = vec![addr];
+        while let Some(addr) = work.pop() {
+            let b = Self::lookup_mut(&mut self.slots, addr)?;
+            if b.header > 1 {
+                b.header -= 1;
+                let after = b.header;
+                self.tr(Event::Drop(addr, after));
+            } else if b.header == 1 {
+                // Last reference: free, children join the worklist.
+                let block = self.release(addr)?;
+                for f in block.fields.iter() {
+                    if let Value::Ref(child) = f {
+                        work.push(*child);
+                    }
+                }
+            } else if b.header == 0 {
+                return Err(RuntimeError::Internal(format!(
+                    "drop of claimed cell {addr}"
+                )));
+            } else {
+                // Thread-shared slow path.
+                self.stats.atomic_ops += 1;
+                if b.header > STICKY {
+                    b.header += 1;
+                    if b.header == 0 {
+                        let block = self.release(addr)?;
+                        for f in block.fields.iter() {
+                            if let Value::Ref(child) = f {
+                                work.push(*child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `decref v` — decrement without the zero check; only emitted in
+    /// the shared branch of an `is-unique`, where the count is ≥ 2.
+    pub fn decref(&mut self, v: Value) -> Result<(), RuntimeError> {
+        if self.mode != ReclaimMode::Rc {
+            return Ok(());
+        }
+        let Value::Ref(addr) = v else { return Ok(()) };
+        self.stats.decrefs += 1;
+        let b = Self::lookup_mut(&mut self.slots, addr)?;
+        if b.header > 1 {
+            b.header -= 1;
+            Ok(())
+        } else if b.header < 0 {
+            // Thread-shared: `is-unique` never reports shared blocks
+            // unique, so the shared branch may hold the *last* reference
+            // and must reclaim fully (atomically) at zero.
+            self.stats.atomic_ops += 1;
+            if b.header > STICKY {
+                b.header += 1;
+                if b.header == 0 {
+                    let block = self.release(addr)?;
+                    for f in block.fields.iter() {
+                        if f.is_ref() {
+                            self.drop_value(*f)?;
+                            // The child release is part of this free, not
+                            // a program-emitted drop instruction.
+                            self.stats.drops -= 1;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        } else {
+            Err(RuntimeError::Internal(format!(
+                "decref of {addr} with header {}",
+                b.header
+            )))
+        }
+    }
+
+    /// `is-unique(v)` — thread-shared blocks are never unique (in-place
+    /// mutation of shared data is racy, §2.7.3).
+    pub fn is_unique(&mut self, v: Value) -> Result<bool, RuntimeError> {
+        self.stats.unique_tests += 1;
+        let unique = match v {
+            Value::Ref(addr) => Self::lookup(&self.slots, addr)?.header == 1,
+            _ => false,
+        };
+        if unique {
+            self.stats.unique_hits += 1;
+        }
+        Ok(unique)
+    }
+
+    /// `free v` — free the cell only; the children's ownership has been
+    /// transferred to the surrounding match binders (fast path of
+    /// Fig. 1d). Requires a unique cell.
+    pub fn free_cell(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let Value::Ref(addr) = v else {
+            return Err(RuntimeError::Internal("free of a non-reference".into()));
+        };
+        let b = self.entry(addr)?;
+        if b.header != 1 {
+            return Err(RuntimeError::Internal(format!(
+                "free of non-unique cell {addr} (header {})",
+                b.header
+            )));
+        }
+        self.release(addr)?;
+        Ok(())
+    }
+
+    /// `&v` — claim a unique cell as a reuse token (fast path of
+    /// Fig. 1g). The memory is held; contents become meaningless.
+    pub fn claim(&mut self, v: Value) -> Result<Value, RuntimeError> {
+        let Value::Ref(addr) = v else {
+            return Err(RuntimeError::Internal("&x of a non-reference".into()));
+        };
+        let b = self.entry_mut(addr)?;
+        if b.header != 1 {
+            return Err(RuntimeError::Internal(format!(
+                "&x of non-unique cell {addr} (header {})",
+                b.header
+            )));
+        }
+        b.header = 0;
+        self.tr(Event::Claim(addr));
+        Ok(Value::Token(Some(addr)))
+    }
+
+    /// `drop-reuse v` (unspecialized, Fig. 1e): if unique, drop the
+    /// children and claim the cell; otherwise decrement and return the
+    /// null token.
+    pub fn drop_reuse(&mut self, v: Value) -> Result<Value, RuntimeError> {
+        match v {
+            Value::Ref(addr) => {
+                self.stats.unique_tests += 1;
+                let b = Self::lookup(&self.slots, addr)?;
+                if b.header == 1 {
+                    self.stats.unique_hits += 1;
+                    // Claim first (acyclic data: the children never point
+                    // back), then drop the children.
+                    let fields: Vec<Value> = b.fields.to_vec();
+                    self.entry_mut(addr)?.header = 0;
+                    self.tr(Event::Claim(addr));
+                    for f in fields {
+                        if f.is_ref() {
+                            self.drop_value(f)?;
+                        }
+                    }
+                    Ok(Value::Token(Some(addr)))
+                } else {
+                    self.decref_or_shared_drop(addr)?;
+                    Ok(Value::Token(None))
+                }
+            }
+            // Singletons and non-references yield the null token.
+            _ => Ok(Value::Token(None)),
+        }
+    }
+
+    fn decref_or_shared_drop(&mut self, addr: Addr) -> Result<(), RuntimeError> {
+        let b = Self::lookup_mut(&mut self.slots, addr)?;
+        self.stats.decrefs += 1;
+        if b.header > 1 {
+            b.header -= 1;
+        } else if b.header < 0 {
+            self.stats.atomic_ops += 1;
+            if b.header > STICKY {
+                b.header += 1;
+                if b.header == 0 {
+                    // Shared count hit zero here: free fully.
+                    b.header = 1;
+                    return self.drop_value(Value::Ref(addr));
+                }
+            }
+        } else {
+            return Err(RuntimeError::Internal(format!(
+                "drop-reuse decrement of {addr} with header {}",
+                b.header
+            )));
+        }
+        Ok(())
+    }
+
+    /// `drop-token t` — release an unused token, freeing the held memory.
+    pub fn drop_token(&mut self, v: Value) -> Result<(), RuntimeError> {
+        match v {
+            Value::Token(Some(addr)) => {
+                let b = self.entry(addr)?;
+                if b.header != 0 {
+                    return Err(RuntimeError::Internal(format!(
+                        "drop-token of unclaimed cell {addr}"
+                    )));
+                }
+                self.release(addr)?;
+                self.stats.token_frees += 1;
+                Ok(())
+            }
+            Value::Token(None) => Ok(()),
+            _ => Err(RuntimeError::Internal("drop-token of a non-token".into())),
+        }
+    }
+
+    /// `tshare v` — mark a value and everything reachable from it as
+    /// thread-shared (§2.7.2). Idempotent; safe on cyclic ref structures.
+    pub fn tshare(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let mut work = Vec::new();
+        if let Value::Ref(a) = v {
+            work.push(a);
+        }
+        while let Some(addr) = work.pop() {
+            let b = Self::lookup_mut(&mut self.slots, addr)?;
+            if b.header < 0 {
+                continue; // already shared — also breaks ref cycles
+            }
+            if b.header == 0 {
+                return Err(RuntimeError::Internal(format!(
+                    "tshare of claimed cell {addr}"
+                )));
+            }
+            b.header = -b.header;
+            let fields = b.fields.clone();
+            self.stats.shared_marks += 1;
+            self.tr(Event::Share(addr));
+            for f in fields.iter() {
+                if let Value::Ref(child) = f {
+                    work.push(*child);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- reclamation plumbing ---------------------------------------
+
+    /// Removes a block from the heap, bumping the slot generation.
+    fn release(&mut self, addr: Addr) -> Result<Block, RuntimeError> {
+        if self.mode == ReclaimMode::Arena {
+            // The arena never reclaims; callers in arena mode never get
+            // here because rc entry points are inert, but be defensive.
+            return Err(RuntimeError::Internal("release in arena mode".into()));
+        }
+        let e = self
+            .slots
+            .get_mut(addr.index as usize)
+            .ok_or(RuntimeError::BadAddress(addr))?;
+        if e.gen != addr.gen {
+            return Err(RuntimeError::UseAfterFree(addr));
+        }
+        let state = std::mem::replace(&mut e.state, SlotState::Free);
+        let SlotState::Used(block) = state else {
+            return Err(RuntimeError::UseAfterFree(addr));
+        };
+        e.gen = e.gen.wrapping_add(1);
+        self.free_list.push(addr.index);
+        self.stats.on_free(block.words());
+        self.tr(Event::Free(addr));
+        Ok(block)
+    }
+
+    /// Iterates live blocks with their addresses (auditor and collector).
+    pub fn iter_live(&self) -> impl Iterator<Item = (Addr, &Block)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match &e.state {
+                SlotState::Used(b) => Some((
+                    Addr {
+                        index: i as u32,
+                        gen: e.gen,
+                    },
+                    b,
+                )),
+                SlotState::Free => None,
+            })
+    }
+
+    /// Collector support: clear all mark bits.
+    pub(crate) fn clear_marks(&mut self) {
+        for e in &mut self.slots {
+            if let SlotState::Used(b) = &mut e.state {
+                b.mark = false;
+            }
+        }
+    }
+
+    /// Collector support: sweep unmarked blocks; returns count swept.
+    pub(crate) fn sweep(&mut self) -> u64 {
+        let mut swept = 0;
+        for i in 0..self.slots.len() {
+            let e = &mut self.slots[i];
+            if let SlotState::Used(b) = &mut e.state {
+                if !b.mark {
+                    let words = b.words();
+                    e.state = SlotState::Free;
+                    e.gen = e.gen.wrapping_add(1);
+                    self.free_list.push(i as u32);
+                    self.stats.on_free(words);
+                    swept += 1;
+                }
+            }
+        }
+        self.stats.gc_swept += swept;
+        swept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perceus_core::ir::CtorId;
+
+    fn heap() -> Heap {
+        Heap::new(ReclaimMode::Rc)
+    }
+
+    fn cell(h: &mut Heap, fields: Vec<Value>) -> Addr {
+        h.alloc(BlockTag::Ctor(CtorId(9)), fields.into_boxed_slice())
+    }
+
+    #[test]
+    fn alloc_and_drop_frees() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![Value::Int(1)]);
+        assert_eq!(h.live_blocks(), 1);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+        // Use after free is a detected error, not corruption.
+        assert!(matches!(h.block(a), Err(RuntimeError::UseAfterFree(_))));
+    }
+
+    #[test]
+    fn drop_frees_recursively() {
+        let mut h = heap();
+        let inner = cell(&mut h, vec![Value::Int(1)]);
+        let outer = cell(&mut h, vec![Value::Ref(inner)]);
+        assert_eq!(h.live_blocks(), 2);
+        h.drop_value(Value::Ref(outer)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn deep_drop_does_not_recurse_natively() {
+        // A 100k-deep chain: would overflow the native stack if drop
+        // recursed.
+        let mut h = heap();
+        let mut cur = cell(&mut h, vec![Value::Unit]);
+        for _ in 0..100_000 {
+            cur = cell(&mut h, vec![Value::Ref(cur)]);
+        }
+        h.drop_value(Value::Ref(cur)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn dup_keeps_alive() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        h.dup(Value::Ref(a)).unwrap();
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 1);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn is_unique_semantics() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        assert!(h.is_unique(Value::Ref(a)).unwrap());
+        h.dup(Value::Ref(a)).unwrap();
+        assert!(!h.is_unique(Value::Ref(a)).unwrap());
+        assert!(!h.is_unique(Value::Int(3)).unwrap());
+        h.drop_value(Value::Ref(a)).unwrap();
+        h.drop_value(Value::Ref(a)).unwrap();
+    }
+
+    #[test]
+    fn drop_reuse_unique_claims_cell() {
+        let mut h = heap();
+        let child = cell(&mut h, vec![]);
+        let a = cell(&mut h, vec![Value::Ref(child)]);
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        // Child freed; cell claimed (memory held: still a live block).
+        assert_eq!(tok, Value::Token(Some(a)));
+        assert_eq!(h.live_blocks(), 1);
+        // Building into the token reuses, not allocates.
+        let before = h.stats.allocations;
+        let out = h.alloc_into(a, CtorId(9), &[Value::Int(7)], &[]).unwrap();
+        assert_eq!(out, a);
+        assert_eq!(h.stats.allocations, before);
+        assert_eq!(h.stats.reuses, 1);
+        h.drop_value(Value::Ref(out)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn drop_reuse_shared_returns_null_token() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        h.dup(Value::Ref(a)).unwrap();
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        assert_eq!(tok, Value::Token(None));
+        assert_eq!(h.block(a).unwrap().header, 1);
+        h.drop_value(Value::Ref(a)).unwrap();
+    }
+
+    #[test]
+    fn drop_token_frees_claimed_memory() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        h.drop_token(tok).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+        assert_eq!(h.stats.token_frees, 1);
+    }
+
+    #[test]
+    fn thread_shared_counting() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        h.tshare(Value::Ref(a)).unwrap();
+        assert!(h.block(a).unwrap().is_shared());
+        assert!(
+            !h.is_unique(Value::Ref(a)).unwrap(),
+            "shared is never unique"
+        );
+        h.dup(Value::Ref(a)).unwrap();
+        assert_eq!(h.block(a).unwrap().header, -2);
+        assert!(h.stats.atomic_ops >= 1);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 1);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn tshare_marks_children_and_handles_cycles() {
+        let mut h = heap();
+        let r = h.alloc(BlockTag::MutRef, vec![Value::Unit].into_boxed_slice());
+        let holder = cell(&mut h, vec![Value::Ref(r)]);
+        // Tie the knot: r -> holder -> r.
+        h.block_mut(r).unwrap().fields[0] = Value::Ref(holder);
+        h.tshare(Value::Ref(holder)).unwrap(); // must terminate
+        assert!(h.block(r).unwrap().is_shared());
+        assert!(h.block(holder).unwrap().is_shared());
+    }
+
+    #[test]
+    fn sticky_counts_are_pinned() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        h.block_mut(a).unwrap().header = STICKY;
+        h.dup(Value::Ref(a)).unwrap();
+        assert_eq!(h.block(a).unwrap().header, STICKY);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.block(a).unwrap().header, STICKY, "sticky never freed");
+        assert_eq!(h.live_blocks(), 1);
+    }
+
+    #[test]
+    fn gc_mode_rc_is_inert() {
+        let mut h = Heap::new(ReclaimMode::Gc);
+        let a = cell(&mut h, vec![]);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 1, "gc mode ignores drops");
+        assert_eq!(h.stats.drops, 0);
+    }
+
+    #[test]
+    fn reuse_skip_mask_elides_writes() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![Value::Int(1), Value::Int(2)]);
+        let writes_before = h.stats.field_writes;
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        let Value::Token(Some(t)) = tok else { panic!() };
+        h.alloc_into(
+            t,
+            CtorId(9),
+            &[Value::Int(1), Value::Int(5)],
+            &[true, false],
+        )
+        .unwrap();
+        assert_eq!(h.stats.field_writes - writes_before, 1);
+        assert_eq!(h.stats.skipped_writes, 1);
+        h.drop_value(Value::Ref(t)).unwrap();
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![]);
+        h.drop_value(Value::Ref(a)).unwrap();
+        let b = cell(&mut h, vec![]);
+        assert_eq!(a.index, b.index, "slot recycled");
+        assert_ne!(a.gen, b.gen, "generation bumped");
+        assert!(h.block(a).is_err());
+        assert!(h.block(b).is_ok());
+        h.drop_value(Value::Ref(b)).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Runtime statistics: the quantities behind every figure of the paper's
+//! evaluation (execution cost drivers and the peak-working-set analog).
+
+use std::fmt;
+
+/// Counters collected by the heap and machine during a run.
+///
+/// All counters are exact (no sampling). `peak_live_words` is the
+/// reproduction's analog of Fig. 9's peak working set: for the
+/// reference-counting modes it is the true live heap; for the tracing-GC
+/// mode it includes not-yet-swept garbage (as a real GC's RSS does); for
+/// the arena mode it only ever grows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Fresh block allocations (not served by a reuse token).
+    pub allocations: u64,
+    /// Words allocated fresh (fields + header).
+    pub alloc_words: u64,
+    /// Allocations served in-place from a reuse token (§2.4).
+    pub reuses: u64,
+    /// Blocks freed (by rc reaching zero, explicit `free`, token release,
+    /// or GC sweep).
+    pub frees: u64,
+    /// Executed `dup` operations that touched a counted block.
+    pub dups: u64,
+    /// Executed `drop` operations that touched a counted block.
+    pub drops: u64,
+    /// Executed `decref` fast decrements.
+    pub decrefs: u64,
+    /// `is-unique` tests executed.
+    pub unique_tests: u64,
+    /// `is-unique` tests that took the unique fast path.
+    pub unique_hits: u64,
+    /// RC operations that took the atomic (thread-shared) slow path.
+    pub atomic_ops: u64,
+    /// Field writes performed when constructing.
+    pub field_writes: u64,
+    /// Field writes skipped by reuse specialization (§2.5).
+    pub skipped_writes: u64,
+    /// Reuse tokens released unused (memory freed by `drop-token`).
+    pub token_frees: u64,
+    /// Blocks marked thread-shared by `tshare` (§2.7.2).
+    pub shared_marks: u64,
+    /// Garbage collections run (tracing-GC mode only).
+    pub gc_collections: u64,
+    /// Blocks traced live across all collections.
+    pub gc_marked: u64,
+    /// Blocks reclaimed by sweeps.
+    pub gc_swept: u64,
+    /// Currently live blocks.
+    pub live_blocks: u64,
+    /// Currently live words.
+    pub live_words: u64,
+    /// High-water mark of `live_blocks`.
+    pub peak_live_blocks: u64,
+    /// High-water mark of `live_words` — the Fig. 9 "rss" analog.
+    pub peak_live_words: u64,
+    /// Abstract machine steps executed.
+    pub steps: u64,
+}
+
+impl Stats {
+    /// Total reference-count operations executed (the quantity §2 says
+    /// Perceus optimizes: "the cost of reference counting is linear in
+    /// the number of reference counting operations").
+    pub fn rc_ops(&self) -> u64 {
+        self.dups + self.drops + self.decrefs + self.unique_tests
+    }
+
+    /// Total allocations by either path.
+    pub fn total_allocations(&self) -> u64 {
+        self.allocations + self.reuses
+    }
+
+    /// Fraction of constructions served by in-place reuse.
+    pub fn reuse_rate(&self) -> f64 {
+        let t = self.total_allocations();
+        if t == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / t as f64
+        }
+    }
+
+    fn record_alloc(&mut self, words: u64) {
+        self.live_blocks += 1;
+        self.live_words += words;
+        self.peak_live_blocks = self.peak_live_blocks.max(self.live_blocks);
+        self.peak_live_words = self.peak_live_words.max(self.live_words);
+    }
+
+    pub(crate) fn on_fresh_alloc(&mut self, words: u64) {
+        self.allocations += 1;
+        self.alloc_words += words;
+        self.record_alloc(words);
+    }
+
+    pub(crate) fn on_reuse(&mut self) {
+        self.reuses += 1;
+        // live accounting unchanged: the cell never stopped being held.
+    }
+
+    pub(crate) fn on_free(&mut self, words: u64) {
+        self.frees += 1;
+        self.live_blocks -= 1;
+        self.live_words -= words;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "alloc {} (+{} reused, {:.1}% reuse) free {}  peak {} blocks / {} words",
+            self.allocations,
+            self.reuses,
+            self.reuse_rate() * 100.0,
+            self.frees,
+            self.peak_live_blocks,
+            self.peak_live_words
+        )?;
+        writeln!(
+            f,
+            "rc ops: {} dup, {} drop, {} decref, {} is-unique ({} unique), {} atomic",
+            self.dups,
+            self.drops,
+            self.decrefs,
+            self.unique_tests,
+            self.unique_hits,
+            self.atomic_ops
+        )?;
+        write!(
+            f,
+            "writes: {} fields ({} skipped); gc: {} collections; steps: {}",
+            self.field_writes, self.skipped_writes, self.gc_collections, self.steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracking() {
+        let mut s = Stats::default();
+        s.on_fresh_alloc(3);
+        s.on_fresh_alloc(3);
+        s.on_free(3);
+        s.on_fresh_alloc(3);
+        assert_eq!(s.live_blocks, 2);
+        assert_eq!(s.peak_live_blocks, 2);
+        assert_eq!(s.peak_live_words, 6);
+        assert_eq!(s.allocations, 3);
+        assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    fn reuse_rate() {
+        let mut s = Stats::default();
+        s.on_fresh_alloc(2);
+        s.on_reuse();
+        assert!((s.reuse_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.total_allocations(), 2);
+    }
+
+    #[test]
+    fn rc_ops_sum() {
+        let s = Stats {
+            dups: 2,
+            drops: 3,
+            decrefs: 4,
+            unique_tests: 5,
+            ..Stats::default()
+        };
+        assert_eq!(s.rc_ops(), 14);
+    }
+}

@@ -1,0 +1,50 @@
+//! # perceus-runtime
+//!
+//! The runtime half of the Perceus reproduction:
+//!
+//! * [`heap`] — the reference-counted heap of Fig. 7: signed headers
+//!   with the thread-shared negative encoding and sticky range of
+//!   §2.7.2, worklist-based recursive `drop`, reuse tokens (§2.4),
+//!   generation-checked addresses;
+//! * [`code`] — the backend: core IR → slot-resolved executable form;
+//! * [`machine`] — a tail-call-safe abstract machine implementing the
+//!   (appᵣ)/(matchᵣ) conventions;
+//! * [`gc`] — a mark–sweep collector (the tracing-GC baseline);
+//! * [`standard`] — the plain semantics of Fig. 6, the differential
+//!   oracle for Theorem 1;
+//! * [`audit`] — executable checks for the garbage-free theorems
+//!   (Thm. 2/4) and the exact-count property (Appendix D.3).
+//!
+//! Typical use (see `perceus-suite` for a one-call driver):
+//!
+//! ```
+//! use perceus_core::{Pipeline, PassConfig};
+//! use perceus_core::ir::builder::ProgramBuilder;
+//! use perceus_core::ir::Expr;
+//! use perceus_runtime::{code, machine::{Machine, RunConfig}, heap::ReclaimMode};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let x = pb.fresh("x");
+//! let id = pb.fun("id", vec![x.clone()], Expr::Var(x));
+//! pb.entry(id);
+//! let program = Pipeline::new(PassConfig::perceus()).run(pb.finish()).unwrap();
+//! let compiled = code::compile(&program).unwrap();
+//! let mut m = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+//! let out = m.run_entry(vec![perceus_runtime::value::Value::Int(7)]).unwrap();
+//! assert_eq!(out.as_int(), Some(7));
+//! ```
+
+pub mod audit;
+pub mod code;
+pub mod error;
+pub mod gc;
+pub mod heap;
+pub mod machine;
+pub mod standard;
+pub mod trace;
+pub mod value;
+
+pub use error::RuntimeError;
+pub use heap::{Heap, ReclaimMode, Stats};
+pub use machine::{DeepValue, Machine, RunConfig};
+pub use value::Value;

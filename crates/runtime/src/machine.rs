@@ -1,0 +1,988 @@
+//! The abstract machine: an environment-based, tail-call-safe
+//! interpreter for compiled programs, implementing the reference-counted
+//! heap semantics of Fig. 7:
+//!
+//! * values flow by move — ownership transfers with the value; only the
+//!   explicit `dup`/`drop` instructions emitted by the insertion passes
+//!   touch reference counts (the machine mirrors substitution semantics);
+//! * closure application performs rule (appᵣ): retain the captured
+//!   environment, release the closure, jump to the body;
+//! * `match` *borrows* its scrutinee and binds fields without retaining —
+//!   the compiled arm code contains the binder `dup`s and the scrutinee
+//!   `drop` (the Fig. 1b form);
+//! * tail calls never grow the continuation stack, which is what makes
+//!   the FBIP traversals of §2.6 run in constant stack space.
+//!
+//! The same machine executes all memory-management modes; in GC mode it
+//! additionally triggers the mark–sweep collector of [`crate::gc`] at
+//! allocation points, enumerating its own environments as roots.
+
+use crate::code::{Atom, Compiled, RArm, RExpr, Slot};
+use crate::error::RuntimeError;
+use crate::gc::{Collector, GcConfig};
+use crate::heap::{BlockTag, Heap, ReclaimMode};
+use crate::value::Value;
+use perceus_core::ir::expr::PrimOp;
+use perceus_core::ir::{CtorId, FunId, TypeTable};
+use std::fmt;
+
+/// Machine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Abort with [`RuntimeError::StepLimit`] after this many steps
+    /// (`None` = unlimited).
+    pub step_limit: Option<u64>,
+    /// Collector policy (GC mode only; `None` uses the default).
+    pub gc: Option<GcConfig>,
+    /// Run the garbage-free/soundness auditor every N steps (expensive;
+    /// for tests). See [`crate::audit`].
+    pub audit_every: Option<u64>,
+    /// Retain the most recent N reference-count events for debugging
+    /// (see [`crate::trace`]); `None` disables tracing.
+    pub trace_capacity: Option<usize>,
+}
+
+/// A pending continuation.
+pub(crate) enum Frame<'p> {
+    /// Return from a function call: restore `env`, optionally store the
+    /// value, optionally continue (otherwise keep returning).
+    Call {
+        env: Vec<Value>,
+        dst: Option<Slot>,
+        cont: Option<&'p RExpr>,
+    },
+    /// A compound let-rhs finished: store into the current env.
+    Local { dst: Slot, cont: &'p RExpr },
+    /// A compound statement finished: discard the value.
+    Discard { cont: &'p RExpr },
+}
+
+/// The abstract machine.
+pub struct Machine<'p> {
+    code: &'p Compiled,
+    /// The heap (public so tests and the harness can read statistics).
+    pub heap: Heap,
+    pub(crate) frames: Vec<Frame<'p>>,
+    pub(crate) env: Vec<Value>,
+    output: Vec<i64>,
+    collector: Option<Collector>,
+    config: RunConfig,
+    /// Recycled environment vectors (a call would otherwise allocate a
+    /// fresh `Vec` per frame; the pool makes calls allocation-free).
+    env_pool: Vec<Vec<Value>>,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine for `code` with the given reclamation mode.
+    pub fn new(code: &'p Compiled, mode: ReclaimMode, config: RunConfig) -> Self {
+        let collector = match mode {
+            ReclaimMode::Gc => Some(Collector::new(config.gc.unwrap_or_default())),
+            _ => None,
+        };
+        let mut heap = Heap::new(mode);
+        if let Some(cap) = config.trace_capacity {
+            heap.enable_trace(cap);
+        }
+        Machine {
+            code,
+            heap,
+            frames: Vec::new(),
+            env: Vec::new(),
+            output: Vec::new(),
+            collector,
+            config,
+            env_pool: Vec::new(),
+        }
+    }
+
+    fn take_env(&mut self) -> Vec<Value> {
+        self.env_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_env(&mut self, mut env: Vec<Value>) {
+        if self.env_pool.len() < 64 {
+            env.clear();
+            self.env_pool.push(env);
+        }
+    }
+
+    /// Builds a callee environment from argument atoms (read against the
+    /// *current* environment), padded to `nslots`.
+    fn build_env(&mut self, args: &[Atom], nslots: usize) -> Vec<Value> {
+        let mut env = self.take_env();
+        for a in args {
+            env.push(self.read(*a));
+        }
+        env.resize(nslots, Value::Unit);
+        env
+    }
+
+    /// The integers printed by `println` during the run.
+    pub fn output(&self) -> &[i64] {
+        &self.output
+    }
+
+    /// The type table (for rendering values).
+    pub fn types(&self) -> &TypeTable {
+        &self.code.types
+    }
+
+    /// Runs the program's entry function with the given arguments.
+    pub fn run_entry(&mut self, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        let entry = self
+            .code
+            .entry
+            .ok_or_else(|| RuntimeError::Internal("program has no entry point".into()))?;
+        self.run_fun(entry, args)
+    }
+
+    /// Runs an arbitrary function.
+    pub fn run_fun(&mut self, fun: FunId, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        let f = &self.code.funs[fun.0 as usize];
+        if f.arity != args.len() {
+            return Err(RuntimeError::TypeMismatch(format!(
+                "{} expects {} arguments, got {}",
+                f.name,
+                f.arity,
+                args.len()
+            )));
+        }
+        self.env = frame_env(args, f.nslots);
+        self.exec(&f.body)
+    }
+
+    // ---- the main loop ------------------------------------------------
+
+    fn exec(&mut self, start: &'p RExpr) -> Result<Value, RuntimeError> {
+        let mut cur = start;
+        loop {
+            self.heap.stats.steps += 1;
+            if let Some(limit) = self.config.step_limit {
+                if self.heap.stats.steps > limit {
+                    return Err(RuntimeError::StepLimit(limit));
+                }
+            }
+            if let Some(every) = self.config.audit_every {
+                if self.heap.stats.steps.is_multiple_of(every) && !is_rc_instruction(cur) {
+                    crate::audit::check_machine(self).map_err(RuntimeError::Internal)?;
+                }
+            }
+            match cur {
+                RExpr::Atom(a) => {
+                    let v = self.read(*a);
+                    match self.ret(v) {
+                        Some(next) => cur = next,
+                        None => return Ok(v),
+                    }
+                }
+                RExpr::Let { slot, rhs, body } => match &**rhs {
+                    RExpr::Call { fun, args } => {
+                        let (env, callee) = self.prepare_call(*fun, args)?;
+                        self.push_call_frame(Some(*slot), Some(body));
+                        self.env = env;
+                        cur = callee;
+                    }
+                    RExpr::App { fun, args } => {
+                        let f = self.read(*fun);
+                        let (env, callee) = self.prepare_apply(f, args)?;
+                        self.push_call_frame(Some(*slot), Some(body));
+                        self.env = env;
+                        cur = callee;
+                    }
+                    simple if is_simple(simple) => {
+                        let v = self.eval_simple(simple)?;
+                        self.env[*slot as usize] = v;
+                        cur = body;
+                    }
+                    compound => {
+                        self.frames.push(Frame::Local {
+                            dst: *slot,
+                            cont: body,
+                        });
+                        cur = compound;
+                    }
+                },
+                RExpr::Seq(a, b) => match &**a {
+                    RExpr::Call { fun, args } => {
+                        let (env, callee) = self.prepare_call(*fun, args)?;
+                        self.push_call_frame(None, Some(b));
+                        self.env = env;
+                        cur = callee;
+                    }
+                    RExpr::App { fun, args } => {
+                        let f = self.read(*fun);
+                        let (env, callee) = self.prepare_apply(f, args)?;
+                        self.push_call_frame(None, Some(b));
+                        self.env = env;
+                        cur = callee;
+                    }
+                    simple if is_simple(simple) => {
+                        self.eval_simple(simple)?;
+                        cur = b;
+                    }
+                    compound => {
+                        self.frames.push(Frame::Discard { cont: b });
+                        cur = compound;
+                    }
+                },
+                RExpr::Call { fun, args } => {
+                    let (env, callee) = self.prepare_call(*fun, args)?;
+                    if self.tail_position() {
+                        // Tail call: the current frame dies here.
+                        let dead = std::mem::replace(&mut self.env, env);
+                        self.recycle_env(dead);
+                    } else {
+                        self.push_call_frame(None, None);
+                        self.env = env;
+                    }
+                    cur = callee;
+                }
+                RExpr::App { fun, args } => {
+                    let f = self.read(*fun);
+                    let (env, callee) = self.prepare_apply(f, args)?;
+                    if self.tail_position() {
+                        let dead = std::mem::replace(&mut self.env, env);
+                        self.recycle_env(dead);
+                    } else {
+                        self.push_call_frame(None, None);
+                        self.env = env;
+                    }
+                    cur = callee;
+                }
+                RExpr::Match {
+                    scrut,
+                    arms,
+                    default,
+                } => {
+                    let v = self.env[*scrut as usize];
+                    cur = select_arm(
+                        &self.heap,
+                        &self.code.types,
+                        &mut self.env,
+                        v,
+                        arms,
+                        default,
+                    )?;
+                }
+                RExpr::IsUnique {
+                    var,
+                    unique,
+                    shared,
+                } => {
+                    let v = self.env[*var as usize];
+                    cur = if self.heap.is_unique(v)? {
+                        unique
+                    } else {
+                        shared
+                    };
+                }
+                RExpr::Dup(slot, rest) => {
+                    self.heap.dup(self.env[*slot as usize])?;
+                    cur = rest;
+                }
+                RExpr::Drop(slot, rest) => {
+                    self.heap.drop_value(self.env[*slot as usize])?;
+                    cur = rest;
+                }
+                RExpr::DropReuse { var, token, body } => {
+                    let t = self.heap.drop_reuse(self.env[*var as usize])?;
+                    self.env[*token as usize] = t;
+                    cur = body;
+                }
+                RExpr::Free(slot, rest) => {
+                    self.heap.free_cell(self.env[*slot as usize])?;
+                    cur = rest;
+                }
+                RExpr::DecRef(slot, rest) => {
+                    self.heap.decref(self.env[*slot as usize])?;
+                    cur = rest;
+                }
+                RExpr::DropToken(slot, rest) => {
+                    self.heap.drop_token(self.env[*slot as usize])?;
+                    cur = rest;
+                }
+                simple => {
+                    // Value-producing terminals (Con, Prim, MkClosure,
+                    // TokenOf, NullToken, Abort).
+                    let v = self.eval_simple(simple)?;
+                    match self.ret(v) {
+                        Some(next) => cur = next,
+                        None => return Ok(v),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tail position: no pending local continuation in this frame.
+    fn tail_position(&self) -> bool {
+        !matches!(
+            self.frames.last(),
+            Some(Frame::Local { .. }) | Some(Frame::Discard { .. })
+        )
+    }
+
+    fn push_call_frame(&mut self, dst: Option<Slot>, cont: Option<&'p RExpr>) {
+        let env = std::mem::take(&mut self.env);
+        self.frames.push(Frame::Call { env, dst, cont });
+    }
+
+    /// Delivers a value to the next continuation.
+    fn ret(&mut self, v: Value) -> Option<&'p RExpr> {
+        loop {
+            match self.frames.pop() {
+                None => return None,
+                Some(Frame::Call { env, dst, cont }) => {
+                    let dead = std::mem::replace(&mut self.env, env);
+                    self.recycle_env(dead);
+                    if let Some(d) = dst {
+                        self.env[d as usize] = v;
+                    }
+                    match cont {
+                        Some(c) => return Some(c),
+                        None => continue,
+                    }
+                }
+                Some(Frame::Local { dst, cont }) => {
+                    self.env[dst as usize] = v;
+                    return Some(cont);
+                }
+                Some(Frame::Discard { cont }) => return Some(cont),
+            }
+        }
+    }
+
+    fn read(&self, a: Atom) -> Value {
+        match a {
+            Atom::Slot(s) => self.env[s as usize],
+            Atom::Const(v) => v,
+        }
+    }
+
+    fn read_args(&self, args: &[Atom]) -> Vec<Value> {
+        args.iter().map(|a| self.read(*a)).collect()
+    }
+
+    /// Builds the environment for a direct call (from the current
+    /// frame's atoms); returns it with the callee body. The caller
+    /// decides whether to save the current frame or tail-jump.
+    fn prepare_call(
+        &mut self,
+        fun: FunId,
+        args: &[Atom],
+    ) -> Result<(Vec<Value>, &'p RExpr), RuntimeError> {
+        let f = &self.code.funs[fun.0 as usize];
+        if f.arity != args.len() {
+            return Err(RuntimeError::TypeMismatch(format!(
+                "{} expects {} arguments, got {}",
+                f.name,
+                f.arity,
+                args.len()
+            )));
+        }
+        let nslots = f.nslots;
+        let body = &f.body;
+        let env = self.build_env(args, nslots);
+        Ok((env, body))
+    }
+
+    /// Application of a first-class function value — rule (appᵣ):
+    /// `dup ys; drop f; jump`.
+    fn prepare_apply(
+        &mut self,
+        f: Value,
+        args: &[Atom],
+    ) -> Result<(Vec<Value>, &'p RExpr), RuntimeError> {
+        match f {
+            Value::Global(id) => self.prepare_call(id, args),
+            Value::Ref(addr) => {
+                let block = self.heap.block(addr)?;
+                let BlockTag::Closure(lam) = block.tag else {
+                    return Err(RuntimeError::TypeMismatch(
+                        "application of a non-function block".into(),
+                    ));
+                };
+                let l = &self.code.lambdas[lam.0 as usize];
+                if l.nparams != args.len() {
+                    return Err(RuntimeError::TypeMismatch(format!(
+                        "closure expects {} arguments, got {}",
+                        l.nparams,
+                        args.len()
+                    )));
+                }
+                let nslots = l.nslots;
+                let body = &l.body;
+                let mut env = self.take_env();
+                let block = self.heap.block(addr)?;
+                env.extend_from_slice(&block.fields);
+                for a in args {
+                    env.push(self.read(*a));
+                }
+                env.resize(nslots, Value::Unit);
+                // Rule (appᵣ): retain the captures, release the closure.
+                let ncaptures = self.code.lambdas[lam.0 as usize].ncaptures;
+                for &capture in env.iter().take(ncaptures) {
+                    self.heap.dup(capture)?;
+                }
+                self.heap.drop_value(f)?;
+                Ok((env, body))
+            }
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "application of non-function value {other}"
+            ))),
+        }
+    }
+
+    /// Evaluates a value-producing instruction that cannot call.
+    fn eval_simple(&mut self, e: &RExpr) -> Result<Value, RuntimeError> {
+        match e {
+            RExpr::Atom(a) => Ok(self.read(*a)),
+            RExpr::Prim { op, args } => {
+                let vals = self.read_args(args);
+                self.eval_prim(*op, &vals)
+            }
+            RExpr::MkClosure { lam, captures } => {
+                self.maybe_collect();
+                let fields: Box<[Value]> = captures.iter().map(|s| self.env[*s as usize]).collect();
+                let addr = self.heap.alloc(BlockTag::Closure(*lam), fields);
+                Ok(Value::Ref(addr))
+            }
+            RExpr::Con {
+                ctor,
+                args,
+                reuse,
+                skip,
+            } => {
+                let vals = self.read_args(args);
+                if let Some(tok_slot) = reuse {
+                    match self.env[*tok_slot as usize] {
+                        Value::Token(Some(addr)) => {
+                            let out = self.heap.alloc_into(addr, *ctor, &vals, skip)?;
+                            return Ok(Value::Ref(out));
+                        }
+                        Value::Token(None) => {}
+                        other => {
+                            return Err(RuntimeError::TypeMismatch(format!(
+                                "constructor reuse argument is not a token: {other}"
+                            )))
+                        }
+                    }
+                }
+                self.maybe_collect();
+                let addr = self
+                    .heap
+                    .alloc(BlockTag::Ctor(*ctor), vals.into_boxed_slice());
+                Ok(Value::Ref(addr))
+            }
+            RExpr::TokenOf(slot) => self.heap.claim(self.env[*slot as usize]),
+            RExpr::NullToken => Ok(Value::Token(None)),
+            RExpr::Abort(msg) => Err(RuntimeError::Abort(msg.to_string())),
+            other => Err(RuntimeError::Internal(format!(
+                "eval_simple on compound expression {other:?}"
+            ))),
+        }
+    }
+
+    fn eval_prim(&mut self, op: PrimOp, vals: &[Value]) -> Result<Value, RuntimeError> {
+        use PrimOp::*;
+        let int = |v: &Value| {
+            v.as_int()
+                .ok_or_else(|| RuntimeError::TypeMismatch(format!("expected an integer, got {v}")))
+        };
+        let boolean = |b: bool| Value::Enum(if b { TypeTable::TRUE } else { TypeTable::FALSE });
+        Ok(match op {
+            Add => Value::Int(int(&vals[0])?.wrapping_add(int(&vals[1])?)),
+            Sub => Value::Int(int(&vals[0])?.wrapping_sub(int(&vals[1])?)),
+            Mul => Value::Int(int(&vals[0])?.wrapping_mul(int(&vals[1])?)),
+            Div => {
+                let d = int(&vals[1])?;
+                if d == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Value::Int(int(&vals[0])?.wrapping_div(d))
+            }
+            Rem => {
+                let d = int(&vals[1])?;
+                if d == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Value::Int(int(&vals[0])?.wrapping_rem(d))
+            }
+            Neg => Value::Int(int(&vals[0])?.wrapping_neg()),
+            Lt => boolean(int(&vals[0])? < int(&vals[1])?),
+            Le => boolean(int(&vals[0])? <= int(&vals[1])?),
+            Gt => boolean(int(&vals[0])? > int(&vals[1])?),
+            Ge => boolean(int(&vals[0])? >= int(&vals[1])?),
+            Eq => boolean(value_eq(&vals[0], &vals[1])?),
+            Ne => boolean(!value_eq(&vals[0], &vals[1])?),
+            Min => Value::Int(int(&vals[0])?.min(int(&vals[1])?)),
+            Max => Value::Int(int(&vals[0])?.max(int(&vals[1])?)),
+            RefNew => {
+                self.maybe_collect();
+                let addr = self
+                    .heap
+                    .alloc(BlockTag::MutRef, vec![vals[0]].into_boxed_slice());
+                Value::Ref(addr)
+            }
+            RefGet => {
+                // §2.7.3: read, retain the content, release the ref.
+                let addr = ref_addr(&vals[0])?;
+                let content = self.heap.block(addr)?.fields[0];
+                self.heap.dup(content)?;
+                self.heap.drop_value(vals[0])?;
+                content
+            }
+            RefSet => {
+                let addr = ref_addr(&vals[0])?;
+                let block = self.heap.block_mut(addr)?;
+                if block.tag != BlockTag::MutRef {
+                    return Err(RuntimeError::TypeMismatch(":= on a non-ref".into()));
+                }
+                let old = std::mem::replace(&mut block.fields[0], vals[1]);
+                self.heap.drop_value(old)?;
+                self.heap.drop_value(vals[0])?;
+                Value::Unit
+            }
+            TShare => {
+                self.heap.tshare(vals[0])?;
+                self.heap.drop_value(vals[0])?;
+                Value::Unit
+            }
+            Println => {
+                let n = match vals[0] {
+                    Value::Int(i) => i,
+                    Value::Unit => 0,
+                    other => {
+                        return Err(RuntimeError::TypeMismatch(format!(
+                            "println of non-integer {other}"
+                        )))
+                    }
+                };
+                self.output.push(n);
+                Value::Unit
+            }
+        })
+    }
+
+    /// Collect (GC mode) if the policy says so; all live values are in
+    /// environments at allocation points thanks to ANF.
+    fn maybe_collect(&mut self) {
+        let Some(collector) = &mut self.collector else {
+            return;
+        };
+        if !collector.should_collect(&self.heap) {
+            return;
+        }
+        let frames = &self.frames;
+        let env = &self.env;
+        let roots = env.iter().chain(frames.iter().flat_map(|f| match f {
+            Frame::Call { env, .. } => env.iter(),
+            _ => [].iter(),
+        }));
+        collector.collect(&mut self.heap, roots);
+    }
+
+    // ---- inspection ----------------------------------------------------
+
+    /// Reads a value back as a deep tree (for tests and the oracle
+    /// comparison). Does not consume ownership.
+    pub fn read_back(&self, v: Value) -> Result<DeepValue, RuntimeError> {
+        read_back_in(&self.heap, &self.code.types, v)
+    }
+
+    /// Drops the program result (callers use this before asserting that
+    /// a garbage-free run left the heap empty).
+    pub fn drop_result(&mut self, v: Value) -> Result<(), RuntimeError> {
+        self.heap.drop_value(v)
+    }
+
+    /// Root values for the auditor.
+    pub(crate) fn root_values(&self) -> impl Iterator<Item = &Value> {
+        self.env
+            .iter()
+            .chain(self.frames.iter().flat_map(|f| match f {
+                Frame::Call { env, .. } => env.iter(),
+                _ => [].iter(),
+            }))
+    }
+}
+
+fn frame_env(mut vals: Vec<Value>, nslots: usize) -> Vec<Value> {
+    vals.resize(nslots, Value::Unit);
+    vals
+}
+
+/// Selects and binds a match arm — a borrowing bind per Fig. 1b: fields
+/// are copied into the binder slots with no retains; the compiled arm
+/// code contains the binder `dup`s and scrutinee `drop`.
+fn select_arm<'p>(
+    heap: &Heap,
+    types: &TypeTable,
+    env: &mut [Value],
+    scrut: Value,
+    arms: &'p [RArm],
+    default: &'p Option<Box<RExpr>>,
+) -> Result<&'p RExpr, RuntimeError> {
+    let (ctor, addr): (CtorId, Option<crate::value::Addr>) = match scrut {
+        Value::Enum(c) => (c, None),
+        Value::Ref(a) => {
+            let block = heap.block(a)?;
+            match block.tag {
+                BlockTag::Ctor(c) => (c, Some(a)),
+                _ => {
+                    return Err(RuntimeError::TypeMismatch(
+                        "match on a non-constructor block".into(),
+                    ))
+                }
+            }
+        }
+        other => {
+            return Err(RuntimeError::TypeMismatch(format!(
+                "match on non-constructor value {other}"
+            )))
+        }
+    };
+    for arm in arms {
+        if arm.ctor == ctor {
+            if let Some(a) = addr {
+                let fields = &heap.block(a)?.fields;
+                for (b, v) in arm.binders.iter().zip(fields.iter()) {
+                    if let Some(slot) = b {
+                        env[*slot as usize] = *v;
+                    }
+                }
+            }
+            return Ok(&arm.body);
+        }
+    }
+    match default {
+        Some(d) => Ok(d),
+        None => Err(RuntimeError::MatchFailure(format!(
+            "no arm for constructor {} ({ctor:?})",
+            types.ctor(ctor).name
+        ))),
+    }
+}
+
+fn ref_addr(v: &Value) -> Result<crate::value::Addr, RuntimeError> {
+    v.addr()
+        .ok_or_else(|| RuntimeError::TypeMismatch(format!("expected a reference, got {v}")))
+}
+
+/// Structural equality for the `==` primitive (ints, singletons, unit).
+fn value_eq(a: &Value, b: &Value) -> Result<bool, RuntimeError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x == y),
+        (Value::Enum(x), Value::Enum(y)) => Ok(x == y),
+        (Value::Unit, Value::Unit) => Ok(true),
+        _ => Err(RuntimeError::TypeMismatch(format!(
+            "== on non-primitive values {a} and {b}"
+        ))),
+    }
+}
+
+fn is_simple(e: &RExpr) -> bool {
+    matches!(
+        e,
+        RExpr::Atom(_)
+            | RExpr::Prim { .. }
+            | RExpr::MkClosure { .. }
+            | RExpr::Con { .. }
+            | RExpr::TokenOf(_)
+            | RExpr::NullToken
+            | RExpr::Abort(_)
+    )
+}
+
+fn is_rc_instruction(e: &RExpr) -> bool {
+    // `TokenOf` belongs here too: the unfused drop-reuse expansion is
+    // `drop child…; &x` (Fig. 1f), and between the child drops and the
+    // claim the cell's fields transiently dangle — exactly the states
+    // Theorem 4's side condition ("not at a dup/drop operation")
+    // excludes. The claim itself ends the window (claimed cells' fields
+    // are not treated as references).
+    matches!(
+        e,
+        RExpr::Dup(..)
+            | RExpr::Drop(..)
+            | RExpr::DropReuse { .. }
+            | RExpr::Free(..)
+            | RExpr::DecRef(..)
+            | RExpr::DropToken(..)
+            | RExpr::IsUnique { .. }
+            | RExpr::TokenOf(_)
+            | RExpr::NullToken
+    )
+}
+
+/// A machine value read back as a tree, independent of the heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeepValue {
+    Unit,
+    Int(i64),
+    /// Constructor by name (names make test failures readable).
+    Ctor(String, Vec<DeepValue>),
+    /// Closures compare as opaque.
+    Closure,
+    /// Mutable reference cell.
+    MutRef(Box<DeepValue>),
+}
+
+impl fmt::Display for DeepValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepValue::Unit => f.write_str("()"),
+            DeepValue::Int(i) => write!(f, "{i}"),
+            DeepValue::Ctor(name, fields) => {
+                f.write_str(name)?;
+                if !fields.is_empty() {
+                    f.write_str("(")?;
+                    for (i, x) in fields.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{x}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            DeepValue::Closure => f.write_str("<fun>"),
+            DeepValue::MutRef(v) => write!(f, "ref({v})"),
+        }
+    }
+}
+
+/// Reads a machine value into a [`DeepValue`] tree.
+pub fn read_back_in(heap: &Heap, types: &TypeTable, v: Value) -> Result<DeepValue, RuntimeError> {
+    match v {
+        Value::Unit | Value::Token(_) => Ok(DeepValue::Unit),
+        Value::Int(i) => Ok(DeepValue::Int(i)),
+        Value::Enum(c) => Ok(DeepValue::Ctor(types.ctor(c).name.to_string(), Vec::new())),
+        Value::Global(_) => Ok(DeepValue::Closure),
+        Value::Ref(addr) => {
+            let b = heap.block(addr)?;
+            match b.tag {
+                BlockTag::Ctor(c) => {
+                    let mut fields = Vec::with_capacity(b.fields.len());
+                    for f in b.fields.iter() {
+                        fields.push(read_back_in(heap, types, *f)?);
+                    }
+                    Ok(DeepValue::Ctor(types.ctor(c).name.to_string(), fields))
+                }
+                BlockTag::Closure(_) => Ok(DeepValue::Closure),
+                BlockTag::MutRef => Ok(DeepValue::MutRef(Box::new(read_back_in(
+                    heap,
+                    types,
+                    b.fields[0],
+                )?))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::compile;
+    use perceus_core::ir::builder::{arm, arm0, con, ite, ProgramBuilder};
+    use perceus_core::ir::expr::{Expr, Lambda, PrimOp};
+    use perceus_core::passes::{PassConfig, Pipeline};
+
+    fn run(p: perceus_core::ir::Program, arg: i64) -> (Value, Stats) {
+        let p = Pipeline::new(PassConfig::perceus()).run(p).unwrap();
+        let compiled = compile(&p).unwrap();
+        let mut m = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+        let v = m.run_entry(vec![Value::Int(arg)]).unwrap();
+        m.drop_result(v).unwrap();
+        assert_eq!(m.heap.live_blocks(), 0, "garbage-free");
+        (v, m.heap.stats)
+    }
+
+    use crate::heap::Stats;
+
+    /// A compound let-rhs (match) uses a Local frame and continues in
+    /// the same environment.
+    #[test]
+    fn local_frames_for_compound_rhs() {
+        let mut pb = ProgramBuilder::new();
+        let n = pb.fresh("n");
+        let c = pb.fresh("c");
+        let x = pb.fresh("x");
+        // val c = (n < 5); val x = match c { True -> 1; False -> 2 }; x + n
+        let body = Expr::let_(
+            c.clone(),
+            Expr::Prim(PrimOp::Lt, vec![Expr::Var(n.clone()), Expr::int(5)]),
+            Expr::let_(
+                x.clone(),
+                ite(c.clone(), Expr::int(1), Expr::int(2)),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![Expr::Var(x.clone()), Expr::Var(n.clone())],
+                ),
+            ),
+        );
+        let f = pb.fun("f", vec![n.clone()], body);
+        pb.entry(f);
+        let (v, _) = run(pb.finish(), 3);
+        assert_eq!(v.as_int(), Some(4));
+        let mut pb = ProgramBuilder::new();
+        let n = pb.fresh("n");
+        let c = pb.fresh("c");
+        let x = pb.fresh("x");
+        let body = Expr::let_(
+            c.clone(),
+            Expr::Prim(PrimOp::Lt, vec![Expr::Var(n.clone()), Expr::int(5)]),
+            Expr::let_(
+                x.clone(),
+                ite(c.clone(), Expr::int(1), Expr::int(2)),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![Expr::Var(x.clone()), Expr::Var(n.clone())],
+                ),
+            ),
+        );
+        let f = pb.fun("f", vec![n.clone()], body);
+        pb.entry(f);
+        let (v, _) = run(pb.finish(), 9);
+        assert_eq!(v.as_int(), Some(11));
+    }
+
+    /// Applying a non-function value is a type error, not a crash.
+    #[test]
+    fn applying_non_function_errors() {
+        let mut pb = ProgramBuilder::new();
+        let n = pb.fresh("n");
+        let body = Expr::App(Box::new(Expr::Var(n.clone())), vec![Expr::int(1)]);
+        let f = pb.fun("f", vec![n], body);
+        pb.entry(f);
+        let p = Pipeline::new(PassConfig::perceus())
+            .run(pb.finish())
+            .unwrap();
+        let compiled = compile(&p).unwrap();
+        let mut m = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+        let err = m.run_entry(vec![Value::Int(7)]).unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch(_)), "{err}");
+    }
+
+    /// A closure value built from a Global is applied by direct entry
+    /// (no closure allocation, no rc traffic on the callee).
+    #[test]
+    fn global_as_value_applies_directly() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let inc = pb.fun(
+            "inc",
+            vec![x.clone()],
+            Expr::Prim(PrimOp::Add, vec![Expr::Var(x), Expr::int(1)]),
+        );
+        let n = pb.fresh("n");
+        let g = pb.fresh("g");
+        let body = Expr::let_(
+            g.clone(),
+            Expr::Global(inc),
+            Expr::App(Box::new(Expr::Var(g.clone())), vec![Expr::Var(n.clone())]),
+        );
+        let f = pb.fun("main", vec![n], body);
+        pb.entry(f);
+        let (v, st) = run(pb.finish(), 41);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(st.allocations, 0, "no closure allocated for a global");
+    }
+
+    /// Closure application follows (appᵣ): captured values are retained
+    /// for the body and the closure itself is released per call.
+    #[test]
+    fn closure_call_retains_captures_releases_closure() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("box", &[("BoxV", 1)]);
+        let bx = cs[0];
+        let n = pb.fresh("n");
+        let b = pb.fresh("b");
+        let f = pb.fresh("f");
+        let q = pb.fresh("q");
+        let r1 = pb.fresh("r1");
+        let r2 = pb.fresh("r2");
+        let inner1 = pb.fresh("i1");
+        let inner2 = pb.fresh("i2");
+        // val b = BoxV(n)
+        // val f = fn(q){ match b { BoxV(i) -> i + q } }
+        // f(1) + f(2)   — two calls through the same closure.
+        let lam = Expr::Lam(Lambda {
+            params: vec![q.clone()],
+            captures: vec![],
+            body: Box::new(Expr::Match {
+                scrutinee: b.clone(),
+                arms: vec![arm(
+                    bx,
+                    vec![inner1.clone()],
+                    Expr::Prim(
+                        PrimOp::Add,
+                        vec![Expr::Var(inner1.clone()), Expr::Var(q.clone())],
+                    ),
+                )],
+                default: None,
+            }),
+        });
+        let body = Expr::let_(
+            b.clone(),
+            con(bx, vec![Expr::Var(n.clone())]),
+            Expr::let_(
+                f.clone(),
+                lam,
+                Expr::let_(
+                    r1.clone(),
+                    Expr::App(Box::new(Expr::Var(f.clone())), vec![Expr::int(1)]),
+                    Expr::let_(
+                        r2.clone(),
+                        Expr::App(Box::new(Expr::Var(f.clone())), vec![Expr::int(2)]),
+                        Expr::Prim(
+                            PrimOp::Add,
+                            vec![Expr::Var(r1.clone()), Expr::Var(r2.clone())],
+                        ),
+                    ),
+                ),
+            ),
+        );
+        let _ = inner2;
+        let main = pb.fun("main", vec![n], body);
+        pb.entry(main);
+        let (v, st) = run(pb.finish(), 10);
+        assert_eq!(v.as_int(), Some(23));
+        // One BoxV + one closure allocated; everything freed.
+        assert_eq!(st.allocations, 2);
+    }
+
+    /// Singleton constructors dispatch without touching the heap.
+    #[test]
+    fn singleton_match_never_allocates() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("tri", &[("L", 0), ("M", 0), ("R", 0)]);
+        let n = pb.fresh("n");
+        let c = pb.fresh("c");
+        let s = pb.fresh("s");
+        let body = Expr::let_(
+            c.clone(),
+            Expr::Prim(PrimOp::Lt, vec![Expr::Var(n.clone()), Expr::int(0)]),
+            Expr::let_(
+                s.clone(),
+                ite(c.clone(), con(cs[0], vec![]), con(cs[2], vec![])),
+                Expr::Match {
+                    scrutinee: s.clone(),
+                    arms: vec![
+                        arm0(cs[0], Expr::int(-1)),
+                        arm0(cs[1], Expr::int(0)),
+                        arm0(cs[2], Expr::int(1)),
+                    ],
+                    default: None,
+                },
+            ),
+        );
+        let main = pb.fun("main", vec![n], body);
+        pb.entry(main);
+        let (v, st) = run(pb.finish(), 7);
+        assert_eq!(v.as_int(), Some(1));
+        assert_eq!(st.allocations, 0);
+        assert_eq!(st.rc_ops(), 0, "singletons cost nothing");
+    }
+}

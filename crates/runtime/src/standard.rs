@@ -1,0 +1,465 @@
+//! The standard (reference-count-free) semantics of Fig. 6 — used as the
+//! differential-testing oracle for Theorem 1: a program evaluated under
+//! the reference-counted machine must produce the same value and output
+//! as its erasure evaluated here.
+//!
+//! This is a deliberately *independent* implementation: a direct
+//! big-step environment interpreter over the core IR, sharing no code
+//! with the backend compiler or abstract machine, so a bug in either is
+//! very unlikely to be mirrored in the other.
+
+use crate::machine::DeepValue;
+use perceus_core::ir::expr::{Expr, Lambda, Lit, PrimOp};
+use perceus_core::ir::{CtorId, FunId, Program, TypeTable, Var};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Oracle values (immutable trees plus closures and mutable refs).
+#[derive(Clone)]
+pub enum SValue {
+    Unit,
+    Int(i64),
+    Ctor(CtorId, Rc<Vec<SValue>>),
+    Closure(Rc<SClosure>),
+    Global(FunId),
+    MutRef(Rc<RefCell<SValue>>),
+}
+
+/// An oracle closure.
+pub struct SClosure {
+    params: Vec<Var>,
+    env: Vec<(Var, SValue)>,
+    body: Expr,
+}
+
+impl fmt::Debug for SValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SValue::Unit => f.write_str("()"),
+            SValue::Int(i) => write!(f, "{i}"),
+            SValue::Ctor(c, fields) => write!(f, "#{}{:?}", c.0, fields),
+            SValue::Closure(_) | SValue::Global(_) => f.write_str("<fun>"),
+            SValue::MutRef(v) => write!(f, "ref({:?})", v.borrow()),
+        }
+    }
+}
+
+/// Errors from the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// `abort(...)`.
+    Abort(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// The fuel budget ran out (guards non-termination in random tests).
+    OutOfFuel,
+    /// Native recursion depth guard.
+    TooDeep,
+    /// Ill-typed or ill-formed program.
+    Stuck(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Abort(m) => write!(f, "abort: {m}"),
+            OracleError::DivisionByZero => f.write_str("division by zero"),
+            OracleError::OutOfFuel => f.write_str("out of fuel"),
+            OracleError::TooDeep => f.write_str("recursion too deep for the oracle"),
+            OracleError::Stuck(m) => write!(f, "stuck: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// The oracle evaluator.
+pub struct Oracle<'p> {
+    program: &'p Program,
+    fuel: u64,
+    depth: usize,
+    max_depth: usize,
+    /// Output of `println`, for comparison with the machine's.
+    pub output: Vec<i64>,
+}
+
+impl<'p> Oracle<'p> {
+    /// Creates an oracle with the given fuel budget.
+    pub fn new(program: &'p Program, fuel: u64) -> Self {
+        Oracle {
+            program,
+            fuel,
+            depth: 0,
+            max_depth: 400,
+            output: Vec::new(),
+        }
+    }
+
+    /// Raises the call-depth guard (the oracle is natively recursive;
+    /// callers that need deep recursion should run it on a thread with a
+    /// large stack).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Evaluates a top-level function applied to arguments.
+    pub fn run_fun(&mut self, fun: FunId, args: Vec<SValue>) -> Result<SValue, OracleError> {
+        let def = self.program.fun(fun);
+        if def.params.len() != args.len() {
+            return Err(OracleError::Stuck(format!("{} arity mismatch", def.name)));
+        }
+        let mut env: Vec<(Var, SValue)> = def.params.iter().cloned().zip(args).collect();
+        self.eval(&def.body, &mut env)
+    }
+
+    /// Evaluates the entry point.
+    pub fn run_entry(&mut self, args: Vec<SValue>) -> Result<SValue, OracleError> {
+        let entry = self
+            .program
+            .entry
+            .ok_or_else(|| OracleError::Stuck("no entry point".into()))?;
+        self.run_fun(entry, args)
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Vec<(Var, SValue)>) -> Result<SValue, OracleError> {
+        if self.fuel == 0 {
+            return Err(OracleError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        match e {
+            Expr::Var(v) => lookup(env, v),
+            Expr::Lit(Lit::Int(i)) => Ok(SValue::Int(*i)),
+            Expr::Lit(Lit::Unit) => Ok(SValue::Unit),
+            Expr::Global(f) => Ok(SValue::Global(*f)),
+            Expr::Abort(m) => Err(OracleError::Abort(m.clone())),
+            Expr::App(f, args) => {
+                let fv = self.eval(f, env)?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.apply(fv, vals)
+            }
+            Expr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.guarded(|o| o.run_fun(*f, vals))
+            }
+            Expr::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                self.prim(*op, vals)
+            }
+            Expr::Lam(Lambda {
+                params,
+                captures,
+                body,
+            }) => {
+                let captured: Vec<(Var, SValue)> = captures
+                    .iter()
+                    .map(|c| Ok((c.clone(), lookup(env, c)?)))
+                    .collect::<Result<_, OracleError>>()?;
+                Ok(SValue::Closure(Rc::new(SClosure {
+                    params: params.clone(),
+                    env: captured,
+                    body: (**body).clone(),
+                })))
+            }
+            Expr::Con { ctor, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                Ok(SValue::Ctor(*ctor, Rc::new(vals)))
+            }
+            Expr::Let { var, rhs, body } => {
+                let v = self.eval(rhs, env)?;
+                env.push((var.clone(), v));
+                let out = self.eval(body, env);
+                env.pop();
+                out
+            }
+            Expr::Seq(a, b) => {
+                self.eval(a, env)?;
+                self.eval(b, env)
+            }
+            Expr::Match {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                let v = lookup(env, scrutinee)?;
+                let (ctor, fields) = match &v {
+                    SValue::Ctor(c, fs) => (*c, fs.clone()),
+                    other => {
+                        return Err(OracleError::Stuck(format!(
+                            "match on non-constructor {other:?}"
+                        )))
+                    }
+                };
+                for arm in arms {
+                    if arm.ctor == ctor {
+                        let before = env.len();
+                        for (b, f) in arm.binders.iter().zip(fields.iter()) {
+                            if let Some(b) = b {
+                                env.push((b.clone(), f.clone()));
+                            }
+                        }
+                        let out = self.eval(&arm.body, env);
+                        env.truncate(before);
+                        return out;
+                    }
+                }
+                match default {
+                    Some(d) => self.eval(d, env),
+                    None => Err(OracleError::Stuck(format!(
+                        "match fell through on constructor #{}",
+                        ctor.0
+                    ))),
+                }
+            }
+            // The oracle evaluates erased programs only: reference-count
+            // instructions are a hard error, keeping the oracle honest.
+            Expr::Dup(..)
+            | Expr::Drop(..)
+            | Expr::DropReuse { .. }
+            | Expr::Free(..)
+            | Expr::DecRef(..)
+            | Expr::DropToken(..)
+            | Expr::IsUnique { .. }
+            | Expr::TokenOf(_)
+            | Expr::NullToken => Err(OracleError::Stuck(
+                "reference-count instruction in oracle input (erase first)".into(),
+            )),
+        }
+    }
+
+    fn apply(&mut self, f: SValue, args: Vec<SValue>) -> Result<SValue, OracleError> {
+        match f {
+            SValue::Global(id) => self.guarded(|o| o.run_fun(id, args)),
+            SValue::Closure(c) => {
+                if c.params.len() != args.len() {
+                    return Err(OracleError::Stuck("closure arity mismatch".into()));
+                }
+                let mut env = c.env.clone();
+                env.extend(c.params.iter().cloned().zip(args));
+                self.guarded(|o| o.eval(&c.body, &mut env))
+            }
+            other => Err(OracleError::Stuck(format!(
+                "application of non-function {other:?}"
+            ))),
+        }
+    }
+
+    fn guarded<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, OracleError>,
+    ) -> Result<T, OracleError> {
+        if self.depth >= self.max_depth {
+            return Err(OracleError::TooDeep);
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
+    }
+
+    fn prim(&mut self, op: PrimOp, vals: Vec<SValue>) -> Result<SValue, OracleError> {
+        use PrimOp::*;
+        let int = |v: &SValue| match v {
+            SValue::Int(i) => Ok(*i),
+            other => Err(OracleError::Stuck(format!("expected int, got {other:?}"))),
+        };
+        let boolean = |b: bool| {
+            SValue::Ctor(
+                if b { TypeTable::TRUE } else { TypeTable::FALSE },
+                Rc::new(Vec::new()),
+            )
+        };
+        Ok(match op {
+            Add => SValue::Int(int(&vals[0])?.wrapping_add(int(&vals[1])?)),
+            Sub => SValue::Int(int(&vals[0])?.wrapping_sub(int(&vals[1])?)),
+            Mul => SValue::Int(int(&vals[0])?.wrapping_mul(int(&vals[1])?)),
+            Div => {
+                let d = int(&vals[1])?;
+                if d == 0 {
+                    return Err(OracleError::DivisionByZero);
+                }
+                SValue::Int(int(&vals[0])?.wrapping_div(d))
+            }
+            Rem => {
+                let d = int(&vals[1])?;
+                if d == 0 {
+                    return Err(OracleError::DivisionByZero);
+                }
+                SValue::Int(int(&vals[0])?.wrapping_rem(d))
+            }
+            Neg => SValue::Int(int(&vals[0])?.wrapping_neg()),
+            Lt => boolean(int(&vals[0])? < int(&vals[1])?),
+            Le => boolean(int(&vals[0])? <= int(&vals[1])?),
+            Gt => boolean(int(&vals[0])? > int(&vals[1])?),
+            Ge => boolean(int(&vals[0])? >= int(&vals[1])?),
+            Eq | Ne => {
+                let eq = match (&vals[0], &vals[1]) {
+                    (SValue::Int(a), SValue::Int(b)) => a == b,
+                    (SValue::Ctor(a, fa), SValue::Ctor(b, fb))
+                        if fa.is_empty() && fb.is_empty() =>
+                    {
+                        a == b
+                    }
+                    (SValue::Unit, SValue::Unit) => true,
+                    (a, b) => return Err(OracleError::Stuck(format!("== on {a:?} and {b:?}"))),
+                };
+                boolean(if op == Eq { eq } else { !eq })
+            }
+            Min => SValue::Int(int(&vals[0])?.min(int(&vals[1])?)),
+            Max => SValue::Int(int(&vals[0])?.max(int(&vals[1])?)),
+            RefNew => SValue::MutRef(Rc::new(RefCell::new(vals[0].clone()))),
+            RefGet => match &vals[0] {
+                SValue::MutRef(r) => r.borrow().clone(),
+                other => return Err(OracleError::Stuck(format!("deref of {other:?}"))),
+            },
+            RefSet => match &vals[0] {
+                SValue::MutRef(r) => {
+                    *r.borrow_mut() = vals[1].clone();
+                    SValue::Unit
+                }
+                other => return Err(OracleError::Stuck(format!(":= on {other:?}"))),
+            },
+            TShare => SValue::Unit,
+            Println => {
+                let n = match &vals[0] {
+                    SValue::Int(i) => *i,
+                    SValue::Unit => 0,
+                    other => return Err(OracleError::Stuck(format!("println of {other:?}"))),
+                };
+                self.output.push(n);
+                SValue::Unit
+            }
+        })
+    }
+}
+
+fn lookup(env: &[(Var, SValue)], v: &Var) -> Result<SValue, OracleError> {
+    env.iter()
+        .rev()
+        .find(|(k, _)| k == v)
+        .map(|(_, val)| val.clone())
+        .ok_or_else(|| OracleError::Stuck(format!("unbound variable {v:?}")))
+}
+
+/// Converts an oracle value to the machine-comparable deep form.
+pub fn to_deep(v: &SValue, types: &TypeTable) -> DeepValue {
+    match v {
+        SValue::Unit => DeepValue::Unit,
+        SValue::Int(i) => DeepValue::Int(*i),
+        SValue::Ctor(c, fields) => DeepValue::Ctor(
+            types.ctor(*c).name.to_string(),
+            fields.iter().map(|f| to_deep(f, types)).collect(),
+        ),
+        SValue::Closure(_) | SValue::Global(_) => DeepValue::Closure,
+        SValue::MutRef(r) => DeepValue::MutRef(Box::new(to_deep(&r.borrow(), types))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perceus_core::ir::builder::{ite, ProgramBuilder};
+    use perceus_core::ir::Expr;
+
+    #[test]
+    fn evaluates_recursion() {
+        // fun fact(n) { if n <= 1 then 1 else n * fact(n - 1) }
+        let mut pb = ProgramBuilder::new();
+        let n = pb.fresh("n");
+        let c = pb.fresh("c");
+        let f = pb.declare("fact", vec![n.clone()]);
+        let body = Expr::let_(
+            c.clone(),
+            Expr::Prim(PrimOp::Le, vec![Expr::Var(n.clone()), Expr::int(1)]),
+            ite(
+                c.clone(),
+                Expr::int(1),
+                Expr::Prim(
+                    PrimOp::Mul,
+                    vec![
+                        Expr::Var(n.clone()),
+                        Expr::Call(
+                            f,
+                            vec![Expr::Prim(
+                                PrimOp::Sub,
+                                vec![Expr::Var(n.clone()), Expr::int(1)],
+                            )],
+                        ),
+                    ],
+                ),
+            ),
+        );
+        pb.set_body(f, body);
+        pb.entry(f);
+        let p = pb.finish();
+        let mut o = Oracle::new(&p, 1_000_000);
+        let out = o.run_entry(vec![SValue::Int(10)]).unwrap();
+        assert!(matches!(out, SValue::Int(3628800)));
+    }
+
+    #[test]
+    fn rejects_rc_instructions() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        pb.fun(
+            "f",
+            vec![x.clone()],
+            Expr::dup(x.clone(), Expr::Var(x.clone())),
+        );
+        let p = pb.finish();
+        let mut o = Oracle::new(&p, 1000);
+        let err = o
+            .run_fun(perceus_core::ir::FunId(0), vec![SValue::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, OracleError::Stuck(_)));
+    }
+
+    #[test]
+    fn fuel_limits_divergence() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("spin", vec![]);
+        pb.set_body(f, Expr::Call(f, vec![]));
+        pb.entry(f);
+        let p = pb.finish();
+        let mut o = Oracle::new(&p, 10_000);
+        // Either fuel or the depth guard stops it — never a hang.
+        let err = o.run_entry(vec![]).unwrap_err();
+        assert!(matches!(err, OracleError::OutOfFuel | OracleError::TooDeep));
+    }
+
+    #[test]
+    fn mutable_refs_work() {
+        use perceus_core::ir::expr::PrimOp;
+        // fun f() { val r = ref(1); r := 5; !r }  (with explicit dups of
+        // r not needed in the oracle — it is rc-free)
+        let mut pb = ProgramBuilder::new();
+        let r = pb.fresh("r");
+        let body = Expr::let_(
+            r.clone(),
+            Expr::Prim(PrimOp::RefNew, vec![Expr::int(1)]),
+            Expr::seq(
+                Expr::Prim(PrimOp::RefSet, vec![Expr::Var(r.clone()), Expr::int(5)]),
+                Expr::Prim(PrimOp::RefGet, vec![Expr::Var(r.clone())]),
+            ),
+        );
+        let f = pb.fun("f", vec![], body);
+        pb.entry(f);
+        let p = pb.finish();
+        let mut o = Oracle::new(&p, 10_000);
+        let out = o.run_entry(vec![]).unwrap();
+        assert!(matches!(out, SValue::Int(5)));
+    }
+}

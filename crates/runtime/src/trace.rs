@@ -1,0 +1,173 @@
+//! A bounded event tracer for the reference-counting heap — the
+//! debugging aid a production implementation of Perceus needs: when a
+//! use-after-free or leak surfaces, the last N reference-count events
+//! explain *how* the count got there.
+//!
+//! Tracing is off by default and costs one branch per heap operation
+//! when enabled; events live in a fixed ring buffer, so arbitrarily
+//! long runs stay bounded.
+
+use crate::value::Addr;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One reference-count event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Fresh allocation (block words).
+    Alloc(Addr, u64),
+    /// Construction into a reuse token.
+    Reuse(Addr),
+    /// `dup` (header after the operation).
+    Dup(Addr, i32),
+    /// `drop` decrement (header after the operation).
+    Drop(Addr, i32),
+    /// `decref` (header after).
+    DecRef(Addr, i32),
+    /// Cell freed (by zero count, explicit free, or token release).
+    Free(Addr),
+    /// Cell claimed as a reuse token.
+    Claim(Addr),
+    /// Marked thread-shared.
+    Share(Addr),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Alloc(a, w) => write!(f, "alloc  {a} ({w} words)"),
+            Event::Reuse(a) => write!(f, "reuse  {a}"),
+            Event::Dup(a, rc) => write!(f, "dup    {a} -> rc {rc}"),
+            Event::Drop(a, rc) => write!(f, "drop   {a} -> rc {rc}"),
+            Event::DecRef(a, rc) => write!(f, "decref {a} -> rc {rc}"),
+            Event::Free(a) => write!(f, "free   {a}"),
+            Event::Claim(a) => write!(f, "claim  {a} (reuse token)"),
+            Event::Share(a) => write!(f, "share  {a} (thread-shared)"),
+        }
+    }
+}
+
+/// A fixed-capacity ring of recent events.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: VecDeque<Event>,
+    capacity: usize,
+    /// Total events observed (including evicted ones).
+    pub total: u64,
+}
+
+impl Trace {
+    /// Creates a tracer that retains the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, e: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(e);
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> + '_ {
+        self.events.iter()
+    }
+
+    /// The retained events touching one address, oldest first.
+    pub fn history_of(&self, addr: Addr) -> Vec<Event> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e,
+                    Event::Alloc(a, _) | Event::Reuse(a) | Event::Dup(a, _)
+                    | Event::Drop(a, _) | Event::DecRef(a, _) | Event::Free(a)
+                    | Event::Claim(a) | Event::Share(a) if a.index() == addr.index())
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Renders the tail of the trace (most recent `n` events).
+    pub fn render_tail(&self, n: usize) -> String {
+        let skip = self.events.len().saturating_sub(n);
+        let mut out = String::new();
+        for e in self.events.iter().skip(skip) {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{BlockTag, Heap, ReclaimMode};
+    use crate::Value;
+    use perceus_core::ir::CtorId;
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut t = Trace::new(3);
+        for i in 0..10 {
+            t.record(Event::Free(Addr { index: i, gen: 0 }));
+        }
+        assert_eq!(t.events().count(), 3);
+        assert_eq!(t.total, 10);
+        let first = *t.events().next().unwrap();
+        assert_eq!(first, Event::Free(Addr { index: 7, gen: 0 }));
+    }
+
+    #[test]
+    fn heap_records_when_enabled() {
+        let mut h = Heap::new(ReclaimMode::Rc);
+        h.enable_trace(64);
+        let a = h.alloc(BlockTag::Ctor(CtorId(2)), Box::new([Value::Int(1)]));
+        h.dup(Value::Ref(a)).unwrap();
+        h.drop_value(Value::Ref(a)).unwrap();
+        h.drop_value(Value::Ref(a)).unwrap();
+        let trace = h.trace().expect("tracing enabled");
+        let hist = trace.history_of(a);
+        assert!(matches!(hist[0], Event::Alloc(..)), "{hist:?}");
+        assert!(matches!(hist[1], Event::Dup(_, 2)), "{hist:?}");
+        assert!(matches!(hist[2], Event::Drop(_, 1)), "{hist:?}");
+        assert!(hist.iter().any(|e| matches!(e, Event::Free(_))), "{hist:?}");
+    }
+
+    #[test]
+    fn reuse_and_claim_are_traced() {
+        let mut h = Heap::new(ReclaimMode::Rc);
+        h.enable_trace(64);
+        let a = h.alloc(BlockTag::Ctor(CtorId(2)), Box::new([Value::Int(1)]));
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        let Value::Token(Some(t)) = tok else { panic!() };
+        h.alloc_into(t, CtorId(2), &[Value::Int(2)], &[]).unwrap();
+        let trace = h.trace().expect("tracing enabled");
+        let hist = trace.history_of(a);
+        assert!(
+            hist.iter().any(|e| matches!(e, Event::Claim(_))),
+            "{hist:?}"
+        );
+        assert!(
+            hist.iter().any(|e| matches!(e, Event::Reuse(_))),
+            "{hist:?}"
+        );
+        h.drop_value(Value::Ref(a)).unwrap();
+    }
+
+    #[test]
+    fn render_tail_is_readable() {
+        let mut t = Trace::new(8);
+        t.record(Event::Alloc(Addr { index: 1, gen: 0 }, 3));
+        t.record(Event::Share(Addr { index: 1, gen: 0 }));
+        let s = t.render_tail(10);
+        assert!(s.contains("alloc"), "{s}");
+        assert!(s.contains("thread-shared"), "{s}");
+    }
+}

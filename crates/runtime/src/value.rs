@@ -1,0 +1,121 @@
+//! Runtime values.
+//!
+//! Following Koka's data representation, values are one machine word:
+//! integers and unit are unboxed, arity-0 constructors are tagged
+//! immediates ("singletons" — `Nil`, `Leaf`, `True` never allocate),
+//! and everything else is a reference into the [`Heap`](crate::heap::Heap).
+
+use perceus_core::ir::{CtorId, FunId};
+use std::fmt;
+
+/// A generation-checked heap address.
+///
+/// The generation is bumped every time a cell is freed, so a stale
+/// address can never be confused with the cell's next tenant. Every heap
+/// operation validates the generation, which turns any use-after-free in
+/// generated code into a deterministic runtime error instead of silent
+/// corruption — the dynamic counterpart of the paper's soundness theorem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    pub(crate) index: u32,
+    pub(crate) gen: u32,
+}
+
+impl Addr {
+    /// The slot index (for diagnostics).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}g{}", self.index, self.gen)
+    }
+}
+
+/// A machine value (one word).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Value {
+    /// The unit value.
+    #[default]
+    Unit,
+    /// Unboxed integer.
+    Int(i64),
+    /// A singleton (arity-0) constructor — an immediate, never counted.
+    Enum(CtorId),
+    /// A heap block: constructor, closure, or mutable reference.
+    Ref(Addr),
+    /// A top-level function used as a value (globals are not counted).
+    Global(FunId),
+    /// A reuse token (§2.4): memory to build into, or null.
+    Token(Option<Addr>),
+}
+
+impl Value {
+    /// True for values that participate in reference counting.
+    pub fn is_ref(&self) -> bool {
+        matches!(self, Value::Ref(_))
+    }
+
+    /// The address, if this is a heap reference.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Value::Ref(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean (the built-in `bool` type).
+    pub fn as_bool(&self) -> Option<bool> {
+        use perceus_core::ir::TypeTable;
+        match self {
+            Value::Enum(c) if *c == TypeTable::TRUE => Some(true),
+            Value::Enum(c) if *c == TypeTable::FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Enum(c) => write!(f, "#{}", c.0),
+            Value::Ref(a) => write!(f, "@{a}"),
+            Value::Global(g) => write!(f, "fun{}", g.0),
+            Value::Token(Some(a)) => write!(f, "ru@{a}"),
+            Value::Token(None) => f.write_str("ru@NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perceus_core::ir::TypeTable;
+
+    #[test]
+    fn bool_interpretation() {
+        assert_eq!(Value::Enum(TypeTable::TRUE).as_bool(), Some(true));
+        assert_eq!(Value::Enum(TypeTable::FALSE).as_bool(), Some(false));
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn only_refs_are_counted() {
+        assert!(Value::Ref(Addr { index: 0, gen: 0 }).is_ref());
+        assert!(!Value::Int(3).is_ref());
+        assert!(!Value::Enum(CtorId(4)).is_ref());
+        assert!(!Value::Global(FunId(0)).is_ref());
+    }
+}

@@ -1,0 +1,150 @@
+//! Error-path tests for the heap: every misuse of the specialized
+//! instructions is a deterministic error (the dynamic half of the
+//! soundness story), never silent corruption.
+
+use perceus_core::ir::CtorId;
+use perceus_runtime::heap::{BlockTag, Heap, ReclaimMode};
+use perceus_runtime::{RuntimeError, Value};
+
+fn heap() -> Heap {
+    Heap::new(ReclaimMode::Rc)
+}
+
+fn cell(h: &mut Heap, fields: Vec<Value>) -> Value {
+    Value::Ref(h.alloc(BlockTag::Ctor(CtorId(2)), fields.into_boxed_slice()))
+}
+
+#[test]
+fn free_of_shared_cell_is_rejected() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    h.dup(v).unwrap();
+    let err = h.free_cell(v).unwrap_err();
+    assert!(matches!(err, RuntimeError::Internal(_)), "{err}");
+}
+
+#[test]
+fn claim_of_shared_cell_is_rejected() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    h.dup(v).unwrap();
+    assert!(h.claim(v).is_err());
+}
+
+#[test]
+fn decref_cannot_hit_zero_on_unshared() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    // count is 1: a decref here would orphan the cell — rejected.
+    let err = h.decref(v).unwrap_err();
+    assert!(matches!(err, RuntimeError::Internal(_)), "{err}");
+}
+
+#[test]
+fn reuse_into_unclaimed_cell_is_rejected() {
+    let mut h = heap();
+    let Value::Ref(a) = cell(&mut h, vec![Value::Int(1)]) else {
+        unreachable!()
+    };
+    // The cell was never claimed by drop-reuse.
+    let err = h
+        .alloc_into(a, CtorId(2), &[Value::Int(2)], &[])
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::Internal(_)), "{err}");
+}
+
+#[test]
+fn reuse_size_mismatch_is_rejected() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![Value::Int(1), Value::Int(2)]);
+    let tok = h.drop_reuse(v).unwrap();
+    let Value::Token(Some(t)) = tok else {
+        unreachable!()
+    };
+    let err = h
+        .alloc_into(t, CtorId(2), &[Value::Int(9)], &[])
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::Internal(_)), "{err}");
+    // Release the claimed memory so the heap balances.
+    h.drop_token(Value::Token(Some(t))).unwrap();
+    assert_eq!(h.live_blocks(), 0);
+}
+
+#[test]
+fn drop_of_claimed_cell_is_rejected() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    let tok = h.drop_reuse(v).unwrap();
+    let err = h.drop_value(v).unwrap_err();
+    assert!(matches!(err, RuntimeError::Internal(_)), "{err}");
+    h.drop_token(tok).unwrap();
+}
+
+#[test]
+fn double_free_is_use_after_free() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    h.drop_value(v).unwrap();
+    let err = h.drop_value(v).unwrap_err();
+    assert!(matches!(err, RuntimeError::UseAfterFree(_)), "{err}");
+}
+
+#[test]
+fn stale_address_after_slot_reuse_is_detected() {
+    let mut h = heap();
+    let old = cell(&mut h, vec![]);
+    h.drop_value(old).unwrap();
+    // The slot gets a new tenant with a bumped generation.
+    let new = cell(&mut h, vec![]);
+    assert!(h.dup(old).is_err(), "stale address must not alias");
+    h.drop_value(new).unwrap();
+}
+
+#[test]
+fn tshare_of_claimed_cell_is_rejected() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    let tok = h.drop_reuse(v).unwrap();
+    assert!(h.tshare(v).is_err());
+    h.drop_token(tok).unwrap();
+}
+
+#[test]
+fn drop_token_of_non_token_is_rejected() {
+    let mut h = heap();
+    assert!(h.drop_token(Value::Int(1)).is_err());
+    assert!(
+        h.drop_token(Value::Token(None)).is_ok(),
+        "null token is fine"
+    );
+}
+
+#[test]
+fn stats_display_is_informative() {
+    let mut h = heap();
+    let v = cell(&mut h, vec![Value::Int(1)]);
+    h.dup(v).unwrap();
+    h.drop_value(v).unwrap();
+    h.drop_value(v).unwrap();
+    let text = h.stats.to_string();
+    assert!(text.contains("alloc 1"), "{text}");
+    assert!(text.contains("1 dup"), "{text}");
+}
+
+#[test]
+fn shared_count_roundtrip_preserves_balance() {
+    // dup/drop a shared cell many times; the negative encoding must
+    // stay exact and free at the true zero.
+    let mut h = heap();
+    let v = cell(&mut h, vec![]);
+    h.tshare(v).unwrap();
+    for _ in 0..1000 {
+        h.dup(v).unwrap();
+    }
+    for _ in 0..1000 {
+        h.drop_value(v).unwrap();
+        assert_eq!(h.live_blocks(), 1);
+    }
+    h.drop_value(v).unwrap();
+    assert_eq!(h.live_blocks(), 0);
+}

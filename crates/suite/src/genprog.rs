@@ -1,0 +1,367 @@
+//! A generator of random, closed, well-formed, *terminating* core
+//! programs, used by the property-based tests to fuzz the whole
+//! pipeline (Lemma 1, Theorems 1–4) far beyond the hand-written suite.
+//!
+//! Generated programs are first-order-plus-closures over `int`, `bool`,
+//! and a list type; they contain no user recursion, so they always
+//! terminate, while still exercising every ownership situation:
+//! multiple/zero uses of bindings, shared and unique data, matches that
+//! can be reuse-paired, closures that capture, and higher-order calls.
+
+use perceus_core::ir::builder::ite;
+use perceus_core::ir::expr::{Arm, Expr, Lambda, PrimOp};
+use perceus_core::ir::{CtorId, FunDef, FunId, Program, Var, VarGen};
+
+/// Deterministic xorshift RNG (no external dependency needed here; the
+/// property tests feed seeds from proptest).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+/// The generated value sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sort {
+    Int,
+    List,
+    /// A mutable `ref<int>` cell (§2.7.3).
+    RefInt,
+}
+
+struct Gen {
+    rng: Rng,
+    gen: VarGen,
+    nil: CtorId,
+    cons: CtorId,
+    /// In-scope variables with their sorts.
+    scope: Vec<(Var, Sort)>,
+    /// Remaining size budget.
+    fuel: u32,
+    /// Callable helper functions (filled once they exist).
+    helpers: Vec<FunId>,
+}
+
+/// Generates a random program whose entry takes one integer argument.
+pub fn random_program(seed: u64, size: u32) -> Program {
+    let mut p = Program::new();
+    let list = p.types.add_data("list");
+    let nil = p.types.add_ctor_arity(list, "Nil", 0);
+    let cons = p.types.add_ctor_arity(list, "Cons", 2);
+
+    let mut g = Gen {
+        rng: Rng::new(seed),
+        gen: VarGen::default(),
+        nil,
+        cons,
+        scope: Vec::new(),
+        fuel: size,
+        helpers: Vec::new(),
+    };
+
+    // A couple of helper functions the main expression can call.
+    let mut helpers = Vec::new();
+    for i in 0..2 {
+        let a = g.gen.fresh("a");
+        let l = g.gen.fresh("l");
+        g.scope = vec![(a.clone(), Sort::Int), (l.clone(), Sort::List)];
+        g.fuel = size / 2;
+        let want = if i == 0 { Sort::Int } else { Sort::List };
+        let body = g.expr(want);
+        helpers.push(p.add_fun(FunDef {
+            name: format!("helper{i}").into(),
+            params: vec![a, l],
+            body,
+        }));
+    }
+
+    let n = g.gen.fresh("n");
+    g.scope = vec![(n.clone(), Sort::Int)];
+    g.fuel = size;
+    g.helpers = helpers.clone();
+    let body = g.expr(Sort::Int);
+    let main = p.add_fun(FunDef {
+        name: "main".into(),
+        params: vec![n],
+        body,
+    });
+    p.entry = Some(main);
+    p.var_gen = g.gen;
+    p
+}
+
+impl Gen {
+    fn vars_of(&self, sort: Sort) -> Vec<Var> {
+        self.scope
+            .iter()
+            .filter(|(_, s)| *s == sort)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+
+    fn expr(&mut self, sort: Sort) -> Expr {
+        if self.fuel == 0 {
+            return self.leaf(sort);
+        }
+        self.fuel -= 1;
+        match sort {
+            Sort::RefInt => self.leaf(sort),
+            Sort::Int => match self.rng.below(13) {
+                0 | 1 => self.leaf(sort),
+                2 | 3 => {
+                    let a = self.expr(Sort::Int);
+                    let b = self.expr(Sort::Int);
+                    let op =
+                        [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Min][self.rng.below(4)];
+                    Expr::Prim(op, vec![a, b])
+                }
+                4 => self.let_in(sort),
+                5 => self.match_list(sort),
+                6 => self.if_(sort),
+                7 => self.call_helper(Sort::Int),
+                8 => self.apply_lambda(),
+                9 => self.with_ref(),
+                10 => self.tshare_then(sort),
+                _ => self.leaf(sort),
+            },
+            Sort::List => match self.rng.below(10) {
+                0 | 1 => self.leaf(sort),
+                2..=4 => {
+                    let h = self.expr(Sort::Int);
+                    let t = self.expr(Sort::List);
+                    Expr::Con {
+                        ctor: self.cons,
+                        args: vec![h, t],
+                        reuse: None,
+                        skip: vec![],
+                    }
+                }
+                5 => self.let_in(sort),
+                6 => self.match_list(sort),
+                7 => self.if_(sort),
+                8 => self.call_helper(Sort::List),
+                _ => self.leaf(sort),
+            },
+        }
+    }
+
+    fn leaf(&mut self, sort: Sort) -> Expr {
+        let vars = self.vars_of(sort);
+        match sort {
+            Sort::RefInt => {
+                // Only reachable through a scoped ref variable; read it.
+                if let Some(v) = vars.first() {
+                    Expr::Prim(PrimOp::RefGet, vec![Expr::Var(v.clone())])
+                } else {
+                    Expr::int(0)
+                }
+            }
+            Sort::Int => {
+                if !vars.is_empty() && self.rng.chance(60) {
+                    Expr::Var(vars[self.rng.below(vars.len())].clone())
+                } else {
+                    Expr::int((self.rng.next() % 20) as i64 - 5)
+                }
+            }
+            Sort::List => {
+                if !vars.is_empty() && self.rng.chance(60) {
+                    Expr::Var(vars[self.rng.below(vars.len())].clone())
+                } else {
+                    Expr::Con {
+                        ctor: self.nil,
+                        args: vec![],
+                        reuse: None,
+                        skip: vec![],
+                    }
+                }
+            }
+        }
+    }
+
+    /// `val r = ref(e); (r := e2); !r + e3` — exercises the §2.7.3
+    /// reference-cell conventions (read retains content, write releases
+    /// the old value) under every strategy.
+    fn with_ref(&mut self) -> Expr {
+        let init = self.expr(Sort::Int);
+        let r = self.gen.fresh("r");
+        self.scope.push((r.clone(), Sort::RefInt));
+        let stores = self.rng.below(3);
+        let mut body = {
+            let extra = self.expr(Sort::Int);
+            Expr::Prim(
+                PrimOp::Add,
+                vec![
+                    Expr::Prim(PrimOp::RefGet, vec![Expr::Var(r.clone())]),
+                    extra,
+                ],
+            )
+        };
+        for _ in 0..stores {
+            let v = self.expr(Sort::Int);
+            let s = self.gen.fresh("_st");
+            body = Expr::let_(
+                s,
+                Expr::Prim(PrimOp::RefSet, vec![Expr::Var(r.clone()), v]),
+                body,
+            );
+        }
+        self.scope.pop();
+        Expr::let_(r, Expr::Prim(PrimOp::RefNew, vec![init]), body)
+    }
+
+    /// `tshare(e); k` — flips a structure onto the atomic slow path
+    /// (§2.7.2) and continues; counts must stay balanced either way.
+    fn tshare_then(&mut self, sort: Sort) -> Expr {
+        let shared = self.expr(Sort::List);
+        let s = self.gen.fresh("_sh");
+        let k = self.expr(sort);
+        Expr::let_(s, Expr::Prim(PrimOp::TShare, vec![shared]), k)
+    }
+
+    fn let_in(&mut self, sort: Sort) -> Expr {
+        let rhs_sort = if self.rng.chance(50) {
+            Sort::Int
+        } else {
+            Sort::List
+        };
+        let rhs = self.expr(rhs_sort);
+        let v = self.gen.fresh("v");
+        self.scope.push((v.clone(), rhs_sort));
+        let body = self.expr(sort);
+        self.scope.pop();
+        Expr::let_(v, rhs, body)
+    }
+
+    fn match_list(&mut self, sort: Sort) -> Expr {
+        // Bind a scrutinee, then match it — sometimes sharing it first
+        // (a second live use defeats reuse: exercises the slow path).
+        let scrut_rhs = self.expr(Sort::List);
+        let s = self.gen.fresh("s");
+        let h = self.gen.fresh("h");
+        let t = self.gen.fresh("t");
+        self.scope.push((s.clone(), Sort::List));
+        let keep_alive = self.rng.chance(30);
+        self.scope.push((h.clone(), Sort::Int));
+        self.scope.push((t.clone(), Sort::List));
+        let cons_body = self.expr(sort);
+        self.scope.pop();
+        self.scope.pop();
+        let nil_body = self.expr(sort);
+        self.scope.pop();
+        let mut m = Expr::Match {
+            scrutinee: s.clone(),
+            arms: vec![
+                Arm {
+                    ctor: self.cons,
+                    binders: vec![Some(h), Some(t)],
+                    reuse_token: None,
+                    body: cons_body,
+                },
+                Arm {
+                    ctor: self.nil,
+                    binders: vec![],
+                    reuse_token: None,
+                    body: nil_body,
+                },
+            ],
+            default: None,
+        };
+        if keep_alive && sort == Sort::Int {
+            // Use the scrutinee again after the match via a length-ish
+            // observation: match m2 { Cons -> 1; Nil -> 0 } + …
+            let h2 = self.gen.fresh("h2");
+            let t2 = self.gen.fresh("t2");
+            let again = Expr::Match {
+                scrutinee: s.clone(),
+                arms: vec![
+                    Arm {
+                        ctor: self.cons,
+                        binders: vec![Some(h2.clone()), Some(t2)],
+                        reuse_token: None,
+                        body: Expr::Var(h2),
+                    },
+                    Arm {
+                        ctor: self.nil,
+                        binders: vec![],
+                        reuse_token: None,
+                        body: Expr::int(0),
+                    },
+                ],
+                default: None,
+            };
+            let x = self.gen.fresh("x");
+            let y = self.gen.fresh("y");
+            m = Expr::let_(
+                x.clone(),
+                again,
+                Expr::let_(
+                    y.clone(),
+                    m,
+                    Expr::Prim(PrimOp::Add, vec![Expr::Var(x), Expr::Var(y)]),
+                ),
+            );
+        }
+        Expr::let_(s, scrut_rhs, m)
+    }
+
+    fn if_(&mut self, sort: Sort) -> Expr {
+        let a = self.expr(Sort::Int);
+        let b = self.expr(Sort::Int);
+        let c = self.gen.fresh("c");
+        let t = self.expr(sort);
+        let f = self.expr(sort);
+        Expr::let_(c.clone(), Expr::Prim(PrimOp::Lt, vec![a, b]), ite(c, t, f))
+    }
+
+    fn call_helper(&mut self, sort: Sort) -> Expr {
+        if self.helpers.is_empty() {
+            return self.leaf(sort);
+        }
+        let which = match sort {
+            Sort::Int | Sort::RefInt => self.helpers[0],
+            Sort::List => self.helpers[self.helpers.len() - 1],
+        };
+        let a = self.expr(Sort::Int);
+        let l = self.expr(Sort::List);
+        Expr::Call(which, vec![a, l])
+    }
+
+    /// Builds and immediately applies a closure capturing the scope.
+    fn apply_lambda(&mut self) -> Expr {
+        let p1 = self.gen.fresh("p");
+        let saved: Vec<(Var, Sort)> = self.scope.clone();
+        self.scope.push((p1.clone(), Sort::Int));
+        let body = self.expr(Sort::Int);
+        self.scope = saved;
+        let arg = self.expr(Sort::Int);
+        Expr::App(
+            Box::new(Expr::Lam(Lambda {
+                params: vec![p1],
+                captures: Vec::new(), // normalization computes these
+                body: Box::new(body),
+            })),
+            vec![arg],
+        )
+    }
+}

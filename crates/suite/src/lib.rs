@@ -1,0 +1,27 @@
+//! # perceus-suite
+//!
+//! The paper's benchmark programs (§4 and the overview examples),
+//! written in the `perceus-lang` surface language, plus a one-call
+//! driver that compiles a program under any memory-management strategy
+//! and runs it on the `perceus-runtime` machine.
+//!
+//! The five *strategies* reproduce the systems compared in Fig. 9 (see
+//! DESIGN.md for the substitution rationale):
+//!
+//! | Strategy | Paper column |
+//! |---|---|
+//! | [`Strategy::Perceus`] | Koka (all optimizations) |
+//! | [`Strategy::PerceusNoOpt`] | Koka, no-opt |
+//! | [`Strategy::Scoped`] | Swift / C++ `shared_ptr` / Nim (scope-tied RC) |
+//! | [`Strategy::Gc`] | OCaml / Haskell / Java (tracing collection) |
+//! | [`Strategy::Arena`] | C++ leak baseline (deriv, nqueens, cfold) |
+
+pub mod driver;
+pub mod genprog;
+pub mod workloads;
+
+pub use driver::{
+    compile_and_run, compile_with_config, compile_workload, oracle_run, run_workload, RunOutcome,
+    Strategy, SuiteError,
+};
+pub use workloads::{workload, workloads, Workload};

@@ -1,0 +1,235 @@
+//! The workload registry: every benchmark program of the paper's
+//! evaluation (§4) plus the overview examples, with embedded sources,
+//! default sizes scaled for the interpreted substrate, and known-good
+//! results for validation.
+
+/// A registered workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name (matches the paper's benchmark names).
+    pub name: &'static str,
+    /// Surface-language source.
+    pub source: &'static str,
+    /// Default problem size for the figure harness (the paper's sizes,
+    /// scaled for an interpreter — see DESIGN.md).
+    pub default_n: i64,
+    /// A small size suitable for unit/differential tests.
+    pub test_n: i64,
+    /// Known results as `(n, main(n))` pairs, for validation.
+    pub expected: &'static [(i64, i64)],
+    /// Whether this workload is part of the Fig. 9 comparison.
+    pub in_figure9: bool,
+}
+
+/// rbtree: 42M inserts in the paper; scaled here.
+pub const RBTREE: Workload = Workload {
+    name: "rbtree",
+    source: include_str!("../programs/rbtree.pk"),
+    default_n: 100_000,
+    test_n: 400,
+    // Keys are (i*17+3) % n for i in 0..n; True iff key % 10 == 0.
+    expected: &[(10, 1), (100, 10), (400, 40)],
+    in_figure9: true,
+};
+
+/// rbtree-ck: keeps every 5th tree alive.
+pub const RBTREE_CK: Workload = Workload {
+    name: "rbtree-ck",
+    source: include_str!("../programs/rbtree_ck.pk"),
+    default_n: 20_000,
+    test_n: 200,
+    expected: &[],
+    in_figure9: true,
+};
+
+/// deriv: symbolic derivative of a large expression.
+pub const DERIV: Workload = Workload {
+    name: "deriv",
+    source: include_str!("../programs/deriv.pk"),
+    default_n: 600,
+    test_n: 40,
+    expected: &[],
+    in_figure9: true,
+};
+
+/// nqueens: all solutions for the n-queens problem.
+pub const NQUEENS: Workload = Workload {
+    name: "nqueens",
+    source: include_str!("../programs/nqueens.pk"),
+    default_n: 9,
+    test_n: 6,
+    expected: &[
+        (4, 2),
+        (5, 10),
+        (6, 4),
+        (7, 40),
+        (8, 92),
+        (9, 352),
+        (10, 724),
+    ],
+    in_figure9: true,
+};
+
+/// cfold: constant folding over a large symbolic expression.
+pub const CFOLD: Workload = Workload {
+    name: "cfold",
+    source: include_str!("../programs/cfold.pk"),
+    default_n: 16,
+    test_n: 8,
+    expected: &[],
+    in_figure9: true,
+};
+
+/// tmap: the FBIP in-order traversal of §2.6 (Fig. 3).
+pub const TMAP: Workload = Workload {
+    name: "tmap",
+    source: include_str!("../programs/tmap.pk"),
+    default_n: 100_000,
+    test_n: 200,
+    // sum of (2k+1) for k in 1..=n  =  n(n+1) + n  =  n^2 + 2n.
+    expected: &[(10, 120), (100, 10_200), (200, 40_400)],
+    in_figure9: false,
+};
+
+/// tmap-rec: the plain recursive tree map (non-FBIP counterpart).
+pub const TMAP_REC: Workload = Workload {
+    name: "tmap-rec",
+    source: include_str!("../programs/tmap_rec.pk"),
+    default_n: 100_000,
+    test_n: 200,
+    expected: &[(10, 120), (100, 10_200), (200, 40_400)],
+    in_figure9: false,
+};
+
+/// map: the paper's §2.2 running example.
+pub const MAP: Workload = Workload {
+    name: "map",
+    source: include_str!("../programs/map.pk"),
+    default_n: 100_000,
+    test_n: 500,
+    // sum of (i+1) for i in 0..n = n(n+1)/2.
+    expected: &[(10, 55), (500, 125_250)],
+    in_figure9: false,
+};
+
+/// exn: the §2.7.1 explicit-error-value compilation scheme.
+pub const EXN: Workload = Workload {
+    name: "exn",
+    source: include_str!("../programs/exn.pk"),
+    default_n: 10_000,
+    test_n: 100,
+    expected: &[],
+    in_figure9: false,
+};
+
+/// refs: §2.7.2/§2.7.3 mutable references and thread-shared marking.
+pub const REFS: Workload = Workload {
+    name: "refs",
+    source: include_str!("../programs/refs.pk"),
+    default_n: 10_000,
+    test_n: 100,
+    // 2 * sum of 0..n = n(n-1).
+    expected: &[(10, 90), (100, 9_900)],
+    in_figure9: false,
+};
+
+/// msort: merge sort — split and merge are FBIP-style (every branch
+/// matches one Cons and builds one), so a unique list sorts largely in
+/// place.
+pub const MSORT: Workload = Workload {
+    name: "msort",
+    source: include_str!("../programs/msort.pk"),
+    default_n: 20_000,
+    test_n: 300,
+    expected: &[],
+    in_figure9: false,
+};
+
+/// binarytrees: the Benchmarks-Game allocation-churn workload.
+pub const BINARYTREES: Workload = Workload {
+    name: "binarytrees",
+    source: include_str!("../programs/binarytrees.pk"),
+    default_n: 12,
+    test_n: 6,
+    // count(make(d)) = 2^(d+1) - 1; churn = 50 * (2^(d-1) - 1).
+    expected: &[(6, 1677), (8, 6861)],
+    in_figure9: false,
+};
+
+/// queue: Okasaki's batched queue driven linearly (reversal reuses in
+/// place).
+pub const QUEUE: Workload = Workload {
+    name: "queue",
+    source: include_str!("../programs/queue.pk"),
+    default_n: 50_000,
+    test_n: 300,
+    // Everything pushed (0..n) is popped exactly once: sum = n(n-1)/2.
+    expected: &[(10, 45), (300, 44_850)],
+    in_figure9: false,
+};
+
+/// All registered workloads.
+pub fn workloads() -> &'static [Workload] {
+    &[
+        RBTREE,
+        RBTREE_CK,
+        DERIV,
+        NQUEENS,
+        CFOLD,
+        TMAP,
+        TMAP_REC,
+        MAP,
+        EXN,
+        REFS,
+        MSORT,
+        BINARYTREES,
+        QUEUE,
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn workload(name: &str) -> Option<Workload> {
+    workloads().iter().copied().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile_and_run, Strategy};
+    use perceus_runtime::machine::{DeepValue, RunConfig};
+
+    #[test]
+    fn registry_is_complete_and_distinct() {
+        let names: std::collections::HashSet<_> = workloads().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), workloads().len());
+        assert!(workload("rbtree").is_some());
+        assert!(workload("nope").is_none());
+        assert_eq!(
+            workloads().iter().filter(|w| w.in_figure9).count(),
+            5,
+            "Fig. 9 has five benchmarks"
+        );
+    }
+
+    #[test]
+    fn expected_values_hold_under_perceus() {
+        for w in workloads() {
+            for (n, want) in w.expected {
+                let out = compile_and_run(w.source, Strategy::Perceus, *n, RunConfig::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                assert_eq!(out.value, DeepValue::Int(*want), "{}({n})", w.name);
+                assert_eq!(out.leaked_blocks, 0, "{}({n}) leaked", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_workloads_compile_under_all_strategies() {
+        for w in workloads() {
+            for s in Strategy::ALL {
+                crate::driver::compile_workload(w.source, s)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, s.label()));
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The resource checker as a debugging tool: hand-write (buggy)
+//! reference-counting code and watch the linear discipline of Fig. 5
+//! reject it — then see the runtime catch the same bugs dynamically
+//! (deterministic use-after-free / leak detection), which is how this
+//! reproduction validates the paper's soundness theorem in practice.
+//!
+//! ```sh
+//! cargo run --example checker_demo
+//! ```
+
+use perceus_core::check::check_fun_body;
+use perceus_core::ir::builder::{arm, con, ProgramBuilder};
+use perceus_core::ir::Expr;
+
+fn main() {
+    let mut pb = ProgramBuilder::new();
+    let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+    let cons = cs[1];
+
+    // --- Bug 1: double consumption (a use-after-free in the making).
+    let xs = pb.fresh("xs");
+    let body = con(
+        cons,
+        vec![Expr::Var(xs.clone()), Expr::Var(xs.clone())], // xs twice!
+    );
+    let verdict = check_fun_body(std::slice::from_ref(&xs), &body).unwrap_err();
+    println!("double use     → rejected: {verdict}");
+
+    // --- Bug 2: a leak (parameter never consumed).
+    let ys = pb.fresh("ys");
+    let body = Expr::int(42);
+    let verdict = check_fun_body(std::slice::from_ref(&ys), &body).unwrap_err();
+    println!("leak           → rejected: {verdict}");
+
+    // --- Bug 3: dup after the value died.
+    let zs = pb.fresh("zs");
+    let body = Expr::drop_(zs.clone(), Expr::dup(zs.clone(), Expr::Var(zs.clone())));
+    let verdict = check_fun_body(std::slice::from_ref(&zs), &body).unwrap_err();
+    println!("dup after drop → rejected: {verdict}");
+
+    // --- Bug 4: branches that disagree (one arm leaks).
+    let ws = pb.fresh("ws");
+    let h = pb.fresh("h");
+    let t = pb.fresh("t");
+    let body = Expr::Match {
+        scrutinee: ws.clone(),
+        arms: vec![arm(
+            cons,
+            vec![h.clone(), t.clone()],
+            // consumes the scrutinee…
+            Expr::drop_(ws.clone(), Expr::int(1)),
+        )],
+        // …but the default arm forgets to.
+        default: Some(Box::new(Expr::int(0))),
+    };
+    let verdict = check_fun_body(std::slice::from_ref(&ws), &body).unwrap_err();
+    println!("unbalanced arms→ rejected: {verdict}");
+
+    // --- And the fixed version passes.
+    let vs = pb.fresh("vs");
+    let h2 = pb.fresh("h2");
+    let t2 = pb.fresh("t2");
+    let body = Expr::Match {
+        scrutinee: vs.clone(),
+        arms: vec![arm(
+            cons,
+            vec![h2, t2],
+            Expr::drop_(vs.clone(), Expr::int(1)),
+        )],
+        default: Some(Box::new(Expr::drop_(vs.clone(), Expr::int(0)))),
+    };
+    check_fun_body(std::slice::from_ref(&vs), &body).expect("balanced code is accepted");
+    println!("fixed version  → accepted ✓");
+
+    // --- The same protection exists at runtime: the generation-checked
+    // heap turns a use-after-free into an error, never corruption.
+    use perceus_core::ir::CtorId;
+    use perceus_runtime::heap::{BlockTag, Heap, ReclaimMode};
+    use perceus_runtime::{RuntimeError, Value};
+    let mut heap = Heap::new(ReclaimMode::Rc);
+    let addr = heap.alloc(BlockTag::Ctor(CtorId(3)), Box::new([Value::Int(7)]));
+    heap.drop_value(Value::Ref(addr)).unwrap();
+    match heap.dup(Value::Ref(addr)) {
+        Err(RuntimeError::UseAfterFree(a)) => {
+            println!("runtime        → dup of freed {a} detected deterministically ✓")
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}

@@ -1,0 +1,178 @@
+//! FBIP — functional but in-place (§2.6).
+//!
+//! The paper contrasts Morris's pointer-threading in-order traversal
+//! (Fig. 2, a subtle imperative C algorithm) with a *functional* visitor
+//! program (Fig. 3) that, under Perceus reuse analysis, also runs with
+//! zero allocation and zero stack — but is purely functional and adapts
+//! gracefully when the tree is shared.
+//!
+//! This example:
+//! 1. runs the Fig. 3 program and shows the traversal allocates nothing;
+//! 2. implements the actual Morris algorithm (Fig. 2) in Rust over the
+//!    same tree and checks both produce identical results;
+//! 3. shows the graceful-persistence half: when the input tree is kept
+//!    alive (shared), the same program copies instead of mutating.
+//!
+//! ```sh
+//! cargo run --release --example fbip_morris
+//! ```
+
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_workload, run_workload, workload, Strategy};
+
+// ---------------------------------------------------------------------
+// Morris in-order traversal (the C code of Fig. 2, transliterated to
+// Rust over an index-based tree so we can thread pointers).
+
+#[derive(Clone, Copy)]
+struct MorrisNode {
+    left: Option<usize>,
+    value: i64,
+    right: Option<usize>,
+}
+
+/// Builds the same balanced tree as tmap.pk's `build(1, n)`.
+fn build_morris(lo: i64, hi: i64, arena: &mut Vec<MorrisNode>) -> Option<usize> {
+    if lo > hi {
+        return None;
+    }
+    let mid = (lo + hi) / 2;
+    let left = build_morris(lo, mid - 1, arena);
+    let right = build_morris(mid + 1, hi, arena);
+    arena.push(MorrisNode {
+        left,
+        value: mid,
+        right,
+    });
+    Some(arena.len() - 1)
+}
+
+/// Fig. 2: in-order traversal with *no stack and no extra space*, by
+/// temporarily threading right pointers through the tree.
+fn morris_inorder(root: Option<usize>, arena: &mut [MorrisNode], visit: &mut impl FnMut(i64)) {
+    let mut cursor = root;
+    while let Some(c) = cursor {
+        match arena[c].left {
+            None => {
+                visit(arena[c].value);
+                cursor = arena[c].right;
+            }
+            Some(l) => {
+                // Find the in-order predecessor.
+                let mut pre = l;
+                while let Some(r) = arena[pre].right {
+                    if r == c {
+                        break;
+                    }
+                    pre = r;
+                }
+                if arena[pre].right.is_none() {
+                    // First visit: thread a pointer back to the cursor.
+                    arena[pre].right = Some(c);
+                    cursor = arena[c].left;
+                } else {
+                    // Second visit: restore the tree and move right.
+                    visit(arena[c].value);
+                    arena[pre].right = None;
+                    cursor = arena[c].right;
+                }
+            }
+        }
+    }
+}
+
+/// The Fig. 3 program with the input tree used *again* after the
+/// traversal — persistence forces the copying slow path.
+const SHARED_SRC: &str = r#"
+type tree { Tip; Bin(left: tree, value: int, right: tree) }
+type visitor {
+  Done
+  BinR(right: tree, value: int, visit: visitor)
+  BinL(left: tree, value: int, visit: visitor)
+}
+type direction { Up; Down }
+
+fun tmap-fbip(f: (int) -> int, t: tree, visit: visitor, d: direction): tree {
+  match d {
+    Down -> match t {
+      Bin(l, x, r) -> tmap-fbip(f, l, BinR(r, x, visit), Down)
+      Tip -> tmap-fbip(f, Tip, visit, Up)
+    }
+    Up -> match visit {
+      Done -> t
+      BinR(r, x, v) -> tmap-fbip(f, r, BinL(t, f(x), v), Down)
+      BinL(l, x, v) -> tmap-fbip(f, Bin(l, x, t), v, Up)
+    }
+  }
+}
+
+fun build(lo: int, hi: int): tree {
+  if lo > hi then Tip
+  else {
+    val mid = (lo + hi) / 2
+    Bin(build(lo, mid - 1), mid, build(mid + 1, hi))
+  }
+}
+
+fun tsum(t: tree, acc: int): int {
+  match t {
+    Tip -> acc
+    Bin(l, x, r) -> tsum(r, tsum(l, acc) + x)
+  }
+}
+
+fun main(n: int): int {
+  val t = build(1, n)
+  val t2 = tmap-fbip(fn(x) { x * 2 + 1 }, t, Done, Down)
+  tsum(t2, 0) + tsum(t, 0) // t still alive: the traversal must copy
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 50_000i64;
+
+    // 1. The functional FBIP traversal of Fig. 3 under Perceus.
+    let w = workload("tmap").expect("registered");
+    let compiled = compile_workload(w.source, Strategy::Perceus)?;
+    let out = run_workload(&compiled, Strategy::Perceus, n, RunConfig::default())?;
+    // `build` allocates the tree (n Bins + 1 closure); the traversal
+    // itself must be pure reuse.
+    println!("FBIP tmap over a unique {n}-node tree:");
+    println!(
+        "  allocations = {} (the tree build itself), traversal reuses = {} \
+         (3 per node: Bin→BinR→BinL→Bin), fresh allocations during \
+         traversal = {}",
+        out.stats.allocations,
+        out.stats.reuses,
+        out.stats.allocations as i64 - (n + 1),
+    );
+    assert_eq!(
+        out.stats.allocations as i64,
+        n + 1,
+        "traversal must not allocate"
+    );
+
+    // 2. Morris traversal over the same tree agrees on the in-order sum
+    //    of f(x) = 2x + 1 (what main computes).
+    let mut arena = Vec::new();
+    let root = build_morris(1, n, &mut arena);
+    let mut sum = 0i64;
+    morris_inorder(root, &mut arena, &mut |x| sum += 2 * x + 1);
+    // The Morris loops must have restored every threaded pointer.
+    println!("  Morris (Fig. 2 in Rust) sum = {sum}");
+    assert_eq!(format!("{}", out.value), format!("{sum}"), "both agree");
+
+    // 3. Graceful persistence: share the tree before mapping and the
+    //    same program copies the shared spine instead of mutating.
+    let compiled = compile_workload(SHARED_SRC, Strategy::Perceus)?;
+    let out = run_workload(&compiled, Strategy::Perceus, 1_000, RunConfig::default())?;
+    println!(
+        "\nshared 1000-node tree: value = {} — allocations {} > 1001, \
+         reuses {} — the program *adapted*: it copied what was shared \
+         and still freed everything ({} leaks).",
+        out.value, out.stats.allocations, out.stats.reuses, out.leaked_blocks
+    );
+    assert!(out.stats.allocations > 1_001);
+    assert_eq!(out.leaked_blocks, 0);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: compile a small functional program with Perceus, inspect
+//! the generated reference-counting code (the paper's Fig. 1g shape),
+//! and run it under the reference-counted heap.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use perceus_core::ir::pretty::program_to_string;
+use perceus_core::{PassConfig, Pipeline};
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{run_workload, Strategy};
+
+const SRC: &str = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+
+fun map(xs: list<a>, f: (a) -> b): list<b> {
+  match xs {
+    Cons(x, xx) -> Cons(f(x), map(xx, f))
+    Nil -> Nil
+  }
+}
+
+fun build(i: int, n: int): list<int> {
+  if i >= n then Nil else Cons(i, build(i + 1, n))
+}
+
+fun sum(xs: list<int>, acc: int): int {
+  match xs {
+    Cons(x, xx) -> sum(xx, acc + x)
+    Nil -> acc
+  }
+}
+
+fun main(n: int): int {
+  sum(map(build(0, n), fn(x) { x + 1 }), 0)
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Front end: parse, type check, compile matches, lower to λ¹.
+    let core = perceus_lang::compile_str(SRC)?;
+
+    // 2. The Perceus pipeline: reuse analysis, dup/drop insertion,
+    //    drop/reuse specialization, fusion.
+    let compiled_core = Pipeline::new(PassConfig::perceus()).run(core)?;
+    println!("=== generated reference-counting code (note `is-unique`,");
+    println!("=== `&xs` reuse tokens and `Cons@ru` — the paper's Fig. 1g) ===\n");
+    let printed = program_to_string(&compiled_core);
+    // Show just `map`, the paper's running example.
+    if let Some(map_fn) = printed.split("fun map").nth(1) {
+        let map_fn = map_fn.split("fun build").next().unwrap_or(map_fn);
+        println!("fun map{map_fn}");
+    }
+
+    // 3. Run on the reference-counted abstract machine.
+    let exe = perceus_suite::compile_workload(SRC, Strategy::Perceus)?;
+    let out = run_workload(&exe, Strategy::Perceus, 100_000, RunConfig::default())?;
+    println!("main(100000) = {}", out.value);
+    println!("\n=== runtime statistics ===\n{}", out.stats);
+    println!(
+        "\nreuse rate {:.1}% — map rebuilt the list *in place*; \
+         {} blocks leaked (garbage-free!)",
+        out.stats.reuse_rate() * 100.0,
+        out.leaked_blocks
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Red-black tree insertion (Okasaki's algorithm, Appendix A of the
+//! paper) — the paper's flagship result: with reuse analysis and reuse
+//! specialization, the *purely functional* rebalancing algorithm adapts
+//! at runtime into an in-place mutating one, with no allocation on the
+//! fast path (§2.5).
+//!
+//! This example runs the `rbtree` benchmark under all five strategies
+//! and prints a one-benchmark edition of Fig. 9.
+//!
+//! ```sh
+//! cargo run --release --example rbtree_reuse
+//! ```
+
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_workload, run_workload, workload, Strategy};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload("rbtree").expect("registered workload");
+    let n = 30_000;
+    println!("rbtree: {n} insertions into a red-black tree\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "strategy", "time", "result", "allocs", "reuses", "rc-ops", "peak-words"
+    );
+    let mut base_time = None;
+    for s in Strategy::ALL {
+        let compiled = compile_workload(w.source, s)?;
+        let start = Instant::now();
+        let out = run_workload(&compiled, s, n, RunConfig::default())?;
+        let t = start.elapsed().as_secs_f64();
+        let base = *base_time.get_or_insert(t);
+        println!(
+            "{:<16} {:>7.2}s {:>9} {:>10} {:>10} {:>10} {:>12}   ({:.2}x, {})",
+            s.label(),
+            t,
+            format!("{}", out.value),
+            out.stats.allocations,
+            out.stats.reuses,
+            out.stats.rc_ops(),
+            out.stats.peak_live_words,
+            t / base,
+            s.paper_column(),
+        );
+    }
+
+    // The §2.5 claim, quantified: with reuse specialization the fast
+    // path skips the unchanged field writes.
+    let compiled = compile_workload(w.source, Strategy::Perceus)?;
+    let out = run_workload(&compiled, Strategy::Perceus, n, RunConfig::default())?;
+    println!(
+        "\nreuse specialization skipped {} of {} field writes ({:.1}%) — \
+         \"only its left child is re-assigned\" (§2.5)",
+        out.stats.skipped_writes,
+        out.stats.skipped_writes + out.stats.field_writes,
+        100.0 * out.stats.skipped_writes as f64
+            / (out.stats.skipped_writes + out.stats.field_writes) as f64
+    );
+    println!(
+        "in-place reuse served {:.1}% of all constructions; the heap is \
+         empty at exit ({} leaks).",
+        out.stats.reuse_rate() * 100.0,
+        out.leaked_blocks
+    );
+    Ok(())
+}

@@ -1,0 +1,230 @@
+//! End-to-end tests of the §6 borrowing extension: inference decisions
+//! on real programs, code shape, and the semantics trade-offs.
+
+use perceus_core::ir::pretty::program_to_string;
+use perceus_core::passes::{borrow, normalize, PassConfig};
+use perceus_core::Pipeline;
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_with_config, run_workload, Strategy};
+
+/// On rbtree, inference borrows the inspection helpers (`is-red`,
+/// `fold-true`'s tree) and keeps the reuse-consumed `ins`/`insert`
+/// parameters owned.
+#[test]
+fn rbtree_inference_decisions() {
+    let src = perceus_suite::workload("rbtree").unwrap().source;
+    let mut p = perceus_lang::compile_str(src).unwrap();
+    normalize::normalize_program(&mut p);
+    // Reuse first (the pipeline ordering), then inference.
+    perceus_core::passes::reuse::reuse_program(
+        &mut p,
+        &perceus_core::passes::reuse::ReuseConfig::default(),
+    );
+    let masks = borrow::infer_borrows(&p);
+    let by_name = |name: &str| {
+        let id = p.find_fun(name).unwrap_or_else(|| panic!("{name} missing"));
+        masks[id.0 as usize].clone()
+    };
+    assert!(by_name("is-red")[0], "is-red only inspects: borrowed");
+    assert!(by_name("fold-true")[0], "fold-true only inspects: borrowed");
+    assert!(!by_name("ins")[0], "ins's tree is consumed by reuse: owned");
+    assert!(
+        !by_name("insert")[0],
+        "insert passes t to owned positions: owned"
+    );
+    assert!(
+        by_name("main").iter().all(|b| !b),
+        "entry params always owned"
+    );
+}
+
+/// The generated code for a borrowed `is-red` contains no rc operation
+/// at all — the §6 motivation, visible in the output.
+#[test]
+fn borrowed_is_red_is_rc_free() {
+    let simple = r#"
+type color { Red; Black }
+type tree { Leaf; Node(c: color, l: tree, k: int, v: bool, r: tree) }
+fun is-red(t: tree): bool {
+  match t {
+    Node(Red) -> True
+    _ -> False
+  }
+}
+fun main(n: int): int { if is-red(Leaf) then 1 else 0 }
+"#;
+    let mut p = perceus_lang::compile_str(simple).unwrap();
+    p = Pipeline::new(PassConfig::perceus_borrowing())
+        .run(p)
+        .unwrap();
+    let printed = program_to_string(&p);
+    let is_red = printed
+        .split("fun is-red")
+        .nth(1)
+        .unwrap()
+        .split("fun main")
+        .next()
+        .unwrap();
+    assert!(
+        !is_red.contains("dup") && !is_red.contains("drop"),
+        "borrowed is-red must be rc-free:\n{is_red}"
+    );
+}
+
+/// Borrowing preserves results and balance on every workload at its
+/// default-ish size (larger than the theorem test's `test_n`).
+#[test]
+fn borrowing_preserves_results_at_scale() {
+    for (name, n) in [("rbtree", 3_000i64), ("msort", 2_000), ("queue", 2_000)] {
+        let w = perceus_suite::workload(name).unwrap();
+        let owned = run_workload(
+            &compile_with_config(w.source, PassConfig::perceus()).unwrap(),
+            Strategy::Perceus,
+            n,
+            RunConfig::default(),
+        )
+        .unwrap();
+        let borrowed = run_workload(
+            &compile_with_config(w.source, PassConfig::perceus_borrowing()).unwrap(),
+            Strategy::Perceus,
+            n,
+            RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(borrowed.value, owned.value, "{name}");
+        assert_eq!(borrowed.leaked_blocks, 0, "{name}");
+        assert!(
+            borrowed.stats.rc_ops() <= owned.stats.rc_ops(),
+            "{name}: {} vs {}",
+            borrowed.stats.rc_ops(),
+            owned.stats.rc_ops()
+        );
+    }
+}
+
+/// Borrowing must not regress reuse: the reuse-beats-borrowing ordering
+/// keeps rbtree's in-place rate intact.
+#[test]
+fn borrowing_keeps_reuse_rate() {
+    let w = perceus_suite::workload("rbtree").unwrap();
+    let owned = run_workload(
+        &compile_with_config(w.source, PassConfig::perceus()).unwrap(),
+        Strategy::Perceus,
+        3_000,
+        RunConfig::default(),
+    )
+    .unwrap();
+    let borrowed = run_workload(
+        &compile_with_config(w.source, PassConfig::perceus_borrowing()).unwrap(),
+        Strategy::Perceus,
+        3_000,
+        RunConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        (borrowed.stats.reuse_rate() - owned.stats.reuse_rate()).abs() < 0.02,
+        "{} vs {}",
+        borrowed.stats.reuse_rate(),
+        owned.stats.reuse_rate()
+    );
+}
+
+/// Explicit `borrow` annotations in the surface language are honored
+/// even with inference disabled, and inference never demotes them.
+#[test]
+fn explicit_borrow_annotations() {
+    let src = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+
+fun len(borrow xs: list<int>, acc: int): int {
+  match xs {
+    Cons(_, t) -> len(t, acc + 1)
+    Nil -> acc
+  }
+}
+
+fun build(i: int, n: int): list<int> {
+  if i >= n then Nil else Cons(i, build(i + 1, n))
+}
+
+fun main(n: int): int {
+  val xs = build(0, n)
+  len(xs, 0) + len(xs, 0)
+}
+"#;
+    // Default pipeline (inference off): the annotation still applies.
+    let out = run_workload(
+        &compile_with_config(src, PassConfig::perceus()).unwrap(),
+        Strategy::Perceus,
+        200,
+        RunConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(format!("{}", out.value), "400");
+    assert_eq!(out.leaked_blocks, 0);
+    // The two len() calls add **zero** rc traffic: xs is walked borrowed
+    // both times and released after the second call.
+    let plain_src = src.replace("borrow xs", "xs");
+    let plain = run_workload(
+        &compile_with_config(&plain_src, PassConfig::perceus()).unwrap(),
+        Strategy::Perceus,
+        200,
+        RunConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        out.stats.rc_ops() < plain.stats.rc_ops(),
+        "annotated {} vs plain {}",
+        out.stats.rc_ops(),
+        plain.stats.rc_ops()
+    );
+}
+
+/// An explicitly borrowed parameter with a consuming use stays sound:
+/// the body retains before consuming (svar-dup), the caller releases.
+#[test]
+fn explicit_borrow_with_owning_use_is_sound() {
+    let src = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+
+fun keep(borrow xs: list<int>): list<int> { xs }
+
+fun main(n: int): int {
+  match keep(Cons(n, Nil)) {
+    Cons(x, _) -> x
+    Nil -> 0
+  }
+}
+"#;
+    let out = run_workload(
+        &compile_with_config(src, PassConfig::perceus()).unwrap(),
+        Strategy::Perceus,
+        7,
+        RunConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(format!("{}", out.value), "7");
+    assert_eq!(out.leaked_blocks, 0);
+}
+
+/// Entry-point parameters cannot be borrowed (the host passes owned
+/// values); the front end rejects the annotation.
+#[test]
+fn borrow_on_main_is_rejected() {
+    let err = perceus_lang::compile_str("fun main(borrow n: int): int { n }").unwrap_err();
+    assert!(err.message.contains("entry-point"), "{err}");
+}
+
+/// `borrow` stays usable as an ordinary identifier.
+#[test]
+fn borrow_is_a_soft_keyword() {
+    let src = "fun f(borrow: int): int { borrow + 1 }\nfun main(n: int): int { f(n) }";
+    let out = run_workload(
+        &compile_with_config(src, PassConfig::perceus()).unwrap(),
+        Strategy::Perceus,
+        41,
+        RunConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(format!("{}", out.value), "42");
+}

@@ -1,0 +1,63 @@
+//! Integer-literal patterns: dispatch, nesting inside constructor
+//! patterns, and the abort fall-through — run end to end under Perceus.
+
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_and_run, Strategy};
+
+#[test]
+fn literal_patterns_compile_and_dispatch() {
+    let src = r#"
+fun classify(n: int): int {
+  match n {
+    0 -> 100
+    1 -> 200
+    -1 -> 300
+    _ -> n
+  }
+}
+fun main(n: int): int {
+  classify(0) + classify(1) + classify(-1) + classify(n)
+}
+"#;
+    let out = compile_and_run(src, Strategy::Perceus, 42, RunConfig::default()).unwrap();
+    assert_eq!(format!("{}", out.value), "642");
+}
+
+#[test]
+fn literal_patterns_mix_with_structure() {
+    // Literal sub-patterns inside constructor patterns.
+    let src = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun f(xs: list<int>): int {
+  match xs {
+    Cons(0, Nil) -> 1
+    Cons(0, _) -> 2
+    Cons(x, Nil) -> x * 10
+    Cons(_, Cons(7, _)) -> 4
+    _ -> 5
+  }
+}
+fun main(n: int): int {
+  f(Cons(0, Nil)) + f(Cons(0, Cons(9, Nil))) + f(Cons(3, Nil))
+    + f(Cons(1, Cons(7, Nil))) + f(Nil)
+}
+"#;
+    let out = compile_and_run(src, Strategy::Perceus, 0, RunConfig::default()).unwrap();
+    // 1 + 2 + 30 + 4 + 5 = 42
+    assert_eq!(format!("{}", out.value), "42");
+    assert_eq!(out.leaked_blocks, 0);
+}
+
+#[test]
+fn literal_patterns_without_default_abort() {
+    let src = r#"
+fun f(n: int): int {
+  match n { 0 -> 1; 1 -> 2 }
+}
+fun main(n: int): int { f(n) }
+"#;
+    let ok = compile_and_run(src, Strategy::Perceus, 1, RunConfig::default()).unwrap();
+    assert_eq!(format!("{}", ok.value), "2");
+    let err = compile_and_run(src, Strategy::Perceus, 9, RunConfig::default()).unwrap_err();
+    assert!(format!("{err}").contains("non-exhaustive"), "{err}");
+}

@@ -1,0 +1,238 @@
+//! Machine-level behavioral tests: tail calls, closures, aborts, step
+//! limits, deep data, and the §2.6 constant-stack claim.
+
+use perceus_runtime::machine::RunConfig;
+use perceus_runtime::RuntimeError;
+use perceus_suite::{compile_and_run, compile_workload, run_workload, Strategy, SuiteError};
+
+/// Tail calls must not grow the continuation stack: a 10-million
+/// iteration loop completes (a frame-pushing machine would hold 10M
+/// frames; at ~50 bytes each that is half a gigabyte and seconds of
+/// allocation — instead this runs flat).
+#[test]
+fn tail_calls_run_in_constant_stack() {
+    let src = r#"
+fun countdown(n: int, acc: int): int {
+  if n == 0 then acc else countdown(n - 1, acc + 1)
+}
+fun main(n: int): int { countdown(n, 0) }
+"#;
+    let out = compile_and_run(src, Strategy::Perceus, 10_000_000, RunConfig::default()).unwrap();
+    assert_eq!(format!("{}", out.value), "10000000");
+}
+
+/// The FBIP traversal of §2.6 is all tail calls: it maps a tree far
+/// deeper than any native stack could handle if the machine recursed.
+#[test]
+fn fbip_traversal_is_stackless_on_degenerate_trees() {
+    // A left spine of 200k nodes: the recursive tmap would need 200k
+    // continuation frames just to descend; the visitor program needs
+    // none.
+    let src = r#"
+type tree { Tip; Bin(left: tree, value: int, right: tree) }
+type visitor {
+  Done
+  BinR(right: tree, value: int, visit: visitor)
+  BinL(left: tree, value: int, visit: visitor)
+}
+type direction { Up; Down }
+
+fun tmap-fbip(f: (int) -> int, t: tree, visit: visitor, d: direction): tree {
+  match d {
+    Down -> match t {
+      Bin(l, x, r) -> tmap-fbip(f, l, BinR(r, x, visit), Down)
+      Tip -> tmap-fbip(f, Tip, visit, Up)
+    }
+    Up -> match visit {
+      Done -> t
+      BinR(r, x, v) -> tmap-fbip(f, r, BinL(t, f(x), v), Down)
+      BinL(l, x, v) -> tmap-fbip(f, Bin(l, x, t), v, Up)
+    }
+  }
+}
+
+fun spine(i: int, n: int, acc: tree): tree {
+  if i >= n then acc
+  else spine(i + 1, n, Bin(acc, i, Tip))
+}
+
+fun tsum(t: tree, acc: int): int {
+  match t {
+    Tip -> acc
+    Bin(l, x, r) -> tsum(r, tsum(l, acc) + x)  // fine: left-deep only
+  }
+}
+
+fun main(n: int): int {
+  val t = spine(0, n, Tip)
+  val t2 = tmap-fbip(fn(x) { x + 1 }, t, Done, Down)
+  match t2 {
+    Bin(_, x, _) -> x
+    Tip -> 0 - 1
+  }
+}
+"#;
+    let out = compile_and_run(src, Strategy::Perceus, 200_000, RunConfig::default()).unwrap();
+    // Top of the spine holds value n-1, mapped to n.
+    assert_eq!(format!("{}", out.value), "200000");
+    assert_eq!(out.leaked_blocks, 0);
+}
+
+/// A non-exhaustive match aborts with a useful message instead of
+/// undefined behavior.
+#[test]
+fn match_failure_aborts() {
+    let src = r#"
+type t { A; B }
+fun f(x: t): int {
+  match x { A -> 1 }
+}
+fun main(n: int): int { f(B) }
+"#;
+    let err = compile_and_run(src, Strategy::Perceus, 0, RunConfig::default()).unwrap_err();
+    match err {
+        SuiteError::Runtime(RuntimeError::Abort(msg)) => {
+            assert!(msg.contains("non-exhaustive"), "{msg}");
+            assert!(msg.contains('f'), "{msg}");
+        }
+        other => panic!("expected abort, got {other}"),
+    }
+}
+
+/// Division by zero is a checked runtime error.
+#[test]
+fn division_by_zero_is_checked() {
+    let src = "fun main(n: int): int { 10 / n }";
+    let err = compile_and_run(src, Strategy::Perceus, 0, RunConfig::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        SuiteError::Runtime(RuntimeError::DivisionByZero)
+    ));
+    let ok = compile_and_run(src, Strategy::Perceus, 5, RunConfig::default()).unwrap();
+    assert_eq!(format!("{}", ok.value), "2");
+}
+
+/// The step limit interrupts runaway programs.
+#[test]
+fn step_limit_interrupts() {
+    let src = r#"
+fun spin(n: int): int { spin(n) }
+fun main(n: int): int { spin(n) }
+"#;
+    let config = RunConfig {
+        step_limit: Some(10_000),
+        ..RunConfig::default()
+    };
+    let err = compile_and_run(src, Strategy::Perceus, 0, config).unwrap_err();
+    assert!(matches!(
+        err,
+        SuiteError::Runtime(RuntimeError::StepLimit(10_000))
+    ));
+}
+
+/// Closures capture their environment by value and can escape the
+/// scope that created them; the captured cells are freed exactly when
+/// the closure is.
+#[test]
+fn escaping_closures_keep_captures_alive() {
+    let src = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+
+fun adder-over(xs: list<int>): (int) -> int {
+  // The closure captures xs; xs must stay alive inside it.
+  fn(y) { head-or(xs, y) }
+}
+
+fun head-or(xs: list<int>, d: int): int {
+  match xs {
+    Cons(x, _) -> x + d
+    Nil -> d
+  }
+}
+
+fun main(n: int): int {
+  val f = adder-over(Cons(n, Nil))
+  f(1) + f(2)
+}
+"#;
+    let out = compile_and_run(src, Strategy::Perceus, 40, RunConfig::default()).unwrap();
+    assert_eq!(format!("{}", out.value), "83");
+    assert_eq!(out.leaked_blocks, 0);
+}
+
+/// `println` output is ordered and identical across strategies.
+#[test]
+fn println_order_is_deterministic() {
+    let src = r#"
+fun emit(i: int, n: int): int {
+  if i >= n then i
+  else {
+    println(i * i)
+    emit(i + 1, n)
+  }
+}
+fun main(n: int): int { emit(0, n) }
+"#;
+    let want: Vec<i64> = (0..6).map(|i| i * i).collect();
+    for s in Strategy::ALL {
+        let out = compile_and_run(src, s, 6, RunConfig::default()).unwrap();
+        assert_eq!(out.output, want, "{}", s.label());
+    }
+}
+
+/// Exercising the suite at a larger size under the GC with a small
+/// threshold stresses collection during active recursion.
+#[test]
+fn gc_collects_during_deep_recursion() {
+    // rbtree creates real garbage: every insertion replaces the spine
+    // of the old tree. (map would not: input and output list are both
+    // reachable for the whole run.)
+    let w = perceus_suite::workload("rbtree").unwrap();
+    let compiled = compile_workload(w.source, Strategy::Gc).unwrap();
+    let config = RunConfig {
+        gc: Some(perceus_runtime::gc::GcConfig {
+            initial_threshold: 256,
+            growth_factor: 1.5,
+        }),
+        ..RunConfig::default()
+    };
+    let out = run_workload(&compiled, Strategy::Gc, 2_000, config).unwrap();
+    assert_eq!(format!("{}", out.value), "200");
+    assert!(out.stats.gc_collections > 0);
+    assert!(out.stats.gc_swept > 0, "replaced spines are garbage");
+    // Peak memory stays bounded well below total allocation.
+    assert!(out.stats.peak_live_words < out.stats.alloc_words);
+}
+
+/// Scoped RC defeats tail calls (drops after the recursive call), so
+/// deep recursion holds every frame — but the machine's continuation
+/// stack is heap-allocated, so it degrades gracefully instead of
+/// overflowing a native stack.
+#[test]
+fn scoped_deep_recursion_holds_frames_but_completes() {
+    let src = r#"
+fun countdown(n: int, acc: int): int {
+  if n == 0 then acc else countdown(n - 1, acc + 1)
+}
+fun main(n: int): int { countdown(n, 0) }
+"#;
+    let out = compile_and_run(src, Strategy::Scoped, 300_000, RunConfig::default()).unwrap();
+    assert_eq!(format!("{}", out.value), "300000");
+    assert_eq!(out.leaked_blocks, 0);
+}
+
+/// The same machine handles interleaved strategies without any global
+/// state: compile once per strategy, run many times, results agree.
+#[test]
+fn repeated_runs_share_compiled_code() {
+    let w = perceus_suite::workload("nqueens").unwrap();
+    let compiled = compile_workload(w.source, Strategy::Perceus).unwrap();
+    for _ in 0..3 {
+        for n in [4, 5, 6] {
+            let a = run_workload(&compiled, Strategy::Perceus, n, RunConfig::default()).unwrap();
+            let b = run_workload(&compiled, Strategy::Perceus, n, RunConfig::default()).unwrap();
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.stats, b.stats, "stats deterministic across runs");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property test for the nested-pattern match compiler: random pattern
+//! matrices and random scrutinee values, checked against a direct
+//! reference matcher (first arm whose pattern matches, top-down — the
+//! semantics nested `match` is specified to have).
+
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::compile_and_run;
+use perceus_suite::Strategy as RcStrategy;
+use proptest::prelude::*;
+
+/// The test data type:  type t { A; B(t); C(t, t); D(int) }
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    A,
+    B(Box<Val>),
+    C(Box<Val>, Box<Val>),
+    D(i64),
+}
+
+#[derive(Debug, Clone)]
+enum Pat {
+    Wild,
+    Var,
+    A,
+    B(Box<Pat>),
+    C(Box<Pat>, Box<Pat>),
+    /// `D(p)` where the field pattern is a literal, wildcard or var.
+    D(Option<i64>),
+}
+
+fn val_strategy() -> impl Strategy<Value = Val> {
+    let leaf = prop_oneof![Just(Val::A), (0i64..4).prop_map(Val::D)];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            Just(Val::A),
+            (0i64..4).prop_map(Val::D),
+            inner.clone().prop_map(|v| Val::B(Box::new(v))),
+            (inner.clone(), inner).prop_map(|(a, b)| Val::C(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn pat_strategy() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        Just(Pat::Wild),
+        Just(Pat::Var),
+        Just(Pat::A),
+        proptest::option::of(0i64..4).prop_map(Pat::D),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            Just(Pat::Wild),
+            Just(Pat::Var),
+            Just(Pat::A),
+            proptest::option::of(0i64..4).prop_map(Pat::D),
+            inner.clone().prop_map(|p| Pat::B(Box::new(p))),
+            (inner.clone(), inner).prop_map(|(a, b)| Pat::C(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Reference semantics: does `p` match `v`?
+fn matches(p: &Pat, v: &Val) -> bool {
+    match (p, v) {
+        (Pat::Wild | Pat::Var, _) => true,
+        (Pat::A, Val::A) => true,
+        (Pat::B(p1), Val::B(v1)) => matches(p1, v1),
+        (Pat::C(p1, p2), Val::C(v1, v2)) => matches(p1, v1) && matches(p2, v2),
+        (Pat::D(None), Val::D(_)) => true,
+        (Pat::D(Some(k)), Val::D(n)) => k == n,
+        _ => false,
+    }
+}
+
+/// Renders a value as a surface-language expression.
+fn val_src(v: &Val) -> String {
+    match v {
+        Val::A => "A".to_string(),
+        Val::B(x) => format!("B({})", val_src(x)),
+        Val::C(x, y) => format!("C({}, {})", val_src(x), val_src(y)),
+        Val::D(n) => format!("D({n})"),
+    }
+}
+
+/// Renders a pattern, generating distinct variable names.
+fn pat_src(p: &Pat, next: &mut u32) -> String {
+    match p {
+        Pat::Wild => "_".to_string(),
+        Pat::Var => {
+            *next += 1;
+            format!("v{next}")
+        }
+        Pat::A => "A".to_string(),
+        Pat::B(x) => format!("B({})", pat_src(x, next)),
+        Pat::C(x, y) => {
+            let a = pat_src(x, next);
+            let b = pat_src(y, next);
+            format!("C({a}, {b})")
+        }
+        Pat::D(None) => "D(_)".to_string(),
+        Pat::D(Some(k)) => format!("D({k})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The compiled match selects the same arm as the reference matcher
+    /// (or aborts when nothing matches), under full Perceus, with no
+    /// leaks.
+    #[test]
+    fn compiled_match_agrees_with_reference(
+        pats in proptest::collection::vec(pat_strategy(), 1..6),
+        v in val_strategy(),
+    ) {
+        // Expected: index of the first matching arm (1-based), or None.
+        let expected = pats.iter().position(|p| matches(p, &v));
+
+        let mut arms = String::new();
+        for (i, p) in pats.iter().enumerate() {
+            let mut next = 0;
+            arms.push_str(&format!("    {} -> {}\n", pat_src(p, &mut next), i + 1));
+        }
+        let src = format!(
+            "type t {{ A; B(x: t); C(x: t, y: t); D(n: int) }}\n\
+             fun main(n: int): int {{\n  match {} {{\n{arms}  }}\n}}\n",
+            val_src(&v)
+        );
+        let out = compile_and_run(&src, RcStrategy::Perceus, 0, RunConfig::default());
+        match (expected, out) {
+            (Some(i), Ok(out)) => {
+                prop_assert_eq!(format!("{}", out.value), format!("{}", i + 1), "{}", src);
+                prop_assert_eq!(out.leaked_blocks, 0, "{}", src);
+            }
+            (None, Err(e)) => {
+                prop_assert!(
+                    format!("{e}").contains("non-exhaustive"),
+                    "{src}\n{e}"
+                );
+            }
+            (Some(i), Err(e)) => {
+                return Err(TestCaseError::fail(format!(
+                    "expected arm {i} but failed: {e}\n{src}"
+                )));
+            }
+            (None, Ok(out)) => {
+                return Err(TestCaseError::fail(format!(
+                    "expected match failure but got {}\n{src}",
+                    out.value
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Quantitative reuse-analysis quality gates: the paper's headline
+//! optimization claims pinned as regression tests, so a pass change
+//! that silently degrades reuse fails CI.
+
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{compile_workload, run_workload, workload, Strategy};
+
+fn reuse_rate(name: &str, n: i64) -> (f64, perceus_runtime::Stats) {
+    let w = workload(name).expect("registered");
+    let c = compile_workload(w.source, Strategy::Perceus).unwrap();
+    let out = run_workload(&c, Strategy::Perceus, n, RunConfig::default()).unwrap();
+    assert_eq!(out.leaked_blocks, 0, "{name}");
+    (out.stats.reuse_rate(), out.stats)
+}
+
+/// §2.5: "every Node is reused in the fast path without doing any
+/// allocations" — on unique trees the insertion path is ≈ fully reused.
+#[test]
+fn rbtree_reuse_rate_above_85_percent() {
+    let (rate, _) = reuse_rate("rbtree", 4_000);
+    assert!(rate > 0.85, "rbtree reuse rate {rate:.3}");
+}
+
+/// map over a fresh list reuses every input cell (half of all
+/// constructions: build allocates n, map reuses n).
+#[test]
+fn map_reuses_every_input_cell() {
+    let (rate, st) = reuse_rate("map", 5_000);
+    assert!((rate - 0.5).abs() < 0.01, "rate {rate:.3}");
+    assert_eq!(st.reuses, 5_000);
+}
+
+/// The FBIP traversal does 3 reuses per node and zero fresh
+/// allocations beyond the build (+1 closure).
+#[test]
+fn fbip_tmap_allocates_nothing_in_traversal() {
+    let w = workload("tmap").unwrap();
+    let c = compile_workload(w.source, Strategy::Perceus).unwrap();
+    let out = run_workload(&c, Strategy::Perceus, 3_000, RunConfig::default()).unwrap();
+    assert_eq!(out.stats.allocations, 3_001);
+    assert_eq!(out.stats.reuses, 9_000);
+}
+
+/// Merge sort on a unique list is largely in-place: the split/merge
+/// cells are recycled rather than reallocated.
+#[test]
+fn msort_is_mostly_in_place() {
+    let (rate, st) = reuse_rate("msort", 2_000);
+    assert!(
+        rate > 0.75,
+        "msort reuse rate {rate:.3} (allocs {} reuses {})",
+        st.allocations,
+        st.reuses
+    );
+}
+
+/// The queue's reversal recycles every Cons: the whole run allocates
+/// far less than it constructs.
+#[test]
+fn queue_reversal_reuses() {
+    let (rate, _) = reuse_rate("queue", 3_000);
+    assert!(rate > 0.5, "queue reuse rate {rate:.3}");
+}
+
+/// Sharing defeats reuse, as §4 observes on deriv: the rate collapses
+/// relative to rbtree.
+#[test]
+fn sharing_suppresses_reuse_on_deriv() {
+    let (rate, _) = reuse_rate("deriv", 200);
+    let (rb, _) = reuse_rate("rbtree", 1_000);
+    assert!(
+        rate < rb / 2.0,
+        "deriv {rate:.3} should be far below rbtree {rb:.3}"
+    );
+}
+
+/// rbtree-ck (checkpointing) lowers the reuse rate relative to rbtree
+/// but keeps it meaningful — the shared spine copies, the unshared
+/// parts still update in place (§2.5's persistence paragraph).
+#[test]
+fn rbtree_ck_keeps_partial_reuse() {
+    let (ck, _) = reuse_rate("rbtree-ck", 3_000);
+    let (rb, _) = reuse_rate("rbtree", 3_000);
+    assert!(ck > 0.2, "rbtree-ck rate {ck:.3}");
+    assert!(ck < rb, "checkpointing must hurt: {ck:.3} vs {rb:.3}");
+}
+
+/// Reuse specialization's skipped writes only ever appear when reuse
+/// fires, and they are a large fraction of rbtree's field writes.
+#[test]
+fn reuse_specialization_skips_rbtree_writes() {
+    let w = workload("rbtree").unwrap();
+    let c = compile_workload(w.source, Strategy::Perceus).unwrap();
+    let out = run_workload(&c, Strategy::Perceus, 4_000, RunConfig::default()).unwrap();
+    let total = out.stats.field_writes + out.stats.skipped_writes;
+    let frac = out.stats.skipped_writes as f64 / total as f64;
+    assert!(frac > 0.4, "skipped fraction {frac:.3}");
+}
