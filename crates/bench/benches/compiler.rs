@@ -19,7 +19,7 @@ fn compiler(c: &mut Criterion) {
         ("no-opt", PassConfig::perceus_no_opt()),
         ("scoped", PassConfig::scoped()),
     ] {
-        c.bench_function(&format!("compile/passes-{label}"), |b| {
+        c.bench_function(format!("compile/passes-{label}"), |b| {
             b.iter(|| {
                 Pipeline::new(cfg.clone())
                     .run(program.clone())

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use perceus_core::ir::CtorId;
-use perceus_runtime::heap::{BlockTag, Heap, ReclaimMode};
+use perceus_runtime::heap::{BlockTag, Heap, HeapConfig, ReclaimMode};
 use perceus_runtime::Value;
 use std::hint::black_box;
 
@@ -34,12 +34,27 @@ fn heap_ops(c: &mut Criterion) {
         });
     });
 
-    group.bench_function("alloc+drop (fresh cell)", |b| {
+    group.bench_function("alloc+drop (free-list recycled)", |b| {
+        // Default heap: after the first iteration every alloc is a
+        // free-list hit — the steady state of a hot allocation loop.
         let mut h = Heap::new(ReclaimMode::Rc);
         b.iter(|| {
-            let a = h.alloc(
+            let a = h.alloc_slice(
                 BlockTag::Ctor(CtorId(2)),
-                Box::new([black_box(Value::Int(1)), Value::Unit]),
+                &[black_box(Value::Int(1)), Value::Unit],
+            );
+            h.drop_value(Value::Ref(a)).unwrap();
+        });
+    });
+
+    group.bench_function("alloc+drop (malloc path, recycling off)", |b| {
+        // The seed discipline: every alloc boxes fresh field storage and
+        // every free returns it to the global allocator.
+        let mut h = Heap::with_config(ReclaimMode::Rc, HeapConfig { recycle: false });
+        b.iter(|| {
+            let a = h.alloc_slice(
+                BlockTag::Ctor(CtorId(2)),
+                &[black_box(Value::Int(1)), Value::Unit],
             );
             h.drop_value(Value::Ref(a)).unwrap();
         });

@@ -11,6 +11,7 @@
 //!   ablate      per-optimization ablation (reuse, drop-spec, …)
 //!   shared      §2.7.2: thread-shared atomic operation costs
 //!   borrow      §6 extension: inferred borrowed parameters
+//!   alloc       allocator ablation: size-class free lists on vs. off
 //!   extra       additional workloads (msort, binarytrees, queue, …)
 //!   all         everything above (default)
 //! ```
@@ -74,6 +75,7 @@ fn parse_args() -> Options {
             "ablate",
             "shared",
             "borrow",
+            "alloc",
             "extra",
         ]
         .iter()
@@ -112,6 +114,7 @@ fn main() {
             "ablate" => ablate(&opts),
             "shared" => shared(&opts),
             "borrow" => borrow(&opts),
+            "alloc" => alloc_ablation(&opts),
             "extra" => extra(&opts),
             other => eprintln!("unknown experiment `{other}` (skipped)"),
         }
@@ -328,6 +331,51 @@ fn borrow(opts: &Options) {
                 out.stats.drops,
                 out.stats.rc_ops(),
                 out.stats.peak_live_words
+            );
+        }
+    }
+}
+
+/// Allocator ablation: the size-class free lists on (default) vs. off
+/// (the seed's free-and-reallocate discipline). Hit rate and recycled
+/// words quantify how much of each workload's allocation traffic the
+/// lists absorb; see docs/RUNTIME.md for the design.
+fn alloc_ablation(opts: &Options) {
+    println!("\n## allocator ablation: size-class free lists on vs. off");
+    println!(
+        "{:<10} {:<10} {:>10} {:>12} {:>12} {:>8} {:>14} {:>10}",
+        "benchmark",
+        "freelists",
+        "time",
+        "fl-hits",
+        "fl-misses",
+        "hit%",
+        "recycled-words",
+        "classes"
+    );
+    for name in ["rbtree", "cfold", "deriv", "map"] {
+        let w = workload(name).expect("registered");
+        let n = size_for(opts, &w).min(50_000);
+        let compiled = compile_with_config(w.source, PassConfig::perceus()).expect("compile");
+        for (label, recycle) in [("on", true), ("off", false)] {
+            let cfg = RunConfig {
+                heap_recycle: recycle,
+                ..RunConfig::default()
+            };
+            let start = std::time::Instant::now();
+            let out = run_workload(&compiled, Strategy::Perceus, n, cfg).expect("run");
+            let t = start.elapsed();
+            let st = out.stats;
+            println!(
+                "{:<10} {:<10} {:>9.2}s {:>12} {:>12} {:>7.1}% {:>14} {:>10}",
+                name,
+                label,
+                t.as_secs_f64(),
+                st.freelist_hits,
+                st.freelist_misses,
+                st.freelist_hit_rate() * 100.0,
+                st.recycled_words,
+                out.free_list_occupancy.len()
             );
         }
     }

@@ -14,7 +14,9 @@ pub struct Measurement {
     pub strategy: Strategy,
     /// Problem size.
     pub n: i64,
-    /// Median wall time over the repetitions.
+    /// Best (minimum) wall time over the repetitions. On a shared
+    /// machine timing noise is strictly additive, so the minimum is
+    /// the least-biased estimate of the true cost.
     pub time: Duration,
     /// All repetition times.
     pub times: Vec<Duration>,
@@ -25,14 +27,14 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Median time in seconds.
+    /// Best time in seconds.
     pub fn secs(&self) -> f64 {
         self.time.as_secs_f64()
     }
 }
 
 /// Compiles and runs `workload` under `strategy`, `repeat` times after
-/// one warmup, returning the median time and the final statistics.
+/// one warmup, returning the best time and the final statistics.
 pub fn measure(
     workload: &Workload,
     strategy: Strategy,
@@ -55,7 +57,7 @@ pub fn measure(
         stats = out.stats;
     }
     times.sort();
-    let time = times[times.len() / 2];
+    let time = times[0];
     Ok(Measurement {
         workload: workload.name,
         strategy,

@@ -237,6 +237,24 @@ mod tests {
     }
 
     #[test]
+    fn freelisted_blocks_are_invisible_to_the_audit() {
+        // Populate several size-class free lists, then audit: a listed
+        // slot is neither live (no count/reachability obligations) nor
+        // leaked — the allocator is invisible to the garbage-free story.
+        let mut h = Heap::new(ReclaimMode::Rc);
+        for n in 0..4 {
+            let fields: Vec<Value> = (0..n).map(Value::Int).collect();
+            let a = cell(&mut h, fields);
+            h.drop_value(Value::Ref(a)).unwrap();
+        }
+        assert_eq!(h.listed_blocks(), 4);
+        let keep = cell(&mut h, vec![Value::Int(9)]);
+        let report = check_heap(&h, &[keep]).unwrap();
+        assert_eq!(report.live_blocks, 1, "listed blocks are not live");
+        assert_eq!(report.cycle_garbage, 0, "listed blocks are not garbage");
+    }
+
+    #[test]
     fn claimed_cells_need_a_token_root() {
         let mut h = Heap::new(ReclaimMode::Rc);
         let a = cell(&mut h, vec![]);

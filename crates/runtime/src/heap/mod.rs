@@ -11,7 +11,14 @@
 //!   it (§2.4); a token is later consumed by a constructor-with-reuse
 //!   (in-place build) or released by `drop-token`;
 //! * every address is generation-checked, so a use-after-free in
-//!   generated code is a deterministic error, not corruption.
+//!   generated code is a deterministic error, not corruption;
+//! * freed cells are **recycled through size-class segregated free
+//!   lists** keyed by field count, the design Lean's runtime uses
+//!   (Ullrich & de Moura, *Counting Immutable Beans*): a retired
+//!   block's storage is kept and handed back to the next same-arity
+//!   allocation without touching the global allocator. See
+//!   `docs/RUNTIME.md` for the full memory model and the block state
+//!   diagram (live → token → listed → recycled).
 //!
 //! The same heap serves the tracing-GC and arena baselines: in those
 //! modes the counting entry points are inert and reclamation is driven
@@ -67,8 +74,17 @@ impl Block {
     }
 }
 
+/// A slot's lifecycle state (see the diagram in `docs/RUNTIME.md`).
 enum SlotState {
+    /// Empty slot with no retained storage (never yet used, or retired
+    /// with an out-of-class field count).
     Free,
+    /// Retired block parked on a size-class free list: the field
+    /// storage is retained for recycling, but the block is dead — it is
+    /// neither live nor a leak, and its slot generation has already
+    /// been bumped, so every stale address errors deterministically.
+    Listed(Block),
+    /// A live block (or one claimed by a reuse token, header 0).
     Used(Block),
 }
 
@@ -94,10 +110,40 @@ pub enum ReclaimMode {
 /// for the rest of the run (the paper's overflow mitigation).
 pub const STICKY: i32 = i32::MIN / 2;
 
+/// Number of exact size classes: field counts `0 ..= NUM_SIZE_CLASSES-1`
+/// each get their own free list. Constructor arities in practice are
+/// tiny (the suite's largest is red-black `Node` with 4 fields), so 16
+/// classes cover everything; larger blocks release their storage to the
+/// global allocator and only recycle the slot index.
+pub const NUM_SIZE_CLASSES: usize = 16;
+
+/// Allocator policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapConfig {
+    /// Serve allocations from the size-class free lists (on by
+    /// default); off restores the free-and-reallocate discipline, for
+    /// the allocator ablation in `figures -- allocator`.
+    pub recycle: bool,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig { recycle: true }
+    }
+}
+
 /// The heap.
 pub struct Heap {
     slots: Vec<SlotEntry>,
-    free_list: Vec<u32>,
+    /// Size-class segregated free lists: `classes[k]` holds slot
+    /// indices whose retained storage has exactly `k` fields.
+    classes: [Vec<u32>; NUM_SIZE_CLASSES],
+    /// Slots with no retained storage (out-of-class retirement).
+    spare: Vec<u32>,
+    /// Reusable worklist for recursive drops (a fresh `Vec` per drop
+    /// would put a malloc/free pair on the hottest rc path).
+    drop_work: Vec<Addr>,
+    config: HeapConfig,
     mode: ReclaimMode,
     /// Runtime statistics.
     pub stats: Stats,
@@ -105,11 +151,20 @@ pub struct Heap {
 }
 
 impl Heap {
-    /// Creates an empty heap in the given reclamation mode.
+    /// Creates an empty heap in the given reclamation mode, with
+    /// free-list recycling enabled.
     pub fn new(mode: ReclaimMode) -> Self {
+        Self::with_config(mode, HeapConfig::default())
+    }
+
+    /// Creates an empty heap with an explicit allocator policy.
+    pub fn with_config(mode: ReclaimMode, config: HeapConfig) -> Self {
         Heap {
             slots: Vec::new(),
-            free_list: Vec::new(),
+            classes: std::array::from_fn(|_| Vec::new()),
+            spare: Vec::new(),
+            drop_work: Vec::new(),
+            config,
             mode,
             stats: Stats::default(),
             trace: None,
@@ -144,9 +199,30 @@ impl Heap {
         self.mode == ReclaimMode::Rc
     }
 
+    /// True when free-list recycling is enabled.
+    pub fn recycling(&self) -> bool {
+        self.config.recycle
+    }
+
     /// Number of currently live blocks.
     pub fn live_blocks(&self) -> u64 {
         self.stats.live_blocks
+    }
+
+    /// Blocks currently parked on the size-class free lists.
+    pub fn listed_blocks(&self) -> u64 {
+        self.classes.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// Free-list occupancy per size class: `(field_count, blocks)` for
+    /// every nonempty class, ascending.
+    pub fn free_list_occupancy(&self) -> Vec<(usize, usize)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(k, c)| (k, c.len()))
+            .collect()
     }
 
     // ---- access ----------------------------------------------------
@@ -164,7 +240,9 @@ impl Heap {
         }
         match &e.state {
             SlotState::Used(b) => Ok(b),
-            SlotState::Free => Err(RuntimeError::UseAfterFree(addr)),
+            // A listed slot's generation is already stale, but stay
+            // defensive: listed storage must never be readable.
+            SlotState::Free | SlotState::Listed(_) => Err(RuntimeError::UseAfterFree(addr)),
         }
     }
 
@@ -181,7 +259,7 @@ impl Heap {
         }
         match &mut e.state {
             SlotState::Used(b) => Ok(b),
-            SlotState::Free => Err(RuntimeError::UseAfterFree(addr)),
+            SlotState::Free | SlotState::Listed(_) => Err(RuntimeError::UseAfterFree(addr)),
         }
     }
 
@@ -198,8 +276,70 @@ impl Heap {
 
     // ---- allocation -------------------------------------------------
 
-    /// Allocates a fresh block with reference count 1.
+    /// Allocates a block with reference count 1, copying `vals` into
+    /// recycled storage when the matching size class has a free block —
+    /// the hot path: a free-list hit touches no global allocator at all.
+    pub fn alloc_slice(&mut self, tag: BlockTag, vals: &[Value]) -> Addr {
+        if let Some(addr) = self.recycle_fit(tag, vals) {
+            return addr;
+        }
+        self.install(tag, vals.to_vec().into_boxed_slice())
+    }
+
+    /// Allocates a fresh block with reference count 1 from an owned
+    /// field box. Prefer [`Heap::alloc_slice`] on hot paths — this entry
+    /// point has already paid the allocation for `fields`, so a
+    /// free-list hit merely swaps which storage is kept.
     pub fn alloc(&mut self, tag: BlockTag, fields: Box<[Value]>) -> Addr {
+        if let Some(addr) = self.recycle_fit(tag, &fields) {
+            return addr;
+        }
+        self.install(tag, fields)
+    }
+
+    /// Serves an allocation from the matching size-class free list, if
+    /// possible. On a hit the retained storage is reused in place.
+    fn recycle_fit(&mut self, tag: BlockTag, vals: &[Value]) -> Option<Addr> {
+        if !self.config.recycle {
+            return None;
+        }
+        let class = vals.len();
+        let index = match self.classes.get_mut(class).and_then(|c| c.pop()) {
+            Some(i) => i,
+            None => {
+                self.stats.freelist_misses += 1;
+                return None;
+            }
+        };
+        let e = &mut self.slots[index as usize];
+        // Re-badge the slot as used; the generation was already bumped
+        // when the previous tenant retired.
+        let state = std::mem::replace(&mut e.state, SlotState::Free);
+        let SlotState::Listed(mut b) = state else {
+            unreachable!("size-class free list holds a non-listed slot");
+        };
+        debug_assert_eq!(
+            b.fields.len(),
+            vals.len(),
+            "size class {class} served a wrong-sized block"
+        );
+        b.header = 1;
+        b.tag = tag;
+        b.mark = false;
+        b.fields.copy_from_slice(vals);
+        let block_words = b.fields.len() as u64 + 1;
+        e.state = SlotState::Used(b);
+        let addr = Addr { index, gen: e.gen };
+        self.stats.on_fresh_alloc(block_words);
+        self.stats.field_writes += vals.len() as u64;
+        self.stats.freelist_hits += 1;
+        self.stats.recycled_words += block_words;
+        self.tr(Event::Recycle(addr, block_words));
+        Some(addr)
+    }
+
+    /// Installs a block into a spare slot or grows the table.
+    fn install(&mut self, tag: BlockTag, fields: Box<[Value]>) -> Addr {
         let words = fields.len() as u64 + 1;
         self.stats.on_fresh_alloc(words);
         self.stats.field_writes += fields.len() as u64;
@@ -209,7 +349,7 @@ impl Heap {
             mark: false,
             fields,
         };
-        let addr = match self.free_list.pop() {
+        let addr = match self.spare.pop() {
             Some(index) => {
                 let e = &mut self.slots[index as usize];
                 e.state = SlotState::Used(block);
@@ -276,7 +416,9 @@ impl Heap {
 
     // ---- reference counting ------------------------------------------
 
-    /// `dup v` — the paper's fast/slow split on the header sign.
+    /// `dup v` — the paper's fast/slow split on the header sign, with a
+    /// first check for the by-far most common case: a uniquely-owned
+    /// cell (header exactly 1) skips even the sign test's general path.
     pub fn dup(&mut self, v: Value) -> Result<(), RuntimeError> {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
@@ -284,7 +426,11 @@ impl Heap {
         let Value::Ref(addr) = v else { return Ok(()) };
         self.stats.dups += 1;
         let b = Self::lookup_mut(&mut self.slots, addr)?;
-        if b.header > 0 {
+        if b.header == 1 {
+            // Uniquely owned: the dominant case in Perceus-optimized
+            // code (everything not shared is unique).
+            b.header = 2;
+        } else if b.header > 0 {
             b.header += 1;
         } else {
             // Thread-shared: atomic decrement toward the sticky floor
@@ -300,28 +446,65 @@ impl Heap {
     }
 
     /// `drop v` — decrement and free recursively at zero (worklist-based,
-    /// so arbitrarily deep structures are safe).
+    /// so arbitrarily deep structures are safe). The uniquely-owned case
+    /// (header 1) is checked first: it frees immediately without the
+    /// shared-sign test.
     pub fn drop_value(&mut self, v: Value) -> Result<(), RuntimeError> {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
         }
         let Value::Ref(addr) = v else { return Ok(()) };
         self.stats.drops += 1;
-        let mut work = vec![addr];
+        let mut work = std::mem::take(&mut self.drop_work);
+        work.push(addr);
+        let r = self.drop_loop(&mut work);
+        work.clear();
+        self.drop_work = work;
+        r
+    }
+
+    fn drop_loop(&mut self, work: &mut Vec<Addr>) -> Result<(), RuntimeError> {
         while let Some(addr) = work.pop() {
-            let b = Self::lookup_mut(&mut self.slots, addr)?;
-            if b.header > 1 {
-                b.header -= 1;
-                let after = b.header;
-                self.tr(Event::Drop(addr, after));
-            } else if b.header == 1 {
+            let e = self
+                .slots
+                .get_mut(addr.index as usize)
+                .ok_or(RuntimeError::BadAddress(addr))?;
+            if e.gen != addr.gen {
+                return Err(RuntimeError::UseAfterFree(addr));
+            }
+            let SlotState::Used(b) = &mut e.state else {
+                return Err(RuntimeError::UseAfterFree(addr));
+            };
+            if b.header == 1 {
                 // Last reference: free, children join the worklist.
-                let block = self.release(addr)?;
-                for f in block.fields.iter() {
+                // Retirement is inlined here (rather than via `retire`)
+                // so the alloc+drop hot loop pays one slot lookup, not
+                // two.
+                for f in b.fields.iter() {
                     if let Value::Ref(child) = f {
                         work.push(*child);
                     }
                 }
+                e.gen = e.gen.wrapping_add(1);
+                let state = std::mem::replace(&mut e.state, SlotState::Free);
+                let SlotState::Used(block) = state else {
+                    unreachable!()
+                };
+                let words = block.words();
+                let class = block.fields.len();
+                if self.config.recycle && class < NUM_SIZE_CLASSES {
+                    e.state = SlotState::Listed(block);
+                    self.classes[class].push(addr.index);
+                } else {
+                    self.spare.push(addr.index);
+                }
+                self.stats.on_free(words);
+                self.tr(Event::Drop(addr, 0));
+                self.tr(Event::Free(addr));
+            } else if b.header > 1 {
+                b.header -= 1;
+                let after = b.header;
+                self.tr(Event::Drop(addr, after));
             } else if b.header == 0 {
                 return Err(RuntimeError::Internal(format!(
                     "drop of claimed cell {addr}"
@@ -332,12 +515,14 @@ impl Heap {
                 if b.header > STICKY {
                     b.header += 1;
                     if b.header == 0 {
-                        let block = self.release(addr)?;
-                        for f in block.fields.iter() {
+                        let fields = std::mem::take(&mut b.fields);
+                        for f in fields.iter() {
                             if let Value::Ref(child) = f {
                                 work.push(*child);
                             }
                         }
+                        b.fields = fields;
+                        self.retire(addr)?;
                     }
                 }
             }
@@ -365,10 +550,11 @@ impl Heap {
             if b.header > STICKY {
                 b.header += 1;
                 if b.header == 0 {
-                    let block = self.release(addr)?;
-                    for f in block.fields.iter() {
+                    let fields: Vec<Value> = b.fields.to_vec();
+                    self.retire(addr)?;
+                    for f in fields {
                         if f.is_ref() {
-                            self.drop_value(*f)?;
+                            self.drop_value(f)?;
                             // The child release is part of this free, not
                             // a program-emitted drop instruction.
                             self.stats.drops -= 1;
@@ -413,7 +599,7 @@ impl Heap {
                 b.header
             )));
         }
-        self.release(addr)?;
+        self.retire(addr)?;
         Ok(())
     }
 
@@ -446,15 +632,22 @@ impl Heap {
                 if b.header == 1 {
                     self.stats.unique_hits += 1;
                     // Claim first (acyclic data: the children never point
-                    // back), then drop the children.
-                    let fields: Vec<Value> = b.fields.to_vec();
-                    self.entry_mut(addr)?.header = 0;
-                    self.tr(Event::Claim(addr));
-                    for f in fields {
-                        if f.is_ref() {
-                            self.drop_value(f)?;
+                    // back), then drop the children — via the pooled
+                    // worklist, so the roundtrip allocates nothing.
+                    let mut work = std::mem::take(&mut self.drop_work);
+                    let b = Self::lookup_mut(&mut self.slots, addr)?;
+                    b.header = 0;
+                    for f in b.fields.iter() {
+                        if let Value::Ref(child) = f {
+                            work.push(*child);
                         }
                     }
+                    self.stats.drops += work.len() as u64;
+                    self.tr(Event::Claim(addr));
+                    let r = self.drop_loop(&mut work);
+                    work.clear();
+                    self.drop_work = work;
+                    r?;
                     Ok(Value::Token(Some(addr)))
                 } else {
                     self.decref_or_shared_drop(addr)?;
@@ -500,7 +693,7 @@ impl Heap {
                         "drop-token of unclaimed cell {addr}"
                     )));
                 }
-                self.release(addr)?;
+                self.retire(addr)?;
                 self.stats.token_frees += 1;
                 Ok(())
             }
@@ -541,8 +734,11 @@ impl Heap {
 
     // ---- reclamation plumbing ---------------------------------------
 
-    /// Removes a block from the heap, bumping the slot generation.
-    fn release(&mut self, addr: Addr) -> Result<Block, RuntimeError> {
+    /// Retires a block: bumps the slot generation (making every
+    /// outstanding address stale) and parks the storage on the matching
+    /// size-class free list — or releases it to the global allocator
+    /// when the field count is out of class or recycling is off.
+    fn retire(&mut self, addr: Addr) -> Result<(), RuntimeError> {
         if self.mode == ReclaimMode::Arena {
             // The arena never reclaims; callers in arena mode never get
             // here because rc entry points are inert, but be defensive.
@@ -557,16 +753,26 @@ impl Heap {
         }
         let state = std::mem::replace(&mut e.state, SlotState::Free);
         let SlotState::Used(block) = state else {
+            e.state = state;
             return Err(RuntimeError::UseAfterFree(addr));
         };
         e.gen = e.gen.wrapping_add(1);
-        self.free_list.push(addr.index);
-        self.stats.on_free(block.words());
+        let words = block.words();
+        let class = block.fields.len();
+        if self.config.recycle && class < NUM_SIZE_CLASSES {
+            e.state = SlotState::Listed(block);
+            self.classes[class].push(addr.index);
+        } else {
+            self.spare.push(addr.index);
+        }
+        self.stats.on_free(words);
         self.tr(Event::Free(addr));
-        Ok(block)
+        Ok(())
     }
 
     /// Iterates live blocks with their addresses (auditor and collector).
+    /// Free-listed blocks are invisible here: they are neither live nor
+    /// leaked.
     pub fn iter_live(&self) -> impl Iterator<Item = (Addr, &Block)> + '_ {
         self.slots
             .iter()
@@ -579,7 +785,7 @@ impl Heap {
                     },
                     b,
                 )),
-                SlotState::Free => None,
+                SlotState::Free | SlotState::Listed(_) => None,
             })
     }
 
@@ -592,7 +798,8 @@ impl Heap {
         }
     }
 
-    /// Collector support: sweep unmarked blocks; returns count swept.
+    /// Collector support: sweep unmarked blocks onto the free lists;
+    /// returns count swept.
     pub(crate) fn sweep(&mut self) -> u64 {
         let mut swept = 0;
         for i in 0..self.slots.len() {
@@ -600,9 +807,18 @@ impl Heap {
             if let SlotState::Used(b) = &mut e.state {
                 if !b.mark {
                     let words = b.words();
-                    e.state = SlotState::Free;
+                    let class = b.fields.len();
                     e.gen = e.gen.wrapping_add(1);
-                    self.free_list.push(i as u32);
+                    let state = std::mem::replace(&mut e.state, SlotState::Free);
+                    let SlotState::Used(block) = state else {
+                        unreachable!()
+                    };
+                    if self.config.recycle && class < NUM_SIZE_CLASSES {
+                        e.state = SlotState::Listed(block);
+                        self.classes[class].push(i as u32);
+                    } else {
+                        self.spare.push(i as u32);
+                    }
                     self.stats.on_free(words);
                     swept += 1;
                 }
@@ -805,5 +1021,121 @@ mod tests {
         assert!(h.block(a).is_err());
         assert!(h.block(b).is_ok());
         h.drop_value(Value::Ref(b)).unwrap();
+    }
+
+    // ---- size-class free-list allocator ------------------------------
+
+    #[test]
+    fn freelist_hit_recycles_storage_and_bumps_generation() {
+        let mut h = heap();
+        let a = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Int(1), Value::Int(2)]);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.listed_blocks(), 1);
+        let b = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Int(3), Value::Int(4)]);
+        assert_eq!(h.stats.freelist_hits, 1);
+        assert_eq!(h.stats.recycled_words, 3);
+        assert_eq!(a.index, b.index, "same slot recycled");
+        assert_ne!(a.gen, b.gen, "generation bumped across recycling");
+        // The stale address is a deterministic error, never the new cell.
+        assert!(matches!(h.block(a), Err(RuntimeError::UseAfterFree(_))));
+        assert_eq!(h.block(b).unwrap().fields[0], Value::Int(3));
+        h.drop_value(Value::Ref(b)).unwrap();
+    }
+
+    #[test]
+    fn size_classes_never_serve_wrong_sized_blocks() {
+        let mut h = heap();
+        // Retire one block in each of three classes.
+        let a1 = h.alloc_slice(BlockTag::Ctor(CtorId(1)), &[Value::Int(1)]);
+        let a2 = h.alloc_slice(BlockTag::Ctor(CtorId(2)), &[Value::Int(1), Value::Int(2)]);
+        let a3 = h.alloc_slice(
+            BlockTag::Ctor(CtorId(3)),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+        );
+        for a in [a1, a2, a3] {
+            h.drop_value(Value::Ref(a)).unwrap();
+        }
+        assert_eq!(h.free_list_occupancy(), vec![(1, 1), (2, 1), (3, 1)]);
+        // A 2-field allocation must come from the 2-field class only.
+        let b = h.alloc_slice(BlockTag::Ctor(CtorId(4)), &[Value::Int(7), Value::Int(8)]);
+        assert_eq!(h.block(b).unwrap().fields.len(), 2);
+        assert_eq!(b.index, a2.index, "exact-fit class served the slot");
+        assert_eq!(h.free_list_occupancy(), vec![(1, 1), (3, 1)]);
+        // A 4-field allocation misses every list (no 4-class block).
+        let misses_before = h.stats.freelist_misses;
+        let c = h.alloc_slice(
+            BlockTag::Ctor(CtorId(5)),
+            &[Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)],
+        );
+        assert_eq!(h.stats.freelist_misses, misses_before + 1);
+        assert_eq!(h.block(c).unwrap().fields.len(), 4);
+        h.drop_value(Value::Ref(b)).unwrap();
+        h.drop_value(Value::Ref(c)).unwrap();
+    }
+
+    #[test]
+    fn oversize_blocks_fall_back_to_the_global_allocator() {
+        let mut h = heap();
+        let big: Vec<Value> = (0..NUM_SIZE_CLASSES as i64 + 4).map(Value::Int).collect();
+        let a = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &big);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.listed_blocks(), 0, "oversize storage is not retained");
+        // The slot index itself is still recycled (spare list).
+        let b = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &big);
+        assert_eq!(a.index, b.index);
+        assert_ne!(a.gen, b.gen);
+        assert_eq!(h.stats.freelist_hits, 0);
+        h.drop_value(Value::Ref(b)).unwrap();
+    }
+
+    #[test]
+    fn recycling_off_restores_malloc_discipline() {
+        let mut h = Heap::with_config(ReclaimMode::Rc, HeapConfig { recycle: false });
+        let a = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Int(1)]);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.listed_blocks(), 0);
+        let b = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Int(2)]);
+        assert_eq!(h.stats.freelist_hits, 0);
+        assert_eq!(h.stats.freelist_misses, 0, "misses not counted when off");
+        // Slot indices still recycle through the spare list; generations
+        // still protect against stale addresses.
+        assert_eq!(a.index, b.index);
+        assert!(h.block(a).is_err());
+        h.drop_value(Value::Ref(b)).unwrap();
+    }
+
+    #[test]
+    fn listed_blocks_are_not_live_and_not_readable() {
+        let mut h = heap();
+        let a = cell(&mut h, vec![Value::Int(5)]);
+        h.drop_value(Value::Ref(a)).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+        assert_eq!(h.listed_blocks(), 1);
+        assert_eq!(h.iter_live().count(), 0, "listed blocks are invisible");
+        assert!(matches!(h.block(a), Err(RuntimeError::UseAfterFree(_))));
+    }
+
+    #[test]
+    fn freelist_roundtrip_preserves_rc_semantics_under_churn() {
+        // A hot loop in one class plus interleaved other classes: the
+        // steady state allocates entirely from the free lists.
+        let mut h = heap();
+        let warm = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Int(0), Value::Int(0)]);
+        h.drop_value(Value::Ref(warm)).unwrap();
+        let fresh_before = h.stats.allocations;
+        for i in 0..1000 {
+            let a = h.alloc_slice(
+                BlockTag::Ctor(CtorId(9)),
+                &[Value::Int(i), Value::Int(i + 1)],
+            );
+            let b = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Ref(a)]);
+            h.drop_value(Value::Ref(b)).unwrap();
+        }
+        assert_eq!(h.live_blocks(), 0);
+        assert_eq!(h.stats.allocations - fresh_before, 2000);
+        // Only the very first 1-field alloc can miss; everything else is
+        // served from the lists.
+        assert!(h.stats.freelist_hits >= 1999, "{}", h.stats.freelist_hits);
+        assert!(h.stats.recycled_words >= 1999 * 2);
     }
 }

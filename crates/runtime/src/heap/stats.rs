@@ -41,6 +41,15 @@ pub struct Stats {
     pub token_frees: u64,
     /// Blocks marked thread-shared by `tshare` (§2.7.2).
     pub shared_marks: u64,
+    /// Allocations served from a size-class free list (storage recycled
+    /// without touching the global allocator).
+    pub freelist_hits: u64,
+    /// Allocations that found their size class empty and fell back to
+    /// the global allocator (or table growth).
+    pub freelist_misses: u64,
+    /// Words served from the free lists (fields + header, summed over
+    /// every hit).
+    pub recycled_words: u64,
     /// Garbage collections run (tracing-GC mode only).
     pub gc_collections: u64,
     /// Blocks traced live across all collections.
@@ -79,6 +88,18 @@ impl Stats {
             0.0
         } else {
             self.reuses as f64 / t as f64
+        }
+    }
+
+    /// Fraction of fresh allocations served from the size-class free
+    /// lists (reuse-token constructions are not counted: they never
+    /// consult the allocator at all).
+    pub fn freelist_hit_rate(&self) -> f64 {
+        let t = self.freelist_hits + self.freelist_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.freelist_hits as f64 / t as f64
         }
     }
 
@@ -129,6 +150,14 @@ impl fmt::Display for Stats {
             self.unique_hits,
             self.atomic_ops
         )?;
+        writeln!(
+            f,
+            "freelist: {} hits / {} misses ({:.1}% hit), {} words recycled",
+            self.freelist_hits,
+            self.freelist_misses,
+            self.freelist_hit_rate() * 100.0,
+            self.recycled_words
+        )?;
         write!(
             f,
             "writes: {} fields ({} skipped); gc: {} collections; steps: {}",
@@ -162,6 +191,15 @@ mod tests {
         s.on_reuse();
         assert!((s.reuse_rate() - 0.5).abs() < 1e-9);
         assert_eq!(s.total_allocations(), 2);
+    }
+
+    #[test]
+    fn freelist_hit_rate() {
+        let mut s = Stats::default();
+        assert_eq!(s.freelist_hit_rate(), 0.0);
+        s.freelist_hits = 3;
+        s.freelist_misses = 1;
+        assert!((s.freelist_hit_rate() - 0.75).abs() < 1e-9);
     }
 
     #[test]

@@ -20,14 +20,14 @@
 use crate::code::{Atom, Compiled, RArm, RExpr, Slot};
 use crate::error::RuntimeError;
 use crate::gc::{Collector, GcConfig};
-use crate::heap::{BlockTag, Heap, ReclaimMode};
+use crate::heap::{BlockTag, Heap, HeapConfig, ReclaimMode};
 use crate::value::Value;
 use perceus_core::ir::expr::PrimOp;
 use perceus_core::ir::{CtorId, FunId, TypeTable};
 use std::fmt;
 
 /// Machine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Abort with [`RuntimeError::StepLimit`] after this many steps
     /// (`None` = unlimited).
@@ -40,6 +40,22 @@ pub struct RunConfig {
     /// Retain the most recent N reference-count events for debugging
     /// (see [`crate::trace`]); `None` disables tracing.
     pub trace_capacity: Option<usize>,
+    /// Serve allocations from the heap's size-class free lists (on by
+    /// default); off restores the free-and-reallocate discipline for
+    /// the allocator ablation.
+    pub heap_recycle: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            step_limit: None,
+            gc: None,
+            audit_every: None,
+            trace_capacity: None,
+            heap_recycle: true,
+        }
+    }
 }
 
 /// A pending continuation.
@@ -79,7 +95,12 @@ impl<'p> Machine<'p> {
             ReclaimMode::Gc => Some(Collector::new(config.gc.unwrap_or_default())),
             _ => None,
         };
-        let mut heap = Heap::new(mode);
+        let mut heap = Heap::with_config(
+            mode,
+            HeapConfig {
+                recycle: config.heap_recycle,
+            },
+        );
         if let Some(cap) = config.trace_capacity {
             heap.enable_trace(cap);
         }
@@ -443,8 +464,10 @@ impl<'p> Machine<'p> {
             }
             RExpr::MkClosure { lam, captures } => {
                 self.maybe_collect();
-                let fields: Box<[Value]> = captures.iter().map(|s| self.env[*s as usize]).collect();
-                let addr = self.heap.alloc(BlockTag::Closure(*lam), fields);
+                let mut fields = self.take_env();
+                fields.extend(captures.iter().map(|s| self.env[*s as usize]));
+                let addr = self.heap.alloc_slice(BlockTag::Closure(*lam), &fields);
+                self.recycle_env(fields);
                 Ok(Value::Ref(addr))
             }
             RExpr::Con {
@@ -469,9 +492,7 @@ impl<'p> Machine<'p> {
                     }
                 }
                 self.maybe_collect();
-                let addr = self
-                    .heap
-                    .alloc(BlockTag::Ctor(*ctor), vals.into_boxed_slice());
+                let addr = self.heap.alloc_slice(BlockTag::Ctor(*ctor), &vals);
                 Ok(Value::Ref(addr))
             }
             RExpr::TokenOf(slot) => self.heap.claim(self.env[*slot as usize]),
@@ -519,9 +540,7 @@ impl<'p> Machine<'p> {
             Max => Value::Int(int(&vals[0])?.max(int(&vals[1])?)),
             RefNew => {
                 self.maybe_collect();
-                let addr = self
-                    .heap
-                    .alloc(BlockTag::MutRef, vec![vals[0]].into_boxed_slice());
+                let addr = self.heap.alloc_slice(BlockTag::MutRef, &[vals[0]]);
                 Value::Ref(addr)
             }
             RefGet => {

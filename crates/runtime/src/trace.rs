@@ -16,6 +16,8 @@ use std::fmt;
 pub enum Event {
     /// Fresh allocation (block words).
     Alloc(Addr, u64),
+    /// Allocation served from a size-class free list (block words).
+    Recycle(Addr, u64),
     /// Construction into a reuse token.
     Reuse(Addr),
     /// `dup` (header after the operation).
@@ -36,6 +38,7 @@ impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Event::Alloc(a, w) => write!(f, "alloc  {a} ({w} words)"),
+            Event::Recycle(a, w) => write!(f, "recyc  {a} ({w} words, free list)"),
             Event::Reuse(a) => write!(f, "reuse  {a}"),
             Event::Dup(a, rc) => write!(f, "dup    {a} -> rc {rc}"),
             Event::Drop(a, rc) => write!(f, "drop   {a} -> rc {rc}"),
@@ -86,9 +89,10 @@ impl Trace {
             .iter()
             .filter(|e| {
                 matches!(e,
-                    Event::Alloc(a, _) | Event::Reuse(a) | Event::Dup(a, _)
-                    | Event::Drop(a, _) | Event::DecRef(a, _) | Event::Free(a)
-                    | Event::Claim(a) | Event::Share(a) if a.index() == addr.index())
+                    Event::Alloc(a, _) | Event::Recycle(a, _) | Event::Reuse(a)
+                    | Event::Dup(a, _) | Event::Drop(a, _) | Event::DecRef(a, _)
+                    | Event::Free(a) | Event::Claim(a) | Event::Share(a)
+                    if a.index() == addr.index())
             })
             .copied()
             .collect()
@@ -159,6 +163,22 @@ mod tests {
             "{hist:?}"
         );
         h.drop_value(Value::Ref(a)).unwrap();
+    }
+
+    #[test]
+    fn freelist_recycling_is_traced() {
+        let mut h = Heap::new(ReclaimMode::Rc);
+        h.enable_trace(64);
+        let a = h.alloc(BlockTag::Ctor(CtorId(2)), Box::new([Value::Int(1)]));
+        h.drop_value(Value::Ref(a)).unwrap();
+        let b = h.alloc_slice(BlockTag::Ctor(CtorId(2)), &[Value::Int(2)]);
+        let trace = h.trace().expect("tracing enabled");
+        let hist = trace.history_of(b);
+        assert!(
+            hist.iter().any(|e| matches!(e, Event::Recycle(_, 2))),
+            "{hist:?}"
+        );
+        h.drop_value(Value::Ref(b)).unwrap();
     }
 
     #[test]

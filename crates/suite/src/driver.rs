@@ -175,6 +175,9 @@ pub struct RunOutcome {
     /// The tail of the reference-count event trace, when tracing was
     /// enabled in the run configuration.
     pub trace_tail: Option<String>,
+    /// Size-class free-list occupancy at exit: `(field_count, blocks)`
+    /// for every nonempty class (empty when recycling is off).
+    pub free_list_occupancy: Vec<(usize, usize)>,
 }
 
 /// Runs a compiled workload's `main(n)`.
@@ -196,6 +199,7 @@ pub fn run_workload(
         output,
         leaked_blocks: m.heap.live_blocks(),
         trace_tail: m.heap.trace().map(|t| t.render_tail(64)),
+        free_list_occupancy: m.heap.free_list_occupancy(),
     })
 }
 

@@ -1,0 +1,226 @@
+//! A self-contained, offline drop-in for the subset of the
+//! [Criterion](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! Criterion cannot be fetched; this shim keeps the `benches/` tree
+//! compiling and *measuring* (wall-clock medians over timed batches)
+//! with the same source code, so that when the real dependency is
+//! available again nothing needs to change outside the workspace
+//! manifest.
+//!
+//! Differences from real Criterion, by design:
+//!
+//! * no statistical machinery (outlier classification, regressions,
+//!   HTML reports) — each benchmark reports the median of `sample_size`
+//!   timed batches as ns/iter;
+//! * CLI arguments are accepted and ignored, except `--quick`, which
+//!   cuts the per-benchmark time budget (used by CI's bench smoke run).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const BUDGET: Duration = Duration::from_millis(400);
+/// Reduced budget under `--quick` (CI smoke runs).
+const QUICK_BUDGET: Duration = Duration::from_millis(40);
+
+/// The benchmark manager: configuration plus result reporting.
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion {
+            sample_size: 20,
+            budget: if quick { QUICK_BUDGET } else { BUDGET },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), self.sample_size, self.budget, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_bench(&full, self.criterion.sample_size, self.criterion.budget, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        run_bench(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.budget,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (reporting is immediate; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Iterations per timed batch (calibrated before sampling).
+    batch: u64,
+    /// Duration of each timed batch, filled during sampling.
+    samples: Vec<Duration>,
+    /// Whether this call is the calibration pass.
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Runs `payload` repeatedly, recording one timed batch.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut payload: F) {
+        if self.calibrating {
+            // Measure a single iteration to size the batches.
+            let start = Instant::now();
+            black_box(payload());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(payload());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, budget: Duration, mut f: F) {
+    // Calibration: one un-batched run to estimate per-iteration cost.
+    let mut b = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+        calibrating: true,
+    };
+    f(&mut b);
+    let once = b.samples.first().copied().unwrap_or(Duration::ZERO);
+    let per_sample = budget.as_nanos() / samples as u128;
+    let batch = if once.as_nanos() == 0 {
+        1000
+    } else {
+        (per_sample / once.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        batch,
+        samples: Vec::new(),
+        calibrating: false,
+    };
+    let deadline = Instant::now() + budget * 2;
+    for _ in 0..samples {
+        f(&mut b);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / batch as f64)
+        .collect();
+    per_iter.sort_by(|a, c| a.total_cmp(c));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter.first().copied().unwrap_or(median);
+    let hi = per_iter.last().copied().unwrap_or(median);
+    println!("{name:<55} time: [{lo:>10.2} ns {median:>10.2} ns {hi:>10.2} ns]");
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
