@@ -27,9 +27,24 @@ fn compiler(c: &mut Criterion) {
             })
         });
     }
-    let compiled = Pipeline::new(PassConfig::perceus())
-        .run(program.clone())
+    // Per-stage breakdown via the staged pipeline API: where the
+    // compile time of the full Perceus configuration actually goes.
+    // (One-shot timings — the per-pass costs are too small for stable
+    // isolation, but the relative split is the interesting number.)
+    let trace = Pipeline::new(PassConfig::perceus())
+        .stages(program.clone())
         .expect("passes run");
+    for (pass, elapsed) in trace.timings() {
+        eprintln!("compile/stage-{pass}: {elapsed:.1?}");
+    }
+    c.bench_function("compile/staged-trace", |b| {
+        b.iter(|| {
+            Pipeline::new(PassConfig::perceus())
+                .stages(program.clone())
+                .expect("passes run")
+        })
+    });
+    let compiled = trace.into_final();
     c.bench_function("compile/backend", |b| {
         b.iter(|| perceus_runtime::code::compile(&compiled).expect("backend"))
     });

@@ -30,6 +30,24 @@ use crate::ir::var::Var;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+/// Which face of the λ¹ resource calculus to check against.
+///
+/// The paper has two systems (Fig. 5): the *declarative* one, where
+/// contraction (`dup`) and weakening (`drop`) are admissible at any
+/// point, and the *syntax-directed* one, where every dup/drop is
+/// explicit and ownership is consumed exactly once per path. Programs
+/// **before** Perceus insertion are judged against the declarative
+/// system; pass output **after** insertion must satisfy the strict one
+/// (Theorem 3 is the inclusion between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Syntax-directed: exact consumption, balanced joins, no leaks.
+    Strict,
+    /// Declarative: uses only require the variable to be provably
+    /// alive; implicit contraction/weakening is allowed.
+    Relaxed,
+}
+
 /// A violation of the linear ownership discipline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinearError {
@@ -112,10 +130,25 @@ impl Env {
     }
 }
 
-/// Checks every function of a program, honoring its borrow masks.
+/// Checks every function of a program, honoring its borrow masks, under
+/// the strict (syntax-directed) discipline.
 pub fn check_program(p: &Program) -> Result<(), LinearError> {
+    check_program_with(p, Discipline::Strict)
+}
+
+/// Checks every function against the declarative system: every use must
+/// target a provably-alive variable, but implicit dup/drop is allowed.
+/// This is the check that applies to pipeline stages *before* Perceus
+/// insertion (and to the erased programs of the GC/arena strategies).
+pub fn check_program_relaxed(p: &Program) -> Result<(), LinearError> {
+    check_program_with(p, Discipline::Relaxed)
+}
+
+/// Checks every function of a program under the chosen discipline.
+pub fn check_program_with(p: &Program, discipline: Discipline) -> Result<(), LinearError> {
     let cx = Cx {
         borrows: &p.borrows,
+        relaxed: discipline == Discipline::Relaxed,
     };
     for (id, f) in p.funs() {
         let mask = p.borrows.get(id.0 as usize).cloned().unwrap_or_default();
@@ -127,9 +160,11 @@ pub fn check_program(p: &Program) -> Result<(), LinearError> {
     Ok(())
 }
 
-/// Call-site context: the borrow masks of the whole program.
+/// Call-site context: the borrow masks of the whole program plus the
+/// active discipline.
 struct Cx<'a> {
     borrows: &'a [Vec<bool>],
+    relaxed: bool,
 }
 
 impl<'a> Cx<'a> {
@@ -140,12 +175,46 @@ impl<'a> Cx<'a> {
             .copied()
             .unwrap_or(false)
     }
+
+    /// Consumes one ownership of `v` (strict), or merely checks that `v`
+    /// is alive (relaxed: contraction is implicit there).
+    fn consume(&self, env: &mut Env, v: &Var, what: &str) -> Result<(), String> {
+        if self.relaxed {
+            if env.alive(v) || env.owned.contains_key(v) {
+                Ok(())
+            } else {
+                Err(format!("{what} of {v:?} which is not in scope"))
+            }
+        } else {
+            env.consume(v, what)
+        }
+    }
+
+    /// Removes a binding that leaves scope; under the strict discipline
+    /// a leftover count is a leak, under the relaxed one weakening is
+    /// implicit.
+    fn unbind(&self, env: &mut Env, v: &Var, what: &str) -> Result<(), String> {
+        if self.relaxed {
+            env.owned.remove(v);
+            Ok(())
+        } else {
+            env.unbind(v, what)
+        }
+    }
 }
 
 /// Checks one function body under the owned calling convention
-/// (parameters owned with count 1, all consumed by the end).
+/// (parameters owned with count 1, all consumed by the end), strictly.
 pub fn check_fun_body(params: &[Var], body: &Expr) -> Result<(), String> {
-    check_fun_body_in(&Cx { borrows: &[] }, params, &[], body)
+    check_fun_body_in(
+        &Cx {
+            borrows: &[],
+            relaxed: false,
+        },
+        params,
+        &[],
+        body,
+    )
 }
 
 fn check_fun_body_in(
@@ -167,7 +236,7 @@ fn check_fun_body_in(
     let out = check(cx, body, env)?;
     if let Some(env) = out {
         let leftover = env.footprint();
-        if !leftover.is_empty() {
+        if !cx.relaxed && !leftover.is_empty() {
             return Err(format!("resources leaked at function exit: {leftover:?}"));
         }
     }
@@ -179,13 +248,13 @@ fn check_fun_body_in(
 fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
     match e {
         Expr::Var(x) => {
-            env.consume(x, "use")?;
+            cx.consume(&mut env, x, "use")?;
             Ok(Some(env))
         }
         Expr::Lit(_) | Expr::Global(_) | Expr::NullToken => Ok(Some(env)),
         Expr::Abort(_) => Ok(None),
         Expr::TokenOf(x) => {
-            env.consume(x, "&")?;
+            cx.consume(&mut env, x, "&")?;
             Ok(Some(env))
         }
         Expr::App(f, args) => {
@@ -233,7 +302,7 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
         }
         Expr::Con { args, reuse, .. } => {
             if let Some(t) = reuse {
-                env.consume(t, "reuse")?;
+                cx.consume(&mut env, t, "reuse")?;
             }
             let mut cur = env;
             for a in args {
@@ -251,7 +320,7 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
         }) => {
             // The closure consumes its captures …
             for c in captures {
-                env.consume(c, "capture")?;
+                cx.consume(&mut env, c, "capture")?;
             }
             // … and the body is its own resource world: params and
             // captures owned, everything consumed by the end.
@@ -261,7 +330,7 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
             }
             if let Some(out) = check(cx, body, inner)? {
                 let leftover = out.footprint();
-                if !leftover.is_empty() {
+                if !cx.relaxed && !leftover.is_empty() {
                     return Err(format!("lambda leaks resources: {leftover:?}"));
                 }
             }
@@ -275,7 +344,7 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
             cur.bind(var, 1);
             match check(cx, body, cur)? {
                 Some(mut out) => {
-                    out.unbind(var, "let binding")?;
+                    cx.unbind(&mut out, var, "let binding")?;
                     Ok(Some(out))
                 }
                 None => Ok(None),
@@ -305,14 +374,22 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
                     local.parent.insert(b.clone(), scrutinee.clone());
                 }
                 if let Some(t) = &arm.reuse_token {
-                    return Err(format!(
-                        "unlowered reuse annotation @{t:?} (insertion should have consumed it)"
-                    ));
+                    if !cx.relaxed {
+                        return Err(format!(
+                            "unlowered reuse annotation @{t:?} (insertion should have consumed it)"
+                        ));
+                    }
+                    // Pre-insertion: reuse analysis has attached the
+                    // token; the arm body may pass it to a constructor.
+                    local.bind(t, 1);
                 }
                 if let Some(mut out) = check(cx, &arm.body, local)? {
                     for b in &binders {
-                        out.unbind(b, "match binder")?;
+                        cx.unbind(&mut out, b, "match binder")?;
                         out.parent.remove(b);
+                    }
+                    if let Some(t) = &arm.reuse_token {
+                        cx.unbind(&mut out, t, "reuse annotation")?;
                     }
                     results.push(out);
                 }
@@ -322,7 +399,7 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
                     results.push(out);
                 }
             }
-            join(results, "match")
+            join(cx, results, "match")
         }
         Expr::IsUnique {
             var,
@@ -330,7 +407,11 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
             unique,
             shared,
         } => {
-            if env.owned.get(var).copied().unwrap_or(0) < 1 {
+            if cx.relaxed {
+                if !env.alive(var) && !env.owned.contains_key(var) {
+                    return Err(format!("is-unique on out-of-scope {var:?}"));
+                }
+            } else if env.owned.get(var).copied().unwrap_or(0) < 1 {
                 return Err(format!("is-unique on unowned {var:?}"));
             }
             let mut uenv = env.clone();
@@ -346,7 +427,7 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
             if let Some(out) = check(cx, shared, env)? {
                 results.push(out);
             }
-            join(results, "is-unique")
+            join(cx, results, "is-unique")
         }
         Expr::Dup(x, rest) => {
             if !env.alive(x) {
@@ -361,19 +442,19 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
                 Expr::DecRef(..) => "decref",
                 _ => "free",
             };
-            env.consume(x, what)?;
+            cx.consume(&mut env, x, what)?;
             check(cx, rest, env)
         }
         Expr::DropToken(t, rest) => {
-            env.consume(t, "drop-token")?;
+            cx.consume(&mut env, t, "drop-token")?;
             check(cx, rest, env)
         }
         Expr::DropReuse { var, token, body } => {
-            env.consume(var, "drop-reuse")?;
+            cx.consume(&mut env, var, "drop-reuse")?;
             env.bind(token, 1);
             match check(cx, body, env)? {
                 Some(mut out) => {
-                    out.unbind(token, "reuse token")?;
+                    cx.unbind(&mut out, token, "reuse token")?;
                     Ok(Some(out))
                 }
                 None => Ok(None),
@@ -382,11 +463,15 @@ fn check(cx: &Cx<'_>, e: &Expr, mut env: Env) -> Result<Option<Env>, String> {
     }
 }
 
-/// All surviving paths must agree on the ownership footprint.
-fn join(mut results: Vec<Env>, what: &str) -> Result<Option<Env>, String> {
+/// All surviving paths must agree on the ownership footprint (strict
+/// only; the declarative system weakens each branch independently).
+fn join(cx: &Cx<'_>, mut results: Vec<Env>, what: &str) -> Result<Option<Env>, String> {
     let Some(first) = results.pop() else {
         return Ok(None); // all paths diverge
     };
+    if cx.relaxed {
+        return Ok(Some(first));
+    }
     let fp = first.footprint();
     for other in &results {
         if other.footprint() != fp {
@@ -520,6 +605,85 @@ mod tests {
         let p = pb.finish();
         let err = check_program(&p).unwrap_err();
         assert!(err.message.contains("dup of dead"), "{err}");
+    }
+
+    #[test]
+    fn relaxed_allows_contraction_and_weakening() {
+        use crate::ir::expr::PrimOp;
+        let mut p = crate::ir::program::Program::new();
+        let x = v(0, "x");
+        let y = v(1, "y");
+        // x used twice (contraction), y never used (weakening): rejected
+        // strictly, accepted declaratively.
+        p.add_fun(crate::ir::program::FunDef {
+            name: "f".into(),
+            params: vec![x.clone(), y],
+            body: Expr::Prim(
+                PrimOp::Add,
+                vec![Expr::Var(x.clone()), Expr::Var(x.clone())],
+            ),
+        });
+        assert!(check_program(&p).is_err());
+        check_program_relaxed(&p).unwrap();
+    }
+
+    #[test]
+    fn relaxed_still_rejects_out_of_scope_use() {
+        let mut p = crate::ir::program::Program::new();
+        p.add_fun(crate::ir::program::FunDef {
+            name: "f".into(),
+            params: vec![],
+            body: Expr::Var(v(9, "ghost")),
+        });
+        let err = check_program_relaxed(&p).unwrap_err();
+        assert!(err.message.contains("not in scope"), "{err}");
+    }
+
+    #[test]
+    fn relaxed_accepts_reuse_annotations() {
+        // Post-reuse-analysis, pre-insertion shape: a match arm carries a
+        // reuse token that a constructor in the body consumes.
+        use crate::ir::builder::ProgramBuilder;
+        use crate::ir::expr::Arm;
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (ctors[0], ctors[1]);
+        let xs = pb.fresh("xs");
+        let h = pb.fresh("h");
+        let t = pb.fresh("t");
+        let ru = pb.fresh("ru");
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                Arm {
+                    ctor: cons,
+                    binders: vec![Some(h.clone()), Some(t.clone())],
+                    reuse_token: Some(ru.clone()),
+                    body: Expr::Con {
+                        ctor: cons,
+                        args: vec![Expr::Var(h), Expr::Var(t)],
+                        reuse: Some(ru),
+                        skip: vec![],
+                    },
+                },
+                Arm {
+                    ctor: nil,
+                    binders: vec![],
+                    reuse_token: None,
+                    body: Expr::Con {
+                        ctor: nil,
+                        args: vec![],
+                        reuse: None,
+                        skip: vec![],
+                    },
+                },
+            ],
+            default: None,
+        };
+        pb.fun("f", vec![xs], body);
+        let p = pb.finish();
+        assert!(check_program(&p).is_err(), "strict rejects annotations");
+        check_program_relaxed(&p).unwrap();
     }
 
     #[test]

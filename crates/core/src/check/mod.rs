@@ -2,4 +2,7 @@
 
 pub mod linear;
 
-pub use linear::{check_fun_body, check_program, LinearError};
+pub use linear::{
+    check_fun_body, check_program, check_program_relaxed, check_program_with, Discipline,
+    LinearError,
+};

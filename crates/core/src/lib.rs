@@ -38,4 +38,4 @@ pub mod ir;
 pub mod passes;
 
 pub use ir::{Expr, Program, Var};
-pub use passes::{PassConfig, Pipeline};
+pub use passes::{PassConfig, PassError, PassName, Pipeline, StageError, StageTrace, Validation};

@@ -13,6 +13,20 @@
 //!    (§2.5).
 //! 6. [`drop_spec`] — drop / drop-reuse specialization (Fig. 1c/1f).
 //! 7. [`fuse`] — dup push-down and dup/drop fusion (Fig. 1d/1g).
+//!
+//! # Staged verification
+//!
+//! Every pass boundary is observable: [`Pipeline::stages`] returns a
+//! [`StageTrace`] of named `(PassName, Program)` snapshots with
+//! per-stage timing, and — when [`Validation`] is active — the pipeline
+//! checks **after every pass** that the program is still well-formed
+//! ([`crate::ir::wf`]) and still satisfies the λ¹ resource calculus
+//! ([`crate::check::linear`]): the declarative discipline before
+//! `dup`/`drop` insertion, the strict syntax-directed one after (the
+//! two systems of Fig. 5; Theorem 3 is their inclusion). A violation is
+//! reported as [`PassError::Stage`], naming the first offending pass
+//! and carrying a pretty-printed counterexample restricted to the
+//! offending function. See `docs/VALIDATION.md`.
 
 pub mod borrow;
 pub mod drop_spec;
@@ -24,9 +38,12 @@ pub mod reuse;
 pub mod reuse_spec;
 pub mod scoped;
 
+use crate::check::linear::{self, Discipline};
+use crate::ir::pretty;
 use crate::ir::program::Program;
 use crate::ir::wf;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Which reference-counting discipline to insert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,28 +57,124 @@ pub enum RcStrategy {
     None,
 }
 
+/// The named stages of the pipeline, in execution order. Each value
+/// identifies the pass *whose output* a snapshot or a stage error
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassName {
+    /// ANF normalization (also re-run after inlining; the `Inline`
+    /// snapshot is post-renormalization).
+    Normalize,
+    /// Small-function inlining.
+    Inline,
+    /// Reuse analysis (token pairing, Fig. 1e).
+    Reuse,
+    /// Borrow inference (§6 extension).
+    Borrow,
+    /// Perceus `dup`/`drop` insertion.
+    Insert,
+    /// Scope-tied `dup`/`drop` insertion (baseline).
+    Scoped,
+    /// Reuse specialization (skip unchanged field writes).
+    ReuseSpec,
+    /// Drop / drop-reuse specialization.
+    DropSpec,
+    /// Dup push-down and dup/drop fusion.
+    Fuse,
+}
+
+impl PassName {
+    /// Every stage, in pipeline order (not all run under every config).
+    pub const ALL: [PassName; 9] = [
+        PassName::Normalize,
+        PassName::Inline,
+        PassName::Reuse,
+        PassName::Borrow,
+        PassName::Insert,
+        PassName::Scoped,
+        PassName::ReuseSpec,
+        PassName::DropSpec,
+        PassName::Fuse,
+    ];
+
+    /// Stable display label (used in stage errors and the fuzz CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            PassName::Normalize => "normalize",
+            PassName::Inline => "inline",
+            PassName::Reuse => "reuse",
+            PassName::Borrow => "borrow",
+            PassName::Insert => "insert",
+            PassName::Scoped => "scoped",
+            PassName::ReuseSpec => "reuse-spec",
+            PassName::DropSpec => "drop-spec",
+            PassName::Fuse => "fuse",
+        }
+    }
+
+    /// True for the stages that run after rc insertion, whose output
+    /// must satisfy the *strict* λ¹ discipline (for rc strategies).
+    fn rc_inserted(self) -> bool {
+        matches!(
+            self,
+            PassName::Insert
+                | PassName::Scoped
+                | PassName::ReuseSpec
+                | PassName::DropSpec
+                | PassName::Fuse
+        )
+    }
+}
+
+impl fmt::Display for PassName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// When the per-pass λ¹ + well-formedness checks run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Validation {
+    /// Never (a single well-formedness check still runs at the end of
+    /// the pipeline, as a last-resort guard).
+    Off,
+    /// Only in debug/test builds (`cfg(debug_assertions)`) — the
+    /// default: release compilations pay nothing.
+    #[default]
+    DebugOnly,
+    /// Always, including release builds — what the differential fuzzer
+    /// uses so a broken pass is attributed even under `--release`.
+    Full,
+}
+
+impl Validation {
+    /// Is per-stage checking active in this build?
+    pub fn active(self) -> bool {
+        match self {
+            Validation::Off => false,
+            Validation::DebugOnly => cfg!(debug_assertions),
+            Validation::Full => true,
+        }
+    }
+}
+
 /// Full pipeline configuration.
+///
+/// Constructed from a strategy preset and refined with the builder
+/// methods, e.g. `PassConfig::perceus().with_borrow(true)` or
+/// `PassConfig::perceus().with_validation(Validation::Full)`.
 #[derive(Debug, Clone)]
 pub struct PassConfig {
-    /// Insertion discipline.
-    pub strategy: RcStrategy,
-    /// Infer and use borrowed parameters (§6 extension; sacrifices the
-    /// garbage-free property for fewer rc operations).
-    pub borrow: bool,
-    /// Run the inliner (before reuse analysis).
-    pub inline: bool,
-    /// Inliner knobs.
-    pub inline_config: inline::InlineConfig,
-    /// Run reuse analysis (Perceus only).
-    pub reuse: bool,
-    /// Reuse-analysis knobs.
-    pub reuse_config: reuse::ReuseConfig,
-    /// Run reuse specialization (requires `reuse`).
-    pub reuse_spec: bool,
-    /// Run drop / drop-reuse specialization.
-    pub drop_spec: bool,
-    /// Run dup push-down and fusion.
-    pub fuse: bool,
+    strategy: RcStrategy,
+    borrow: bool,
+    inline: bool,
+    inline_config: inline::InlineConfig,
+    reuse: bool,
+    reuse_config: reuse::ReuseConfig,
+    reuse_spec: bool,
+    drop_spec: bool,
+    fuse: bool,
+    validation: Validation,
 }
 
 impl PassConfig {
@@ -77,63 +190,163 @@ impl PassConfig {
             reuse_spec: true,
             drop_spec: true,
             fuse: true,
+            validation: Validation::default(),
         }
     }
 
     /// Precise insertion only, no reuse and no specialization — the
     /// paper's "Koka, no-opt" column.
     pub fn perceus_no_opt() -> Self {
-        PassConfig {
-            strategy: RcStrategy::Perceus,
-            borrow: false,
-            inline: true,
-            inline_config: inline::InlineConfig::default(),
-            reuse: false,
-            reuse_config: reuse::ReuseConfig::default(),
-            reuse_spec: false,
-            drop_spec: false,
-            fuse: false,
-        }
+        PassConfig::perceus()
+            .with_reuse(false)
+            .with_reuse_spec(false)
+            .with_drop_spec(false)
+            .with_fuse(false)
     }
 
     /// Full Perceus plus inferred borrowed parameters (§6 extension).
     /// Fewer rc operations, but no longer garbage-free: a caller holds
     /// borrowed values across whole calls.
     pub fn perceus_borrowing() -> Self {
-        PassConfig {
-            borrow: true,
-            ..PassConfig::perceus()
-        }
+        PassConfig::perceus().with_borrow(true)
     }
 
     /// Scope-tied reference counting (§2.2 baseline).
     pub fn scoped() -> Self {
-        PassConfig {
-            strategy: RcStrategy::Scoped,
-            borrow: false,
-            inline: true,
-            inline_config: inline::InlineConfig::default(),
-            reuse: false,
-            reuse_config: reuse::ReuseConfig::default(),
-            reuse_spec: false,
-            drop_spec: false,
-            fuse: false,
-        }
+        PassConfig::for_strategy(RcStrategy::Scoped)
     }
 
     /// No reference counting: for the tracing-GC and arena runtimes.
     pub fn erased() -> Self {
-        PassConfig {
-            strategy: RcStrategy::None,
-            borrow: false,
-            inline: true,
-            inline_config: inline::InlineConfig::default(),
-            reuse: false,
-            reuse_config: reuse::ReuseConfig::default(),
-            reuse_spec: false,
-            drop_spec: false,
-            fuse: false,
+        PassConfig::for_strategy(RcStrategy::None)
+    }
+
+    /// The canonical configuration for an insertion discipline: full
+    /// optimizations for [`RcStrategy::Perceus`], the plain baseline
+    /// pipelines otherwise.
+    pub fn for_strategy(strategy: RcStrategy) -> Self {
+        match strategy {
+            RcStrategy::Perceus => PassConfig::perceus(),
+            RcStrategy::Scoped | RcStrategy::None => PassConfig {
+                strategy,
+                ..PassConfig::perceus()
+                    .with_reuse(false)
+                    .with_reuse_spec(false)
+                    .with_drop_spec(false)
+                    .with_fuse(false)
+            },
         }
+    }
+
+    // ---- builder -----------------------------------------------------
+
+    /// Enables/disables inferred borrowed parameters (§6 extension).
+    pub fn with_borrow(mut self, on: bool) -> Self {
+        self.borrow = on;
+        self
+    }
+
+    /// Enables/disables the inliner.
+    pub fn with_inline(mut self, on: bool) -> Self {
+        self.inline = on;
+        self
+    }
+
+    /// Sets the inliner knobs.
+    pub fn with_inline_config(mut self, config: inline::InlineConfig) -> Self {
+        self.inline_config = config;
+        self
+    }
+
+    /// Enables/disables reuse analysis (Perceus only).
+    pub fn with_reuse(mut self, on: bool) -> Self {
+        self.reuse = on;
+        if !on {
+            self.reuse_spec = false;
+        }
+        self
+    }
+
+    /// Sets the reuse-analysis knobs.
+    pub fn with_reuse_config(mut self, config: reuse::ReuseConfig) -> Self {
+        self.reuse_config = config;
+        self
+    }
+
+    /// Enables/disables reuse specialization (requires reuse analysis).
+    pub fn with_reuse_spec(mut self, on: bool) -> Self {
+        self.reuse_spec = on && self.reuse;
+        self
+    }
+
+    /// Enables/disables drop / drop-reuse specialization.
+    pub fn with_drop_spec(mut self, on: bool) -> Self {
+        self.drop_spec = on;
+        self
+    }
+
+    /// Enables/disables dup push-down and fusion.
+    pub fn with_fuse(mut self, on: bool) -> Self {
+        self.fuse = on;
+        self
+    }
+
+    /// Sets when the per-stage λ¹/well-formedness checks run.
+    pub fn with_validation(mut self, validation: Validation) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    // ---- accessors ---------------------------------------------------
+
+    /// Insertion discipline.
+    pub fn strategy(&self) -> RcStrategy {
+        self.strategy
+    }
+
+    /// Are borrowed parameters inferred?
+    pub fn borrow(&self) -> bool {
+        self.borrow
+    }
+
+    /// Does the inliner run?
+    pub fn inline(&self) -> bool {
+        self.inline
+    }
+
+    /// Inliner knobs.
+    pub fn inline_config(&self) -> &inline::InlineConfig {
+        &self.inline_config
+    }
+
+    /// Does reuse analysis run?
+    pub fn reuse(&self) -> bool {
+        self.reuse
+    }
+
+    /// Reuse-analysis knobs.
+    pub fn reuse_config(&self) -> &reuse::ReuseConfig {
+        &self.reuse_config
+    }
+
+    /// Does reuse specialization run?
+    pub fn reuse_spec(&self) -> bool {
+        self.reuse_spec
+    }
+
+    /// Does drop specialization run?
+    pub fn drop_spec(&self) -> bool {
+        self.drop_spec
+    }
+
+    /// Does dup/drop fusion run?
+    pub fn fuse(&self) -> bool {
+        self.fuse
+    }
+
+    /// Per-stage validation level.
+    pub fn validation(&self) -> Validation {
+        self.validation
     }
 
     /// Returns a copy with one optimization toggled off — used by the
@@ -163,13 +376,83 @@ pub enum Ablation {
     Inline,
 }
 
+/// What a stage check found wrong with a pass's output.
+#[derive(Debug)]
+pub enum StageViolation {
+    /// The output is no longer well-formed (scoping/arity bug).
+    Wf(wf::WfError),
+    /// The output violates the λ¹ resource discipline.
+    Linear(linear::LinearError),
+}
+
+impl fmt::Display for StageViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageViolation::Wf(e) => write!(f, "well-formedness: {e}"),
+            StageViolation::Linear(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A per-stage validation failure: the first pass whose output broke an
+/// invariant, with a counterexample minimized to the offending function.
+#[derive(Debug)]
+pub struct StageError {
+    /// The pass whose output failed the check.
+    pub pass: PassName,
+    /// What was violated.
+    pub violation: StageViolation,
+    /// Pretty-printed counterexample: the offending function when the
+    /// violation names one, otherwise the whole program.
+    pub counterexample: String,
+    /// Number of top-level definitions in the counterexample.
+    pub counterexample_defs: usize,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pass `{}` broke a pipeline invariant: {}\ncounterexample ({} def{}):\n{}",
+            self.pass,
+            self.violation,
+            self.counterexample_defs,
+            if self.counterexample_defs == 1 { "" } else { "s" },
+            self.counterexample
+        )
+    }
+}
+
+impl std::error::Error for StageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.violation {
+            StageViolation::Wf(e) => Some(e),
+            StageViolation::Linear(e) => Some(e),
+        }
+    }
+}
+
 /// An error produced by the pipeline.
 #[derive(Debug)]
 pub enum PassError {
     /// Perceus insertion failed (ill-scoped input).
     Insert(insert::InsertError),
-    /// The output failed the well-formedness check (a pass bug).
+    /// The final output failed the well-formedness check (a pass bug
+    /// detected by the end-of-pipeline guard when per-stage validation
+    /// is off).
     Malformed(wf::WfError),
+    /// A per-stage check failed: names the first offending pass.
+    Stage(StageError),
+}
+
+impl PassError {
+    /// The stage a validation failure is attributed to, if any.
+    pub fn stage(&self) -> Option<PassName> {
+        match self {
+            PassError::Stage(e) => Some(e.pass),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for PassError {
@@ -177,6 +460,7 @@ impl fmt::Display for PassError {
         match self {
             PassError::Insert(e) => write!(f, "{e}"),
             PassError::Malformed(e) => write!(f, "pipeline produced ill-formed code: {e}"),
+            PassError::Stage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -186,6 +470,7 @@ impl std::error::Error for PassError {
         match self {
             PassError::Insert(e) => Some(e),
             PassError::Malformed(e) => Some(e),
+            PassError::Stage(e) => Some(e),
         }
     }
 }
@@ -196,16 +481,90 @@ impl From<insert::InsertError> for PassError {
     }
 }
 
+/// One recorded stage: the pass that ran, a snapshot of its output, and
+/// how long the pass (plus its validation) took.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// The pass this snapshot is the output of.
+    pub pass: PassName,
+    /// The program as it left the pass.
+    pub program: Program,
+    /// Wall time spent in the pass and its per-stage checks.
+    pub elapsed: Duration,
+}
+
+/// The observable result of a staged pipeline run: one snapshot per
+/// executed pass, in order. The last snapshot is the final program.
+#[derive(Debug, Clone, Default)]
+pub struct StageTrace {
+    stages: Vec<Stage>,
+}
+
+impl StageTrace {
+    /// Named `(PassName, &Program)` snapshots, in execution order — the
+    /// hook surface the per-pass checkers and the bench stage timers
+    /// consume.
+    pub fn stages(&self) -> impl Iterator<Item = (PassName, &Program)> + '_ {
+        self.stages.iter().map(|s| (s.pass, &s.program))
+    }
+
+    /// Per-stage wall-clock timings, in execution order.
+    pub fn timings(&self) -> impl Iterator<Item = (PassName, Duration)> + '_ {
+        self.stages.iter().map(|s| (s.pass, s.elapsed))
+    }
+
+    /// Full access to the recorded stages.
+    pub fn records(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of executed stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stage was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The final program (output of the last stage).
+    pub fn final_program(&self) -> &Program {
+        &self
+            .stages
+            .last()
+            .expect("a pipeline always runs at least one stage")
+            .program
+    }
+
+    /// Consumes the trace, returning the final program.
+    pub fn into_final(mut self) -> Program {
+        self.stages
+            .pop()
+            .expect("a pipeline always runs at least one stage")
+            .program
+    }
+}
+
+/// A mutation injected after a named pass — test instrumentation used
+/// to prove that the per-stage checker attributes a broken pass to the
+/// right stage (see `tests/staged_validation.rs`).
+pub type StageMutation = fn(&mut Program);
+
 /// Drives the configured passes over a program.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: PassConfig,
+    mutation: Option<(PassName, StageMutation)>,
 }
 
 impl Pipeline {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: PassConfig) -> Self {
-        Pipeline { config }
+        Pipeline {
+            config,
+            mutation: None,
+        }
     }
 
     /// The configuration in use.
@@ -213,13 +572,46 @@ impl Pipeline {
         &self.config
     }
 
+    /// Injects `mutation` into the program right after `pass` runs and
+    /// *before* that pass's validation — so an intentionally broken
+    /// pass is caught and attributed to `pass` by name. Intended for
+    /// tests of the validation subsystem itself.
+    pub fn with_mutation_after(mut self, pass: PassName, mutation: StageMutation) -> Self {
+        self.mutation = Some((pass, mutation));
+        self
+    }
+
     /// Runs all passes; returns the compiled program.
-    pub fn run(&self, mut p: Program) -> Result<Program, PassError> {
+    pub fn run(&self, p: Program) -> Result<Program, PassError> {
+        let (p, _) = self.drive(p, false)?;
+        Ok(p)
+    }
+
+    /// Runs all passes, recording a named snapshot (and timing) after
+    /// every executed pass. The per-stage checks run exactly as in
+    /// [`Pipeline::run`]; the trace additionally makes every stage
+    /// boundary observable.
+    pub fn stages(&self, p: Program) -> Result<StageTrace, PassError> {
+        let (_, trace) = self.drive(p, true)?;
+        Ok(trace)
+    }
+
+    fn drive(&self, mut p: Program, capture: bool) -> Result<(Program, StageTrace), PassError> {
+        let mut trace = StageTrace::default();
+        let mut stage_start = Instant::now();
+        macro_rules! stage {
+            ($pass:expr) => {{
+                self.after_pass($pass, &mut p, capture, &mut trace, &mut stage_start)?;
+            }};
+        }
+
         normalize::normalize_program(&mut p);
+        stage!(PassName::Normalize);
         if self.config.inline {
             inline::inline_program(&mut p, &self.config.inline_config);
             // Inlining splices ANF terms under fresh lets; stay in ANF.
             normalize::normalize_program(&mut p);
+            stage!(PassName::Inline);
         }
         match self.config.strategy {
             RcStrategy::Perceus => {
@@ -228,28 +620,116 @@ impl Pipeline {
                 // Lean ordering — reuse beats borrowing when both apply).
                 if self.config.reuse {
                     reuse::reuse_program(&mut p, &self.config.reuse_config);
+                    stage!(PassName::Reuse);
                 }
                 if self.config.borrow {
                     borrow::borrow_program(&mut p);
+                    stage!(PassName::Borrow);
                 }
                 insert::insert_program(&mut p)?;
+                stage!(PassName::Insert);
                 if self.config.reuse_spec {
                     reuse_spec::reuse_spec_program(&mut p);
+                    stage!(PassName::ReuseSpec);
                 }
                 if self.config.drop_spec {
                     drop_spec::drop_spec_program(&mut p, &drop_spec::DropSpecConfig::default());
+                    stage!(PassName::DropSpec);
                 }
                 if self.config.fuse {
                     fuse::fuse_program(&mut p);
+                    stage!(PassName::Fuse);
                 }
             }
             RcStrategy::Scoped => {
                 scoped::scoped_program(&mut p);
+                stage!(PassName::Scoped);
             }
             RcStrategy::None => {}
         }
-        wf::check_program(&p).map_err(PassError::Malformed)?;
-        Ok(p)
+        if !self.config.validation.active() {
+            // Last-resort guard when per-stage checking is off: the
+            // pre-existing end-of-pipeline well-formedness check.
+            wf::check_program(&p).map_err(PassError::Malformed)?;
+        }
+        Ok((p, trace))
+    }
+
+    /// Bookkeeping after pass `pass` produced `p`: apply an injected
+    /// test mutation, run the per-stage checks, record the snapshot.
+    fn after_pass(
+        &self,
+        pass: PassName,
+        p: &mut Program,
+        capture: bool,
+        trace: &mut StageTrace,
+        stage_start: &mut Instant,
+    ) -> Result<(), PassError> {
+        if let Some((at, mutation)) = self.mutation {
+            if at == pass {
+                mutation(p);
+            }
+        }
+        if self.config.validation.active() {
+            validate_stage(pass, p, self.discipline_after(pass)).map_err(PassError::Stage)?;
+        }
+        if capture {
+            trace.stages.push(Stage {
+                pass,
+                program: p.clone(),
+                elapsed: stage_start.elapsed(),
+            });
+        }
+        *stage_start = Instant::now();
+        Ok(())
+    }
+
+    /// The λ¹ discipline a stage's output must satisfy: strict once
+    /// `dup`/`drop` have been inserted (rc strategies only), otherwise
+    /// the declarative one.
+    fn discipline_after(&self, pass: PassName) -> Discipline {
+        if pass.rc_inserted() && self.config.strategy != RcStrategy::None {
+            Discipline::Strict
+        } else {
+            Discipline::Relaxed
+        }
+    }
+}
+
+/// Checks one stage's output: IR well-formedness plus the λ¹ resource
+/// discipline. On failure, minimizes the counterexample to the
+/// offending function.
+fn validate_stage(pass: PassName, p: &Program, discipline: Discipline) -> Result<(), StageError> {
+    if let Err(e) = wf::check_program(p) {
+        let fun = e.fun;
+        return Err(stage_error(pass, StageViolation::Wf(e), p, fun));
+    }
+    if let Err(e) = linear::check_program_with(p, discipline) {
+        let fun = e.fun;
+        return Err(stage_error(pass, StageViolation::Linear(e), p, fun));
+    }
+    Ok(())
+}
+
+fn stage_error(
+    pass: PassName,
+    violation: StageViolation,
+    p: &Program,
+    fun: Option<crate::ir::program::FunId>,
+) -> StageError {
+    let (counterexample, counterexample_defs) = match fun {
+        Some(id) if (id.0 as usize) < p.funs.len() => {
+            let mut s = String::new();
+            let _ = pretty::write_fun(&mut s, p.fun(id), &p.types);
+            (s, 1)
+        }
+        _ => (pretty::program_to_string(p), p.funs.len()),
+    };
+    StageError {
+        pass,
+        violation,
+        counterexample,
+        counterexample_defs,
     }
 }
 
@@ -349,8 +829,108 @@ mod tests {
     #[test]
     fn ablation_toggles() {
         let c = PassConfig::perceus().without(Ablation::Reuse);
-        assert!(!c.reuse && !c.reuse_spec);
+        assert!(!c.reuse() && !c.reuse_spec());
         let c = PassConfig::perceus().without(Ablation::Fuse);
-        assert!(!c.fuse && c.reuse);
+        assert!(!c.fuse() && c.reuse());
+    }
+
+    #[test]
+    fn builder_composes() {
+        let c = PassConfig::perceus()
+            .with_borrow(true)
+            .with_fuse(false)
+            .with_validation(Validation::Full);
+        assert!(c.borrow() && !c.fuse());
+        assert_eq!(c.validation(), Validation::Full);
+        assert_eq!(c.strategy(), RcStrategy::Perceus);
+        // Turning reuse off also disables reuse specialization.
+        let c = PassConfig::perceus().with_reuse(false);
+        assert!(!c.reuse() && !c.reuse_spec());
+        // Reuse specialization cannot be enabled without reuse.
+        let c = PassConfig::perceus().with_reuse(false).with_reuse_spec(true);
+        assert!(!c.reuse_spec());
+    }
+
+    #[test]
+    fn stage_trace_names_every_executed_pass() {
+        let trace = Pipeline::new(PassConfig::perceus().with_validation(Validation::Full))
+            .stages(map_program())
+            .unwrap();
+        let names: Vec<PassName> = trace.stages().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                PassName::Normalize,
+                PassName::Inline,
+                PassName::Reuse,
+                PassName::Insert,
+                PassName::ReuseSpec,
+                PassName::DropSpec,
+                PassName::Fuse,
+            ]
+        );
+        // The final snapshot is the same program `run` produces.
+        let direct = Pipeline::new(PassConfig::perceus())
+            .run(map_program())
+            .unwrap();
+        assert_eq!(
+            program_to_string(trace.final_program()),
+            program_to_string(&direct)
+        );
+        assert_eq!(trace.timings().count(), trace.len());
+    }
+
+    #[test]
+    fn erased_trace_is_rc_free_at_every_stage() {
+        let trace = Pipeline::new(PassConfig::erased().with_validation(Validation::Full))
+            .stages(map_program())
+            .unwrap();
+        for (name, p) in trace.stages() {
+            for (_, f) in p.funs() {
+                assert!(f.body.is_user_fragment(), "rc op after {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_corruption_is_attributed_to_the_right_stage() {
+        // Corrupt the program right after drop-spec: grant an extra
+        // ownership of the entry's first parameter that nothing drops.
+        fn corrupt(p: &mut Program) {
+            let entry = p.entry.unwrap();
+            let f = &mut p.funs[entry.0 as usize];
+            let par = f.params[0].clone();
+            let body = std::mem::replace(&mut f.body, Expr::unit());
+            f.body = Expr::dup(par, body);
+        }
+        let err = Pipeline::new(PassConfig::perceus().with_validation(Validation::Full))
+            .with_mutation_after(PassName::DropSpec, corrupt)
+            .run(map_program())
+            .unwrap_err();
+        assert_eq!(err.stage(), Some(PassName::DropSpec), "{err}");
+        let PassError::Stage(stage) = err else {
+            panic!("expected a stage error");
+        };
+        assert!(matches!(stage.violation, StageViolation::Linear(_)));
+        assert!(stage.counterexample_defs <= 10);
+        assert!(!stage.counterexample.is_empty());
+    }
+
+    #[test]
+    fn scope_corruption_is_reported_as_wf_violation() {
+        fn corrupt(p: &mut Program) {
+            let entry = p.entry.unwrap();
+            let ghost = p.var_gen.fresh("ghost");
+            p.funs[entry.0 as usize].body = Expr::Var(ghost);
+        }
+        let err = Pipeline::new(PassConfig::perceus().with_validation(Validation::Full))
+            .with_mutation_after(PassName::Normalize, corrupt)
+            .run(map_program())
+            .unwrap_err();
+        assert_eq!(err.stage(), Some(PassName::Normalize), "{err}");
+        let PassError::Stage(stage) = err else {
+            panic!("expected a stage error");
+        };
+        assert!(matches!(stage.violation, StageViolation::Wf(_)));
     }
 }

@@ -86,6 +86,8 @@ pub struct Machine<'p> {
     /// Recycled environment vectors (a call would otherwise allocate a
     /// fresh `Vec` per frame; the pool makes calls allocation-free).
     env_pool: Vec<Vec<Value>>,
+    /// Number of garbage-free audits run (see `RunConfig::audit_every`).
+    audits: u64,
 }
 
 impl<'p> Machine<'p> {
@@ -113,7 +115,15 @@ impl<'p> Machine<'p> {
             collector,
             config,
             env_pool: Vec::new(),
+            audits: 0,
         }
+    }
+
+    /// How many in-flight garbage-free audits ran (each one checked
+    /// reachability and count adequacy of the whole heap). Zero unless
+    /// [`RunConfig::audit_every`] was set.
+    pub fn audits_run(&self) -> u64 {
+        self.audits
     }
 
     fn take_env(&mut self) -> Vec<Value> {
@@ -186,6 +196,7 @@ impl<'p> Machine<'p> {
             if let Some(every) = self.config.audit_every {
                 if self.heap.stats.steps.is_multiple_of(every) && !is_rc_instruction(cur) {
                     crate::audit::check_machine(self).map_err(RuntimeError::Internal)?;
+                    self.audits += 1;
                 }
             }
             match cur {

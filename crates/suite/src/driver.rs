@@ -4,7 +4,7 @@
 
 use perceus_core::check as linear;
 use perceus_core::ir::{erase_program, Program};
-use perceus_core::passes::{PassConfig, PassError, Pipeline};
+use perceus_core::passes::{PassConfig, PassError, Pipeline, RcStrategy};
 use perceus_lang::LangError;
 use perceus_runtime::code::{self, Compiled};
 use perceus_runtime::machine::{DeepValue, Machine, RunConfig};
@@ -60,29 +60,45 @@ impl Strategy {
         }
     }
 
-    /// The pass configuration for this strategy.
-    pub fn pass_config(self) -> PassConfig {
+    /// How this evaluation strategy lowers onto the two independent
+    /// axes below it: the compile-time insertion discipline
+    /// ([`RcStrategy`]) and the runtime reclamation mode
+    /// ([`ReclaimMode`]). This is the single source of truth — every
+    /// other mapping (`pass_config`, `reclaim_mode`, `is_rc`) derives
+    /// from it.
+    pub fn lowering(self) -> (RcStrategy, ReclaimMode) {
         match self {
-            Strategy::Perceus => PassConfig::perceus(),
-            Strategy::PerceusNoOpt => PassConfig::perceus_no_opt(),
-            Strategy::Scoped => PassConfig::scoped(),
-            Strategy::Gc | Strategy::Arena => PassConfig::erased(),
+            Strategy::Perceus | Strategy::PerceusNoOpt => (RcStrategy::Perceus, ReclaimMode::Rc),
+            Strategy::Scoped => (RcStrategy::Scoped, ReclaimMode::Rc),
+            Strategy::Gc => (RcStrategy::None, ReclaimMode::Gc),
+            Strategy::Arena => (RcStrategy::None, ReclaimMode::Arena),
+        }
+    }
+
+    /// The pass configuration for this strategy: the canonical config
+    /// for the lowered insertion discipline, minus the optimizations
+    /// for the no-opt column.
+    pub fn pass_config(self) -> PassConfig {
+        let config = PassConfig::for_strategy(self.lowering().0);
+        match self {
+            Strategy::PerceusNoOpt => config
+                .with_reuse(false)
+                .with_reuse_spec(false)
+                .with_drop_spec(false)
+                .with_fuse(false),
+            _ => config,
         }
     }
 
     /// The heap reclamation mode for this strategy.
     pub fn reclaim_mode(self) -> ReclaimMode {
-        match self {
-            Strategy::Perceus | Strategy::PerceusNoOpt | Strategy::Scoped => ReclaimMode::Rc,
-            Strategy::Gc => ReclaimMode::Gc,
-            Strategy::Arena => ReclaimMode::Arena,
-        }
+        self.lowering().1
     }
 
     /// True for the reference-counting strategies (whose heaps must be
     /// empty after the result is dropped).
     pub fn is_rc(self) -> bool {
-        self.reclaim_mode() == ReclaimMode::Rc
+        self.lowering().1 == ReclaimMode::Rc
     }
 }
 
@@ -97,6 +113,8 @@ pub enum SuiteError {
     Linear(linear::LinearError),
     /// Backend or execution failure.
     Runtime(RuntimeError),
+    /// The standard-semantics oracle failed.
+    Oracle(OracleError),
 }
 
 impl fmt::Display for SuiteError {
@@ -106,11 +124,22 @@ impl fmt::Display for SuiteError {
             SuiteError::Pass(e) => write!(f, "{e}"),
             SuiteError::Linear(e) => write!(f, "{e}"),
             SuiteError::Runtime(e) => write!(f, "{e}"),
+            SuiteError::Oracle(e) => write!(f, "oracle: {e}"),
         }
     }
 }
 
-impl std::error::Error for SuiteError {}
+impl std::error::Error for SuiteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuiteError::Lang(e) => Some(e),
+            SuiteError::Pass(e) => Some(e),
+            SuiteError::Linear(e) => Some(e),
+            SuiteError::Runtime(e) => Some(e),
+            SuiteError::Oracle(e) => Some(e),
+        }
+    }
+}
 
 impl From<LangError> for SuiteError {
     fn from(e: LangError) -> Self {
@@ -125,6 +154,11 @@ impl From<PassError> for SuiteError {
 impl From<RuntimeError> for SuiteError {
     fn from(e: RuntimeError) -> Self {
         SuiteError::Runtime(e)
+    }
+}
+impl From<OracleError> for SuiteError {
+    fn from(e: OracleError) -> Self {
+        SuiteError::Oracle(e)
     }
 }
 
@@ -149,7 +183,7 @@ pub fn compile_program(program: Program, strategy: Strategy) -> Result<Compiled,
 /// Compiles with an explicit pass configuration (used by the ablation
 /// experiments, which toggle individual optimizations).
 pub fn compile_with_config(src: &str, config: PassConfig) -> Result<Compiled, SuiteError> {
-    let rc = config.strategy != perceus_core::passes::RcStrategy::None;
+    let rc = config.strategy() != RcStrategy::None;
     let program = perceus_lang::compile_str(src)?;
     let program = Pipeline::new(config).run(program)?;
     if rc {
@@ -178,6 +212,10 @@ pub struct RunOutcome {
     /// Size-class free-list occupancy at exit: `(field_count, blocks)`
     /// for every nonempty class (empty when recycling is off).
     pub free_list_occupancy: Vec<(usize, usize)>,
+    /// Number of in-flight garbage-free audits that ran (nonzero only
+    /// when `RunConfig::audit_every` was set; each audit verified heap
+    /// reachability and reference-count adequacy mid-run).
+    pub audits: u64,
 }
 
 /// Runs a compiled workload's `main(n)`.
@@ -200,6 +238,7 @@ pub fn run_workload(
         leaked_blocks: m.heap.live_blocks(),
         trace_tail: m.heap.trace().map(|t| t.render_tail(64)),
         free_list_occupancy: m.heap.free_list_occupancy(),
+        audits: m.audits_run(),
     })
 }
 
@@ -243,7 +282,7 @@ pub fn oracle_run_program(
     handle
         .join()
         .expect("oracle thread must not panic")
-        .map_err(|e| SuiteError::Runtime(RuntimeError::Internal(format!("oracle: {e}"))))
+        .map_err(SuiteError::Oracle)
 }
 
 #[cfg(test)]
@@ -272,6 +311,21 @@ fun main(n: int): int { fib(n) }
     fn oracle_agrees() {
         let (v, _) = oracle_run(SRC, 15, 100_000_000).unwrap();
         assert_eq!(v, DeepValue::Int(610));
+    }
+
+    #[test]
+    fn lowering_is_the_single_source_of_truth() {
+        for s in Strategy::ALL {
+            let (rc, mode) = s.lowering();
+            assert_eq!(s.pass_config().strategy(), rc, "{}", s.label());
+            assert_eq!(s.reclaim_mode(), mode, "{}", s.label());
+            assert_eq!(s.is_rc(), mode == ReclaimMode::Rc, "{}", s.label());
+        }
+        // No rc insertion without an rc heap, and vice versa.
+        for s in Strategy::ALL {
+            let (rc, mode) = s.lowering();
+            assert_eq!(rc == RcStrategy::None, mode != ReclaimMode::Rc);
+        }
     }
 
     #[test]

@@ -16,12 +16,21 @@
 //! | [`Strategy::Gc`] | OCaml / Haskell / Java (tracing collection) |
 //! | [`Strategy::Arena`] | C++ leak baseline (deriv, nqueens, cfold) |
 
+//! The differential-testing subsystem lives in [`diff`] (strategy ×
+//! oracle agreement plus the garbage-free invariant, over [`genprog`]
+//! programs) and [`shrink`] (greedy counterexample reduction); the
+//! `perceus-suite` binary exposes it as the `fuzz` subcommand.
+
+pub mod diff;
 pub mod driver;
 pub mod genprog;
+pub mod shrink;
 pub mod workloads;
 
+pub use diff::{differential_check, fuzz, CheckOutcome, Divergence, Failure, FuzzConfig, FuzzReport};
 pub use driver::{
     compile_and_run, compile_with_config, compile_workload, oracle_run, run_workload, RunOutcome,
     Strategy, SuiteError,
 };
+pub use shrink::{shrink_program, ShrinkOutcome};
 pub use workloads::{workload, workloads, Workload};

@@ -1,0 +1,241 @@
+//! `perceus-suite` — the suite's command-line entry point.
+//!
+//! ```text
+//! perceus-suite fuzz [--seed 0xC0FFEE] [--iters 200] [--size 28]
+//!                    [--arg 5] [--audit-every 64] [--no-shrink]
+//!                    [--json FILE] [--quiet]
+//! perceus-suite stages [--workload map] [--strategy perceus]
+//! ```
+//!
+//! `fuzz` drives random programs through every strategy plus the
+//! standard-semantics oracle (see [`perceus_suite::diff`]), printing a
+//! JSON summary and exiting nonzero on any divergence or garbage-free
+//! violation. `stages` prints the named pass boundaries of a workload's
+//! compilation (sizes and per-stage timing).
+
+use perceus_core::passes::Pipeline;
+use perceus_suite::diff::{fuzz_with, FuzzConfig};
+use perceus_suite::{workload, workloads, Strategy};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&args[1..]),
+        Some("stages") => run_stages(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: perceus-suite <subcommand> [options]
+
+subcommands:
+  fuzz     differential-test random programs across every strategy
+           and the standard-semantics oracle
+    --seed <u64|0xHEX>   master seed            (default 0xC0FFEE)
+    --iters <n>          programs to check      (default 50)
+    --size <n>           generator size budget  (default 28)
+    --arg <n>            argument to main       (default 5)
+    --fuel <n>           oracle fuel            (default 50000000)
+    --audit-every <n>    in-flight audit period (default 64)
+    --no-shrink          report failures unreduced
+    --json <file>        also write the JSON report to a file
+    --quiet              no per-iteration progress dots
+
+  stages   print the named pass boundaries of a workload compilation
+    --workload <name>    workload to compile    (default map)
+    --strategy <name>    perceus | perceus-no-opt | scoped-rc |
+                         tracing-gc | arena     (default perceus)
+";
+
+fn parse_u64(s: &str, what: &str) -> u64 {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    match parsed {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid {what}: `{s}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn next_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} requires a value\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let mut cfg = FuzzConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => cfg.seed = parse_u64(next_value(args, &mut i, "--seed"), "seed"),
+            "--iters" => cfg.iters = parse_u64(next_value(args, &mut i, "--iters"), "iters"),
+            "--size" => cfg.size = parse_u64(next_value(args, &mut i, "--size"), "size") as u32,
+            "--arg" => cfg.arg = parse_u64(next_value(args, &mut i, "--arg"), "arg") as i64,
+            "--fuel" => cfg.fuel = parse_u64(next_value(args, &mut i, "--fuel"), "fuel"),
+            "--audit-every" => {
+                let every = parse_u64(next_value(args, &mut i, "--audit-every"), "audit period");
+                cfg.audit_every = (every > 0).then_some(every);
+            }
+            "--no-shrink" => cfg.shrink = false,
+            "--json" => json_path = Some(next_value(args, &mut i, "--json").to_string()),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown fuzz option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "fuzz: {} iterations, seed {:#x}, size {}, {} strategies + oracle",
+        cfg.iters,
+        cfg.seed,
+        cfg.size,
+        Strategy::ALL.len()
+    );
+    let report = fuzz_with(&cfg, |iter, outcome| {
+        if quiet {
+            return;
+        }
+        use std::io::Write;
+        let mut err = std::io::stderr();
+        let _ = write!(err, "{}", if outcome.agreed() { "." } else { "X" });
+        if (iter + 1) % 50 == 0 {
+            let _ = writeln!(err, " {}", iter + 1);
+        }
+        let _ = err.flush();
+    });
+    if !quiet {
+        eprintln!();
+    }
+
+    let json = report.to_json();
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{json}");
+
+    if report.clean() {
+        eprintln!(
+            "fuzz: OK — {} programs agreed across {} strategies ({} in-flight audits)",
+            report.iters,
+            report.strategies.len(),
+            report.audits
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fuzz: FAILED — {} of {} programs diverged",
+            report.failures.len(),
+            report.iters
+        );
+        for f in &report.failures {
+            eprintln!(
+                "  iter {} (seed {:#x}, {} -> {} nodes after {} shrink steps):",
+                f.iter, f.seed, f.original_nodes, f.reported_nodes, f.shrink_steps
+            );
+            for d in &f.divergences {
+                eprintln!("    {d}");
+            }
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_stages(args: &[String]) -> ExitCode {
+    let mut workload_name = "map".to_string();
+    let mut strategy = Strategy::Perceus;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => workload_name = next_value(args, &mut i, "--workload").to_string(),
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match Strategy::ALL.iter().find(|s| s.label() == name) {
+                    Some(s) => *s,
+                    None => {
+                        eprintln!("unknown strategy `{name}`\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown stages option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let w = match workload(&workload_name) {
+        Some(w) => w,
+        None => {
+            eprintln!(
+                "unknown workload `{workload_name}`; available: {}",
+                workloads()
+                    .iter()
+                    .map(|w| w.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let program = match perceus_lang::compile_str(w.source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("front end failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Pipeline::new(strategy.pass_config()).stages(program) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} under {} — {} stages",
+        w.name,
+        strategy.label(),
+        trace.len()
+    );
+    println!("{:<12} {:>8} {:>12}", "stage", "nodes", "time");
+    for record in trace.records() {
+        let nodes: usize = record.program.funs.iter().map(|f| f.body.size()).sum();
+        println!(
+            "{:<12} {:>8} {:>9.1?}",
+            record.pass.label(),
+            nodes,
+            record.elapsed
+        );
+    }
+    ExitCode::SUCCESS
+}

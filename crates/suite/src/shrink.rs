@@ -1,0 +1,262 @@
+//! A greedy structural shrinker for core programs.
+//!
+//! When the differential tester ([`crate::diff`]) finds a program on
+//! which two strategies disagree, the raw generated program is noisy:
+//! most of its subterms are irrelevant to the failure. The shrinker
+//! reduces it before reporting, in the spirit of QuickCheck/proptest
+//! shrinking but operating directly on the core IR:
+//!
+//! * **Hoist**: replace a node by one of its proper subexpressions
+//!   (match arm bodies and let bodies included).
+//! * **Collapse**: replace a non-leaf node by `0` or `()`.
+//!
+//! Every candidate strictly decreases total program size, so the greedy
+//! loop terminates. Candidates that break IR well-formedness (for
+//! example a hoist that exposes a binder out of scope) are filtered out
+//! before the — much more expensive — failure predicate runs; the
+//! predicate must hold (the failure must reproduce, in the same class)
+//! for a candidate to be kept.
+
+use perceus_core::ir::expr::Expr;
+use perceus_core::ir::{wf, Program};
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest failing program found.
+    pub program: Program,
+    /// Number of accepted shrink steps.
+    pub steps: usize,
+    /// Total expression nodes before shrinking.
+    pub initial_nodes: usize,
+    /// Total expression nodes after shrinking.
+    pub final_nodes: usize,
+}
+
+/// Total expression-node count of a program (sum over function bodies).
+pub fn program_nodes(p: &Program) -> usize {
+    p.funs.iter().map(|f| f.body.size()).sum()
+}
+
+/// Greedily shrinks `p`, keeping only candidates for which
+/// `still_failing` holds. The predicate only ever sees well-formed
+/// programs. `max_steps` bounds the number of *accepted* shrinks (the
+/// predicate typically compiles and runs the whole strategy matrix, so
+/// callers keep this modest).
+pub fn shrink_program(
+    p: &Program,
+    max_steps: usize,
+    mut still_failing: impl FnMut(&Program) -> bool,
+) -> ShrinkOutcome {
+    let initial_nodes = program_nodes(p);
+    let mut best = p.clone();
+    let mut steps = 0;
+    while steps < max_steps {
+        match shrink_once(&best, &mut still_failing) {
+            Some(smaller) => {
+                best = smaller;
+                steps += 1;
+            }
+            None => break,
+        }
+    }
+    let final_nodes = program_nodes(&best);
+    ShrinkOutcome {
+        program: best,
+        steps,
+        initial_nodes,
+        final_nodes,
+    }
+}
+
+/// Tries every candidate, in order; returns the first strictly smaller
+/// well-formed program that still fails.
+fn shrink_once(p: &Program, still_failing: &mut impl FnMut(&Program) -> bool) -> Option<Program> {
+    for (fun_idx, f) in p.funs.iter().enumerate() {
+        let nodes = f.body.size();
+        for node_idx in 0..nodes {
+            let node = nth(&f.body, node_idx).expect("index within size");
+            for replacement in candidates(node) {
+                let mut candidate = p.clone();
+                let mut at = node_idx;
+                replace_nth(&mut candidate.funs[fun_idx].body, &mut at, &replacement);
+                if wf::check_program(&candidate).is_ok() && still_failing(&candidate) {
+                    return Some(candidate);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Strictly smaller replacements for `node`, most aggressive first.
+fn candidates(node: &Expr) -> Vec<Expr> {
+    let size = node.size();
+    if size <= 1 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Collapse to a leaf (biggest win first).
+    if !matches!(node, Expr::Lit(_)) {
+        out.push(Expr::int(0));
+        out.push(Expr::unit());
+    }
+    // Hoist a child subtree (proper subtree ⇒ strictly smaller). Order
+    // children largest-first so the shrink keeps the interesting part.
+    let mut kids: Vec<&Expr> = children(node);
+    kids.sort_by_key(|k| std::cmp::Reverse(k.size()));
+    out.extend(kids.into_iter().cloned());
+    out
+}
+
+/// The direct subexpressions of a node, in a fixed order shared with
+/// [`replace_nth`]'s traversal.
+fn children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Var(_)
+        | Expr::Lit(_)
+        | Expr::Global(_)
+        | Expr::Abort(_)
+        | Expr::TokenOf(_)
+        | Expr::NullToken => Vec::new(),
+        Expr::App(fun, args) => std::iter::once(&**fun).chain(args.iter()).collect(),
+        Expr::Call(_, args) | Expr::Prim(_, args) => args.iter().collect(),
+        Expr::Lam(lam) => vec![&*lam.body],
+        Expr::Con { args, .. } => args.iter().collect(),
+        Expr::Let { rhs, body, .. } => vec![&**rhs, &**body],
+        Expr::Seq(a, b) => vec![&**a, &**b],
+        Expr::Match { arms, default, .. } => arms
+            .iter()
+            .map(|a| &a.body)
+            .chain(default.iter().map(|d| &**d))
+            .collect(),
+        Expr::Dup(_, e)
+        | Expr::Drop(_, e)
+        | Expr::Free(_, e)
+        | Expr::DecRef(_, e)
+        | Expr::DropToken(_, e) => vec![&**e],
+        Expr::DropReuse { body, .. } => vec![&**body],
+        Expr::IsUnique { unique, shared, .. } => vec![&**unique, &**shared],
+    }
+}
+
+fn children_mut(e: &mut Expr) -> Vec<&mut Expr> {
+    match e {
+        Expr::Var(_)
+        | Expr::Lit(_)
+        | Expr::Global(_)
+        | Expr::Abort(_)
+        | Expr::TokenOf(_)
+        | Expr::NullToken => Vec::new(),
+        Expr::App(fun, args) => std::iter::once(&mut **fun).chain(args.iter_mut()).collect(),
+        Expr::Call(_, args) | Expr::Prim(_, args) => args.iter_mut().collect(),
+        Expr::Lam(lam) => vec![&mut *lam.body],
+        Expr::Con { args, .. } => args.iter_mut().collect(),
+        Expr::Let { rhs, body, .. } => vec![&mut **rhs, &mut **body],
+        Expr::Seq(a, b) => vec![&mut **a, &mut **b],
+        Expr::Match { arms, default, .. } => arms
+            .iter_mut()
+            .map(|a| &mut a.body)
+            .chain(default.iter_mut().map(|d| &mut **d))
+            .collect(),
+        Expr::Dup(_, e)
+        | Expr::Drop(_, e)
+        | Expr::Free(_, e)
+        | Expr::DecRef(_, e)
+        | Expr::DropToken(_, e) => vec![&mut **e],
+        Expr::DropReuse { body, .. } => vec![&mut **body],
+        Expr::IsUnique { unique, shared, .. } => vec![&mut **unique, &mut **shared],
+    }
+}
+
+/// The `idx`-th node of `e` in pre-order (`0` = `e` itself). The order
+/// matches [`Expr::visit`] for the user fragment; what matters here is
+/// only that it agrees with [`replace_nth`].
+fn nth(e: &Expr, idx: usize) -> Option<&Expr> {
+    fn go<'a>(e: &'a Expr, idx: &mut usize) -> Option<&'a Expr> {
+        if *idx == 0 {
+            return Some(e);
+        }
+        *idx -= 1;
+        for c in children(e) {
+            if let Some(found) = go(c, idx) {
+                return Some(found);
+            }
+        }
+        None
+    }
+    let mut idx = idx;
+    go(e, &mut idx)
+}
+
+/// Replaces the `idx`-th pre-order node of `e` with a clone of `with`.
+fn replace_nth(e: &mut Expr, idx: &mut usize, with: &Expr) -> bool {
+    if *idx == 0 {
+        *e = with.clone();
+        return true;
+    }
+    *idx -= 1;
+    for c in children_mut(e) {
+        if replace_nth(c, idx, with) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::random_program;
+    use perceus_core::ir::expr::PrimOp;
+
+    #[test]
+    fn nth_and_replace_agree() {
+        let p = random_program(7, 24);
+        for f in &p.funs {
+            let n = f.body.size();
+            for i in 0..n {
+                let before = nth(&f.body, i).unwrap().clone();
+                let mut body = f.body.clone();
+                let mut at = i;
+                assert!(replace_nth(&mut body, &mut at, &before));
+                assert_eq!(body, f.body, "identity replacement at {i}");
+            }
+            assert!(nth(&f.body, n).is_none());
+        }
+    }
+
+    #[test]
+    fn shrink_finds_a_small_witness() {
+        // Failure class: "the program contains a multiplication". The
+        // shrinker should reduce any such program to (nearly) just the
+        // multiplication.
+        let has_mul = |p: &Program| {
+            let mut found = false;
+            for f in &p.funs {
+                f.body.visit(&mut |e| {
+                    if matches!(e, Expr::Prim(PrimOp::Mul, _)) {
+                        found = true;
+                    }
+                });
+            }
+            found
+        };
+        let mut seed = 1;
+        let p = loop {
+            let p = random_program(seed, 30);
+            if has_mul(&p) {
+                break p;
+            }
+            seed += 1;
+        };
+        let out = shrink_program(&p, 10_000, |q| has_mul(q));
+        assert!(has_mul(&out.program), "shrinking must preserve the class");
+        assert!(out.final_nodes <= out.initial_nodes);
+        assert!(
+            out.final_nodes < 20,
+            "expected a small witness, got {} nodes",
+            out.final_nodes
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end checks of the staged-verification subsystem: every pass
+//! boundary is observable and checked, a broken pass is attributed to
+//! its own stage with a small counterexample, and the differential
+//! fuzzer agrees across every strategy (see docs/VALIDATION.md).
+
+use perceus_core::passes::{PassConfig, PassError, PassName, Pipeline, Validation};
+use perceus_suite::diff::{fuzz, FuzzConfig};
+use perceus_suite::Strategy;
+
+fn sample_program() -> perceus_core::ir::Program {
+    let src = perceus_suite::workload("map").expect("map workload").source;
+    perceus_lang::compile_str(src).expect("front end")
+}
+
+/// `Pipeline::stages` exposes one named snapshot per executed pass, in
+/// pipeline order, for every strategy's configuration.
+#[test]
+fn every_strategy_exposes_named_stage_boundaries() {
+    for strategy in Strategy::ALL {
+        let config = strategy.pass_config().with_validation(Validation::Full);
+        let trace = Pipeline::new(config)
+            .stages(sample_program())
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.label()));
+        let names: Vec<PassName> = trace.stages().map(|(n, _)| n).collect();
+        assert!(!names.is_empty(), "{}", strategy.label());
+        assert_eq!(names[0], PassName::Normalize, "{}", strategy.label());
+        // Order must follow PassName::ALL (the pipeline order).
+        let order: Vec<usize> = names
+            .iter()
+            .map(|n| PassName::ALL.iter().position(|m| m == n).unwrap())
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "{}: stages out of order", strategy.label());
+        // And every stage has a timing.
+        assert_eq!(trace.timings().count(), names.len());
+    }
+}
+
+/// An intentionally broken pass is caught by the very next check and
+/// attributed to the right stage name, with a counterexample small
+/// enough to read (≤ 10 top-level definitions).
+#[test]
+fn broken_pass_is_attributed_with_a_small_counterexample() {
+    fn corrupt(p: &mut perceus_core::ir::Program) {
+        use perceus_core::ir::Expr;
+        let entry = p.entry.unwrap();
+        let f = &mut p.funs[entry.0 as usize];
+        let par = f.params[0].clone();
+        let body = std::mem::replace(&mut f.body, Expr::unit());
+        f.body = Expr::dup(par, body);
+    }
+    for pass in [PassName::Insert, PassName::DropSpec, PassName::Fuse] {
+        let err = Pipeline::new(PassConfig::perceus().with_validation(Validation::Full))
+            .with_mutation_after(pass, corrupt)
+            .run(sample_program())
+            .expect_err("corruption must be caught");
+        assert_eq!(err.stage(), Some(pass), "wrong attribution: {err}");
+        let PassError::Stage(stage) = err else {
+            panic!("expected a stage error");
+        };
+        assert!(
+            stage.counterexample_defs <= 10,
+            "counterexample too large: {} defs",
+            stage.counterexample_defs
+        );
+        assert!(!stage.counterexample.is_empty());
+    }
+}
+
+/// With validation off, the same corruption sails through the pipeline
+/// (the machine or final checks would catch it later, without
+/// attribution) — demonstrating what the staged checks buy.
+#[test]
+fn validation_off_skips_per_stage_checks() {
+    fn corrupt(p: &mut perceus_core::ir::Program) {
+        use perceus_core::ir::Expr;
+        let entry = p.entry.unwrap();
+        let f = &mut p.funs[entry.0 as usize];
+        let par = f.params[0].clone();
+        let body = std::mem::replace(&mut f.body, Expr::unit());
+        f.body = Expr::dup(par, body);
+    }
+    let result = Pipeline::new(PassConfig::perceus().with_validation(Validation::Off))
+        .with_mutation_after(PassName::Fuse, corrupt)
+        .run(sample_program());
+    // The corruption is well-formed (only the λ¹ discipline is broken),
+    // so the end-of-pipeline wf guard does not see it.
+    assert!(result.is_ok());
+}
+
+/// Differential smoke: random programs agree across all five strategies
+/// and the oracle, garbage-free audits included. (CI runs the larger
+/// 200-iteration sweep via `perceus-suite fuzz`.)
+#[test]
+fn differential_fuzz_smoke_is_clean() {
+    let report = fuzz(&FuzzConfig {
+        seed: 0xC0FFEE,
+        iters: 15,
+        size: 26,
+        audit_every: Some(32),
+        ..FuzzConfig::default()
+    });
+    assert!(
+        report.clean(),
+        "divergences found:\n{}",
+        report.to_json()
+    );
+    assert!(report.audits > 0, "in-flight audits should have run");
+}
