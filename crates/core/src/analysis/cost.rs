@@ -1,0 +1,956 @@
+//! The RC-cost abstract interpreter: per-function symbolic best/worst
+//! case counts of the dynamic operations a λ¹ program pays at runtime.
+//!
+//! Every instruction form of the IR has a known dynamic cost signature
+//! (how many `dup`s, `drop`s, allocations, … the machine executes for
+//! it), mirrored from `perceus-runtime`'s counter discipline:
+//!
+//! * `dup x` / `drop x` — one op each (the runtime only *counts* the op
+//!   when the value is a counted block, so the static count is an upper
+//!   bound on the runtime counter by construction).
+//! * `drop-reuse` (unspecialized) — one uniqueness test, then either up
+//!   to *arity* child drops (unique path) or one `decref` (shared
+//!   path). The arity is taken from the enclosing match arm when the
+//!   variable is a known cell, else bounded by the largest constructor.
+//! * `Con(args)` of arity ≥ 1 — one fresh allocation; `Con@ru` — a
+//!   reuse-token allocation that falls back to a fresh one when the
+//!   token is null at runtime, so it contributes `[0,1]` to both.
+//! * `ref`/`!r`/`r := v`/`tshare` — the §2.7 primitives' internal
+//!   retain/release traffic (read dups the content and releases the
+//!   ref, write releases the old content and the ref, …).
+//! * Indirect application — the callee is unknown, so every counter's
+//!   worst case becomes ω (this also covers the capture dups and the
+//!   closure release the machine performs per rule *(appᵣ)*).
+//!
+//! Costs compose by interval addition along a path and interval join
+//! (`[min, max]`) across match/`is-unique` branches. Paths that *abort*
+//! (runtime failure, explicit `Abort`, division by zero, a possible
+//! match fall-through) are tracked separately so that code after an
+//! abort is not charged to the aborting path; a function summary joins
+//! both. Recursion is resolved by a Kleene fixpoint over the call
+//! graph, starting from ⊥, with widening to ω for any bound still
+//! growing after `|funs| + 2` rounds — so best cases stay sound lower
+//! bounds (every round under-approximates every complete execution) and
+//! worst cases stay sound upper bounds (the widened fixpoint is a
+//! post-fixpoint).
+
+use crate::ir::expr::{Expr, PrimOp};
+use crate::ir::program::{FunId, Program};
+use crate::ir::var::Var;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A worst-case count: finite, or unbounded (ω — recursion or an
+/// unknown callee).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Exactly `n` in the worst case.
+    Finite(u64),
+    /// No static bound (rendered as `ω`).
+    Unbounded,
+}
+
+impl Bound {
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Bound::Finite(n) => Some(n),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// Is an observed dynamic count within this bound?
+    pub fn covers(self, observed: u64) -> bool {
+        match self {
+            Bound::Finite(n) => observed <= n,
+            Bound::Unbounded => true,
+        }
+    }
+
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// `self > other` in the ω-topped order (used by widening).
+    fn exceeds(self, other: Bound) -> bool {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => a > b,
+            (Bound::Unbounded, Bound::Finite(_)) => true,
+            (_, Bound::Unbounded) => false,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Unbounded => f.write_str("ω"),
+        }
+    }
+}
+
+/// A best/worst-case interval `[lo, hi]` over the control-flow paths of
+/// a call (including everything the call transitively executes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostInterval {
+    /// Cheapest complete path (a sound lower bound on every execution).
+    pub lo: u64,
+    /// Most expensive path (ω when recursion makes it unbounded).
+    pub hi: Bound,
+}
+
+impl CostInterval {
+    /// The zero interval.
+    pub const ZERO: CostInterval = CostInterval {
+        lo: 0,
+        hi: Bound::Finite(0),
+    };
+
+    /// `[n, n]`.
+    pub fn exact(n: u64) -> CostInterval {
+        CostInterval {
+            lo: n,
+            hi: Bound::Finite(n),
+        }
+    }
+
+    /// `[0, n]`.
+    pub fn up_to(n: u64) -> CostInterval {
+        CostInterval {
+            lo: 0,
+            hi: Bound::Finite(n),
+        }
+    }
+
+    /// `[0, ω]` — an unknown callee's contribution.
+    pub const UNKNOWN: CostInterval = CostInterval {
+        lo: 0,
+        hi: Bound::Unbounded,
+    };
+
+    /// Branch join: either cost is paid.
+    pub fn join(self, other: CostInterval) -> CostInterval {
+        CostInterval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Does an observed dynamic count fall under the worst case?
+    pub fn covers(self, observed: u64) -> bool {
+        self.hi.covers(observed)
+    }
+}
+
+/// Sequential composition: both costs are paid.
+impl std::ops::Add for CostInterval {
+    type Output = CostInterval;
+
+    fn add(self, other: CostInterval) -> CostInterval {
+        CostInterval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.add(other.hi),
+        }
+    }
+}
+
+impl Default for CostInterval {
+    fn default() -> Self {
+        CostInterval::ZERO
+    }
+}
+
+impl fmt::Display for CostInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo, self.hi)
+    }
+}
+
+/// One interval per dynamic operation kind. All counts are *executed
+/// instruction* counts (see the module docs for how each maps onto the
+/// runtime's `Stats` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostVector {
+    /// `dup` instructions (plus the content retain of `!r`).
+    pub dup: CostInterval,
+    /// `drop` instructions (plus unspecialized `drop-reuse` child drops
+    /// and the releases inside `!r`, `:=` and `tshare`).
+    pub drop: CostInterval,
+    /// `decref` fast decrements.
+    pub decref: CostInterval,
+    /// `is-unique` tests (specialized or inside `drop-reuse`).
+    pub is_unique: CostInterval,
+    /// `free` of a cell whose children were transferred out.
+    pub free: CostInterval,
+    /// `drop-token` releases of unused reuse tokens.
+    pub drop_token: CostInterval,
+    /// Fresh heap allocations (constructors of arity ≥ 1, closures,
+    /// `ref` cells; singleton constructors are immediates).
+    pub alloc: CostInterval,
+    /// Allocations served in place from a reuse token (§2.4).
+    pub reuse_alloc: CostInterval,
+}
+
+/// Projects one interval out of a [`CostVector`] (see [`COST_FIELDS`]).
+pub type CostField = fn(&CostVector) -> CostInterval;
+
+/// The operation kinds of a [`CostVector`], for uniform iteration.
+pub const COST_FIELDS: [(&str, CostField); 8] = [
+    ("dup", |c| c.dup),
+    ("drop", |c| c.drop),
+    ("decref", |c| c.decref),
+    ("is_unique", |c| c.is_unique),
+    ("free", |c| c.free),
+    ("drop_token", |c| c.drop_token),
+    ("alloc", |c| c.alloc),
+    ("reuse_alloc", |c| c.reuse_alloc),
+];
+
+impl CostVector {
+    /// The zero vector.
+    pub const ZERO: CostVector = CostVector {
+        dup: CostInterval::ZERO,
+        drop: CostInterval::ZERO,
+        decref: CostInterval::ZERO,
+        is_unique: CostInterval::ZERO,
+        free: CostInterval::ZERO,
+        drop_token: CostInterval::ZERO,
+        alloc: CostInterval::ZERO,
+        reuse_alloc: CostInterval::ZERO,
+    };
+
+    /// `[0, ω]` everywhere — an indirect call's contribution.
+    pub const UNKNOWN: CostVector = CostVector {
+        dup: CostInterval::UNKNOWN,
+        drop: CostInterval::UNKNOWN,
+        decref: CostInterval::UNKNOWN,
+        is_unique: CostInterval::UNKNOWN,
+        free: CostInterval::UNKNOWN,
+        drop_token: CostInterval::UNKNOWN,
+        alloc: CostInterval::UNKNOWN,
+        reuse_alloc: CostInterval::UNKNOWN,
+    };
+
+    fn map2(self, other: CostVector, f: fn(CostInterval, CostInterval) -> CostInterval) -> Self {
+        CostVector {
+            dup: f(self.dup, other.dup),
+            drop: f(self.drop, other.drop),
+            decref: f(self.decref, other.decref),
+            is_unique: f(self.is_unique, other.is_unique),
+            free: f(self.free, other.free),
+            drop_token: f(self.drop_token, other.drop_token),
+            alloc: f(self.alloc, other.alloc),
+            reuse_alloc: f(self.reuse_alloc, other.reuse_alloc),
+        }
+    }
+
+    /// Branch join.
+    pub fn join(self, other: CostVector) -> CostVector {
+        self.map2(other, CostInterval::join)
+    }
+
+    /// Total reference-count operations (`dup + drop + decref +
+    /// is-unique`) — the quantity §2 of the paper says the cost of
+    /// reference counting is linear in.
+    pub fn rc_ops(&self) -> CostInterval {
+        self.dup + self.drop + self.decref + self.is_unique
+    }
+
+    /// `dup + drop` — the churn borrow inference exists to remove.
+    pub fn dup_drop(&self) -> CostInterval {
+        self.dup + self.drop
+    }
+
+    /// All constructions by either path (compare against the runtime's
+    /// `allocations + reuses`). Interval addition cannot express that a
+    /// `Con@ru` takes *either* the fresh or the reuse route, so each
+    /// token-carrying allocation contributes `[0,2]` here rather than
+    /// `[1,1]` — a sound (if slack) upper bound.
+    pub fn total_allocs(&self) -> CostInterval {
+        self.alloc + self.reuse_alloc
+    }
+
+    /// Widening: any worst case that grew past `prev` jumps to ω; best
+    /// cases are frozen at `prev` (they have already been proven sound
+    /// lower bounds for every complete execution).
+    fn widen_against(self, prev: CostVector) -> CostVector {
+        self.map2(prev, |new, old| CostInterval {
+            lo: old.lo,
+            hi: if new.hi.exceeds(old.hi) {
+                Bound::Unbounded
+            } else {
+                new.hi.max(old.hi)
+            },
+        })
+    }
+}
+
+/// Sequential composition, pointwise.
+impl std::ops::Add for CostVector {
+    type Output = CostVector;
+
+    fn add(self, other: CostVector) -> CostVector {
+        self.map2(other, |a, b| a + b)
+    }
+}
+
+/// The cost of one call split by how the path ends: completing normally
+/// vs aborting mid-way (runtime failure). `None` means no such path is
+/// known (⊥ during the fixpoint; "cannot happen" at it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathCost {
+    /// Paths that run to completion.
+    pub normal: Option<CostVector>,
+    /// Paths that abort (costs paid *up to* the abort).
+    pub abort: Option<CostVector>,
+}
+
+impl PathCost {
+    const BOTTOM: PathCost = PathCost {
+        normal: None,
+        abort: None,
+    };
+
+    fn pure(v: CostVector) -> PathCost {
+        PathCost {
+            normal: Some(v),
+            abort: None,
+        }
+    }
+
+    /// Sequential composition: `b` runs only on `a`'s normal paths.
+    fn then(self, b: PathCost) -> PathCost {
+        let via = |x: Option<CostVector>| match (self.normal, x) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        PathCost {
+            normal: via(b.normal),
+            abort: join_opt(self.abort, via(b.abort)),
+        }
+    }
+
+    /// Branch join.
+    fn join(self, other: PathCost) -> PathCost {
+        PathCost {
+            normal: join_opt(self.normal, other.normal),
+            abort: join_opt(self.abort, other.abort),
+        }
+    }
+
+    /// All paths joined together (what a summary reports).
+    pub fn merged(&self) -> CostVector {
+        match (self.normal, self.abort) {
+            (Some(a), Some(b)) => a.join(b),
+            (Some(a), None) | (None, Some(a)) => a,
+            (None, None) => CostVector::ZERO,
+        }
+    }
+
+    fn widen_against(self, prev: PathCost) -> PathCost {
+        let w = |new: Option<CostVector>, old: Option<CostVector>| match (new, old) {
+            (Some(n), Some(o)) => Some(n.widen_against(o)),
+            (n, None) => n,
+            (None, o) => o,
+        };
+        PathCost {
+            normal: w(self.normal, prev.normal),
+            abort: w(self.abort, prev.abort),
+        }
+    }
+}
+
+fn join_opt(a: Option<CostVector>, b: Option<CostVector>) -> Option<CostVector> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.join(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+/// Per-match-arm cost record (for the lint/report layer).
+#[derive(Debug, Clone)]
+pub struct ArmSummary {
+    /// IR path of the arm, e.g. `match(xs)/arm[Cons]`.
+    pub path: String,
+    /// Constructor name (or `default`).
+    pub ctor: String,
+    /// Cost of the arm body (including calls), all paths joined.
+    pub cost: CostVector,
+}
+
+/// The cost summary of one top-level function.
+#[derive(Debug, Clone)]
+pub struct FunSummary {
+    /// The function.
+    pub fun: FunId,
+    /// Its source name.
+    pub name: String,
+    /// Per-call cost (including transitive calls), all paths joined.
+    pub cost: CostVector,
+    /// True when some path can abort at runtime.
+    pub may_abort: bool,
+    /// One record per match arm anywhere in the body, pre-order.
+    pub arms: Vec<ArmSummary>,
+}
+
+struct Ctx<'a> {
+    p: &'a Program,
+    summaries: &'a [PathCost],
+    /// Largest constructor arity — the fallback child-drop bound for an
+    /// unspecialized `drop-reuse` of a cell of unknown shape.
+    max_arity: u64,
+}
+
+/// Computes the per-function cost summaries of a whole program.
+pub fn cost_summaries(p: &Program) -> Vec<FunSummary> {
+    let max_arity = p.types.ctors().map(|(_, c)| c.arity as u64).max().unwrap_or(0);
+    let mut summaries = vec![PathCost::BOTTOM; p.funs.len()];
+    let cap = p.funs.len() + 2;
+
+    // Kleene ascent from ⊥ …
+    for _ in 0..cap {
+        let mut changed = false;
+        for (i, f) in p.funs.iter().enumerate() {
+            let cx = Ctx {
+                p,
+                summaries: &summaries,
+                max_arity,
+            };
+            let new = eval(&cx, &f.body, &mut HashMap::new());
+            if new != summaries[i] {
+                summaries[i] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // … then widen any bound still growing (recursion) to ω and iterate
+    // to a post-fixpoint; ω absorbs, so this stabilizes in at most one
+    // pass per call-graph level.
+    for _ in 0..cap {
+        let mut changed = false;
+        for (i, f) in p.funs.iter().enumerate() {
+            let cx = Ctx {
+                p,
+                summaries: &summaries,
+                max_arity,
+            };
+            let new = eval(&cx, &f.body, &mut HashMap::new()).widen_against(summaries[i]);
+            if new != summaries[i] {
+                summaries[i] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let cx = Ctx {
+        p,
+        summaries: &summaries,
+        max_arity,
+    };
+    p.funs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut arms = Vec::new();
+            collect_arms(&cx, &f.body, &mut String::new(), &mut HashMap::new(), &mut arms);
+            FunSummary {
+                fun: FunId(i as u32),
+                name: f.name.to_string(),
+                cost: summaries[i].merged(),
+                may_abort: summaries[i].abort.is_some(),
+                arms,
+            }
+        })
+        .collect()
+}
+
+/// The direct cost vector of one primitive (the machine's internal
+/// retain/release traffic for the §2.7 effectful primitives).
+fn prim_cost(op: PrimOp) -> CostVector {
+    let mut c = CostVector::ZERO;
+    match op {
+        PrimOp::RefNew => c.alloc = CostInterval::exact(1),
+        PrimOp::RefGet => {
+            c.dup = CostInterval::exact(1);
+            c.drop = CostInterval::exact(1);
+        }
+        PrimOp::RefSet => c.drop = CostInterval::exact(2),
+        PrimOp::TShare => c.drop = CostInterval::exact(1),
+        _ => {}
+    }
+    c
+}
+
+fn prim_may_abort(op: PrimOp) -> bool {
+    matches!(
+        op,
+        PrimOp::Div | PrimOp::Rem | PrimOp::RefGet | PrimOp::RefSet | PrimOp::TShare
+    )
+}
+
+/// The `drop-reuse` cost for a cell whose arity may be known from the
+/// enclosing match arm.
+fn drop_reuse_cost(cx: &Ctx, var: &Var, arities: &HashMap<Var, u64>) -> CostVector {
+    let arity = arities.get(var).copied().unwrap_or(cx.max_arity);
+    CostVector {
+        is_unique: CostInterval::exact(1),
+        drop: CostInterval::up_to(arity),
+        decref: CostInterval::up_to(1),
+        ..CostVector::ZERO
+    }
+}
+
+fn eval(cx: &Ctx, e: &Expr, arities: &mut HashMap<Var, u64>) -> PathCost {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) | Expr::Global(_) | Expr::TokenOf(_) | Expr::NullToken => {
+            PathCost::pure(CostVector::ZERO)
+        }
+        Expr::Abort(_) => PathCost {
+            normal: None,
+            abort: Some(CostVector::ZERO),
+        },
+        Expr::App(f, args) => {
+            let mut acc = eval(cx, f, arities);
+            for a in args {
+                acc = acc.then(eval(cx, a, arities));
+            }
+            // Unknown callee: everything the callee does — including the
+            // machine's per-(appᵣ) capture dups and closure release — is
+            // bounded only by ω, and it may fail.
+            acc.then(PathCost {
+                normal: Some(CostVector::UNKNOWN),
+                abort: Some(CostVector::UNKNOWN),
+            })
+        }
+        Expr::Call(fid, args) => {
+            let mut acc = PathCost::pure(CostVector::ZERO);
+            for a in args {
+                acc = acc.then(eval(cx, a, arities));
+            }
+            let callee = cx
+                .summaries
+                .get(fid.0 as usize)
+                .copied()
+                .unwrap_or(PathCost::BOTTOM);
+            acc.then(callee)
+        }
+        Expr::Prim(op, args) => {
+            let mut acc = PathCost::pure(CostVector::ZERO);
+            for a in args {
+                acc = acc.then(eval(cx, a, arities));
+            }
+            let c = prim_cost(*op);
+            acc.then(PathCost {
+                normal: Some(c),
+                abort: prim_may_abort(*op).then_some(c),
+            })
+        }
+        Expr::Lam(_) => {
+            // One closure allocation; the body's cost is paid at the
+            // (indirect) application sites, which charge ω.
+            PathCost::pure(CostVector {
+                alloc: CostInterval::exact(1),
+                ..CostVector::ZERO
+            })
+        }
+        Expr::Con {
+            ctor, args, reuse, ..
+        } => {
+            let mut acc = PathCost::pure(CostVector::ZERO);
+            for a in args {
+                acc = acc.then(eval(cx, a, arities));
+            }
+            let arity = cx.p.types.ctor(*ctor).arity;
+            let mut c = CostVector::ZERO;
+            if arity >= 1 {
+                if reuse.is_some() {
+                    // Served from the token when it is valid, fresh when
+                    // it is null — [0,1] on both, [1,1] in total.
+                    c.alloc = CostInterval::up_to(1);
+                    c.reuse_alloc = CostInterval::up_to(1);
+                } else {
+                    c.alloc = CostInterval::exact(1);
+                }
+            }
+            acc.then(PathCost::pure(c))
+        }
+        Expr::Let { var, rhs, body } => {
+            let rhs_cost = eval(cx, rhs, arities);
+            let saved = arities.get(var).copied();
+            if let Expr::Con { ctor, .. } = rhs.as_ref() {
+                let arity = cx.p.types.ctor(*ctor).arity as u64;
+                if arity >= 1 {
+                    arities.insert(var.clone(), arity);
+                }
+            }
+            let body_cost = eval(cx, body, arities);
+            restore(arities, var, saved);
+            rhs_cost.then(body_cost)
+        }
+        Expr::Seq(a, b) => eval(cx, a, arities).then(eval(cx, b, arities)),
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => {
+            let mut joined: Option<PathCost> = None;
+            for arm in arms {
+                let arity = cx.p.types.ctor(arm.ctor).arity as u64;
+                let saved = arities.get(scrutinee).copied();
+                if arity >= 1 {
+                    arities.insert(scrutinee.clone(), arity);
+                } else {
+                    arities.remove(scrutinee);
+                }
+                let c = eval(cx, &arm.body, arities);
+                restore(arities, scrutinee, saved);
+                joined = Some(match joined {
+                    Some(j) => j.join(c),
+                    None => c,
+                });
+            }
+            if let Some(d) = default {
+                let c = eval(cx, d, arities);
+                joined = Some(match joined {
+                    Some(j) => j.join(c),
+                    None => c,
+                });
+            } else {
+                // No default: the match can fall through at runtime
+                // (conservatively — exhaustiveness is not re-proven here).
+                joined = Some(match joined {
+                    Some(j) => j.join(PathCost {
+                        normal: None,
+                        abort: Some(CostVector::ZERO),
+                    }),
+                    None => PathCost {
+                        normal: None,
+                        abort: Some(CostVector::ZERO),
+                    },
+                });
+            }
+            joined.unwrap_or(PathCost::BOTTOM)
+        }
+        Expr::Dup(_, rest) => op_then(cx, rest, arities, |c| c.dup = CostInterval::exact(1)),
+        Expr::Drop(_, rest) => op_then(cx, rest, arities, |c| c.drop = CostInterval::exact(1)),
+        Expr::Free(_, rest) => op_then(cx, rest, arities, |c| c.free = CostInterval::exact(1)),
+        Expr::DecRef(_, rest) => op_then(cx, rest, arities, |c| c.decref = CostInterval::exact(1)),
+        Expr::DropToken(_, rest) => {
+            op_then(cx, rest, arities, |c| c.drop_token = CostInterval::exact(1))
+        }
+        Expr::DropReuse { var, body, .. } => {
+            let c = drop_reuse_cost(cx, var, arities);
+            PathCost::pure(c).then(eval(cx, body, arities))
+        }
+        Expr::IsUnique { unique, shared, .. } => {
+            let test = CostVector {
+                is_unique: CostInterval::exact(1),
+                ..CostVector::ZERO
+            };
+            let branches = eval(cx, unique, arities).join(eval(cx, shared, arities));
+            PathCost::pure(test).then(branches)
+        }
+    }
+}
+
+fn op_then(
+    cx: &Ctx,
+    rest: &Expr,
+    arities: &mut HashMap<Var, u64>,
+    set: fn(&mut CostVector),
+) -> PathCost {
+    let mut c = CostVector::ZERO;
+    set(&mut c);
+    PathCost::pure(c).then(eval(cx, rest, arities))
+}
+
+fn restore(arities: &mut HashMap<Var, u64>, var: &Var, saved: Option<u64>) {
+    match saved {
+        Some(a) => {
+            arities.insert(var.clone(), a);
+        }
+        None => {
+            arities.remove(var);
+        }
+    }
+}
+
+/// Collects per-arm cost records, pre-order, with IR paths.
+fn collect_arms(
+    cx: &Ctx,
+    e: &Expr,
+    path: &mut String,
+    arities: &mut HashMap<Var, u64>,
+    out: &mut Vec<ArmSummary>,
+) {
+    match e {
+        Expr::Match {
+            scrutinee,
+            arms,
+            default,
+        } => {
+            for arm in arms {
+                let ctor = cx.p.types.ctor(arm.ctor).name.to_string();
+                let seg_len = path.len();
+                if !path.is_empty() {
+                    path.push('/');
+                }
+                path.push_str(&format!("match({scrutinee})/arm[{ctor}]", scrutinee = scrutinee));
+                let arity = cx.p.types.ctor(arm.ctor).arity as u64;
+                let saved = arities.get(scrutinee).copied();
+                if arity >= 1 {
+                    arities.insert(scrutinee.clone(), arity);
+                }
+                let cost = eval(cx, &arm.body, arities).merged();
+                out.push(ArmSummary {
+                    path: path.clone(),
+                    ctor,
+                    cost,
+                });
+                collect_arms(cx, &arm.body, path, arities, out);
+                restore(arities, scrutinee, saved);
+                path.truncate(seg_len);
+            }
+            if let Some(d) = default {
+                let seg_len = path.len();
+                if !path.is_empty() {
+                    path.push('/');
+                }
+                path.push_str(&format!("match({scrutinee})/default"));
+                let cost = eval(cx, d, arities).merged();
+                out.push(ArmSummary {
+                    path: path.clone(),
+                    ctor: "default".to_string(),
+                    cost,
+                });
+                collect_arms(cx, d, path, arities, out);
+                path.truncate(seg_len);
+            }
+        }
+        Expr::Let { rhs, body, .. } => {
+            collect_arms(cx, rhs, path, arities, out);
+            collect_arms(cx, body, path, arities, out);
+        }
+        Expr::Seq(a, b) => {
+            collect_arms(cx, a, path, arities, out);
+            collect_arms(cx, b, path, arities, out);
+        }
+        Expr::App(f, args) => {
+            collect_arms(cx, f, path, arities, out);
+            for a in args {
+                collect_arms(cx, a, path, arities, out);
+            }
+        }
+        Expr::Call(_, args) | Expr::Prim(_, args) => {
+            for a in args {
+                collect_arms(cx, a, path, arities, out);
+            }
+        }
+        Expr::Con { args, .. } => {
+            for a in args {
+                collect_arms(cx, a, path, arities, out);
+            }
+        }
+        Expr::Lam(lam) => {
+            let seg_len = path.len();
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str("lam");
+            collect_arms(cx, &lam.body, path, arities, out);
+            path.truncate(seg_len);
+        }
+        Expr::Dup(_, rest)
+        | Expr::Drop(_, rest)
+        | Expr::Free(_, rest)
+        | Expr::DecRef(_, rest)
+        | Expr::DropToken(_, rest) => collect_arms(cx, rest, path, arities, out),
+        Expr::DropReuse { body, .. } => collect_arms(cx, body, path, arities, out),
+        Expr::IsUnique { unique, shared, .. } => {
+            collect_arms(cx, unique, path, arities, out);
+            collect_arms(cx, shared, path, arities, out);
+        }
+        Expr::Var(_)
+        | Expr::Lit(_)
+        | Expr::Global(_)
+        | Expr::Abort(_)
+        | Expr::TokenOf(_)
+        | Expr::NullToken => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::{arm, arm0, con, ProgramBuilder};
+
+    #[test]
+    fn straight_line_costs_are_exact() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let f = pb.fun(
+            "f",
+            vec![x.clone()],
+            Expr::dup(x.clone(), Expr::drop_(x.clone(), Expr::unit())),
+        );
+        let p = pb.finish();
+        let s = cost_summaries(&p);
+        assert_eq!(s[f.0 as usize].cost.dup, CostInterval::exact(1));
+        assert_eq!(s[f.0 as usize].cost.drop, CostInterval::exact(1));
+        assert_eq!(s[f.0 as usize].cost.alloc, CostInterval::ZERO);
+        assert!(!s[f.0 as usize].may_abort);
+    }
+
+    #[test]
+    fn branches_join_into_intervals() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        // One arm drops twice and allocates, the other does nothing.
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                arm(
+                    cons,
+                    vec![x.clone(), xx.clone()],
+                    Expr::drop_(
+                        x.clone(),
+                        Expr::drop_(xx.clone(), con(cons, vec![Expr::int(1), Expr::int(2)])),
+                    ),
+                ),
+                arm0(nil, con(nil, vec![])),
+            ],
+            default: None,
+        };
+        let f = pb.fun("f", vec![xs], body);
+        let p = pb.finish();
+        let s = &cost_summaries(&p)[f.0 as usize];
+        assert_eq!(s.cost.drop, CostInterval::up_to(2));
+        assert_eq!(s.cost.alloc, CostInterval::up_to(1));
+        // Missing default ⇒ a possible runtime fall-through.
+        assert!(s.may_abort);
+        assert_eq!(s.arms.len(), 2);
+        assert_eq!(s.arms[0].ctor, "Cons");
+        assert_eq!(s.arms[0].cost.drop, CostInterval::exact(2));
+    }
+
+    #[test]
+    fn recursion_widens_to_unbounded() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let f = pb.declare("walk", vec![xs.clone()]);
+        pb.set_body(
+            f,
+            Expr::Match {
+                scrutinee: xs.clone(),
+                arms: vec![
+                    arm(
+                        cons,
+                        vec![x.clone(), xx.clone()],
+                        Expr::dup(x.clone(), Expr::Call(f, vec![Expr::Var(xx.clone())])),
+                    ),
+                    arm0(nil, Expr::int(0)),
+                ],
+                default: None,
+            },
+        );
+        let p = pb.finish();
+        let s = &cost_summaries(&p)[f.0 as usize];
+        // Best case: the Nil path does no dup. Worst case: unbounded.
+        assert_eq!(s.cost.dup.lo, 0);
+        assert_eq!(s.cost.dup.hi, Bound::Unbounded);
+        assert!(s.cost.dup.covers(1_000_000));
+    }
+
+    #[test]
+    fn indirect_application_is_unknown() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.fresh("f");
+        let g = pb.fun(
+            "apply",
+            vec![f.clone()],
+            Expr::App(Box::new(Expr::Var(f.clone())), vec![Expr::int(1)]),
+        );
+        let p = pb.finish();
+        let s = &cost_summaries(&p)[g.0 as usize];
+        assert_eq!(s.cost.dup.hi, Bound::Unbounded);
+        assert_eq!(s.cost.dup.lo, 0);
+        assert!(s.may_abort);
+    }
+
+    #[test]
+    fn abort_paths_do_not_charge_the_continuation() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let c = pb.fresh("c");
+        // if c { abort } else { () }; dup x — the abort path pays no dup.
+        let body = Expr::seq(
+            crate::ir::builder::ite(c.clone(), Expr::Abort("boom".into()), Expr::unit()),
+            Expr::dup(x.clone(), Expr::unit()),
+        );
+        let f = pb.fun("f", vec![x, c], body);
+        let p = pb.finish();
+        let s = &cost_summaries(&p)[f.0 as usize];
+        assert!(s.may_abort);
+        // Joined over normal ([1,1]) and abort ([0,0]) paths.
+        assert_eq!(s.cost.dup, CostInterval::up_to(1));
+    }
+
+    #[test]
+    fn reuse_paired_constructor_splits_alloc() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = cs[1];
+        let t = pb.fresh("ru");
+        let f = pb.fun(
+            "f",
+            vec![t.clone()],
+            Expr::Con {
+                ctor: cons,
+                args: vec![Expr::int(1), Expr::int(2)],
+                reuse: Some(t.clone()),
+                skip: vec![],
+            },
+        );
+        let p = pb.finish();
+        let s = &cost_summaries(&p)[f.0 as usize];
+        assert_eq!(s.cost.alloc, CostInterval::up_to(1));
+        assert_eq!(s.cost.reuse_alloc, CostInterval::up_to(1));
+        // Either/or, so the joint total is really 1 — the interval sum
+        // keeps a sound [0,2] over-approximation.
+        assert_eq!(s.cost.total_allocs(), CostInterval::up_to(2));
+        assert!(s.cost.total_allocs().covers(1));
+    }
+
+    #[test]
+    fn interval_display() {
+        assert_eq!(CostInterval::exact(3).to_string(), "[3,3]");
+        assert_eq!(CostInterval::UNKNOWN.to_string(), "[0,ω]");
+        assert!(CostInterval::UNKNOWN.covers(u64::MAX));
+        assert!(!CostInterval::exact(3).covers(4));
+    }
+}

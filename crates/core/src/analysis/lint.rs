@@ -1,0 +1,800 @@
+//! The lint layer: concrete, path-addressed diagnostics about RC
+//! decisions the pipeline made (or has not made *yet* — lints are meant
+//! to be diffed across stage snapshots, see [`crate::passes::Pipeline::analyze`]).
+//!
+//! | code | name | meaning |
+//! |------|------|---------|
+//! | `L1` | missed-reuse | a known-size cell is dropped/freed on a path that later allocates a same-size cell, and reuse analysis did not pair them |
+//! | `L2` | unfused-dup-drop | a dup/drop pair `passes::fuse` would cancel is still present |
+//! | `L3` | borrowable-param | `infer_borrows` would borrow a parameter the active config keeps owned |
+//! | `L4` | non-fbip-recursion | a self-recursive function allocates fresh cells on its recursive path (not "functional but in-place", §2.4) |
+//!
+//! `L2` deliberately reimplements `passes::fuse`'s decision procedure
+//! (maximal dup/drop prefixes, cancellation across interleaved dups
+//! only, binder-dup push-down into `is-unique` branches) rather than an
+//! approximation: that makes "L2 = 0 after the fuse stage" hold *by
+//! construction*, which the stage-diff tests rely on.
+
+use crate::ir::expr::Expr;
+use crate::ir::program::{FunId, Program};
+use crate::ir::var::Var;
+use crate::passes::borrow::infer_borrows;
+
+use super::report::{Diagnostic, Diagnostics, LintCode, Severity};
+
+/// Runs every lint over the program.
+pub fn lint_program(p: &Program) -> Diagnostics {
+    let mut out = Diagnostics::default();
+    let inferred = infer_borrows(p);
+    for (i, f) in p.funs.iter().enumerate() {
+        let fun = FunId(i as u32);
+        let mut cx = FunCx {
+            p,
+            fun,
+            fun_name: f.name.to_string(),
+            out: &mut out,
+        };
+        cx.lint_missed_reuse(&f.body, &mut Vec::new(), &mut String::new());
+        cx.lint_unfused(&f.body, Vec::new(), &mut String::new());
+        cx.lint_borrowable(f, &inferred[i]);
+        cx.lint_non_fbip(&f.body);
+    }
+    out
+}
+
+struct FunCx<'a> {
+    p: &'a Program,
+    fun: FunId,
+    fun_name: String,
+    out: &'a mut Diagnostics,
+}
+
+impl FunCx<'_> {
+    fn emit(&mut self, code: LintCode, severity: Severity, path: &str, message: String) {
+        self.out.push(Diagnostic {
+            code,
+            severity,
+            fun: self.fun,
+            fun_name: self.fun_name.clone(),
+            path: path.to_string(),
+            message,
+            span: None,
+        });
+    }
+
+    // ---- L1: missed reuse ------------------------------------------------
+
+    /// `cells` maps in-scope variables known to hold a constructor cell
+    /// to `(ctor name, arity)` — learned from enclosing match arms and
+    /// `let`-bound constructors, exactly the knowledge `passes::reuse`
+    /// works from.
+    fn lint_missed_reuse(
+        &mut self,
+        e: &Expr,
+        cells: &mut Vec<(Var, String, usize)>,
+        path: &mut String,
+    ) {
+        match e {
+            Expr::Drop(x, rest) | Expr::Free(x, rest) => {
+                if let Some((_, ctor, arity)) =
+                    cells.iter().rev().find(|(v, _, _)| v == x).cloned()
+                {
+                    if let Some(found) = find_fresh_alloc(self.p, rest, arity) {
+                        let verb = if matches!(e, Expr::Free(..)) {
+                            "freed"
+                        } else {
+                            "dropped"
+                        };
+                        self.emit(
+                            LintCode::MissedReuse,
+                            Severity::Warning,
+                            path,
+                            format!(
+                                "`{x}` ({ctor}, {arity} fields) is {verb} on a path that later \
+                                 allocates a fresh {arity}-field `{found}` cell; reuse analysis \
+                                 did not pair them"
+                            ),
+                        );
+                    }
+                }
+                self.lint_missed_reuse(rest, cells, path);
+            }
+            Expr::Let { var, rhs, body } => {
+                self.lint_missed_reuse(rhs, cells, path);
+                let mut pushed = false;
+                if let Expr::Con { ctor, .. } = rhs.as_ref() {
+                    let info = self.p.types.ctor(*ctor);
+                    if info.arity >= 1 {
+                        cells.push((var.clone(), info.name.to_string(), info.arity));
+                        pushed = true;
+                    }
+                }
+                self.lint_missed_reuse(body, cells, path);
+                if pushed {
+                    cells.pop();
+                }
+            }
+            Expr::Match {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                for arm in arms {
+                    let info = self.p.types.ctor(arm.ctor);
+                    let seg = push_seg(path, &format!("match({scrutinee})/arm[{}]", info.name));
+                    let mut pushed = false;
+                    if info.arity >= 1 {
+                        cells.push((scrutinee.clone(), info.name.to_string(), info.arity));
+                        pushed = true;
+                    }
+                    self.lint_missed_reuse(&arm.body, cells, path);
+                    if pushed {
+                        cells.pop();
+                    }
+                    path.truncate(seg);
+                }
+                if let Some(d) = default {
+                    let seg = push_seg(path, &format!("match({scrutinee})/default"));
+                    self.lint_missed_reuse(d, cells, path);
+                    path.truncate(seg);
+                }
+            }
+            Expr::IsUnique { unique, shared, .. } => {
+                let seg = push_seg(path, "is-unique:unique");
+                self.lint_missed_reuse(unique, cells, path);
+                path.truncate(seg);
+                let seg = push_seg(path, "is-unique:shared");
+                self.lint_missed_reuse(shared, cells, path);
+                path.truncate(seg);
+            }
+            Expr::Lam(lam) => {
+                let seg = push_seg(path, "lam");
+                // A lambda body runs later: cell knowledge from the
+                // definition site does not transfer.
+                self.lint_missed_reuse(&lam.body, &mut Vec::new(), path);
+                path.truncate(seg);
+            }
+            Expr::Seq(a, b) => {
+                self.lint_missed_reuse(a, cells, path);
+                self.lint_missed_reuse(b, cells, path);
+            }
+            Expr::App(f, args) => {
+                self.lint_missed_reuse(f, cells, path);
+                for a in args {
+                    self.lint_missed_reuse(a, cells, path);
+                }
+            }
+            Expr::Call(_, args) | Expr::Prim(_, args) | Expr::Con { args, .. } => {
+                for a in args {
+                    self.lint_missed_reuse(a, cells, path);
+                }
+            }
+            Expr::Dup(_, rest) | Expr::DecRef(_, rest) | Expr::DropToken(_, rest) => {
+                self.lint_missed_reuse(rest, cells, path);
+            }
+            // A drop-reuse *is* a paired reuse: nothing missed here.
+            Expr::DropReuse { body, .. } => self.lint_missed_reuse(body, cells, path),
+            Expr::Var(_)
+            | Expr::Lit(_)
+            | Expr::Global(_)
+            | Expr::Abort(_)
+            | Expr::TokenOf(_)
+            | Expr::NullToken => {}
+        }
+    }
+
+    // ---- L2: unfused dup/drop --------------------------------------------
+
+    /// Mirrors `passes::fuse` exactly: peel the maximal dup/drop prefix
+    /// (with `prefix` modelling binder dups pushed down from the
+    /// enclosing scope), report every pair `cancel` would remove, then
+    /// recurse the way `fuse` does.
+    fn lint_unfused(&mut self, e: &Expr, prefix: Vec<RcOp>, path: &mut String) {
+        let mut ops = prefix;
+        let tail = peel_ref(e, &mut ops);
+        for var in cancellable_pairs(&mut ops) {
+            self.emit(
+                LintCode::UnfusedDupDrop,
+                Severity::Warning,
+                path,
+                format!("dup/drop pair on `{var}` that fusion would cancel is still present"),
+            );
+        }
+        match tail {
+            Expr::Seq(first, rest) if matches!(first.as_ref(), Expr::IsUnique { .. }) => {
+                self.lint_unfused_push(first, &mut ops, path);
+                self.lint_unfused(rest, Vec::new(), path);
+            }
+            Expr::Let { rhs, body, .. } if matches!(rhs.as_ref(), Expr::IsUnique { .. }) => {
+                self.lint_unfused_push(rhs, &mut ops, path);
+                self.lint_unfused(body, Vec::new(), path);
+            }
+            other => self.lint_unfused_descend(other, path),
+        }
+    }
+
+    fn lint_unfused_push(&mut self, cond: &Expr, ops: &mut Vec<RcOp>, path: &mut String) {
+        let Expr::IsUnique {
+            var,
+            binders,
+            unique,
+            shared,
+        } = cond
+        else {
+            unreachable!("guarded by caller")
+        };
+        let mut pushed = Vec::new();
+        ops.retain(|op| match op {
+            RcOp::Dup(y) if binders.contains(y) && y != var => {
+                pushed.push(RcOp::Dup(y.clone()));
+                false
+            }
+            _ => true,
+        });
+        let seg = push_seg(path, &format!("is-unique({var}):unique"));
+        self.lint_unfused(unique, pushed.clone(), path);
+        path.truncate(seg);
+        let seg = push_seg(path, &format!("is-unique({var}):shared"));
+        self.lint_unfused(shared, pushed, path);
+        path.truncate(seg);
+    }
+
+    fn lint_unfused_descend(&mut self, e: &Expr, path: &mut String) {
+        match e {
+            Expr::Let { var, rhs, body } => {
+                self.lint_unfused(rhs, Vec::new(), path);
+                let seg = push_seg(path, &format!("let({var})"));
+                self.lint_unfused(body, Vec::new(), path);
+                path.truncate(seg);
+            }
+            Expr::Seq(a, b) => {
+                self.lint_unfused(a, Vec::new(), path);
+                self.lint_unfused(b, Vec::new(), path);
+            }
+            Expr::Match {
+                scrutinee,
+                arms,
+                default,
+            } => {
+                for arm in arms {
+                    let name = &self.p.types.ctor(arm.ctor).name;
+                    let seg = push_seg(path, &format!("match({scrutinee})/arm[{name}]"));
+                    self.lint_unfused(&arm.body, Vec::new(), path);
+                    path.truncate(seg);
+                }
+                if let Some(d) = default {
+                    let seg = push_seg(path, &format!("match({scrutinee})/default"));
+                    self.lint_unfused(d, Vec::new(), path);
+                    path.truncate(seg);
+                }
+            }
+            Expr::Lam(lam) => {
+                let seg = push_seg(path, "lam");
+                self.lint_unfused(&lam.body, Vec::new(), path);
+                path.truncate(seg);
+            }
+            Expr::IsUnique { unique, shared, .. } => {
+                self.lint_unfused(unique, Vec::new(), path);
+                self.lint_unfused(shared, Vec::new(), path);
+            }
+            Expr::DropReuse { body, .. } => self.lint_unfused(body, Vec::new(), path),
+            Expr::Free(_, rest) | Expr::DecRef(_, rest) | Expr::DropToken(_, rest) => {
+                self.lint_unfused(rest, Vec::new(), path);
+            }
+            Expr::App(f, args) => {
+                self.lint_unfused(f, Vec::new(), path);
+                for a in args {
+                    self.lint_unfused(a, Vec::new(), path);
+                }
+            }
+            Expr::Call(_, args) | Expr::Prim(_, args) | Expr::Con { args, .. } => {
+                for a in args {
+                    self.lint_unfused(a, Vec::new(), path);
+                }
+            }
+            Expr::Dup(..) | Expr::Drop(..) => unreachable!("peeled by caller"),
+            Expr::Var(_)
+            | Expr::Lit(_)
+            | Expr::Global(_)
+            | Expr::Abort(_)
+            | Expr::TokenOf(_)
+            | Expr::NullToken => {}
+        }
+    }
+
+    // ---- L3: borrowable parameter ----------------------------------------
+
+    fn lint_borrowable(&mut self, f: &crate::ir::program::FunDef, inferred: &[bool]) {
+        let active = self.p.borrows.get(self.fun.0 as usize);
+        for (i, param) in f.params.iter().enumerate() {
+            let would_borrow = inferred.get(i).copied().unwrap_or(false);
+            let is_borrowed = active
+                .and_then(|m| m.get(i))
+                .copied()
+                .unwrap_or(false);
+            if would_borrow && !is_borrowed {
+                let saved = count_dup_drop(&f.body, param);
+                self.emit(
+                    LintCode::BorrowableParam,
+                    Severity::Note,
+                    "",
+                    format!(
+                        "parameter {i} (`{param}`) could be borrowed (§6): borrow inference \
+                         proves it has no owning use, which would save {saved} dup/drop op(s) \
+                         in this body under the current configuration"
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- L4: non-FBIP recursion ------------------------------------------
+
+    fn lint_non_fbip(&mut self, body: &Expr) {
+        let t = fbip_walk(self.p, self.fun, body);
+        if t.bad {
+            self.emit(
+                LintCode::NonFbipRecursion,
+                Severity::Note,
+                "",
+                format!(
+                    "`{}` recurses and allocates fresh constructor cells on the same path \
+                     with no reuse token — not functional-but-in-place (§2.4/§2.6)",
+                    self.fun_name
+                ),
+            );
+        }
+    }
+}
+
+fn push_seg(path: &mut String, seg: &str) -> usize {
+    let mark = path.len();
+    if !path.is_empty() {
+        path.push('/');
+    }
+    path.push_str(seg);
+    mark
+}
+
+/// Does `e` contain a fresh (tokenless) constructor allocation of
+/// `arity` fields, outside lambda bodies?
+fn find_fresh_alloc<'a>(p: &'a Program, e: &Expr, arity: usize) -> Option<&'a str> {
+    match e {
+        Expr::Con {
+            ctor, args, reuse, ..
+        } => {
+            if reuse.is_none() && p.types.ctor(*ctor).arity == arity {
+                return Some(p.types.ctor(*ctor).name.as_ref());
+            }
+            args.iter().find_map(|a| find_fresh_alloc(p, a, arity))
+        }
+        // A lambda body allocates later, in a different extent.
+        Expr::Lam(_) => None,
+        Expr::App(f, args) => find_fresh_alloc(p, f, arity)
+            .or_else(|| args.iter().find_map(|a| find_fresh_alloc(p, a, arity))),
+        Expr::Call(_, args) | Expr::Prim(_, args) => {
+            args.iter().find_map(|a| find_fresh_alloc(p, a, arity))
+        }
+        Expr::Let { rhs, body, .. } => {
+            find_fresh_alloc(p, rhs, arity).or_else(|| find_fresh_alloc(p, body, arity))
+        }
+        Expr::Seq(a, b) => {
+            find_fresh_alloc(p, a, arity).or_else(|| find_fresh_alloc(p, b, arity))
+        }
+        Expr::Match { arms, default, .. } => arms
+            .iter()
+            .find_map(|arm| find_fresh_alloc(p, &arm.body, arity))
+            .or_else(|| default.as_deref().and_then(|d| find_fresh_alloc(p, d, arity))),
+        Expr::Dup(_, rest)
+        | Expr::Drop(_, rest)
+        | Expr::Free(_, rest)
+        | Expr::DecRef(_, rest)
+        | Expr::DropToken(_, rest) => find_fresh_alloc(p, rest, arity),
+        Expr::DropReuse { body, .. } => find_fresh_alloc(p, body, arity),
+        Expr::IsUnique { unique, shared, .. } => find_fresh_alloc(p, unique, arity)
+            .or_else(|| find_fresh_alloc(p, shared, arity)),
+        Expr::Var(_)
+        | Expr::Lit(_)
+        | Expr::Global(_)
+        | Expr::Abort(_)
+        | Expr::TokenOf(_)
+        | Expr::NullToken => None,
+    }
+}
+
+fn count_dup_drop(e: &Expr, var: &Var) -> usize {
+    let mut n = 0;
+    e.visit(&mut |e| match e {
+        Expr::Dup(v, _) | Expr::Drop(v, _) if v == var => n += 1,
+        _ => {}
+    });
+    n
+}
+
+/// One instruction of a dup/drop prefix (mirrors `passes::fuse::RcOp`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RcOp {
+    Dup(Var),
+    Drop(Var),
+}
+
+/// Splits a maximal leading dup/drop run, appending to `ops`, and
+/// returns the tail (by reference — the linter never rewrites).
+fn peel_ref<'a>(mut e: &'a Expr, ops: &mut Vec<RcOp>) -> &'a Expr {
+    loop {
+        match e {
+            Expr::Dup(v, rest) => {
+                ops.push(RcOp::Dup(v.clone()));
+                e = rest;
+            }
+            Expr::Drop(v, rest) => {
+                ops.push(RcOp::Drop(v.clone()));
+                e = rest;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// The exact cancellation loop of `passes::fuse::cancel`, additionally
+/// returning the variable of every pair removed.
+fn cancellable_pairs(ops: &mut Vec<RcOp>) -> Vec<Var> {
+    let mut pairs = Vec::new();
+    loop {
+        let mut cancelled = false;
+        'scan: for j in 0..ops.len() {
+            if let RcOp::Drop(x) = &ops[j] {
+                for i in (0..j).rev() {
+                    match &ops[i] {
+                        RcOp::Dup(y) if y == x => {
+                            pairs.push(x.clone());
+                            ops.remove(j);
+                            ops.remove(i);
+                            cancelled = true;
+                            break 'scan;
+                        }
+                        RcOp::Dup(_) => continue,
+                        RcOp::Drop(_) => break,
+                    }
+                }
+            }
+        }
+        if !cancelled {
+            return pairs;
+        }
+    }
+}
+
+/// Per-path flags for the L4 walk: does a subexpression contain a
+/// self-call, a fresh allocation, and do both occur on one path? The
+/// triple is precise: a path crosses every operand of a `Seq`/`Let` but
+/// exactly one arm of a `Match`.
+#[derive(Clone, Copy, Default)]
+struct FbipFlags {
+    call: bool,
+    alloc: bool,
+    bad: bool,
+}
+
+impl FbipFlags {
+    /// Sequential composition: both halves lie on every path.
+    fn then(self, other: FbipFlags) -> FbipFlags {
+        FbipFlags {
+            call: self.call || other.call,
+            alloc: self.alloc || other.alloc,
+            bad: self.bad || other.bad || (self.call && other.alloc) || (self.alloc && other.call),
+        }
+    }
+
+    /// Branch join: a path takes one side.
+    fn join(self, other: FbipFlags) -> FbipFlags {
+        FbipFlags {
+            call: self.call || other.call,
+            alloc: self.alloc || other.alloc,
+            bad: self.bad || other.bad,
+        }
+    }
+}
+
+fn fbip_walk(p: &Program, fun: FunId, e: &Expr) -> FbipFlags {
+    match e {
+        Expr::Call(fid, args) => {
+            let mut t = FbipFlags::default();
+            for a in args {
+                t = t.then(fbip_walk(p, fun, a));
+            }
+            if *fid == fun {
+                t = t.then(FbipFlags {
+                    call: true,
+                    ..Default::default()
+                });
+            }
+            t
+        }
+        Expr::Con {
+            ctor,
+            args,
+            reuse,
+            ..
+        } => {
+            let mut t = FbipFlags::default();
+            for a in args {
+                t = t.then(fbip_walk(p, fun, a));
+            }
+            if reuse.is_none() && p.types.ctor(*ctor).arity >= 1 {
+                t = t.then(FbipFlags {
+                    alloc: true,
+                    ..Default::default()
+                });
+            }
+            t
+        }
+        Expr::Match { arms, default, .. } => {
+            let mut t: Option<FbipFlags> = None;
+            for arm in arms {
+                let a = fbip_walk(p, fun, &arm.body);
+                t = Some(match t {
+                    Some(t) => t.join(a),
+                    None => a,
+                });
+            }
+            if let Some(d) = default {
+                let a = fbip_walk(p, fun, d);
+                t = Some(match t {
+                    Some(t) => t.join(a),
+                    None => a,
+                });
+            }
+            t.unwrap_or_default()
+        }
+        Expr::IsUnique { unique, shared, .. } => {
+            fbip_walk(p, fun, unique).join(fbip_walk(p, fun, shared))
+        }
+        Expr::Let { rhs, body, .. } => fbip_walk(p, fun, rhs).then(fbip_walk(p, fun, body)),
+        Expr::Seq(a, b) => fbip_walk(p, fun, a).then(fbip_walk(p, fun, b)),
+        Expr::App(f, args) => {
+            let mut t = fbip_walk(p, fun, f);
+            for a in args {
+                t = t.then(fbip_walk(p, fun, a));
+            }
+            t
+        }
+        Expr::Prim(_, args) => {
+            let mut t = FbipFlags::default();
+            for a in args {
+                t = t.then(fbip_walk(p, fun, a));
+            }
+            t
+        }
+        // A closure body runs in a different dynamic extent; recursion
+        // through it is not the direct self-recursion L4 targets.
+        Expr::Lam(_) => FbipFlags::default(),
+        Expr::Dup(_, rest)
+        | Expr::Drop(_, rest)
+        | Expr::Free(_, rest)
+        | Expr::DecRef(_, rest)
+        | Expr::DropToken(_, rest) => fbip_walk(p, fun, rest),
+        Expr::DropReuse { body, .. } => fbip_walk(p, fun, body),
+        Expr::Var(_)
+        | Expr::Lit(_)
+        | Expr::Global(_)
+        | Expr::Abort(_)
+        | Expr::TokenOf(_)
+        | Expr::NullToken => FbipFlags::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::{arm, arm0, con, ProgramBuilder};
+    use crate::passes::fuse::fuse_program;
+
+    #[test]
+    fn l2_found_then_gone_after_fuse() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        pb.fun(
+            "f",
+            vec![x.clone()],
+            Expr::dup(x.clone(), Expr::drop_(x.clone(), Expr::int(1))),
+        );
+        let mut p = pb.finish();
+        assert_eq!(lint_program(&p).count(LintCode::UnfusedDupDrop), 1);
+        fuse_program(&mut p);
+        assert_eq!(lint_program(&p).count(LintCode::UnfusedDupDrop), 0);
+    }
+
+    #[test]
+    fn l2_sees_through_binder_push_down() {
+        // The Fig. 1c shape: dup x; if is-unique(xs) { drop x; free xs }
+        // else { decref xs } — fusable only after pushing `dup x` into
+        // the branches. The lint must flag it, and stop flagging once
+        // fuse has run.
+        let mut pb = ProgramBuilder::new();
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let body = Expr::dup(
+            x.clone(),
+            Expr::seq(
+                Expr::IsUnique {
+                    var: xs.clone(),
+                    binders: vec![x.clone()],
+                    unique: Box::new(Expr::drop_(
+                        x.clone(),
+                        Expr::Free(xs.clone(), Box::new(Expr::unit())),
+                    )),
+                    shared: Box::new(Expr::DecRef(xs.clone(), Box::new(Expr::unit()))),
+                },
+                Expr::int(7),
+            ),
+        );
+        pb.fun("f", vec![xs, x], body);
+        let mut p = pb.finish();
+        let d = lint_program(&p);
+        assert_eq!(d.count(LintCode::UnfusedDupDrop), 1);
+        assert!(d.iter().any(|d| d.path.contains("is-unique")), "{d:?}");
+        fuse_program(&mut p);
+        assert_eq!(lint_program(&p).count(LintCode::UnfusedDupDrop), 0);
+    }
+
+    #[test]
+    fn l1_flags_drop_then_same_size_alloc() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        // match xs { Cons(x,xx) -> drop xs; Cons(1, 2)  | Nil -> Nil }
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                arm(
+                    cons,
+                    vec![x.clone(), xx.clone()],
+                    Expr::drop_(xs.clone(), con(cons, vec![Expr::int(1), Expr::int(2)])),
+                ),
+                arm0(nil, con(nil, vec![])),
+            ],
+            default: None,
+        };
+        pb.fun("f", vec![xs], body);
+        let p = pb.finish();
+        let d = lint_program(&p);
+        assert_eq!(d.count(LintCode::MissedReuse), 1);
+        let l1 = d.iter().find(|d| d.code == LintCode::MissedReuse).unwrap();
+        assert!(l1.path.contains("arm[Cons]"), "{}", l1.path);
+    }
+
+    #[test]
+    fn l1_silent_when_reuse_paired() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let cons = cs[1];
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let ru = pb.fresh("_ru");
+        let mut reuse_arm = arm(
+            cons,
+            vec![x.clone(), xx.clone()],
+            Expr::DropReuse {
+                var: xs.clone(),
+                token: ru.clone(),
+                body: Box::new(Expr::Con {
+                    ctor: cons,
+                    args: vec![Expr::int(1), Expr::int(2)],
+                    reuse: Some(ru.clone()),
+                    skip: vec![],
+                }),
+            },
+        );
+        reuse_arm.reuse_token = Some(ru);
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![reuse_arm],
+            default: Some(Box::new(Expr::int(0))),
+        };
+        pb.fun("f", vec![xs], body);
+        let p = pb.finish();
+        assert_eq!(lint_program(&p).count(LintCode::MissedReuse), 0);
+    }
+
+    #[test]
+    fn l3_flags_owned_param_inference_would_borrow() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        // len-like: only matches on xs, never consumes it.
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                arm(cons, vec![x.clone(), xx.clone()], Expr::int(1)),
+                arm0(nil, Expr::int(0)),
+            ],
+            default: None,
+        };
+        let f = pb.fun("len", vec![xs], body);
+        let mut p = pb.finish();
+        // Not the entry point, all params owned by default.
+        assert!(p.entry.is_none());
+        let d = lint_program(&p);
+        assert_eq!(d.count(LintCode::BorrowableParam), 1);
+        // Activating the inferred masks silences it.
+        crate::passes::borrow::borrow_program(&mut p);
+        assert!(p.borrow_mask(f).is_some());
+        assert_eq!(lint_program(&p).count(LintCode::BorrowableParam), 0);
+    }
+
+    #[test]
+    fn l4_flags_allocating_recursion_but_not_reuse() {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let f = pb.declare("map1", vec![xs.clone()]);
+        // map1(Cons(x,xx)) = Cons(x, map1(xx)) — fresh alloc on the
+        // recursive path.
+        pb.set_body(
+            f,
+            Expr::Match {
+                scrutinee: xs.clone(),
+                arms: vec![
+                    arm(
+                        cons,
+                        vec![x.clone(), xx.clone()],
+                        con(
+                            cons,
+                            vec![Expr::Var(x.clone()), Expr::Call(f, vec![Expr::Var(xx.clone())])],
+                        ),
+                    ),
+                    arm0(nil, con(nil, vec![])),
+                ],
+                default: None,
+            },
+        );
+        let p = pb.finish();
+        assert_eq!(lint_program(&p).count(LintCode::NonFbipRecursion), 1);
+
+        // Same shape but the allocation carries a reuse token: FBIP.
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+        let xs = pb.fresh("xs");
+        let x = pb.fresh("x");
+        let xx = pb.fresh("xx");
+        let ru = pb.fresh("_ru");
+        let f = pb.declare("map2", vec![xs.clone()]);
+        let mut reuse_arm = arm(
+            cons,
+            vec![x.clone(), xx.clone()],
+            Expr::DropReuse {
+                var: xs.clone(),
+                token: ru.clone(),
+                body: Box::new(Expr::Con {
+                    ctor: cons,
+                    args: vec![Expr::Var(x.clone()), Expr::Call(f, vec![Expr::Var(xx.clone())])],
+                    reuse: Some(ru.clone()),
+                    skip: vec![],
+                }),
+            },
+        );
+        reuse_arm.reuse_token = Some(ru);
+        pb.set_body(
+            f,
+            Expr::Match {
+                scrutinee: xs.clone(),
+                arms: vec![reuse_arm, arm0(nil, con(nil, vec![]))],
+                default: None,
+            },
+        );
+        let p = pb.finish();
+        assert_eq!(lint_program(&p).count(LintCode::NonFbipRecursion), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Static RC-cost analysis and lints over λ¹ programs.
+//!
+//! Perceus makes its reference-counting and reuse decisions statically;
+//! this module makes them *visible*. It has two layers:
+//!
+//! * [`cost`] — an abstract interpreter computing, per function and per
+//!   match arm, how many `dup`/`drop`/`alloc`/reuse/free operations a
+//!   call pays, as best/worst-case intervals over control-flow paths
+//!   with a call-graph fixpoint for recursion (worst cases widen to ω).
+//!   The worst case is a sound upper bound on the runtime `Stats`
+//!   counters; the integration tests check exactly that against the
+//!   Fig. 9 workloads.
+//! * [`lint`] — concrete diagnostics (`L1` missed reuse, `L2` unfused
+//!   dup/drop, `L3` borrowable parameter, `L4` non-FBIP recursion),
+//!   each addressed by function and IR path, designed to be *diffed
+//!   across pipeline stages* via [`crate::passes::Pipeline::analyze`]:
+//!   e.g. L2 is nonzero after drop specialization and provably zero
+//!   after fusion.
+//!
+//! Reports render human-readable or as JSON ([`report`]); the schema is
+//! documented in `docs/ANALYSIS.md` and served by `perceus-suite
+//! analyze`.
+
+pub mod cost;
+pub mod lint;
+pub mod report;
+
+pub use cost::{ArmSummary, Bound, CostInterval, CostVector, FunSummary};
+pub use report::{Diagnostic, Diagnostics, LintCode, Severity};
+
+use crate::ir::program::{FunId, Program};
+use std::fmt::Write as _;
+
+/// The result of analyzing one program (normally one pipeline stage
+/// snapshot).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-function cost summaries, indexed by [`FunId`].
+    pub functions: Vec<FunSummary>,
+    /// Lint diagnostics.
+    pub diagnostics: Diagnostics,
+    /// The program's entry point, if any (its summary bounds a whole
+    /// run).
+    pub entry: Option<FunId>,
+}
+
+/// Runs the cost interpreter and every lint over a program.
+pub fn analyze_program(p: &Program) -> Analysis {
+    Analysis {
+        functions: cost::cost_summaries(p),
+        diagnostics: lint::lint_program(p),
+        entry: p.entry,
+    }
+}
+
+impl Analysis {
+    /// The entry function's summary, if the program has an entry point.
+    pub fn entry_summary(&self) -> Option<&FunSummary> {
+        self.entry
+            .and_then(|id| self.functions.get(id.0 as usize))
+    }
+
+    /// The summary of the function named `name`.
+    pub fn fun_summary(&self, name: &str) -> Option<&FunSummary> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Renders the whole analysis for humans: a cost table plus the
+    /// diagnostics.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.functions {
+            let entry_mark = if Some(f.fun) == self.entry { " (entry)" } else { "" };
+            let abort_mark = if f.may_abort { " [may abort]" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {}{entry_mark}: {}{abort_mark}",
+                f.name,
+                report::cost_vector_human(&f.cost)
+            );
+            for a in &f.arms {
+                let _ = writeln!(out, "    {}: {}", a.path, report::cost_vector_human(&a.cost));
+            }
+        }
+        out.push_str(&self.diagnostics.render_human());
+        out
+    }
+
+    /// JSON object: `{"functions": […], "diagnostics": […]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"entry\":");
+        match self.entry {
+            Some(id) => {
+                let _ = write!(out, "{}", id.0);
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"functions\":[");
+        for (i, f) in self.functions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&report::fun_summary_json(f));
+        }
+        let _ = write!(out, "],\"diagnostics\":{}", self.diagnostics.to_json());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::ProgramBuilder;
+    use crate::ir::expr::Expr;
+
+    #[test]
+    fn analysis_end_to_end_on_a_tiny_program() {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.fresh("x");
+        let f = pb.fun(
+            "f",
+            vec![x.clone()],
+            Expr::dup(x.clone(), Expr::drop_(x.clone(), Expr::int(1))),
+        );
+        pb.entry(f);
+        let p = pb.finish();
+        let a = analyze_program(&p);
+        assert_eq!(a.entry_summary().unwrap().name, "f");
+        assert_eq!(a.fun_summary("f").unwrap().cost.dup, CostInterval::exact(1));
+        assert_eq!(a.diagnostics.count(LintCode::UnfusedDupDrop), 1);
+        let json = a.to_json();
+        assert!(json.contains("\"entry\":0"));
+        assert!(json.contains("\"dup\":{\"min\":1,\"max\":1}"));
+        assert!(json.contains("\"code\":\"L2\""));
+        let human = a.render_human();
+        assert!(human.contains("f (entry): dup=[1,1] drop=[1,1]"));
+    }
+}

@@ -33,9 +33,14 @@
 //! assert!(compiled.funs.is_empty());
 //! ```
 
+pub mod analysis;
 pub mod check;
 pub mod ir;
 pub mod passes;
 
+pub use analysis::{analyze_program, Analysis, Diagnostic, Diagnostics, LintCode};
 pub use ir::{Expr, Program, Var};
-pub use passes::{PassConfig, PassError, PassName, Pipeline, StageError, StageTrace, Validation};
+pub use passes::{
+    AnalyzedStages, PassConfig, PassError, PassName, Pipeline, StageAnalysis, StageError,
+    StageTrace, Validation,
+};

@@ -546,6 +546,48 @@ impl StageTrace {
     }
 }
 
+/// The static analysis of one pipeline stage snapshot (see
+/// [`Pipeline::analyze`]).
+#[derive(Debug, Clone)]
+pub struct StageAnalysis {
+    /// The pass whose output was analyzed.
+    pub pass: PassName,
+    /// Cost summaries and lints for that snapshot.
+    pub analysis: crate::analysis::Analysis,
+}
+
+/// Per-stage analyses of a whole pipeline run — the diff surface for
+/// lints across pass boundaries (e.g. "L2 must drop to zero after
+/// fuse"). Produced by [`Pipeline::analyze`].
+#[derive(Debug, Clone)]
+pub struct AnalyzedStages {
+    /// One record per executed stage, in pipeline order.
+    pub stages: Vec<StageAnalysis>,
+}
+
+impl AnalyzedStages {
+    /// The final stage's analysis (the program that ships).
+    pub fn final_stage(&self) -> &StageAnalysis {
+        self.stages
+            .last()
+            .expect("a pipeline always runs at least one stage")
+    }
+
+    /// The analysis of a particular stage, if that pass ran under the
+    /// active configuration.
+    pub fn stage(&self, pass: PassName) -> Option<&StageAnalysis> {
+        self.stages.iter().find(|s| s.pass == pass)
+    }
+
+    /// The count of `code` lints at every stage boundary, in order.
+    pub fn lint_trend(&self, code: crate::analysis::LintCode) -> Vec<(PassName, usize)> {
+        self.stages
+            .iter()
+            .map(|s| (s.pass, s.analysis.diagnostics.count(code)))
+            .collect()
+    }
+}
+
 /// A mutation injected after a named pass — test instrumentation used
 /// to prove that the per-stage checker attributes a broken pass to the
 /// right stage (see `tests/staged_validation.rs`).
@@ -594,6 +636,24 @@ impl Pipeline {
     pub fn stages(&self, p: Program) -> Result<StageTrace, PassError> {
         let (_, trace) = self.drive(p, true)?;
         Ok(trace)
+    }
+
+    /// Runs all passes and the static RC-cost analyzer
+    /// ([`crate::analysis::analyze_program`]) on *every* stage snapshot,
+    /// so cost summaries and lints can be compared across pass
+    /// boundaries. The per-stage validation checks run exactly as in
+    /// [`Pipeline::stages`].
+    pub fn analyze(&self, p: Program) -> Result<AnalyzedStages, PassError> {
+        let trace = self.stages(p)?;
+        Ok(AnalyzedStages {
+            stages: trace
+                .stages()
+                .map(|(pass, prog)| StageAnalysis {
+                    pass,
+                    analysis: crate::analysis::analyze_program(prog),
+                })
+                .collect(),
+        })
     }
 
     fn drive(&self, mut p: Program, capture: bool) -> Result<(Program, StageTrace), PassError> {

@@ -50,6 +50,24 @@ pub fn compile_str_checked(src: &str) -> Result<(Program, Vec<LangWarning>), Lan
     lower::lower_checked(&ast, &syms)
 }
 
+/// Like [`compile_str`], additionally returning the source byte span of
+/// every function definition, indexed by the core `FunId` (lowering
+/// assigns function ids in declaration order, so `spans[f.0 as usize]`
+/// is the definition that produced function `f`).
+///
+/// This is the provenance hook for `perceus_core::analysis`: its
+/// diagnostics are addressed by `FunId`, and a consumer holding these
+/// spans can map them back to source locations (e.g. via
+/// [`Span::line_col`]).
+pub fn compile_str_with_spans(src: &str) -> Result<(Program, Vec<Span>), LangError> {
+    let ast = parser::parse(src)?;
+    let syms = resolve::resolve(&ast)?;
+    types::check(&ast, &syms)?;
+    let (program, _) = lower::lower_checked(&ast, &syms)?;
+    let spans = ast.funs.iter().map(|f| f.span).collect();
+    Ok((program, spans))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +95,20 @@ fun main(): int { double(21) }
     fn reports_parse_errors() {
         let err = compile_str("fun main( { }").unwrap_err();
         assert_eq!(err.phase, error::Phase::Parse);
+    }
+
+    #[test]
+    fn spans_line_up_with_fun_ids() {
+        let src = r#"
+fun double(x: int): int { x * 2 }
+fun main(): int { double(21) }
+"#;
+        let (p, spans) = compile_str_with_spans(src).unwrap();
+        assert_eq!(spans.len(), p.funs().count());
+        let double = p.find_fun("double").unwrap();
+        let main = p.find_fun("main").unwrap();
+        let text = |s: Span| &src[s.start as usize..s.end as usize];
+        assert!(text(spans[double.0 as usize]).contains("double(x"));
+        assert!(text(spans[main.0 as usize]).starts_with("fun main"));
     }
 }

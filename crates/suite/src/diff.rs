@@ -386,21 +386,9 @@ impl FuzzReport {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+// JSON string escaping is shared with every other hand-rolled emitter
+// in the workspace (the workspace stays dependency-free by design).
+use perceus_core::analysis::report::json_escape;
 
 /// One splitmix64 scramble step — derives unrelated per-iteration seeds
 /// from consecutive counter values.

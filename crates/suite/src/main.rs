@@ -4,33 +4,45 @@
 //! perceus-suite fuzz [--seed 0xC0FFEE] [--iters 200] [--size 28]
 //!                    [--arg 5] [--audit-every 64] [--no-shrink]
 //!                    [--json FILE] [--quiet]
-//! perceus-suite stages [--workload map] [--strategy perceus]
+//! perceus-suite stages [--workload map] [--strategy perceus] [--json]
+//! perceus-suite analyze [--workload map | --file F | --all]
+//!                       [--strategy perceus] [--stage final]
+//!                       [--json] [--deny L2]
 //! ```
 //!
 //! `fuzz` drives random programs through every strategy plus the
 //! standard-semantics oracle (see [`perceus_suite::diff`]), printing a
 //! JSON summary and exiting nonzero on any divergence or garbage-free
 //! violation. `stages` prints the named pass boundaries of a workload's
-//! compilation (sizes and per-stage timing).
+//! compilation (sizes and per-stage timing). `analyze` runs the static
+//! RC-cost analyzer and lints (`perceus_core::analysis`) over stage
+//! snapshots; `--deny` turns selected lint codes into a failing exit
+//! for CI gating. JSON schemas are documented in `docs/ANALYSIS.md`.
+//!
+//! Exit codes: 0 success, 1 operational failure (including denied
+//! lints), 2 usage error.
 
-use perceus_core::passes::Pipeline;
+use perceus_core::analysis::LintCode;
+use perceus_core::passes::{PassName, Pipeline};
 use perceus_suite::diff::{fuzz_with, FuzzConfig};
 use perceus_suite::{workload, workloads, Strategy};
 use std::process::ExitCode;
+
+/// Exit code for malformed command lines (distinct from operational
+/// failures, which exit 1).
+const EXIT_USAGE: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("stages") => run_stages(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Some(other) => {
-            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
-            ExitCode::from(2)
-        }
+        Some(other) => usage_error(&format!("unknown subcommand `{other}`")),
     }
 }
 
@@ -54,7 +66,27 @@ subcommands:
     --workload <name>    workload to compile    (default map)
     --strategy <name>    perceus | perceus-no-opt | scoped-rc |
                          tracing-gc | arena     (default perceus)
+    --json               machine-readable output
+
+  analyze  static RC-cost summaries and lints (docs/ANALYSIS.md)
+    --workload <name>    analyze a registered workload (default map)
+    --file <path>        analyze a surface-language source file
+    --all                analyze every registered workload
+    --strategy <name>    as for stages          (default perceus)
+    --stage <sel>        final | all | a pass label such as `fuse`
+                         (default final)
+    --json               machine-readable report
+    --deny <code>        exit 1 if the final stage carries this lint
+                         (repeatable; L1..L4 or a lint name)
+
+exit codes: 0 ok, 1 failure (divergence, pipeline error, denied lint),
+            2 usage error
 ";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n\n{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
 
 fn parse_u64(s: &str, what: &str) -> u64 {
     let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -66,7 +98,7 @@ fn parse_u64(s: &str, what: &str) -> u64 {
         Ok(v) => v,
         Err(_) => {
             eprintln!("invalid {what}: `{s}`");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE as i32);
         }
     }
 }
@@ -77,9 +109,13 @@ fn next_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
         Some(v) => v,
         None => {
             eprintln!("{flag} requires a value\n\n{USAGE}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE as i32);
         }
     }
+}
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    Strategy::ALL.iter().copied().find(|s| s.label() == name)
 }
 
 fn run_fuzz(args: &[String]) -> ExitCode {
@@ -101,10 +137,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             "--no-shrink" => cfg.shrink = false,
             "--json" => json_path = Some(next_value(args, &mut i, "--json").to_string()),
             "--quiet" => quiet = true,
-            other => {
-                eprintln!("unknown fuzz option `{other}`\n\n{USAGE}");
-                return ExitCode::from(2);
-            }
+            other => return usage_error(&format!("unknown fuzz option `{other}`")),
         }
         i += 1;
     }
@@ -171,24 +204,20 @@ fn run_fuzz(args: &[String]) -> ExitCode {
 fn run_stages(args: &[String]) -> ExitCode {
     let mut workload_name = "map".to_string();
     let mut strategy = Strategy::Perceus;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--workload" => workload_name = next_value(args, &mut i, "--workload").to_string(),
             "--strategy" => {
                 let name = next_value(args, &mut i, "--strategy");
-                strategy = match Strategy::ALL.iter().find(|s| s.label() == name) {
-                    Some(s) => *s,
-                    None => {
-                        eprintln!("unknown strategy `{name}`\n\n{USAGE}");
-                        return ExitCode::from(2);
-                    }
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
                 };
             }
-            other => {
-                eprintln!("unknown stages option `{other}`\n\n{USAGE}");
-                return ExitCode::from(2);
-            }
+            "--json" => json = true,
+            other => return usage_error(&format!("unknown stages option `{other}`")),
         }
         i += 1;
     }
@@ -196,15 +225,10 @@ fn run_stages(args: &[String]) -> ExitCode {
     let w = match workload(&workload_name) {
         Some(w) => w,
         None => {
-            eprintln!(
+            return usage_error(&format!(
                 "unknown workload `{workload_name}`; available: {}",
-                workloads()
-                    .iter()
-                    .map(|w| w.name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            return ExitCode::from(2);
+                workload_names().join(", ")
+            ))
         }
     };
     let program = match perceus_lang::compile_str(w.source) {
@@ -221,21 +245,244 @@ fn run_stages(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "{} under {} — {} stages",
-        w.name,
-        strategy.label(),
-        trace.len()
-    );
-    println!("{:<12} {:>8} {:>12}", "stage", "nodes", "time");
-    for record in trace.records() {
-        let nodes: usize = record.program.funs.iter().map(|f| f.body.size()).sum();
-        println!(
-            "{:<12} {:>8} {:>9.1?}",
-            record.pass.label(),
-            nodes,
-            record.elapsed
+    if json {
+        let mut out = format!(
+            "{{\"workload\":\"{}\",\"strategy\":\"{}\",\"stages\":[",
+            json_escape(w.name),
+            json_escape(strategy.label())
         );
+        for (i, record) in trace.records().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let nodes: usize = record.program.funs.iter().map(|f| f.body.size()).sum();
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"nodes\":{},\"nanos\":{}}}",
+                record.pass.label(),
+                nodes,
+                record.elapsed.as_nanos()
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        println!(
+            "{} under {} — {} stages",
+            w.name,
+            strategy.label(),
+            trace.len()
+        );
+        println!("{:<12} {:>8} {:>12}", "stage", "nodes", "time");
+        for record in trace.records() {
+            let nodes: usize = record.program.funs.iter().map(|f| f.body.size()).sum();
+            println!(
+                "{:<12} {:>8} {:>9.1?}",
+                record.pass.label(),
+                nodes,
+                record.elapsed
+            );
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Which stage snapshots `analyze` reports on.
+enum StageSel {
+    Final,
+    All,
+    One(PassName),
+}
+
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut workload_names_sel: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut strategy = Strategy::Perceus;
+    let mut stage_sel = StageSel::Final;
+    let mut json = false;
+    let mut deny: Vec<LintCode> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                workload_names_sel.push(next_value(args, &mut i, "--workload").to_string())
+            }
+            "--file" => files.push(next_value(args, &mut i, "--file").to_string()),
+            "--all" => all = true,
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
+                };
+            }
+            "--stage" => {
+                let sel = next_value(args, &mut i, "--stage");
+                stage_sel = match sel {
+                    "final" => StageSel::Final,
+                    "all" => StageSel::All,
+                    label => match PassName::ALL.iter().find(|p| p.label() == label) {
+                        Some(p) => StageSel::One(*p),
+                        None => {
+                            return usage_error(&format!(
+                                "unknown stage `{label}` (use final, all, or a pass label)"
+                            ))
+                        }
+                    },
+                };
+            }
+            "--json" => json = true,
+            "--deny" => {
+                let code = next_value(args, &mut i, "--deny");
+                match LintCode::parse(code) {
+                    Some(c) => deny.push(c),
+                    None => return usage_error(&format!("unknown lint code `{code}`")),
+                }
+            }
+            other => return usage_error(&format!("unknown analyze option `{other}`")),
+        }
+        i += 1;
+    }
+
+    // Resolve targets: (name, source).
+    let mut targets: Vec<(String, String)> = Vec::new();
+    if all {
+        for w in workloads() {
+            targets.push((w.name.to_string(), w.source.to_string()));
+        }
+    }
+    for name in &workload_names_sel {
+        match workload(name) {
+            Some(w) => targets.push((w.name.to_string(), w.source.to_string())),
+            None => {
+                return usage_error(&format!(
+                    "unknown workload `{name}`; available: {}",
+                    workload_names().join(", ")
+                ))
+            }
+        }
+    }
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => targets.push((path.clone(), src)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.push(("map".to_string(), workload("map").unwrap().source.to_string()));
+    }
+
+    let mut violations = 0usize;
+    let mut json_targets: Vec<String> = Vec::new();
+    for (name, src) in &targets {
+        let (program, spans) = match perceus_lang::compile_str_with_spans(src) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{name}: front end failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let spans: Vec<(u32, u32)> = spans.iter().map(|s| (s.start, s.end)).collect();
+        let mut analyzed = match Pipeline::new(strategy.pass_config()).analyze(program) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{name}: pipeline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for stage in &mut analyzed.stages {
+            stage.analysis.diagnostics.attach_fun_spans(&spans);
+        }
+
+        // `--deny` always gates on the shipped (final) program,
+        // independently of which snapshots are being displayed.
+        let final_stage = analyzed.final_stage();
+        let denied: Vec<(LintCode, usize)> = deny
+            .iter()
+            .map(|c| (*c, final_stage.analysis.diagnostics.count(*c)))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        violations += denied.iter().map(|(_, n)| n).sum::<usize>();
+
+        let selected: Vec<_> = match stage_sel {
+            StageSel::Final => vec![analyzed.final_stage()],
+            StageSel::All => analyzed.stages.iter().collect(),
+            StageSel::One(pass) => match analyzed.stage(pass) {
+                Some(s) => vec![s],
+                None => {
+                    eprintln!(
+                        "{name}: stage `{}` did not run under strategy {}",
+                        pass.label(),
+                        strategy.label()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+
+        if json {
+            let mut t = format!(
+                "{{\"name\":\"{}\",\"strategy\":\"{}\",\"stages\":[",
+                json_escape(name),
+                json_escape(strategy.label())
+            );
+            for (i, s) in selected.iter().enumerate() {
+                if i > 0 {
+                    t.push(',');
+                }
+                t.push_str(&format!(
+                    "{{\"stage\":\"{}\",\"analysis\":{}}}",
+                    s.pass.label(),
+                    s.analysis.to_json()
+                ));
+            }
+            t.push_str("]}");
+            json_targets.push(t);
+        } else {
+            for s in &selected {
+                println!(
+                    "== {name} under {} (stage {}) ==",
+                    strategy.label(),
+                    s.pass.label()
+                );
+                print!("{}", s.analysis.render_human());
+            }
+            for (c, n) in &denied {
+                println!("denied: {n} {} ({}) lint(s) in final stage", c.code(), c.name());
+            }
+        }
+    }
+
+    if json {
+        let deny_json: Vec<String> = deny.iter().map(|c| format!("\"{}\"", c.code())).collect();
+        println!(
+            "{{\"targets\":[{}],\"deny\":[{}],\"violations\":{}}}",
+            json_targets.join(","),
+            deny_json.join(","),
+            violations
+        );
+    } else if !deny.is_empty() {
+        println!(
+            "deny gate: {} violation(s) across {} target(s)",
+            violations,
+            targets.len()
+        );
+    }
+
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn workload_names() -> Vec<&'static str> {
+    workloads().iter().map(|w| w.name).collect()
+}
+
+fn json_escape(s: &str) -> String {
+    perceus_core::analysis::report::json_escape(s)
 }

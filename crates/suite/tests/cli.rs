@@ -1,0 +1,104 @@
+//! End-to-end tests of the `perceus-suite` command-line interface,
+//! exercising the documented exit-code contract:
+//!
+//! * `0` — success (including `--help`-style usage on no arguments)
+//! * `1` — an operation ran and failed (e.g. `analyze --deny` violations)
+//! * `2` — usage error: unknown subcommand, unknown option, bad value
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perceus-suite"))
+        .args(args)
+        .output()
+        .expect("spawn perceus-suite")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let out = run(&[]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).to_lowercase().contains("usage"), "usage text expected");
+    assert!(stdout(&out).contains("analyze"), "usage lists the analyze subcommand");
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("frobnicate"), "names the offending word");
+}
+
+#[test]
+fn unknown_option_exits_2() {
+    let out = run(&["fuzz", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--bogus"), "names the offending option");
+}
+
+#[test]
+fn unknown_workload_exits_2() {
+    let out = run(&["stages", "--workload", "nope"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unknown_deny_code_exits_2() {
+    let out = run(&["analyze", "--workload", "map", "--deny", "NOPE"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("NOPE"));
+}
+
+#[test]
+fn missing_option_value_exits_2() {
+    let out = run(&["analyze", "--workload"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn stages_json_is_well_formed() {
+    let out = run(&["stages", "--workload", "map", "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "got: {json}");
+    assert!(json.contains("\"stages\""));
+    assert!(json.contains("\"workload\":\"map\""));
+}
+
+#[test]
+fn analyze_json_reports_diagnostics() {
+    let out = run(&["analyze", "--workload", "rbtree", "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "got: {json}");
+    assert!(json.contains("\"diagnostics\""));
+    assert!(json.contains("\"functions\""));
+    assert!(json.contains("\"violations\""));
+}
+
+#[test]
+fn analyze_deny_l2_passes_on_fused_output() {
+    // The final stage under the default strategy is fully fused, so
+    // denying L2 must not trip (this is the CI gate).
+    let out = run(&["analyze", "--workload", "map", "--deny", "L2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn analyze_deny_violation_exits_1() {
+    // rbtree's `ins` allocates along its recursion under the default
+    // strategy (no reuse token on that path), so L4 fires at the final
+    // stage; denying a code that fires must exit 1.
+    let out = run(&["analyze", "--workload", "rbtree", "--deny", "L4"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+}

@@ -1,0 +1,114 @@
+//! Borrow × reuse interaction, seen through the static analyzer:
+//!
+//! 1. Enabling borrow inference (`with_borrow(true)`) never *increases*
+//!    the analyzer's worst-case dup/drop count — borrowing only removes
+//!    ownership transfers (§6; Counting-Immutable-Beans-style calling
+//!    convention), it never adds reference-count traffic.
+//! 2. Under `PassConfig::perceus_borrowing()` the L3 (borrowable
+//!    parameter) lint vanishes: the active configuration adopts exactly
+//!    the masks the lint is computed from.
+//!
+//! Both properties are checked over `genprog`-generated random programs
+//! (proptest-driven) and over the registered workloads.
+
+use perceus_core::analysis::{Bound, LintCode};
+use perceus_core::passes::PassConfig;
+use perceus_core::Pipeline;
+use perceus_suite::genprog::random_program;
+use perceus_suite::workloads;
+use proptest::prelude::*;
+
+/// The worst-case dup+drop bound of the whole program under a config:
+/// the sum over all function summaries at the final stage (entry
+/// summaries alone would hide functions only reachable through
+/// closures).
+fn total_dup_drop_hi(config: PassConfig, p: perceus_core::Program) -> Bound {
+    let analyzed = Pipeline::new(config).analyze(p).unwrap();
+    let mut total = Bound::Finite(0);
+    for f in &analyzed.final_stage().analysis.functions {
+        let iv = f.cost.dup_drop();
+        total = match (total, iv.hi) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a + b),
+            _ => Bound::Unbounded,
+        };
+    }
+    total
+}
+
+fn l3_count(config: PassConfig, p: perceus_core::Program) -> usize {
+    let analyzed = Pipeline::new(config).analyze(p).unwrap();
+    analyzed
+        .final_stage()
+        .analysis
+        .diagnostics
+        .count(LintCode::BorrowableParam)
+}
+
+/// `hi(borrowed) ≤ hi(owned)` in the ω-topped order.
+fn not_worse(borrowed: Bound, owned: Bound) -> bool {
+    match (borrowed, owned) {
+        (Bound::Finite(b), Bound::Finite(o)) => b <= o,
+        (_, Bound::Unbounded) => true,
+        (Bound::Unbounded, Bound::Finite(_)) => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Borrow inference never increases the static worst-case dup/drop
+    /// count of a generated program.
+    #[test]
+    fn borrowing_never_increases_worst_case_dup_drop(seed in any::<u64>(), size in 8u32..40) {
+        let p = random_program(seed, size);
+        let owned = total_dup_drop_hi(PassConfig::perceus(), p.clone());
+        let borrowed = total_dup_drop_hi(PassConfig::perceus().with_borrow(true), p);
+        prop_assert!(
+            not_worse(borrowed, owned),
+            "borrowing increased worst-case dup/drop: {borrowed:?} > {owned:?} (seed {seed}, size {size})"
+        );
+    }
+
+    /// L3 lints vanish once the configuration adopts the inferred
+    /// borrow masks.
+    #[test]
+    fn l3_vanishes_under_borrowing_config(seed in any::<u64>(), size in 8u32..40) {
+        let p = random_program(seed, size);
+        let n = l3_count(PassConfig::perceus_borrowing(), p);
+        prop_assert_eq!(n, 0, "L3 must vanish under perceus_borrowing (seed {}, size {})", seed, size);
+    }
+}
+
+/// The same two properties on every registered workload — real programs
+/// with data structures, recursion and higher-order code.
+#[test]
+fn borrow_properties_hold_on_workloads() {
+    for w in workloads() {
+        let p = perceus_lang::compile_str(w.source).unwrap();
+        let owned = total_dup_drop_hi(PassConfig::perceus(), p.clone());
+        let borrowed = total_dup_drop_hi(PassConfig::perceus().with_borrow(true), p.clone());
+        assert!(
+            not_worse(borrowed, owned),
+            "{}: borrowing increased worst-case dup/drop: {borrowed:?} > {owned:?}",
+            w.name
+        );
+        assert_eq!(
+            l3_count(PassConfig::perceus_borrowing(), p),
+            0,
+            "{}: L3 must vanish under perceus_borrowing",
+            w.name
+        );
+    }
+}
+
+/// Sanity: on at least one workload the owned configuration really does
+/// leave borrowable parameters on the table (so the L3 lint is not
+/// vacuously quiet).
+#[test]
+fn l3_fires_under_owned_config_somewhere() {
+    let fired = workloads().iter().any(|w| {
+        let p = perceus_lang::compile_str(w.source).unwrap();
+        l3_count(PassConfig::perceus(), p) > 0
+    });
+    assert!(fired, "no workload produced an L3 lint under the owned config");
+}
