@@ -24,7 +24,9 @@
 use perceus_bench::measure::{measure, Measurement};
 use perceus_core::passes::{Ablation, PassConfig};
 use perceus_runtime::machine::RunConfig;
-use perceus_suite::{compile_with_config, run_workload, workload, workloads, Strategy, Workload};
+use perceus_suite::{
+    compile_with_config, run_parallel, run_workload, workload, workloads, Strategy, Workload,
+};
 use std::collections::HashMap;
 
 struct Options {
@@ -283,20 +285,45 @@ fn ablate(opts: &Options) {
     }
 }
 
-/// §2.7.2: atomic rc operations after `tshare`.
+/// §2.7.2: the dual-mode rc costs. In-machine `tshare` flips headers
+/// to the sticky-negative encoding on the *local* heap — a slow path,
+/// but not an atomic one. Real atomics only appear when a structure
+/// crosses a thread boundary through the shared segment, which the
+/// parallel driver exercises at increasing thread counts.
 fn shared(opts: &Options) {
-    println!("\n## thread-shared (§2.7.2): atomic slow-path usage");
+    println!("\n## thread-shared (§2.7.2): local sticky marking vs. real atomic sharing");
     let w = workload("refs").expect("registered");
     let n = size_for(opts, &w);
     let m = measure(&w, Strategy::Perceus, n, 1).expect("measure");
     let st = m.stats;
     println!(
-        "refs(n={n}): rc-ops={} atomic={} ({:.1}%) shared-marks={}",
+        "refs(n={n}) single-thread: rc-ops={} local-shared={} ({:.1}%) atomic={} shared-marks={}",
         st.rc_ops(),
+        st.local_shared_ops,
+        100.0 * st.local_shared_ops as f64 / st.rc_ops().max(1) as f64,
         st.atomic_ops,
-        100.0 * st.atomic_ops as f64 / st.rc_ops().max(1) as f64,
         st.shared_marks
     );
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "workload", "threads", "time", "runs/s", "atomic-ops", "rc-ops"
+    );
+    let w = workload("map").expect("registered");
+    let n = size_for(opts, &w).min(20_000);
+    for threads in [1, 2, 4] {
+        match run_parallel(&w, Strategy::Perceus, n, threads, RunConfig::default()) {
+            Ok(out) => println!(
+                "{:<10} {:>8} {:>9.2}s {:>12.1} {:>12} {:>12}",
+                w.name,
+                threads,
+                out.elapsed.as_secs_f64(),
+                out.throughput(),
+                out.stats.atomic_ops,
+                out.stats.rc_ops()
+            ),
+            Err(e) => println!("{} at {threads} threads: {e}", w.name),
+        }
+    }
 }
 
 /// §6 extension: inferred borrowed parameters. Fewer rc operations on

@@ -1,0 +1,141 @@
+//! `perceus-bench` — the parallel throughput driver (§2.7.2).
+//!
+//! ```text
+//! perceus-bench --workload rbtree --threads 4 [--n SIZE]
+//!               [--strategy perceus] [--repeat 3]
+//! ```
+//!
+//! Runs N abstract machines concurrently (see
+//! [`perceus_suite::parallel`]): workloads with a shared-input split
+//! (map, refs) share one immutable structure through the atomic-header
+//! segment, the rest run independent `main(n)` instances per thread.
+//! Each repeat reports aggregate throughput and the merged statistics;
+//! the join-time garbage-free audit runs over both heap segments after
+//! every repeat and any failure exits 1.
+
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{run_parallel, workload, workloads, Strategy};
+use std::process::ExitCode;
+
+struct Options {
+    workload: String,
+    threads: u32,
+    n: Option<i64>,
+    strategy: Strategy,
+    repeat: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perceus-bench --workload NAME [--threads N] [--n SIZE]\n\
+         \x20                    [--strategy NAME] [--repeat K]\n\
+         workloads: {}\n\
+         strategies: {}",
+        workloads()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", "),
+        Strategy::ALL
+            .iter()
+            .map(|s| s.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        workload: "rbtree".to_string(),
+        threads: 4,
+        n: None,
+        strategy: Strategy::Perceus,
+        repeat: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{what} requires a value");
+            usage()
+        });
+        match a.as_str() {
+            "--workload" => opts.workload = value("--workload"),
+            "--threads" => match value("--threads").parse() {
+                Ok(t) if t > 0 => opts.threads = t,
+                _ => usage(),
+            },
+            "--n" => match value("--n").parse() {
+                Ok(n) => opts.n = Some(n),
+                Err(_) => usage(),
+            },
+            "--repeat" => match value("--repeat").parse() {
+                Ok(k) if k > 0 => opts.repeat = k,
+                _ => usage(),
+            },
+            "--strategy" => {
+                let name = value("--strategy");
+                match Strategy::ALL.iter().find(|s| s.label() == name) {
+                    Some(s) => opts.strategy = *s,
+                    None => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let Some(w) = workload(&opts.workload) else {
+        eprintln!("unknown workload `{}`", opts.workload);
+        usage();
+    };
+    let n = opts.n.unwrap_or(w.default_n);
+    println!(
+        "# perceus-bench: {} under {}, {} threads, n={n}, {} repeats",
+        w.name,
+        opts.strategy.label(),
+        opts.threads,
+        opts.repeat
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "repeat", "time", "runs/s", "atomic-ops", "rc-ops", "peak-words", "audit"
+    );
+    let mut best: Option<f64> = None;
+    for k in 0..opts.repeat {
+        let out = match run_parallel(&w, opts.strategy, n, opts.threads, RunConfig::default()) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let tput = out.throughput();
+        best = Some(best.map_or(tput, |b: f64| b.max(tput)));
+        let audit = match &out.shared_audit {
+            Some(a) if a.live_blocks == 0 && a.pinned_blocks == 0 => "ok".to_string(),
+            Some(a) => format!("ok({}p)", a.pinned_blocks),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "{:<8} {:>9.3}s {:>12.1} {:>12} {:>12} {:>12} {:>8}",
+            k + 1,
+            out.elapsed.as_secs_f64(),
+            tput,
+            out.stats.atomic_ops,
+            out.stats.rc_ops(),
+            out.stats.peak_live_words,
+            audit
+        );
+    }
+    println!(
+        "# best aggregate throughput: {:.1} runs/s across {} threads",
+        best.unwrap_or(0.0),
+        opts.threads
+    );
+    ExitCode::SUCCESS
+}

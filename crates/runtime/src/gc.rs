@@ -64,7 +64,11 @@ impl Collector {
         let mut marked = 0u64;
         while let Some(addr) = work.pop() {
             let Ok(block) = heap.block_mut(addr) else {
-                continue; // stale root (dead slot): not a real reference
+                // Stale root (dead slot) or a shared-segment address:
+                // neither is local garbage. The shared segment is
+                // reference-counted even for GC-mode workers and is
+                // audited at thread join instead.
+                continue;
             };
             if block.mark {
                 continue;

@@ -3,8 +3,16 @@
 //!
 //! * each block carries a signed header: positive values are plain
 //!   reference counts; negative values are *thread-shared* counts that
-//!   take the (simulated) atomic slow path; values at or below the
-//!   sticky floor never change again (§2.7.2's overflow/pinning range);
+//!   take the slow path; values at or below the sticky floor never
+//!   change again (§2.7.2's overflow/pinning range);
+//! * the heap is **two segments**: this thread-local one (plain `i32`
+//!   headers, non-atomic counting — the fast path §2.7.2 promises) and
+//!   an optional attached [`shared::SharedHeap`] whose headers are real
+//!   `AtomicI32`s. [`Heap::mark_shared`] is the *share barrier*: it
+//!   moves a value's reachable closure into the shared segment when the
+//!   value crosses a thread boundary. Addresses carry the segment in
+//!   their high bit, so every counting entry point routes with a single
+//!   branch;
 //! * `drop` frees recursively with an explicit worklist (no native-stack
 //!   recursion, so dropping a million-element list is safe);
 //! * `drop-reuse` returns the cell as a *reuse token* instead of freeing
@@ -24,14 +32,19 @@
 //! modes the counting entry points are inert and reclamation is driven
 //! by [`crate::gc`] (or not at all).
 
+pub mod shared;
 pub mod stats;
 
+pub use shared::SharedHeap;
 pub use stats::Stats;
 
 use crate::error::RuntimeError;
 use crate::trace::{Event, Trace};
 use crate::value::{Addr, Value};
 use perceus_core::ir::CtorId;
+use perceus_core::passes::Validation;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifies a lambda's code in the compiled program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,12 +137,35 @@ pub struct HeapConfig {
     /// default); off restores the free-and-reallocate discipline, for
     /// the allocator ablation in `figures -- allocator`.
     pub recycle: bool,
+    /// When active, release builds also pay the expensive runtime
+    /// invariant checks (today: reuse-specialization skipped-field
+    /// equality in [`Heap::alloc_into`]). Defaults to
+    /// [`Validation::DebugOnly`].
+    pub validation: Validation,
 }
 
 impl Default for HeapConfig {
     fn default() -> Self {
-        HeapConfig { recycle: true }
+        HeapConfig {
+            recycle: true,
+            validation: Validation::default(),
+        }
     }
+}
+
+/// A read-only, segment-agnostic view of a block: the one shape both
+/// the thread-local heap and the shared segment can serve. Readers
+/// (the machine's match/apply/read-back, the auditor) use this instead
+/// of [`Heap::block`], which only local blocks can back.
+pub struct BlockView<'a> {
+    /// Signed header at read time (for shared blocks: an atomic load).
+    pub header: i32,
+    /// Block kind.
+    pub tag: BlockTag,
+    /// Fields (immutable for shared blocks by construction).
+    pub fields: &'a [Value],
+    /// True when the block lives in the shared segment.
+    pub shared: bool,
 }
 
 /// The heap.
@@ -145,6 +181,9 @@ pub struct Heap {
     drop_work: Vec<Addr>,
     config: HeapConfig,
     mode: ReclaimMode,
+    /// The attached thread-shared segment, when this heap belongs to a
+    /// worker thread of a parallel run (see [`Heap::attach_shared`]).
+    shared: Option<Arc<SharedHeap>>,
     /// Runtime statistics.
     pub stats: Stats,
     trace: Option<Trace>,
@@ -166,9 +205,22 @@ impl Heap {
             drop_work: Vec::new(),
             config,
             mode,
+            shared: None,
             stats: Stats::default(),
             trace: None,
         }
+    }
+
+    /// Attaches a frozen thread-shared segment. Shared addresses (high
+    /// bit set) route to it from every counting entry point; without an
+    /// attachment they are [`RuntimeError::BadAddress`].
+    pub fn attach_shared(&mut self, segment: Arc<SharedHeap>) {
+        self.shared = Some(segment);
+    }
+
+    /// The attached shared segment, if any.
+    pub fn shared_segment(&self) -> Option<&SharedHeap> {
+        self.shared.as_deref()
     }
 
     /// Enables the reference-count event tracer (see [`crate::trace`]),
@@ -263,15 +315,52 @@ impl Heap {
         }
     }
 
-    /// Reads a block (generation-checked).
+    /// Reads a *thread-local* block (generation-checked). Shared
+    /// addresses are an error here — readers that must serve both
+    /// segments go through [`Heap::view`].
     pub fn block(&self, addr: Addr) -> Result<&Block, RuntimeError> {
+        if addr.is_shared() {
+            return Err(RuntimeError::Internal(format!(
+                "block() on shared address {addr} (use view())"
+            )));
+        }
         self.entry(addr)
     }
 
     /// Reads a block mutably (generation-checked). Used by the machine
-    /// for mutable-reference writes.
+    /// for mutable-reference writes; shared blocks are immutable by
+    /// construction, so a shared address is an error.
     pub fn block_mut(&mut self, addr: Addr) -> Result<&mut Block, RuntimeError> {
+        if addr.is_shared() {
+            return Err(RuntimeError::Internal(format!(
+                "mutation of immutable shared block {addr}"
+            )));
+        }
         self.entry_mut(addr)
+    }
+
+    /// Reads a block from either segment (generation-checked locally,
+    /// liveness-checked in the shared segment).
+    pub fn view(&self, addr: Addr) -> Result<BlockView<'_>, RuntimeError> {
+        if addr.is_shared() {
+            let sh = self
+                .shared
+                .as_deref()
+                .ok_or(RuntimeError::BadAddress(addr))?;
+            return sh.view(addr);
+        }
+        let b = self.entry(addr)?;
+        Ok(BlockView {
+            header: b.header,
+            tag: b.tag,
+            fields: &b.fields,
+            shared: false,
+        })
+    }
+
+    /// True when `addr` names a live block in either segment.
+    pub fn ref_alive(&self, addr: Addr) -> bool {
+        self.view(addr).is_ok()
     }
 
     // ---- allocation -------------------------------------------------
@@ -370,8 +459,12 @@ impl Heap {
 
     /// Builds a constructor in the memory held by a reuse token
     /// (`Con@ru` with a valid token). `skip` elides writes whose field
-    /// already holds the value (reuse specialization, §2.5; validated in
-    /// debug builds).
+    /// already holds the value (reuse specialization, §2.5). The mask
+    /// must be empty (no elision) or exactly as long as the argument
+    /// list — a truncated mask from a broken specialization pass would
+    /// otherwise corrupt fields silently. Skipped-field equality is
+    /// checked whenever [`HeapConfig::validation`] is active (always
+    /// under [`Validation::Full`], including release builds).
     pub fn alloc_into(
         &mut self,
         token: Addr,
@@ -379,6 +472,14 @@ impl Heap {
         args: &[Value],
         skip: &[bool],
     ) -> Result<Addr, RuntimeError> {
+        if !skip.is_empty() && skip.len() != args.len() {
+            return Err(RuntimeError::Internal(format!(
+                "reuse skip mask at {token} has {} entries for {} constructor arguments",
+                skip.len(),
+                args.len()
+            )));
+        }
+        let check_skipped = self.config.validation.active();
         let b = self.entry_mut(token)?;
         if b.header != 0 {
             return Err(RuntimeError::Internal(format!(
@@ -393,20 +494,23 @@ impl Heap {
                 args.len()
             )));
         }
-        b.header = 1;
-        b.tag = BlockTag::Ctor(ctor);
         let mut written = 0;
         for (i, v) in args.iter().enumerate() {
             if skip.get(i).copied().unwrap_or(false) {
-                debug_assert_eq!(
-                    b.fields[i], *v,
-                    "skipped field {i} does not already hold the argument"
-                );
+                if check_skipped && b.fields[i] != *v {
+                    return Err(RuntimeError::Internal(format!(
+                        "reuse skip mask at {token}: skipped field {i} holds {} but the \
+                         constructor argument is {v}",
+                        b.fields[i]
+                    )));
+                }
             } else {
                 b.fields[i] = *v;
                 written += 1;
             }
         }
+        b.header = 1;
+        b.tag = BlockTag::Ctor(ctor);
         self.stats.field_writes += written;
         self.stats.skipped_writes += (args.len() - written as usize) as u64;
         self.stats.on_reuse();
@@ -425,6 +529,15 @@ impl Heap {
         }
         let Value::Ref(addr) = v else { return Ok(()) };
         self.stats.dups += 1;
+        if addr.is_shared() {
+            let sh = self
+                .shared
+                .as_deref()
+                .ok_or(RuntimeError::BadAddress(addr))?;
+            let after = sh.dup(addr, &mut self.stats)?;
+            self.tr(Event::Dup(addr, after));
+            return Ok(());
+        }
         let b = Self::lookup_mut(&mut self.slots, addr)?;
         if b.header == 1 {
             // Uniquely owned: the dominant case in Perceus-optimized
@@ -433,9 +546,10 @@ impl Heap {
         } else if b.header > 0 {
             b.header += 1;
         } else {
-            // Thread-shared: atomic decrement toward the sticky floor
-            // (more negative = more references).
-            self.stats.atomic_ops += 1;
+            // Marked shared in place by an in-thread `tshare`: the
+            // negative-count discipline without any atomic instruction
+            // (the block never left this thread).
+            self.stats.local_shared_ops += 1;
             if b.header > STICKY {
                 b.header -= 1;
             }
@@ -465,6 +579,21 @@ impl Heap {
 
     fn drop_loop(&mut self, work: &mut Vec<Addr>) -> Result<(), RuntimeError> {
         while let Some(addr) = work.pop() {
+            if addr.is_shared() {
+                // Shared segment: one real atomic RMW; the winning
+                // (count-to-zero) thread gets the children pushed onto
+                // this worklist and keeps draining them here.
+                let sh = self
+                    .shared
+                    .as_deref()
+                    .ok_or(RuntimeError::BadAddress(addr))?;
+                let after = sh.drop_ref(addr, &mut self.stats, work)?;
+                self.tr(Event::Drop(addr, after));
+                if after == 0 {
+                    self.tr(Event::Free(addr));
+                }
+                continue;
+            }
             let e = self
                 .slots
                 .get_mut(addr.index as usize)
@@ -510,8 +639,9 @@ impl Heap {
                     "drop of claimed cell {addr}"
                 )));
             } else {
-                // Thread-shared slow path.
-                self.stats.atomic_ops += 1;
+                // In-thread `tshare` slow path (non-atomic: the block
+                // is still thread-local).
+                self.stats.local_shared_ops += 1;
                 if b.header > STICKY {
                     b.header += 1;
                     if b.header == 0 {
@@ -538,15 +668,20 @@ impl Heap {
         }
         let Value::Ref(addr) = v else { return Ok(()) };
         self.stats.decrefs += 1;
+        if addr.is_shared() {
+            // `is-unique` never reports shared blocks unique, so the
+            // shared branch may hold the *last* reference and must
+            // reclaim fully at zero — route through the drop loop,
+            // which pays the real atomic RMW.
+            return self.release_shared(addr);
+        }
         let b = Self::lookup_mut(&mut self.slots, addr)?;
         if b.header > 1 {
             b.header -= 1;
             Ok(())
         } else if b.header < 0 {
-            // Thread-shared: `is-unique` never reports shared blocks
-            // unique, so the shared branch may hold the *last* reference
-            // and must reclaim fully (atomically) at zero.
-            self.stats.atomic_ops += 1;
+            // In-thread `tshare`: same discipline, no atomics.
+            self.stats.local_shared_ops += 1;
             if b.header > STICKY {
                 b.header += 1;
                 if b.header == 0 {
@@ -576,6 +711,12 @@ impl Heap {
     pub fn is_unique(&mut self, v: Value) -> Result<bool, RuntimeError> {
         self.stats.unique_tests += 1;
         let unique = match v {
+            Value::Ref(addr) if addr.is_shared() => {
+                // A plain sign test would do, but validate liveness so
+                // a stale shared address still errors deterministically.
+                self.view(addr)?;
+                false
+            }
             Value::Ref(addr) => Self::lookup(&self.slots, addr)?.header == 1,
             _ => false,
         };
@@ -592,6 +733,11 @@ impl Heap {
         let Value::Ref(addr) = v else {
             return Err(RuntimeError::Internal("free of a non-reference".into()));
         };
+        if addr.is_shared() {
+            return Err(RuntimeError::Internal(format!(
+                "free of shared block {addr} (shared blocks are never unique)"
+            )));
+        }
         let b = self.entry(addr)?;
         if b.header != 1 {
             return Err(RuntimeError::Internal(format!(
@@ -609,6 +755,11 @@ impl Heap {
         let Value::Ref(addr) = v else {
             return Err(RuntimeError::Internal("&x of a non-reference".into()));
         };
+        if addr.is_shared() {
+            return Err(RuntimeError::Internal(format!(
+                "&x of shared block {addr} (shared blocks are never unique)"
+            )));
+        }
         let b = self.entry_mut(addr)?;
         if b.header != 1 {
             return Err(RuntimeError::Internal(format!(
@@ -626,6 +777,14 @@ impl Heap {
     /// null token.
     pub fn drop_reuse(&mut self, v: Value) -> Result<Value, RuntimeError> {
         match v {
+            Value::Ref(addr) if addr.is_shared() => {
+                // Shared blocks are never unique: decrement (possibly
+                // reclaiming fully) and yield the null token.
+                self.stats.unique_tests += 1;
+                self.stats.decrefs += 1;
+                self.release_shared(addr)?;
+                Ok(Value::Token(None))
+            }
             Value::Ref(addr) => {
                 self.stats.unique_tests += 1;
                 let b = Self::lookup(&self.slots, addr)?;
@@ -659,13 +818,25 @@ impl Heap {
         }
     }
 
+    /// Decrements a shared-segment reference through the drop loop
+    /// (which pays the real atomic RMW and reclaims fully at zero).
+    fn release_shared(&mut self, addr: Addr) -> Result<(), RuntimeError> {
+        debug_assert!(addr.is_shared());
+        let mut work = std::mem::take(&mut self.drop_work);
+        work.push(addr);
+        let r = self.drop_loop(&mut work);
+        work.clear();
+        self.drop_work = work;
+        r
+    }
+
     fn decref_or_shared_drop(&mut self, addr: Addr) -> Result<(), RuntimeError> {
         let b = Self::lookup_mut(&mut self.slots, addr)?;
         self.stats.decrefs += 1;
         if b.header > 1 {
             b.header -= 1;
         } else if b.header < 0 {
-            self.stats.atomic_ops += 1;
+            self.stats.local_shared_ops += 1;
             if b.header > STICKY {
                 b.header += 1;
                 if b.header == 0 {
@@ -710,6 +881,9 @@ impl Heap {
             work.push(a);
         }
         while let Some(addr) = work.pop() {
+            if addr.is_shared() {
+                continue; // already in the shared segment
+            }
             let b = Self::lookup_mut(&mut self.slots, addr)?;
             if b.header < 0 {
                 continue; // already shared — also breaks ref cycles
@@ -729,6 +903,103 @@ impl Heap {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// The *share barrier* (§2.7.2, realized): moves `v`'s entire
+    /// reachable closure out of this thread-local heap into `segment`
+    /// (whose headers are real atomics), rewriting every intra-closure
+    /// reference to its shared address, and returns the rewritten value.
+    ///
+    /// Unlike the in-thread [`Heap::tshare`] (which flips signs in
+    /// place and never pays an atomic), this is the barrier a value
+    /// crosses when it is about to be handed to other threads: after it
+    /// returns, every surviving *local* address into the moved closure
+    /// is stale and fails deterministically via the generation check.
+    ///
+    /// Counts transfer as-is (a local count of `k` becomes a shared
+    /// count of `-k`; sticky stays pinned). Mutable references are
+    /// rejected — shared data must be immutable (§2.7.3), which is also
+    /// what makes the moved closure acyclic and the traversal total.
+    pub fn mark_shared(
+        &mut self,
+        v: Value,
+        segment: &mut SharedHeap,
+    ) -> Result<Value, RuntimeError> {
+        let Value::Ref(root) = v else { return Ok(v) };
+        if root.is_shared() {
+            return Ok(v);
+        }
+        let mut moved: HashMap<u32, Addr> = HashMap::new();
+        // Iterative post-order DFS: children move first, so a parent
+        // can rewrite its fields to final shared addresses.
+        let mut stack: Vec<(Addr, usize)> = vec![(root, 0)];
+        while let Some((addr, i)) = stack.pop() {
+            if i == 0 && moved.contains_key(&addr.index) {
+                continue; // diamond: already moved via another parent
+            }
+            let b = self.entry(addr)?;
+            if b.tag == BlockTag::MutRef {
+                return Err(RuntimeError::Internal(format!(
+                    "cannot share mutable reference {addr} across threads (§2.7.3)"
+                )));
+            }
+            if b.header == 0 {
+                return Err(RuntimeError::Internal(format!(
+                    "cannot share claimed cell {addr}"
+                )));
+            }
+            if let Some(f) = b.fields.get(i) {
+                stack.push((addr, i + 1));
+                if let Value::Ref(child) = f {
+                    if !child.is_shared() && !moved.contains_key(&child.index) {
+                        stack.push((*child, 0));
+                    }
+                }
+                continue;
+            }
+            // All children are in the segment: move this block.
+            let pinned = b.header <= STICKY;
+            let count = b.header.unsigned_abs();
+            let tag = b.tag;
+            let fields: Box<[Value]> = b
+                .fields
+                .iter()
+                .map(|f| match f {
+                    Value::Ref(c) if !c.is_shared() => Value::Ref(moved[&c.index]),
+                    other => *other,
+                })
+                .collect();
+            let saddr = segment.install(tag, fields, count, pinned);
+            moved.insert(addr.index, saddr);
+            self.evict(addr)?;
+            self.stats.shared_marks += 1;
+            self.tr(Event::Share(addr));
+        }
+        Ok(Value::Ref(moved[&root.index]))
+    }
+
+    /// Removes a block whose contents have moved to the shared segment:
+    /// bumps the generation (stale local addresses fail fast) and
+    /// recycles the slot index. Live accounting transfers to the
+    /// segment — this is a move, not a free, so `Stats::frees` stays
+    /// untouched. Legal in every reclaim mode (even the arena: nothing
+    /// is reclaimed, the block just changes segment).
+    fn evict(&mut self, addr: Addr) -> Result<(), RuntimeError> {
+        let e = self
+            .slots
+            .get_mut(addr.index as usize)
+            .ok_or(RuntimeError::BadAddress(addr))?;
+        if e.gen != addr.gen || !matches!(e.state, SlotState::Used(_)) {
+            return Err(RuntimeError::UseAfterFree(addr));
+        }
+        let SlotState::Used(block) = std::mem::replace(&mut e.state, SlotState::Free) else {
+            unreachable!()
+        };
+        e.gen = e.gen.wrapping_add(1);
+        self.spare.push(addr.index);
+        self.stats.live_blocks -= 1;
+        self.stats.live_words -= block.words();
         Ok(())
     }
 
@@ -951,7 +1222,11 @@ mod tests {
         );
         h.dup(Value::Ref(a)).unwrap();
         assert_eq!(h.block(a).unwrap().header, -2);
-        assert!(h.stats.atomic_ops >= 1);
+        assert!(h.stats.local_shared_ops >= 1);
+        assert_eq!(
+            h.stats.atomic_ops, 0,
+            "in-thread tshare never pays a real atomic"
+        );
         h.drop_value(Value::Ref(a)).unwrap();
         assert_eq!(h.live_blocks(), 1);
         h.drop_value(Value::Ref(a)).unwrap();
@@ -1008,6 +1283,161 @@ mod tests {
         assert_eq!(h.stats.field_writes - writes_before, 1);
         assert_eq!(h.stats.skipped_writes, 1);
         h.drop_value(Value::Ref(t)).unwrap();
+    }
+
+    #[test]
+    fn truncated_skip_mask_is_a_hard_error() {
+        // Regression: a skip mask shorter than the argument list used to
+        // be tolerated silently (missing entries treated as "write"),
+        // hiding a broken reuse-specialization pass.
+        let mut h = heap();
+        let a = cell(&mut h, vec![Value::Int(1), Value::Int(2)]);
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        let Value::Token(Some(t)) = tok else { panic!() };
+        let err = h
+            .alloc_into(t, CtorId(9), &[Value::Int(1), Value::Int(5)], &[true])
+            .unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::Internal(m) if m.contains("skip mask")),
+            "{err}"
+        );
+        // The cell stays claimed: the token is still releasable.
+        h.drop_token(Value::Token(Some(t))).unwrap();
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn skipped_field_mismatch_is_checked_under_full_validation() {
+        let mut h = Heap::with_config(
+            ReclaimMode::Rc,
+            HeapConfig {
+                recycle: true,
+                validation: Validation::Full,
+            },
+        );
+        let a = h.alloc(
+            BlockTag::Ctor(CtorId(9)),
+            vec![Value::Int(1), Value::Int(2)].into_boxed_slice(),
+        );
+        let tok = h.drop_reuse(Value::Ref(a)).unwrap();
+        let Value::Token(Some(t)) = tok else { panic!() };
+        // Claim says field 0 already holds the argument, but it holds 1,
+        // not 7: under Full validation this is an error even in release.
+        let err = h
+            .alloc_into(t, CtorId(9), &[Value::Int(7), Value::Int(5)], &[true, false])
+            .unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::Internal(m) if m.contains("skipped field")),
+            "{err}"
+        );
+        // With Validation::Off the same mask is trusted (release-speed
+        // path) — build a fresh heap to show the policy is config-driven.
+        let mut h2 = Heap::with_config(
+            ReclaimMode::Rc,
+            HeapConfig {
+                recycle: true,
+                validation: Validation::Off,
+            },
+        );
+        let b = h2.alloc(
+            BlockTag::Ctor(CtorId(9)),
+            vec![Value::Int(1), Value::Int(2)].into_boxed_slice(),
+        );
+        let tok = h2.drop_reuse(Value::Ref(b)).unwrap();
+        let Value::Token(Some(t2)) = tok else { panic!() };
+        h2.alloc_into(t2, CtorId(9), &[Value::Int(1), Value::Int(5)], &[true, false])
+            .unwrap();
+        h2.drop_value(Value::Ref(t2)).unwrap();
+    }
+
+    #[test]
+    fn mark_shared_moves_closure_and_staleness_is_deterministic() {
+        let mut h = heap();
+        let mut seg = SharedHeap::new();
+        let leaf = cell(&mut h, vec![Value::Int(7)]);
+        let root = cell(&mut h, vec![Value::Ref(leaf), Value::Int(1)]);
+        let shared = h.mark_shared(Value::Ref(root), &mut seg).unwrap();
+        let Value::Ref(sroot) = shared else { panic!() };
+        assert!(sroot.is_shared());
+        assert_eq!(h.live_blocks(), 0, "both blocks left the local heap");
+        assert_eq!(seg.live_blocks(), 2);
+        assert_eq!(h.stats.shared_marks, 2);
+        // Stale local addresses fail deterministically.
+        assert!(matches!(
+            h.block(root),
+            Err(RuntimeError::UseAfterFree(_))
+        ));
+        // The moved structure is readable through the attached segment.
+        let seg = Arc::new(seg);
+        h.attach_shared(seg.clone());
+        let view = h.view(sroot).unwrap();
+        assert_eq!(view.header, -1);
+        assert!(view.shared);
+        let Value::Ref(schild) = view.fields[0] else { panic!() };
+        assert!(schild.is_shared(), "intra-closure references rewritten");
+        assert_eq!(h.view(schild).unwrap().fields[0], Value::Int(7));
+        // Dropping the only reference empties the segment; the drops
+        // are real atomic RMWs.
+        h.drop_value(shared).unwrap();
+        assert_eq!(seg.live_blocks(), 0);
+        assert!(h.stats.atomic_ops >= 2);
+    }
+
+    #[test]
+    fn mark_shared_preserves_counts_across_diamonds() {
+        let mut h = heap();
+        let mut seg = SharedHeap::new();
+        // Diamond: root -> (left, right), both -> base (count 2).
+        let base = cell(&mut h, vec![Value::Int(0)]);
+        h.dup(Value::Ref(base)).unwrap();
+        let left = cell(&mut h, vec![Value::Ref(base)]);
+        let right = cell(&mut h, vec![Value::Ref(base)]);
+        let root = cell(&mut h, vec![Value::Ref(left), Value::Ref(right)]);
+        let shared = h.mark_shared(Value::Ref(root), &mut seg).unwrap();
+        assert_eq!(seg.len(), 4, "base moved once, not twice");
+        let seg = Arc::new(seg);
+        h.attach_shared(seg.clone());
+        let Value::Ref(sroot) = shared else { panic!() };
+        let Value::Ref(sleft) = h.view(sroot).unwrap().fields[0] else {
+            panic!()
+        };
+        let Value::Ref(sbase) = h.view(sleft).unwrap().fields[0] else {
+            panic!()
+        };
+        assert_eq!(h.view(sbase).unwrap().header, -2, "count carried over");
+        h.drop_value(shared).unwrap();
+        assert_eq!(seg.live_blocks(), 0, "diamond fully reclaimed");
+    }
+
+    #[test]
+    fn mark_shared_rejects_mutable_references() {
+        let mut h = heap();
+        let mut seg = SharedHeap::new();
+        let r = h.alloc(BlockTag::MutRef, vec![Value::Int(3)].into_boxed_slice());
+        let holder = cell(&mut h, vec![Value::Ref(r)]);
+        let err = h.mark_shared(Value::Ref(holder), &mut seg).unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::Internal(m) if m.contains("mutable reference")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shared_blocks_are_never_unique_and_never_reused() {
+        let mut h = heap();
+        let mut seg = SharedHeap::new();
+        let a = cell(&mut h, vec![Value::Int(4)]);
+        let shared = h.mark_shared(Value::Ref(a), &mut seg).unwrap();
+        seg.retain(shared, 1).unwrap(); // a second owner
+        h.attach_shared(Arc::new(seg));
+        assert!(!h.is_unique(shared).unwrap());
+        let tok = h.drop_reuse(shared).unwrap();
+        assert_eq!(tok, Value::Token(None), "shared cells yield no token");
+        h.drop_value(shared).unwrap();
+        assert_eq!(h.shared_segment().unwrap().live_blocks(), 0);
+        // Real atomics were paid: the is-unique probe is free, but the
+        // decrement and the final drop each did one RMW.
+        assert_eq!(h.stats.atomic_ops, 2);
     }
 
     #[test]
@@ -1090,7 +1520,13 @@ mod tests {
 
     #[test]
     fn recycling_off_restores_malloc_discipline() {
-        let mut h = Heap::with_config(ReclaimMode::Rc, HeapConfig { recycle: false });
+        let mut h = Heap::with_config(
+            ReclaimMode::Rc,
+            HeapConfig {
+                recycle: false,
+                ..HeapConfig::default()
+            },
+        );
         let a = h.alloc_slice(BlockTag::Ctor(CtorId(9)), &[Value::Int(1)]);
         h.drop_value(Value::Ref(a)).unwrap();
         assert_eq!(h.listed_blocks(), 0);

@@ -1,0 +1,288 @@
+//! The thread-shared heap segment — the *real* atomic half of §2.7.2's
+//! dual-mode reference counting (the scheme Counting Immutable Beans
+//! deploys in Lean's multi-threaded runtime).
+//!
+//! Thread-local blocks live in [`crate::heap::Heap`] and pay plain
+//! non-atomic counting. When a value crosses a thread boundary,
+//! [`crate::heap::Heap::mark_shared`] moves its whole reachable closure
+//! into a `SharedHeap`: an append-only segment whose block headers are
+//! genuine [`AtomicI32`]s. Shared headers keep the paper's negative
+//! encoding — more negative means more references, and counts at or
+//! below [`STICKY`] are pinned forever — so a single sign test still
+//! distinguishes the fast path from the slow path.
+//!
+//! Concurrency model:
+//!
+//! * the segment is **frozen before it is shared**: blocks are installed
+//!   through `&mut self`, then the whole segment is wrapped in an `Arc`
+//!   and handed to the worker threads. Fields are never written again,
+//!   so field reads need no synchronization at all;
+//! * `dup`/`drop` are the only run-time mutations, and they touch only
+//!   the atomic header. `dup` uses relaxed ordering; `drop` uses
+//!   acquire-release (the `Arc` protocol: the thread that takes the
+//!   count to zero must observe every other thread's final use);
+//! * a drop that wins the race to zero marks the block dead (header 0)
+//!   and pushes its children onto the *caller's* worklist. Exactly one
+//!   thread wins the closing CAS, so each block's children are released
+//!   exactly once. The field storage itself is retained until the
+//!   segment is dropped — a dead slot is unreachable (every live
+//!   reference to it has been consumed) and any stale address surfaces
+//!   as a deterministic [`RuntimeError::UseAfterFree`].
+//!
+//! Shared blocks only ever reference other shared blocks (`mark_shared`
+//! moves transitively), which is what makes the per-thread local heaps
+//! independent: no local block is ever reachable from another thread.
+
+use crate::error::RuntimeError;
+use crate::heap::stats::Stats;
+use crate::heap::{BlockTag, BlockView, STICKY};
+use crate::value::{Addr, Value};
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+
+/// A block in the shared segment. The header is a real atomic: `0` is
+/// dead, negative values are live shared counts (more negative = more
+/// references), values at or below [`STICKY`] are pinned.
+struct SharedSlot {
+    header: AtomicI32,
+    tag: BlockTag,
+    fields: Box<[Value]>,
+}
+
+impl SharedSlot {
+    fn words(&self) -> u64 {
+        self.fields.len() as u64 + 1
+    }
+}
+
+/// The append-only thread-shared segment. Built single-threadedly (via
+/// `&mut self`), then frozen in an `Arc` and attached to every worker's
+/// local [`crate::heap::Heap`].
+#[derive(Default)]
+pub struct SharedHeap {
+    slots: Vec<SharedSlot>,
+    /// Blocks moved in by the share barrier.
+    installs: u64,
+    /// Words moved in (fields + header), for the working-set figures.
+    install_words: u64,
+    /// Currently live blocks (decremented by racing drops).
+    live_blocks: AtomicU64,
+    /// Currently live words.
+    live_words: AtomicU64,
+    /// Blocks whose shared count reached zero at run time.
+    frees: AtomicU64,
+}
+
+impl SharedHeap {
+    /// An empty segment.
+    pub fn new() -> Self {
+        SharedHeap::default()
+    }
+
+    /// Number of slots ever installed (live + dead).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no block was ever installed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Currently live shared blocks.
+    pub fn live_blocks(&self) -> u64 {
+        self.live_blocks.load(Ordering::Acquire)
+    }
+
+    /// Installs a block moved in by the share barrier. `count` is the
+    /// (positive) number of outstanding references; `pinned` carries a
+    /// sticky local count over into the shared encoding.
+    pub(crate) fn install(
+        &mut self,
+        tag: BlockTag,
+        fields: Box<[Value]>,
+        count: u32,
+        pinned: bool,
+    ) -> Addr {
+        debug_assert!(count >= 1, "shared install with no outstanding references");
+        let header = if pinned {
+            STICKY
+        } else {
+            -(count.min(i32::MAX as u32) as i32)
+        };
+        let slot = self.slots.len() as u32;
+        let words = fields.len() as u64 + 1;
+        self.slots.push(SharedSlot {
+            header: AtomicI32::new(header),
+            tag,
+            fields,
+        });
+        self.installs += 1;
+        self.install_words += words;
+        *self.live_blocks.get_mut() += 1;
+        *self.live_words.get_mut() += words;
+        Addr::shared(slot)
+    }
+
+    /// Adds `extra` references to a shared value before the segment is
+    /// frozen (the driver uses this to hand each worker thread its own
+    /// reference to the shared root). Non-atomic: requires `&mut self`.
+    pub fn retain(&mut self, v: Value, extra: u32) -> Result<(), RuntimeError> {
+        let Value::Ref(addr) = v else { return Ok(()) };
+        let slot = self.slot_mut(addr)?;
+        let h = slot.header.get_mut();
+        if *h == 0 {
+            return Err(RuntimeError::UseAfterFree(addr));
+        }
+        if *h > 0 {
+            return Err(RuntimeError::Internal(format!(
+                "shared block {addr} has non-shared header {h}"
+            )));
+        }
+        if *h > STICKY {
+            // More negative = more references; clamping at the sticky
+            // floor pins the block (the overflow discipline of §2.7.2).
+            *h = h.saturating_sub(extra.min(i32::MAX as u32) as i32).max(STICKY);
+        }
+        Ok(())
+    }
+
+    fn slot(&self, addr: Addr) -> Result<&SharedSlot, RuntimeError> {
+        debug_assert!(addr.is_shared());
+        self.slots
+            .get(addr.shared_slot())
+            .ok_or(RuntimeError::BadAddress(addr))
+    }
+
+    fn slot_mut(&mut self, addr: Addr) -> Result<&mut SharedSlot, RuntimeError> {
+        debug_assert!(addr.is_shared());
+        self.slots
+            .get_mut(addr.shared_slot())
+            .ok_or(RuntimeError::BadAddress(addr))
+    }
+
+    /// Reads a block. Dead slots (count already zero) surface as a
+    /// deterministic use-after-free, mirroring the generation check of
+    /// the local heap.
+    pub(crate) fn view(&self, addr: Addr) -> Result<BlockView<'_>, RuntimeError> {
+        let slot = self.slot(addr)?;
+        let header = slot.header.load(Ordering::Acquire);
+        if header == 0 {
+            return Err(RuntimeError::UseAfterFree(addr));
+        }
+        Ok(BlockView {
+            header,
+            tag: slot.tag,
+            fields: &slot.fields,
+            shared: true,
+        })
+    }
+
+    /// `dup` on a shared block: one real atomic RMW toward the sticky
+    /// floor (relaxed ordering suffices for increments, as in `Arc`).
+    /// Pinned blocks are left untouched without any RMW. Returns the
+    /// header after the operation.
+    pub(crate) fn dup(&self, addr: Addr, stats: &mut Stats) -> Result<i32, RuntimeError> {
+        let slot = self.slot(addr)?;
+        match slot.header.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |h| {
+            if h > STICKY && h < 0 {
+                Some(h - 1)
+            } else {
+                None
+            }
+        }) {
+            Ok(prev) => {
+                stats.atomic_ops += 1;
+                Ok(prev - 1)
+            }
+            Err(0) => Err(RuntimeError::UseAfterFree(addr)),
+            Err(pinned) if pinned <= STICKY => Ok(pinned),
+            Err(bad) => Err(RuntimeError::Internal(format!(
+                "shared block {addr} has non-shared header {bad}"
+            ))),
+        }
+    }
+
+    /// `drop` on a shared block: one real atomic RMW with
+    /// acquire-release ordering. Exactly one thread observes the count
+    /// reach zero; that thread pushes the children onto `work` (they are
+    /// shared blocks themselves) and updates the live gauges. Returns
+    /// the header after the operation.
+    pub(crate) fn drop_ref(
+        &self,
+        addr: Addr,
+        stats: &mut Stats,
+        work: &mut Vec<Addr>,
+    ) -> Result<i32, RuntimeError> {
+        let slot = self.slot(addr)?;
+        match slot.header.fetch_update(Ordering::AcqRel, Ordering::Acquire, |h| {
+            if h > STICKY && h < 0 {
+                Some(h + 1)
+            } else {
+                None
+            }
+        }) {
+            Ok(prev) => {
+                stats.atomic_ops += 1;
+                let after = prev + 1;
+                if after == 0 {
+                    // This thread won the closing CAS: release the
+                    // children exactly once. Fields are immutable and
+                    // the storage is retained, so the read is safe even
+                    // though other threads may race on stale addresses
+                    // (they fail deterministically on the dead header).
+                    for f in slot.fields.iter() {
+                        if let Value::Ref(child) = f {
+                            debug_assert!(
+                                child.is_shared(),
+                                "shared block held a thread-local reference"
+                            );
+                            work.push(*child);
+                        }
+                    }
+                    self.live_blocks.fetch_sub(1, Ordering::AcqRel);
+                    self.live_words.fetch_sub(slot.words(), Ordering::AcqRel);
+                    self.frees.fetch_add(1, Ordering::AcqRel);
+                }
+                Ok(after)
+            }
+            Err(0) => Err(RuntimeError::UseAfterFree(addr)),
+            Err(pinned) if pinned <= STICKY => Ok(pinned),
+            Err(bad) => Err(RuntimeError::Internal(format!(
+                "shared block {addr} has non-shared header {bad}"
+            ))),
+        }
+    }
+
+    /// Iterates every slot with its current header (audit support; call
+    /// only when the segment is quiescent — e.g. at thread join).
+    pub(crate) fn iter_slots(&self) -> impl Iterator<Item = (Addr, i32, &[Value])> + '_ {
+        self.slots.iter().enumerate().map(|(i, s)| {
+            (
+                Addr::shared(i as u32),
+                s.header.load(Ordering::Acquire),
+                &s.fields[..],
+            )
+        })
+    }
+
+    /// A `Stats` snapshot for this segment, mergeable with the worker
+    /// threads' stats. Blocks moved in by the share barrier were already
+    /// counted as allocations *and* as `shared_marks` by the marking
+    /// heap (the barrier transfers live accounting rather than
+    /// re-counting), so only the segment's own gauges and run-time
+    /// frees appear here.
+    pub fn snapshot(&self) -> Stats {
+        let live_blocks = self.live_blocks.load(Ordering::Acquire);
+        let live_words = self.live_words.load(Ordering::Acquire);
+        Stats {
+            frees: self.frees.load(Ordering::Acquire),
+            live_blocks,
+            live_words,
+            // The segment's high-water mark is its build-time size: it
+            // only shrinks after the freeze.
+            peak_live_blocks: self.installs,
+            peak_live_words: self.install_words,
+            ..Stats::default()
+        }
+    }
+}

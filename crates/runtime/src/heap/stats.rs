@@ -31,8 +31,15 @@ pub struct Stats {
     pub unique_tests: u64,
     /// `is-unique` tests that took the unique fast path.
     pub unique_hits: u64,
-    /// RC operations that took the atomic (thread-shared) slow path.
+    /// RC operations that executed a **real atomic RMW** on a
+    /// shared-segment header. Exactly zero in single-threaded runs: the
+    /// thread-local fast path never issues an atomic instruction, and
+    /// pinned (sticky) headers are left untouched without an RMW.
     pub atomic_ops: u64,
+    /// RC operations that took the negative-header slow path on a
+    /// *thread-local* block (the in-thread `tshare` discipline). No
+    /// atomic instruction runs — the block never left this thread.
+    pub local_shared_ops: u64,
     /// Field writes performed when constructing.
     pub field_writes: u64,
     /// Field writes skipped by reuse specialization (§2.5).
@@ -126,6 +133,48 @@ impl Stats {
         self.live_blocks -= 1;
         self.live_words -= words;
     }
+
+    /// Merges the stats of two *disjoint* actors (worker threads over
+    /// disjoint local heaps, or a thread and the shared segment's
+    /// snapshot): cumulative counters and current live gauges add;
+    /// peaks take the max (the concurrent high-water mark is bounded by
+    /// the max observed by any one actor — summing peaks reached at
+    /// different times would double-count).
+    ///
+    /// The operation is associative and commutative with `Stats::default()`
+    /// as identity, so any fold order over a thread pool merges to the
+    /// same report.
+    #[must_use]
+    pub fn merge(&self, other: &Stats) -> Stats {
+        Stats {
+            allocations: self.allocations + other.allocations,
+            alloc_words: self.alloc_words + other.alloc_words,
+            reuses: self.reuses + other.reuses,
+            frees: self.frees + other.frees,
+            dups: self.dups + other.dups,
+            drops: self.drops + other.drops,
+            decrefs: self.decrefs + other.decrefs,
+            unique_tests: self.unique_tests + other.unique_tests,
+            unique_hits: self.unique_hits + other.unique_hits,
+            atomic_ops: self.atomic_ops + other.atomic_ops,
+            local_shared_ops: self.local_shared_ops + other.local_shared_ops,
+            field_writes: self.field_writes + other.field_writes,
+            skipped_writes: self.skipped_writes + other.skipped_writes,
+            token_frees: self.token_frees + other.token_frees,
+            shared_marks: self.shared_marks + other.shared_marks,
+            freelist_hits: self.freelist_hits + other.freelist_hits,
+            freelist_misses: self.freelist_misses + other.freelist_misses,
+            recycled_words: self.recycled_words + other.recycled_words,
+            gc_collections: self.gc_collections + other.gc_collections,
+            gc_marked: self.gc_marked + other.gc_marked,
+            gc_swept: self.gc_swept + other.gc_swept,
+            live_blocks: self.live_blocks + other.live_blocks,
+            live_words: self.live_words + other.live_words,
+            peak_live_blocks: self.peak_live_blocks.max(other.peak_live_blocks),
+            peak_live_words: self.peak_live_words.max(other.peak_live_words),
+            steps: self.steps + other.steps,
+        }
+    }
 }
 
 impl fmt::Display for Stats {
@@ -142,13 +191,15 @@ impl fmt::Display for Stats {
         )?;
         writeln!(
             f,
-            "rc ops: {} dup, {} drop, {} decref, {} is-unique ({} unique), {} atomic",
+            "rc ops: {} dup, {} drop, {} decref, {} is-unique ({} unique), \
+             {} atomic, {} local-shared",
             self.dups,
             self.drops,
             self.decrefs,
             self.unique_tests,
             self.unique_hits,
-            self.atomic_ops
+            self.atomic_ops,
+            self.local_shared_ops
         )?;
         writeln!(
             f,
@@ -200,6 +251,42 @@ mod tests {
         s.freelist_hits = 3;
         s.freelist_misses = 1;
         assert!((s.freelist_hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_associative_with_max_peaks() {
+        let a = Stats {
+            dups: 10,
+            atomic_ops: 3,
+            live_blocks: 2,
+            live_words: 8,
+            peak_live_blocks: 5,
+            peak_live_words: 40,
+            ..Stats::default()
+        };
+        let b = Stats {
+            dups: 7,
+            frees: 4,
+            peak_live_blocks: 9,
+            peak_live_words: 20,
+            ..Stats::default()
+        };
+        let c = Stats {
+            drops: 1,
+            peak_live_blocks: 6,
+            peak_live_words: 60,
+            ..Stats::default()
+        };
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right, "merge is associative");
+        assert_eq!(left, c.merge(&b).merge(&a), "and commutative");
+        assert_eq!(left.dups, 17);
+        assert_eq!(left.peak_live_blocks, 9, "peaks take the max");
+        assert_eq!(left.peak_live_words, 60);
+        assert_eq!(left.live_blocks, 2, "live gauges add");
+        let id = Stats::default();
+        assert_eq!(a.merge(&id), a, "default is the identity");
     }
 
     #[test]

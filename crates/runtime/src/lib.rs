@@ -5,7 +5,9 @@
 //! * [`heap`] — the reference-counted heap of Fig. 7: signed headers
 //!   with the thread-shared negative encoding and sticky range of
 //!   §2.7.2, worklist-based recursive `drop`, reuse tokens (§2.4),
-//!   generation-checked addresses;
+//!   generation-checked addresses; plus [`heap::shared`], the
+//!   atomic-header thread-shared segment and the `mark_shared` barrier
+//!   that moves values across thread boundaries;
 //! * [`code`] — the backend: core IR → slot-resolved executable form;
 //! * [`machine`] — a tail-call-safe abstract machine implementing the
 //!   (appᵣ)/(matchᵣ) conventions;
@@ -45,6 +47,6 @@ pub mod trace;
 pub mod value;
 
 pub use error::RuntimeError;
-pub use heap::{Heap, ReclaimMode, Stats};
+pub use heap::{Heap, ReclaimMode, SharedHeap, Stats};
 pub use machine::{DeepValue, Machine, RunConfig};
 pub use value::Value;

@@ -24,6 +24,7 @@ use crate::heap::{BlockTag, Heap, HeapConfig, ReclaimMode};
 use crate::value::Value;
 use perceus_core::ir::expr::PrimOp;
 use perceus_core::ir::{CtorId, FunId, TypeTable};
+use perceus_core::passes::Validation;
 use std::fmt;
 
 /// Machine configuration.
@@ -44,6 +45,10 @@ pub struct RunConfig {
     /// default); off restores the free-and-reallocate discipline for
     /// the allocator ablation.
     pub heap_recycle: bool,
+    /// Runtime invariant-check policy (see
+    /// [`crate::heap::HeapConfig::validation`]). `Full` makes release
+    /// builds also verify reuse-specialization skip masks.
+    pub validation: Validation,
 }
 
 impl Default for RunConfig {
@@ -54,6 +59,7 @@ impl Default for RunConfig {
             audit_every: None,
             trace_capacity: None,
             heap_recycle: true,
+            validation: Validation::default(),
         }
     }
 }
@@ -101,6 +107,7 @@ impl<'p> Machine<'p> {
             mode,
             HeapConfig {
                 recycle: config.heap_recycle,
+                validation: config.validation,
             },
         );
         if let Some(cap) = config.trace_capacity {
@@ -428,7 +435,7 @@ impl<'p> Machine<'p> {
         match f {
             Value::Global(id) => self.prepare_call(id, args),
             Value::Ref(addr) => {
-                let block = self.heap.block(addr)?;
+                let block = self.heap.view(addr)?;
                 let BlockTag::Closure(lam) = block.tag else {
                     return Err(RuntimeError::TypeMismatch(
                         "application of a non-function block".into(),
@@ -445,8 +452,8 @@ impl<'p> Machine<'p> {
                 let nslots = l.nslots;
                 let body = &l.body;
                 let mut env = self.take_env();
-                let block = self.heap.block(addr)?;
-                env.extend_from_slice(&block.fields);
+                let block = self.heap.view(addr)?;
+                env.extend_from_slice(block.fields);
                 for a in args {
                     env.push(self.read(*a));
                 }
@@ -557,7 +564,7 @@ impl<'p> Machine<'p> {
             RefGet => {
                 // §2.7.3: read, retain the content, release the ref.
                 let addr = ref_addr(&vals[0])?;
-                let content = self.heap.block(addr)?.fields[0];
+                let content = self.heap.view(addr)?.fields[0];
                 self.heap.dup(content)?;
                 self.heap.drop_value(vals[0])?;
                 content
@@ -656,7 +663,7 @@ fn select_arm<'p>(
     let (ctor, addr): (CtorId, Option<crate::value::Addr>) = match scrut {
         Value::Enum(c) => (c, None),
         Value::Ref(a) => {
-            let block = heap.block(a)?;
+            let block = heap.view(a)?;
             match block.tag {
                 BlockTag::Ctor(c) => (c, Some(a)),
                 _ => {
@@ -675,7 +682,7 @@ fn select_arm<'p>(
     for arm in arms {
         if arm.ctor == ctor {
             if let Some(a) = addr {
-                let fields = &heap.block(a)?.fields;
+                let fields = heap.view(a)?.fields;
                 for (b, v) in arm.binders.iter().zip(fields.iter()) {
                     if let Some(slot) = b {
                         env[*slot as usize] = *v;
@@ -791,7 +798,7 @@ pub fn read_back_in(heap: &Heap, types: &TypeTable, v: Value) -> Result<DeepValu
         Value::Enum(c) => Ok(DeepValue::Ctor(types.ctor(c).name.to_string(), Vec::new())),
         Value::Global(_) => Ok(DeepValue::Closure),
         Value::Ref(addr) => {
-            let b = heap.block(addr)?;
+            let b = heap.view(addr)?;
             match b.tag {
                 BlockTag::Ctor(c) => {
                     let mut fields = Vec::with_capacity(b.fields.len());

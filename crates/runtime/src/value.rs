@@ -22,15 +22,45 @@ pub struct Addr {
 }
 
 impl Addr {
+    /// High bit of `index`: set for blocks in the thread-shared segment
+    /// ([`crate::heap::shared::SharedHeap`]); clear for thread-local
+    /// blocks. The two segments therefore share one address space and
+    /// one `Value::Ref` representation, and the fast/slow split of
+    /// §2.7.2 is a single branch on this bit plus the header sign.
+    pub(crate) const SHARED_BIT: u32 = 1 << 31;
+
     /// The slot index (for diagnostics).
     pub fn index(self) -> u32 {
         self.index
+    }
+
+    /// True when this address points into the thread-shared segment.
+    pub fn is_shared(self) -> bool {
+        self.index & Self::SHARED_BIT != 0
+    }
+
+    /// Builds a shared-segment address for `slot`.
+    pub(crate) fn shared(slot: u32) -> Addr {
+        debug_assert!(slot & Self::SHARED_BIT == 0, "shared segment overflow");
+        Addr {
+            index: slot | Self::SHARED_BIT,
+            gen: 0,
+        }
+    }
+
+    /// The slot index within the shared segment.
+    pub(crate) fn shared_slot(self) -> usize {
+        (self.index & !Self::SHARED_BIT) as usize
     }
 }
 
 impl fmt::Display for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "0x{:x}g{}", self.index, self.gen)
+        if self.is_shared() {
+            write!(f, "0x{:x}s", self.shared_slot())
+        } else {
+            write!(f, "0x{:x}g{}", self.index, self.gen)
+        }
     }
 }
 

@@ -1,0 +1,154 @@
+//! Real multi-threaded exercises of the shared segment (§2.7.2): many
+//! threads hammering dup/drop on the same shared structure through
+//! their own thread-local heaps, with the join-time garbage-free audit
+//! over both segments afterwards.
+
+use perceus_core::ir::CtorId;
+use perceus_runtime::audit;
+use perceus_runtime::heap::{BlockTag, Heap, ReclaimMode, SharedHeap, STICKY};
+use perceus_runtime::value::Value;
+use std::sync::Arc;
+
+fn cell(h: &mut Heap, fields: Vec<Value>) -> Value {
+    Value::Ref(h.alloc(BlockTag::Ctor(CtorId(0)), fields.into_boxed_slice()))
+}
+
+/// Builds a small list-like shared structure and hands back the frozen
+/// segment plus the shared root, with `owners` references outstanding.
+fn build_shared(owners: u32) -> (Arc<SharedHeap>, Value) {
+    let mut builder = Heap::new(ReclaimMode::Rc);
+    let mut seg = SharedHeap::new();
+    let mut v = cell(&mut builder, vec![Value::Int(0)]);
+    for i in 1..16 {
+        v = cell(&mut builder, vec![Value::Int(i), v]);
+    }
+    let shared = builder.mark_shared(v, &mut seg).unwrap();
+    assert_eq!(builder.live_blocks(), 0, "builder heap drained by the move");
+    seg.retain(shared, owners - 1).unwrap();
+    (Arc::new(seg), shared)
+}
+
+#[test]
+fn contended_dup_drop_keeps_counts_exact() {
+    const THREADS: u32 = 8;
+    const ITERS: u64 = 2_000;
+    let (seg, shared) = build_shared(THREADS);
+    let total_atomics: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let seg = seg.clone();
+                s.spawn(move || {
+                    let mut h = Heap::new(ReclaimMode::Rc);
+                    h.attach_shared(seg);
+                    for _ in 0..ITERS {
+                        h.dup(shared).unwrap();
+                        h.drop_value(shared).unwrap();
+                    }
+                    // Consume this thread's own reference last.
+                    h.drop_value(shared).unwrap();
+                    h.stats.atomic_ops
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    // Every dup/drop paid a real RMW; the final 16-block teardown and
+    // the per-thread root drops add more.
+    assert!(total_atomics >= THREADS as u64 * ITERS * 2);
+    assert_eq!(seg.live_blocks(), 0, "all references consumed");
+    let report = audit::check_shared_at_join(&seg).unwrap();
+    assert_eq!(report.live_blocks, 0);
+    assert_eq!(report.freed_blocks, 16);
+}
+
+#[test]
+fn exactly_one_thread_wins_the_closing_cas() {
+    // All threads drop their reference simultaneously; the 16-block
+    // spine must be freed exactly once (double frees would show up as
+    // use-after-free errors or a negative live gauge).
+    const THREADS: u32 = 8;
+    for _ in 0..50 {
+        let (seg, shared) = build_shared(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let seg = seg.clone();
+                s.spawn(move || {
+                    let mut h = Heap::new(ReclaimMode::Rc);
+                    h.attach_shared(seg);
+                    h.drop_value(shared).unwrap();
+                });
+            }
+        });
+        assert_eq!(seg.live_blocks(), 0);
+        audit::check_shared_at_join(&seg).unwrap();
+    }
+}
+
+#[test]
+fn local_blocks_stay_on_the_non_atomic_fast_path() {
+    // A worker doing purely local work next to an attached segment
+    // must never pay an atomic: the fast path of §2.7.2.
+    let (seg, shared) = build_shared(1);
+    let mut h = Heap::new(ReclaimMode::Rc);
+    h.attach_shared(seg.clone());
+    let local = cell(&mut h, vec![Value::Int(9)]);
+    for _ in 0..100 {
+        h.dup(local).unwrap();
+        h.drop_value(local).unwrap();
+    }
+    assert_eq!(h.stats.atomic_ops, 0, "local traffic is non-atomic");
+    h.drop_value(local).unwrap();
+    h.drop_value(shared).unwrap();
+    assert!(h.stats.atomic_ops > 0, "the shared teardown was atomic");
+}
+
+#[test]
+fn pinned_shared_blocks_survive_concurrent_drops() {
+    let mut builder = Heap::new(ReclaimMode::Rc);
+    let mut seg = SharedHeap::new();
+    let v = cell(&mut builder, vec![Value::Int(5)]);
+    let Value::Ref(addr) = v else { panic!() };
+    builder.block_mut(addr).unwrap().header = STICKY;
+    let shared = builder.mark_shared(v, &mut seg).unwrap();
+    let seg = Arc::new(seg);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let seg = seg.clone();
+            s.spawn(move || {
+                let mut h = Heap::new(ReclaimMode::Rc);
+                h.attach_shared(seg);
+                for _ in 0..1_000 {
+                    h.drop_value(shared).unwrap();
+                }
+                // Pinned headers never RMW: drops on them are free.
+                assert_eq!(h.stats.atomic_ops, 0);
+            });
+        }
+    });
+    assert_eq!(seg.live_blocks(), 1, "pinned block never freed");
+    let report = audit::check_shared_at_join(&seg).unwrap();
+    assert_eq!(report.pinned_blocks, 1);
+}
+
+#[test]
+fn worker_audits_tolerate_shared_references_mid_run() {
+    // A worker holding shared data inside local blocks passes the
+    // in-flight heap audit (reachability crosses the segment boundary).
+    let (seg, shared) = build_shared(2);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let seg = seg.clone();
+            s.spawn(move || {
+                let mut h = Heap::new(ReclaimMode::Rc);
+                h.attach_shared(seg);
+                let holder = cell(&mut h, vec![shared]);
+                let Value::Ref(root) = holder else { panic!() };
+                let report = audit::check_heap(&h, &[root]).unwrap();
+                assert_eq!(report.live_blocks, 1);
+                h.drop_value(holder).unwrap();
+                assert_eq!(h.live_blocks(), 0);
+            });
+        }
+    });
+    assert_eq!(seg.live_blocks(), 0);
+}

@@ -115,6 +115,9 @@ pub enum SuiteError {
     Runtime(RuntimeError),
     /// The standard-semantics oracle failed.
     Oracle(OracleError),
+    /// A garbage-free audit failed, or parallel workers disagreed (see
+    /// [`crate::parallel`]).
+    Audit(String),
 }
 
 impl fmt::Display for SuiteError {
@@ -125,6 +128,7 @@ impl fmt::Display for SuiteError {
             SuiteError::Linear(e) => write!(f, "{e}"),
             SuiteError::Runtime(e) => write!(f, "{e}"),
             SuiteError::Oracle(e) => write!(f, "oracle: {e}"),
+            SuiteError::Audit(msg) => write!(f, "audit: {msg}"),
         }
     }
 }
@@ -137,6 +141,7 @@ impl std::error::Error for SuiteError {
             SuiteError::Linear(e) => Some(e),
             SuiteError::Runtime(e) => Some(e),
             SuiteError::Oracle(e) => Some(e),
+            SuiteError::Audit(_) => None,
         }
     }
 }

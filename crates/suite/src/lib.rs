@@ -24,6 +24,7 @@
 pub mod diff;
 pub mod driver;
 pub mod genprog;
+pub mod parallel;
 pub mod shrink;
 pub mod workloads;
 
@@ -32,5 +33,6 @@ pub use driver::{
     compile_and_run, compile_with_config, compile_workload, oracle_run, run_workload, RunOutcome,
     Strategy, SuiteError,
 };
+pub use parallel::{run_parallel, ParallelOutcome, ParallelSpec};
 pub use shrink::{shrink_program, ShrinkOutcome};
 pub use workloads::{workload, workloads, Workload};

@@ -8,6 +8,8 @@
 //! perceus-suite analyze [--workload map | --file F | --all]
 //!                       [--strategy perceus] [--stage final]
 //!                       [--json] [--deny L2]
+//! perceus-suite parallel [--workload map] [--threads 4] [--n SIZE]
+//!                        [--strategy perceus] [--json]
 //! ```
 //!
 //! `fuzz` drives random programs through every strategy plus the
@@ -17,7 +19,13 @@
 //! compilation (sizes and per-stage timing). `analyze` runs the static
 //! RC-cost analyzer and lints (`perceus_core::analysis`) over stage
 //! snapshots; `--deny` turns selected lint codes into a failing exit
-//! for CI gating. JSON schemas are documented in `docs/ANALYSIS.md`.
+//! for CI gating — in `--json` mode the complete report (including the
+//! per-target `denied` counts) is always emitted before the failing
+//! exit. `parallel` runs N machines concurrently over a shared
+//! immutable input (see [`perceus_suite::parallel`]) and reports
+//! aggregate throughput, merged statistics and the join-time
+//! garbage-free audit. JSON schemas are documented in
+//! `docs/ANALYSIS.md`.
 //!
 //! Exit codes: 0 success, 1 operational failure (including denied
 //! lints), 2 usage error.
@@ -38,6 +46,7 @@ fn main() -> ExitCode {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("stages") => run_stages(&args[1..]),
         Some("analyze") => run_analyze(&args[1..]),
+        Some("parallel") => run_parallel_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -79,8 +88,17 @@ subcommands:
     --deny <code>        exit 1 if the final stage carries this lint
                          (repeatable; L1..L4 or a lint name)
 
-exit codes: 0 ok, 1 failure (divergence, pipeline error, denied lint),
-            2 usage error
+  parallel run N machines concurrently; workloads with a shared-input
+           split (map, refs) share one immutable structure through the
+           atomic segment, others run independent main(n) instances
+    --workload <name>    workload to run        (default map)
+    --threads <n>        worker thread count    (default 4)
+    --n <size>           problem size           (default per workload)
+    --strategy <name>    as for stages          (default perceus)
+    --json               machine-readable output
+
+exit codes: 0 ok, 1 failure (divergence, pipeline error, denied lint,
+            failed join audit), 2 usage error
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -424,10 +442,18 @@ fn run_analyze(args: &[String]) -> ExitCode {
         };
 
         if json {
+            // The denied counts are part of the report: a CI consumer
+            // must be able to read *which* gate tripped from the same
+            // document that made the process exit 1.
+            let denied_json: Vec<String> = denied
+                .iter()
+                .map(|(c, n)| format!("{{\"code\":\"{}\",\"count\":{n}}}", c.code()))
+                .collect();
             let mut t = format!(
-                "{{\"name\":\"{}\",\"strategy\":\"{}\",\"stages\":[",
+                "{{\"name\":\"{}\",\"strategy\":\"{}\",\"denied\":[{}],\"stages\":[",
                 json_escape(name),
-                json_escape(strategy.label())
+                json_escape(strategy.label()),
+                denied_json.join(",")
             );
             for (i, s) in selected.iter().enumerate() {
                 if i > 0 {
@@ -477,6 +503,118 @@ fn run_analyze(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn run_parallel_cmd(args: &[String]) -> ExitCode {
+    use perceus_runtime::machine::RunConfig;
+
+    let mut workload_name = "map".to_string();
+    let mut threads: u32 = 4;
+    let mut n: Option<i64> = None;
+    let mut strategy = Strategy::Perceus;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => workload_name = next_value(args, &mut i, "--workload").to_string(),
+            "--threads" => {
+                threads = parse_u64(next_value(args, &mut i, "--threads"), "thread count") as u32;
+                if threads == 0 {
+                    return usage_error("--threads must be at least 1");
+                }
+            }
+            "--n" => n = Some(parse_u64(next_value(args, &mut i, "--n"), "size") as i64),
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
+                };
+            }
+            "--json" => json = true,
+            other => return usage_error(&format!("unknown parallel option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let w = match workload(&workload_name) {
+        Some(w) => w,
+        None => {
+            return usage_error(&format!(
+                "unknown workload `{workload_name}`; available: {}",
+                workload_names().join(", ")
+            ))
+        }
+    };
+    let n = n.unwrap_or(w.default_n);
+    let out = match perceus_suite::run_parallel(&w, strategy, n, threads, RunConfig::default()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{}: {e}", w.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let st = &out.stats;
+    if json {
+        let audit = match &out.shared_audit {
+            Some(a) => format!(
+                "{{\"freed_blocks\":{},\"live_blocks\":{},\"pinned_blocks\":{}}}",
+                a.freed_blocks, a.live_blocks, a.pinned_blocks
+            ),
+            None => "null".to_string(),
+        };
+        println!(
+            "{{\"workload\":\"{}\",\"strategy\":\"{}\",\"threads\":{},\"n\":{},\
+             \"result\":\"{}\",\"elapsed_secs\":{:.6},\"throughput\":{:.3},\
+             \"shared_input\":{},\"shared_installs\":{},\"atomic_ops\":{},\
+             \"local_shared_ops\":{},\"shared_marks\":{},\"rc_ops\":{},\
+             \"peak_live_words\":{},\"join_audit\":{audit}}}",
+            json_escape(w.name),
+            json_escape(strategy.label()),
+            out.threads,
+            n,
+            json_escape(&out.value.to_string()),
+            out.elapsed.as_secs_f64(),
+            out.throughput(),
+            out.shared_input,
+            out.shared_installs,
+            st.atomic_ops,
+            st.local_shared_ops,
+            st.shared_marks,
+            st.rc_ops(),
+            st.peak_live_words,
+        );
+    } else {
+        println!(
+            "{} under {}: {} threads, n={n} ({})",
+            w.name,
+            strategy.label(),
+            out.threads,
+            if out.shared_input {
+                "shared immutable input"
+            } else {
+                "independent instances"
+            }
+        );
+        println!("  result: {} (all threads agree)", out.value);
+        println!(
+            "  elapsed: {:.3}s  throughput: {:.1} runs/s",
+            out.elapsed.as_secs_f64(),
+            out.throughput()
+        );
+        println!(
+            "  atomic rc ops: {}  local shared ops: {}  shared installs: {}  peak words: {}",
+            st.atomic_ops, st.local_shared_ops, out.shared_installs, st.peak_live_words
+        );
+        match &out.shared_audit {
+            Some(a) => println!(
+                "  join audit: ok — {} freed, {} live, {} pinned",
+                a.freed_blocks, a.live_blocks, a.pinned_blocks
+            ),
+            None => println!("  join audit: skipped (non-rc strategy)"),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn workload_names() -> Vec<&'static str> {

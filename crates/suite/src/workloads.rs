@@ -3,6 +3,9 @@
 //! default sizes scaled for the interpreted substrate, and known-good
 //! results for validation.
 
+use crate::parallel::ParallelSpec;
+use perceus_runtime::Value;
+
 /// A registered workload.
 #[derive(Debug, Clone, Copy)]
 pub struct Workload {
@@ -19,6 +22,10 @@ pub struct Workload {
     pub expected: &'static [(i64, i64)],
     /// Whether this workload is part of the Fig. 9 comparison.
     pub in_figure9: bool,
+    /// How to run this workload over a shared immutable input (see
+    /// [`crate::parallel`]); `None` runs independent `main(n)` instances
+    /// per thread.
+    pub parallel: Option<ParallelSpec>,
 }
 
 /// rbtree: 42M inserts in the paper; scaled here.
@@ -30,6 +37,7 @@ pub const RBTREE: Workload = Workload {
     // Keys are (i*17+3) % n for i in 0..n; True iff key % 10 == 0.
     expected: &[(10, 1), (100, 10), (400, 40)],
     in_figure9: true,
+    parallel: None,
 };
 
 /// rbtree-ck: keeps every 5th tree alive.
@@ -40,6 +48,7 @@ pub const RBTREE_CK: Workload = Workload {
     test_n: 200,
     expected: &[],
     in_figure9: true,
+    parallel: None,
 };
 
 /// deriv: symbolic derivative of a large expression.
@@ -50,6 +59,7 @@ pub const DERIV: Workload = Workload {
     test_n: 40,
     expected: &[],
     in_figure9: true,
+    parallel: None,
 };
 
 /// nqueens: all solutions for the n-queens problem.
@@ -68,6 +78,7 @@ pub const NQUEENS: Workload = Workload {
         (10, 724),
     ],
     in_figure9: true,
+    parallel: None,
 };
 
 /// cfold: constant folding over a large symbolic expression.
@@ -78,6 +89,7 @@ pub const CFOLD: Workload = Workload {
     test_n: 8,
     expected: &[],
     in_figure9: true,
+    parallel: None,
 };
 
 /// tmap: the FBIP in-order traversal of §2.6 (Fig. 3).
@@ -89,6 +101,7 @@ pub const TMAP: Workload = Workload {
     // sum of (2k+1) for k in 1..=n  =  n(n+1) + n  =  n^2 + 2n.
     expected: &[(10, 120), (100, 10_200), (200, 40_400)],
     in_figure9: false,
+    parallel: None,
 };
 
 /// tmap-rec: the plain recursive tree map (non-FBIP counterpart).
@@ -99,6 +112,7 @@ pub const TMAP_REC: Workload = Workload {
     test_n: 200,
     expected: &[(10, 120), (100, 10_200), (200, 40_400)],
     in_figure9: false,
+    parallel: None,
 };
 
 /// map: the paper's §2.2 running example.
@@ -110,6 +124,12 @@ pub const MAP: Workload = Workload {
     // sum of (i+1) for i in 0..n = n(n+1)/2.
     expected: &[(10, 55), (500, 125_250)],
     in_figure9: false,
+    parallel: Some(ParallelSpec {
+        build: "build",
+        build_args: |n| vec![Value::Int(0), Value::Int(n)],
+        consume: "sum",
+        consume_args: |xs, _n| vec![xs, Value::Int(0)],
+    }),
 };
 
 /// exn: the §2.7.1 explicit-error-value compilation scheme.
@@ -120,6 +140,7 @@ pub const EXN: Workload = Workload {
     test_n: 100,
     expected: &[],
     in_figure9: false,
+    parallel: None,
 };
 
 /// refs: §2.7.2/§2.7.3 mutable references and thread-shared marking.
@@ -131,6 +152,12 @@ pub const REFS: Workload = Workload {
     // 2 * sum of 0..n = n(n-1).
     expected: &[(10, 90), (100, 9_900)],
     in_figure9: false,
+    parallel: Some(ParallelSpec {
+        build: "build",
+        build_args: |n| vec![Value::Int(0), Value::Int(n)],
+        consume: "sum-shared",
+        consume_args: |xs, _n| vec![xs, Value::Int(0)],
+    }),
 };
 
 /// msort: merge sort — split and merge are FBIP-style (every branch
@@ -143,6 +170,7 @@ pub const MSORT: Workload = Workload {
     test_n: 300,
     expected: &[],
     in_figure9: false,
+    parallel: None,
 };
 
 /// binarytrees: the Benchmarks-Game allocation-churn workload.
@@ -154,6 +182,7 @@ pub const BINARYTREES: Workload = Workload {
     // count(make(d)) = 2^(d+1) - 1; churn = 50 * (2^(d-1) - 1).
     expected: &[(6, 1677), (8, 6861)],
     in_figure9: false,
+    parallel: None,
 };
 
 /// queue: Okasaki's batched queue driven linearly (reversal reuses in
@@ -166,6 +195,7 @@ pub const QUEUE: Workload = Workload {
     // Everything pushed (0..n) is popped exactly once: sum = n(n-1)/2.
     expected: &[(10, 45), (300, 44_850)],
     in_figure9: false,
+    parallel: None,
 };
 
 /// All registered workloads.

@@ -102,3 +102,61 @@ fn analyze_deny_violation_exits_1() {
     let out = run(&["analyze", "--workload", "rbtree", "--deny", "L4"]);
     assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
 }
+
+#[test]
+fn analyze_deny_json_emits_the_full_report_before_failing() {
+    // A tripped deny gate must still print the complete JSON document
+    // (CI consumers read *which* gate fired from stdout), including the
+    // per-target denied counts, and only then exit 1 — not 2.
+    let out = run(&["analyze", "--workload", "rbtree", "--deny", "L4", "--json"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "got: {json}");
+    assert!(json.contains("\"denied\":[{\"code\":\"L4\",\"count\":"), "got: {json}");
+    assert!(json.contains("\"violations\":"), "got: {json}");
+    assert!(json.contains("\"stages\""), "the report body is present too");
+}
+
+#[test]
+fn analyze_deny_json_reports_empty_denied_on_success() {
+    let out = run(&["analyze", "--workload", "map", "--deny", "L2", "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("\"denied\":[]"), "clean gate, empty list");
+}
+
+#[test]
+fn parallel_runs_and_reports_the_join_audit() {
+    let out = run(&["parallel", "--workload", "map", "--threads", "2", "--n", "200"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 threads"), "got: {text}");
+    assert!(text.contains("join audit: ok"), "got: {text}");
+    assert!(text.contains("atomic rc ops:"), "got: {text}");
+}
+
+#[test]
+fn parallel_json_is_well_formed() {
+    let out = run(&[
+        "parallel", "--workload", "map", "--threads", "2", "--n", "200", "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "got: {json}");
+    assert!(json.contains("\"atomic_ops\":"), "got: {json}");
+    assert!(json.contains("\"join_audit\":{"), "got: {json}");
+    assert!(json.contains("\"threads\":2"), "got: {json}");
+}
+
+#[test]
+fn parallel_unknown_workload_exits_2() {
+    let out = run(&["parallel", "--workload", "nope"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn parallel_zero_threads_exits_2() {
+    let out = run(&["parallel", "--workload", "map", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}

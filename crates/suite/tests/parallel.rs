@@ -1,0 +1,98 @@
+//! End-to-end tests of the parallel workload driver: N real machines
+//! on N real threads, one shared atomic-header segment, and the
+//! join-time garbage-free audit over both heap segments (§2.7.2 meets
+//! Thm. 2/4).
+
+use perceus_runtime::machine::{DeepValue, RunConfig};
+use perceus_suite::{run_parallel, run_workload, workload, workloads, Strategy};
+use perceus_suite::driver::compile_workload;
+
+/// The acceptance bar: every Fig. 9 workload at four threads, free-list
+/// recycling on (the default), passes the join-time audit. These
+/// workloads have no shared-input split, so the workers must stay
+/// entirely on the non-atomic fast path.
+#[test]
+fn figure9_workloads_pass_the_join_audit_at_four_threads() {
+    for w in workloads().iter().filter(|w| w.in_figure9) {
+        let out = run_parallel(w, Strategy::Perceus, w.test_n, 4, RunConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(out.shared_audit.is_some(), "{}: audit ran", w.name);
+        assert!(!out.shared_input, "{}: no shared-input split", w.name);
+        assert_eq!(
+            out.stats.atomic_ops, 0,
+            "{}: local-only workers never pay an atomic",
+            w.name
+        );
+        // The parallel result agrees with a plain single-machine run.
+        let compiled = compile_workload(w.source, Strategy::Perceus).unwrap();
+        let single =
+            run_workload(&compiled, Strategy::Perceus, w.test_n, RunConfig::default()).unwrap();
+        assert_eq!(out.value, single.value, "{}", w.name);
+    }
+}
+
+/// Workloads with a shared-input split pay real atomic RMWs on the
+/// shared structure and drain the segment completely by join time.
+#[test]
+fn shared_input_workloads_pay_real_atomics_and_drain() {
+    for name in ["map", "refs"] {
+        let w = workload(name).unwrap();
+        let out = run_parallel(&w, Strategy::Perceus, w.test_n, 4, RunConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(out.shared_input, "{name}: spec declared");
+        assert!(out.shared_installs > 0, "{name}: barrier moved blocks");
+        assert!(out.stats.atomic_ops > 0, "{name}: shared traffic is atomic");
+        let audit = out.shared_audit.expect("rc strategies audit the segment");
+        assert_eq!(audit.live_blocks, 0, "{name}: segment drained at join");
+        assert_eq!(audit.freed_blocks, out.shared_installs, "{name}");
+    }
+}
+
+/// The shared consume of map is `sum(build(0, n), 0)`: the closed form
+/// locks the actual value in, not just cross-thread agreement.
+#[test]
+fn parallel_map_result_matches_the_closed_form() {
+    let w = workload("map").unwrap();
+    let out = run_parallel(&w, Strategy::Perceus, 500, 4, RunConfig::default()).unwrap();
+    assert_eq!(out.value, DeepValue::Int(500 * 499 / 2));
+    assert_eq!(out.threads, 4);
+}
+
+/// A single worker over the shared segment still works (and still pays
+/// atomics — the sharing decision is per-value, not per-thread-count).
+#[test]
+fn one_thread_is_a_valid_fleet() {
+    let w = workload("map").unwrap();
+    let out = run_parallel(&w, Strategy::Perceus, 200, 1, RunConfig::default()).unwrap();
+    assert_eq!(out.value, DeepValue::Int(200 * 199 / 2));
+    assert!(out.stats.atomic_ops > 0);
+    assert_eq!(out.shared_audit.unwrap().live_blocks, 0);
+}
+
+/// Non-rc strategies cannot maintain shared counts (their workers emit
+/// no rc operations), so they fall back to independent instances of
+/// `main(n)` — and must not crash or disagree.
+#[test]
+fn non_rc_strategies_run_independent_instances() {
+    let w = workload("map").unwrap();
+    for s in [Strategy::Gc, Strategy::Arena] {
+        let out = run_parallel(&w, s, 200, 2, RunConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", s.label()));
+        assert!(!out.shared_input, "{}", s.label());
+        assert!(out.shared_audit.is_none(), "{}", s.label());
+        // main(n) = sum of (i+1 for i in 0..n) = n(n+1)/2.
+        assert_eq!(out.value, DeepValue::Int(200 * 201 / 2), "{}", s.label());
+    }
+}
+
+/// Every strategy survives a two-thread run of every spec'd workload.
+#[test]
+fn every_strategy_survives_two_threads() {
+    for name in ["map", "refs"] {
+        let w = workload(name).unwrap();
+        for s in Strategy::ALL {
+            run_parallel(&w, s, 100, 2, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{name} under {}: {e}", s.label()));
+        }
+    }
+}
