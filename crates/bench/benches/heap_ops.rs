@@ -50,7 +50,13 @@ fn heap_ops(c: &mut Criterion) {
     group.bench_function("alloc+drop (malloc path, recycling off)", |b| {
         // The seed discipline: every alloc boxes fresh field storage and
         // every free returns it to the global allocator.
-        let mut h = Heap::with_config(ReclaimMode::Rc, HeapConfig { recycle: false, ..HeapConfig::default() });
+        let mut h = Heap::with_config(
+            ReclaimMode::Rc,
+            HeapConfig {
+                recycle: false,
+                ..HeapConfig::default()
+            },
+        );
         b.iter(|| {
             let a = h.alloc_slice(
                 BlockTag::Ctor(CtorId(2)),

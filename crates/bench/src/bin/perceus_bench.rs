@@ -1,8 +1,11 @@
-//! `perceus-bench` — the parallel throughput driver (§2.7.2).
+//! `perceus-bench` — the parallel throughput driver (§2.7.2) and the
+//! deterministic counter gate.
 //!
 //! ```text
 //! perceus-bench --workload rbtree --threads 4 [--n SIZE]
-//!               [--strategy perceus] [--repeat 3]
+//!               [--strategy perceus] [--repeat 3] [--profile]
+//! perceus-bench --counters-json [FILE]
+//! perceus-bench --check-baseline BENCH_BASELINE.json [--tolerance 0]
 //! ```
 //!
 //! Runs N abstract machines concurrently (see
@@ -11,8 +14,18 @@
 //! segment, the rest run independent `main(n)` instances per thread.
 //! Each repeat reports aggregate throughput and the merged statistics;
 //! the join-time garbage-free audit runs over both heap segments after
-//! every repeat and any failure exits 1.
+//! every repeat and any failure exits 1. `--profile` re-runs the
+//! workload once with the attributed profiler on and appends a
+//! per-function breakdown of the RC traffic.
+//!
+//! The two baseline modes skip the throughput bench entirely:
+//! `--counters-json` prints (or writes) the canonical deterministic
+//! counters of every workload ([`perceus_bench::counters`]), and
+//! `--check-baseline` compares the current counters against a committed
+//! file, exiting 1 on any drift beyond `--tolerance` (a relative
+//! fraction; the CI gate uses 0).
 
+use perceus_bench::counters::Baseline;
 use perceus_runtime::machine::RunConfig;
 use perceus_suite::{run_parallel, workload, workloads, Strategy};
 use std::process::ExitCode;
@@ -23,12 +36,19 @@ struct Options {
     n: Option<i64>,
     strategy: Strategy,
     repeat: usize,
+    profile: bool,
+    /// `Some("-")` prints to stdout.
+    counters_json: Option<String>,
+    check_baseline: Option<String>,
+    tolerance: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perceus-bench --workload NAME [--threads N] [--n SIZE]\n\
-         \x20                    [--strategy NAME] [--repeat K]\n\
+         \x20                    [--strategy NAME] [--repeat K] [--profile]\n\
+         \x20      perceus-bench --counters-json [FILE|-]\n\
+         \x20      perceus-bench --check-baseline FILE [--tolerance 0]\n\
          workloads: {}\n\
          strategies: {}",
         workloads()
@@ -52,43 +72,151 @@ fn parse_args() -> Options {
         n: None,
         strategy: Strategy::Perceus,
         repeat: 3,
+        profile: false,
+        counters_json: None,
+        check_baseline: None,
+        tolerance: 0.0,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mut value = |what: &str| args.next().unwrap_or_else(|| {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, what: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
             eprintln!("{what} requires a value");
             usage()
-        });
-        match a.as_str() {
-            "--workload" => opts.workload = value("--workload"),
-            "--threads" => match value("--threads").parse() {
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => opts.workload = value(&args, &mut i, "--workload"),
+            "--threads" => match value(&args, &mut i, "--threads").parse() {
                 Ok(t) if t > 0 => opts.threads = t,
                 _ => usage(),
             },
-            "--n" => match value("--n").parse() {
+            "--n" => match value(&args, &mut i, "--n").parse() {
                 Ok(n) => opts.n = Some(n),
                 Err(_) => usage(),
             },
-            "--repeat" => match value("--repeat").parse() {
+            "--repeat" => match value(&args, &mut i, "--repeat").parse() {
                 Ok(k) if k > 0 => opts.repeat = k,
                 _ => usage(),
             },
             "--strategy" => {
-                let name = value("--strategy");
+                let name = value(&args, &mut i, "--strategy");
                 match Strategy::ALL.iter().find(|s| s.label() == name) {
                     Some(s) => opts.strategy = *s,
                     None => usage(),
                 }
             }
+            "--profile" => opts.profile = true,
+            "--counters-json" => {
+                // The file operand is optional: a following flag (or
+                // nothing) means stdout.
+                match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        opts.counters_json = Some(next.clone());
+                        i += 1;
+                    }
+                    _ => opts.counters_json = Some("-".to_string()),
+                }
+            }
+            "--check-baseline" => {
+                opts.check_baseline = Some(value(&args, &mut i, "--check-baseline"))
+            }
+            "--tolerance" => match value(&args, &mut i, "--tolerance").parse() {
+                Ok(t) if t >= 0.0 => opts.tolerance = t,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+        i += 1;
     }
     opts
 }
 
+/// `--counters-json`: print or write the current canonical counters.
+fn run_counters_json(target: &str) -> ExitCode {
+    let current = match perceus_bench::counters::collect() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("counter collection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = current.render_json();
+    if target == "-" {
+        print!("{json}");
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::write(target, &json) {
+        Ok(()) => {
+            eprintln!(
+                "wrote {} workload baselines to {target}",
+                current.workloads.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {target}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--check-baseline`: recompute the counters and gate on drift.
+fn run_check_baseline(path: &str, tolerance: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Baseline::parse_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match perceus_bench::counters::collect() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("counter collection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = baseline.check(&current, tolerance);
+    if violations.is_empty() {
+        println!(
+            "counter gate: OK — {} workloads x {} counters match {path} (tolerance {tolerance})",
+            baseline.workloads.len(),
+            perceus_bench::COUNTER_KEYS.len(),
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "counter gate: FAILED — {} violation(s) against {path} (tolerance {tolerance})",
+            violations.len()
+        );
+        for v in &violations {
+            println!("  {v}");
+        }
+        println!("if the change is intentional, regenerate with:");
+        println!("  cargo run --release -p perceus-bench -- --counters-json {path}");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    if let Some(target) = &opts.counters_json {
+        return run_counters_json(target);
+    }
+    if let Some(path) = &opts.check_baseline {
+        return run_check_baseline(path, opts.tolerance);
+    }
     let Some(w) = workload(&opts.workload) else {
         eprintln!("unknown workload `{}`", opts.workload);
         usage();
@@ -136,6 +264,63 @@ fn main() -> ExitCode {
         "# best aggregate throughput: {:.1} runs/s across {} threads",
         best.unwrap_or(0.0),
         opts.threads
+    );
+    if opts.profile {
+        return run_profile_section(&w, &opts, n);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--profile`: one extra (untimed) run with the attributed profiler on,
+/// reporting where the RC traffic and allocations come from.
+fn run_profile_section(w: &perceus_suite::Workload, opts: &Options, n: i64) -> ExitCode {
+    let config = RunConfig {
+        profile: true,
+        ..RunConfig::default()
+    };
+    let compiled = match perceus_suite::compile_workload(w.source, opts.strategy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: {e}", w.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match run_parallel(w, opts.strategy, n, opts.threads, config) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{}: {e}", w.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(profiler) = out.profile else {
+        eprintln!("{}: run produced no profile", w.name);
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "# profile (one extra run, {} threads, merged)",
+        opts.threads
+    );
+    println!(
+        "{:<24} {:>8} {:>12} {:>10} {:>12} {:>10}",
+        "function", "calls", "rc-ops", "allocs", "words", "reuses"
+    );
+    for r in profiler.per_frame() {
+        println!(
+            "{:<24} {:>8} {:>12} {:>10} {:>12} {:>10}",
+            r.frame.name(&compiled),
+            r.calls,
+            r.counts.rc_ops(),
+            r.counts.allocations,
+            r.counts.alloc_words,
+            r.counts.reuses
+        );
+    }
+    let t = profiler.totals();
+    println!(
+        "# profile totals: {} rc-ops, {} allocations, {} reuses",
+        t.rc_ops(),
+        t.allocations,
+        t.reuses
     );
     ExitCode::SUCCESS
 }

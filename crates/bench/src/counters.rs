@@ -1,0 +1,491 @@
+//! Deterministic per-workload counter baselines and the CI regression
+//! gate behind `perceus-bench --check-baseline`.
+//!
+//! Wall-clock timing is too noisy to gate a shared CI runner, but the
+//! *counters* behind the paper's figures — RC operations, allocations,
+//! reuse hits, peak liveness, machine steps — are exact, deterministic
+//! functions of the compiled program and its input. A single-threaded
+//! Perceus run of every registered workload at its test size therefore
+//! produces machine-independent numbers that can be committed
+//! (`BENCH_BASELINE.json`) and compared with **zero tolerance**: any
+//! drift is either an intentional compiler/runtime change (regenerate
+//! the baseline and review the diff) or a real regression.
+//!
+//! The JSON is rendered canonically — workloads sorted by name, counter
+//! keys in the fixed [`COUNTER_KEYS`] order, no whitespace — so the
+//! committed file is byte-reproducible and diffs stay minimal.
+//!
+//! ```text
+//! perceus-bench --counters-json -             # print current counters
+//! perceus-bench --counters-json FILE          # regenerate the baseline
+//! perceus-bench --check-baseline BENCH_BASELINE.json --tolerance 0
+//! ```
+
+use perceus_runtime::machine::RunConfig;
+use perceus_runtime::Stats;
+use perceus_suite::{compile_workload, run_workload, workloads, Strategy, SuiteError};
+
+/// Schema version of the baseline document.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// The gated counters, in canonical render order. All are exact event
+/// counts or high-water marks of a single-threaded run; the volatile
+/// quantities (wall time, thread interleavings, `atomic_ops`) are
+/// deliberately excluded.
+pub const COUNTER_KEYS: [&str; 18] = [
+    "allocations",
+    "alloc_words",
+    "reuses",
+    "frees",
+    "dups",
+    "drops",
+    "decrefs",
+    "unique_tests",
+    "unique_hits",
+    "freelist_hits",
+    "freelist_misses",
+    "recycled_words",
+    "field_writes",
+    "skipped_writes",
+    "token_frees",
+    "peak_live_blocks",
+    "peak_live_words",
+    "steps",
+];
+
+/// The gated counter values of one run, in [`COUNTER_KEYS`] order.
+pub fn counter_values(st: &Stats) -> [u64; 18] {
+    [
+        st.allocations,
+        st.alloc_words,
+        st.reuses,
+        st.frees,
+        st.dups,
+        st.drops,
+        st.decrefs,
+        st.unique_tests,
+        st.unique_hits,
+        st.freelist_hits,
+        st.freelist_misses,
+        st.recycled_words,
+        st.field_writes,
+        st.skipped_writes,
+        st.token_frees,
+        st.peak_live_blocks,
+        st.peak_live_words,
+        st.steps,
+    ]
+}
+
+/// One workload's gated counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadCounters {
+    /// Workload name.
+    pub name: String,
+    /// Problem size the counters were measured at.
+    pub n: i64,
+    /// `(key, value)` pairs in the baseline's order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A full baseline document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Schema version ([`BASELINE_VERSION`]).
+    pub version: u64,
+    /// Strategy label the counters were measured under.
+    pub strategy: String,
+    /// Per-workload counters, sorted by name.
+    pub workloads: Vec<WorkloadCounters>,
+}
+
+/// Runs every registered workload single-threaded under Perceus at its
+/// test size and collects the gated counters.
+pub fn collect() -> Result<Baseline, SuiteError> {
+    let strategy = Strategy::Perceus;
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let compiled = compile_workload(w.source, strategy)?;
+        let out = run_workload(&compiled, strategy, w.test_n, RunConfig::default())?;
+        let counters = COUNTER_KEYS
+            .iter()
+            .zip(counter_values(&out.stats))
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        rows.push(WorkloadCounters {
+            name: w.name.to_string(),
+            n: w.test_n,
+            counters,
+        });
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(Baseline {
+        version: BASELINE_VERSION,
+        strategy: strategy.label().to_string(),
+        workloads: rows,
+    })
+}
+
+impl Baseline {
+    /// Canonical JSON: sorted workloads, fixed key order, no
+    /// whitespace, trailing newline. Byte-reproducible, so a zero
+    /// tolerance check is equivalent to a string comparison.
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"version\":{},\"strategy\":\"{}\",\"workloads\":[",
+            self.version, self.strategy
+        );
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"n\":{},\"counters\":{{",
+                w.name, w.n
+            ));
+            for (j, (k, v)) in w.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a baseline document (the strict subset of JSON that
+    /// [`Baseline::render_json`] emits, whitespace-tolerant).
+    pub fn parse_json(src: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            s: src.as_bytes(),
+            i: 0,
+        };
+        let b = p.baseline()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(p.err("trailing data after document"));
+        }
+        Ok(b)
+    }
+
+    /// Compares `current` against this baseline. `tolerance` is a
+    /// relative bound: a counter may drift by at most
+    /// `tolerance * baseline` (so `0.0` demands exact equality, the CI
+    /// default). Returns one human-readable line per violation; empty
+    /// means the gate passes.
+    pub fn check(&self, current: &Baseline, tolerance: f64) -> Vec<String> {
+        let mut bad = Vec::new();
+        if current.version != self.version {
+            bad.push(format!(
+                "baseline version {} != current {}",
+                self.version, current.version
+            ));
+        }
+        if current.strategy != self.strategy {
+            bad.push(format!(
+                "baseline strategy `{}` != current `{}`",
+                self.strategy, current.strategy
+            ));
+        }
+        for b in &self.workloads {
+            let Some(c) = current.workloads.iter().find(|c| c.name == b.name) else {
+                bad.push(format!(
+                    "workload `{}` is in the baseline but was not run",
+                    b.name
+                ));
+                continue;
+            };
+            if c.n != b.n {
+                bad.push(format!(
+                    "{}: baseline n={} != current n={}",
+                    b.name, b.n, c.n
+                ));
+                continue;
+            }
+            for (k, bv) in &b.counters {
+                let Some((_, cv)) = c.counters.iter().find(|(ck, _)| ck == k) else {
+                    bad.push(format!(
+                        "{}: counter `{k}` missing from current run",
+                        b.name
+                    ));
+                    continue;
+                };
+                let drift = (*cv as f64 - *bv as f64).abs();
+                let allowed = tolerance * *bv as f64;
+                if drift > allowed {
+                    bad.push(format!(
+                        "{}: {k} = {cv}, baseline {bv} ({}{} vs allowed {:.0})",
+                        b.name,
+                        if cv >= bv { "+" } else { "-" },
+                        cv.abs_diff(*bv),
+                        allowed,
+                    ));
+                }
+            }
+            for (k, _) in &c.counters {
+                if !b.counters.iter().any(|(bk, _)| bk == k) {
+                    bad.push(format!(
+                        "{}: counter `{k}` not in the baseline (regenerate it)",
+                        b.name
+                    ));
+                }
+            }
+        }
+        for c in &current.workloads {
+            if !self.workloads.iter().any(|b| b.name == c.name) {
+                bad.push(format!(
+                    "workload `{}` is not in the baseline (regenerate it)",
+                    c.name
+                ));
+            }
+        }
+        bad
+    }
+}
+
+/// A tiny cursor over the baseline's JSON subset. The document grammar
+/// is fixed (objects with known keys, string and integer leaves), so a
+/// schema-directed parser stays both strict and dependency-free.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("baseline parse error at byte {}: {msg}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn tok(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    /// Peeks (after whitespace) without consuming.
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.tok(b'"')?;
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b == b'\\' {
+                return Err(self.err("escape sequences are not used in baselines"));
+            }
+            if b == b'"' {
+                let out = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| self.err("invalid utf-8"))?
+                    .to_string();
+                self.i += 1;
+                return Ok(out);
+            }
+            self.i += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn int(&mut self) -> Result<i64, String> {
+        self.ws();
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("expected an integer"))
+    }
+
+    fn uint(&mut self) -> Result<u64, String> {
+        let v = self.int()?;
+        u64::try_from(v).map_err(|_| self.err("expected a non-negative integer"))
+    }
+
+    fn counters(&mut self) -> Result<Vec<(String, u64)>, String> {
+        self.tok(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            let k = self.string()?;
+            self.tok(b':')?;
+            out.push((k, self.uint()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected `,` or `}` in counters")),
+            }
+        }
+    }
+
+    fn workload(&mut self) -> Result<WorkloadCounters, String> {
+        self.tok(b'{')?;
+        let (mut name, mut n, mut counters) = (None, None, None);
+        loop {
+            let key = self.string()?;
+            self.tok(b':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "n" => n = Some(self.int()?),
+                "counters" => counters = Some(self.counters()?),
+                other => return Err(self.err(&format!("unknown workload key `{other}`"))),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected `,` or `}` in workload")),
+            }
+        }
+        Ok(WorkloadCounters {
+            name: name.ok_or_else(|| self.err("workload without `name`"))?,
+            n: n.ok_or_else(|| self.err("workload without `n`"))?,
+            counters: counters.ok_or_else(|| self.err("workload without `counters`"))?,
+        })
+    }
+
+    fn baseline(&mut self) -> Result<Baseline, String> {
+        self.tok(b'{')?;
+        let (mut version, mut strategy, mut rows) = (None, None, None);
+        loop {
+            let key = self.string()?;
+            self.tok(b':')?;
+            match key.as_str() {
+                "version" => version = Some(self.uint()?),
+                "strategy" => strategy = Some(self.string()?),
+                "workloads" => {
+                    self.tok(b'[')?;
+                    let mut ws = Vec::new();
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                    } else {
+                        loop {
+                            ws.push(self.workload()?);
+                            match self.peek() {
+                                Some(b',') => self.i += 1,
+                                Some(b']') => {
+                                    self.i += 1;
+                                    break;
+                                }
+                                _ => return Err(self.err("expected `,` or `]`")),
+                            }
+                        }
+                    }
+                    rows = Some(ws);
+                }
+                other => return Err(self.err(&format!("unknown baseline key `{other}`"))),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected `,` or `}` in baseline")),
+            }
+        }
+        Ok(Baseline {
+            version: version.ok_or_else(|| self.err("missing `version`"))?,
+            strategy: strategy.ok_or_else(|| self.err("missing `strategy`"))?,
+            workloads: rows.ok_or_else(|| self.err("missing `workloads`"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            version: 1,
+            strategy: "perceus".into(),
+            workloads: vec![WorkloadCounters {
+                name: "rbtree".into(),
+                n: 400,
+                counters: vec![("dups".into(), 10), ("frees".into(), 3)],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_canonically() {
+        let b = sample();
+        let json = b.render_json();
+        let parsed = Baseline::parse_json(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.render_json(), json, "render is canonical");
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_but_rejects_junk() {
+        let pretty = "{\n  \"version\": 1,\n  \"strategy\": \"perceus\",\n  \
+                      \"workloads\": [ ]\n}\n";
+        let b = Baseline::parse_json(pretty).unwrap();
+        assert_eq!(b.workloads.len(), 0);
+        assert!(Baseline::parse_json("{\"version\":1}").is_err());
+        assert!(
+            Baseline::parse_json("{\"version\":1,\"strategy\":\"p\",\"workloads\":[]}x").is_err()
+        );
+    }
+
+    #[test]
+    fn zero_tolerance_flags_any_drift() {
+        let base = sample();
+        let mut cur = sample();
+        assert!(base.check(&cur, 0.0).is_empty());
+        cur.workloads[0].counters[0].1 = 11;
+        let bad = base.check(&cur, 0.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("dups"), "{bad:?}");
+        // 10% relative tolerance absorbs the +1 on a baseline of 10.
+        assert!(base.check(&cur, 0.1).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_workloads_are_violations() {
+        let base = sample();
+        let empty = Baseline {
+            workloads: vec![],
+            ..sample()
+        };
+        assert_eq!(base.check(&empty, 0.0).len(), 1);
+        assert_eq!(empty.check(&base, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn collected_counters_are_reproducible() {
+        let a = collect().unwrap();
+        let b = collect().unwrap();
+        assert_eq!(a.render_json(), b.render_json());
+        assert!(a.workloads.iter().any(|w| w.name == "rbtree"));
+        for w in &a.workloads {
+            assert_eq!(w.counters.len(), COUNTER_KEYS.len());
+        }
+    }
+}

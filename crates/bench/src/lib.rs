@@ -7,6 +7,12 @@
 //! formats the paper's tables; the Criterion benches under `benches/`
 //! provide statistically robust timing for the same experiments.
 
+//! The `counters` module turns the deterministic counter subset of
+//! [`perceus_runtime::Stats`] into a committed baseline
+//! (`BENCH_BASELINE.json`) that CI compares at zero tolerance.
+
+pub mod counters;
 pub mod measure;
 
+pub use counters::{Baseline, WorkloadCounters, COUNTER_KEYS};
 pub use measure::{measure, Measurement};

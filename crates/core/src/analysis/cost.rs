@@ -414,7 +414,12 @@ struct Ctx<'a> {
 
 /// Computes the per-function cost summaries of a whole program.
 pub fn cost_summaries(p: &Program) -> Vec<FunSummary> {
-    let max_arity = p.types.ctors().map(|(_, c)| c.arity as u64).max().unwrap_or(0);
+    let max_arity = p
+        .types
+        .ctors()
+        .map(|(_, c)| c.arity as u64)
+        .max()
+        .unwrap_or(0);
     let mut summaries = vec![PathCost::BOTTOM; p.funs.len()];
     let cap = p.funs.len() + 2;
 
@@ -469,7 +474,13 @@ pub fn cost_summaries(p: &Program) -> Vec<FunSummary> {
         .enumerate()
         .map(|(i, f)| {
             let mut arms = Vec::new();
-            collect_arms(&cx, &f.body, &mut String::new(), &mut HashMap::new(), &mut arms);
+            collect_arms(
+                &cx,
+                &f.body,
+                &mut String::new(),
+                &mut HashMap::new(),
+                &mut arms,
+            );
             FunSummary {
                 fun: FunId(i as u32),
                 name: f.name.to_string(),
@@ -712,7 +723,10 @@ fn collect_arms(
                 if !path.is_empty() {
                     path.push('/');
                 }
-                path.push_str(&format!("match({scrutinee})/arm[{ctor}]", scrutinee = scrutinee));
+                path.push_str(&format!(
+                    "match({scrutinee})/arm[{ctor}]",
+                    scrutinee = scrutinee
+                ));
                 let arity = cx.p.types.ctor(arm.ctor).arity as u64;
                 let saved = arities.get(scrutinee).copied();
                 if arity >= 1 {

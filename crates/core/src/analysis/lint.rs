@@ -76,8 +76,7 @@ impl FunCx<'_> {
     ) {
         match e {
             Expr::Drop(x, rest) | Expr::Free(x, rest) => {
-                if let Some((_, ctor, arity)) =
-                    cells.iter().rev().find(|(v, _, _)| v == x).cloned()
+                if let Some((_, ctor, arity)) = cells.iter().rev().find(|(v, _, _)| v == x).cloned()
                 {
                     if let Some(found) = find_fresh_alloc(self.p, rest, arity) {
                         let verb = if matches!(e, Expr::Free(..)) {
@@ -308,10 +307,7 @@ impl FunCx<'_> {
         let active = self.p.borrows.get(self.fun.0 as usize);
         for (i, param) in f.params.iter().enumerate() {
             let would_borrow = inferred.get(i).copied().unwrap_or(false);
-            let is_borrowed = active
-                .and_then(|m| m.get(i))
-                .copied()
-                .unwrap_or(false);
+            let is_borrowed = active.and_then(|m| m.get(i)).copied().unwrap_or(false);
             if would_borrow && !is_borrowed {
                 let saved = count_dup_drop(&f.body, param);
                 self.emit(
@@ -378,21 +374,24 @@ fn find_fresh_alloc<'a>(p: &'a Program, e: &Expr, arity: usize) -> Option<&'a st
         Expr::Let { rhs, body, .. } => {
             find_fresh_alloc(p, rhs, arity).or_else(|| find_fresh_alloc(p, body, arity))
         }
-        Expr::Seq(a, b) => {
-            find_fresh_alloc(p, a, arity).or_else(|| find_fresh_alloc(p, b, arity))
-        }
+        Expr::Seq(a, b) => find_fresh_alloc(p, a, arity).or_else(|| find_fresh_alloc(p, b, arity)),
         Expr::Match { arms, default, .. } => arms
             .iter()
             .find_map(|arm| find_fresh_alloc(p, &arm.body, arity))
-            .or_else(|| default.as_deref().and_then(|d| find_fresh_alloc(p, d, arity))),
+            .or_else(|| {
+                default
+                    .as_deref()
+                    .and_then(|d| find_fresh_alloc(p, d, arity))
+            }),
         Expr::Dup(_, rest)
         | Expr::Drop(_, rest)
         | Expr::Free(_, rest)
         | Expr::DecRef(_, rest)
         | Expr::DropToken(_, rest) => find_fresh_alloc(p, rest, arity),
         Expr::DropReuse { body, .. } => find_fresh_alloc(p, body, arity),
-        Expr::IsUnique { unique, shared, .. } => find_fresh_alloc(p, unique, arity)
-            .or_else(|| find_fresh_alloc(p, shared, arity)),
+        Expr::IsUnique { unique, shared, .. } => {
+            find_fresh_alloc(p, unique, arity).or_else(|| find_fresh_alloc(p, shared, arity))
+        }
         Expr::Var(_)
         | Expr::Lit(_)
         | Expr::Global(_)
@@ -512,10 +511,7 @@ fn fbip_walk(p: &Program, fun: FunId, e: &Expr) -> FbipFlags {
             t
         }
         Expr::Con {
-            ctor,
-            args,
-            reuse,
-            ..
+            ctor, args, reuse, ..
         } => {
             let mut t = FbipFlags::default();
             for a in args {
@@ -751,7 +747,10 @@ mod tests {
                         vec![x.clone(), xx.clone()],
                         con(
                             cons,
-                            vec![Expr::Var(x.clone()), Expr::Call(f, vec![Expr::Var(xx.clone())])],
+                            vec![
+                                Expr::Var(x.clone()),
+                                Expr::Call(f, vec![Expr::Var(xx.clone())]),
+                            ],
                         ),
                     ),
                     arm0(nil, con(nil, vec![])),
@@ -779,7 +778,10 @@ mod tests {
                 token: ru.clone(),
                 body: Box::new(Expr::Con {
                     ctor: cons,
-                    args: vec![Expr::Var(x.clone()), Expr::Call(f, vec![Expr::Var(xx.clone())])],
+                    args: vec![
+                        Expr::Var(x.clone()),
+                        Expr::Call(f, vec![Expr::Var(xx.clone())]),
+                    ],
                     reuse: Some(ru.clone()),
                     skip: vec![],
                 }),

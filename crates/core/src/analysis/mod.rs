@@ -56,8 +56,7 @@ pub fn analyze_program(p: &Program) -> Analysis {
 impl Analysis {
     /// The entry function's summary, if the program has an entry point.
     pub fn entry_summary(&self) -> Option<&FunSummary> {
-        self.entry
-            .and_then(|id| self.functions.get(id.0 as usize))
+        self.entry.and_then(|id| self.functions.get(id.0 as usize))
     }
 
     /// The summary of the function named `name`.
@@ -70,7 +69,11 @@ impl Analysis {
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         for f in &self.functions {
-            let entry_mark = if Some(f.fun) == self.entry { " (entry)" } else { "" };
+            let entry_mark = if Some(f.fun) == self.entry {
+                " (entry)"
+            } else {
+                ""
+            };
             let abort_mark = if f.may_abort { " [may abort]" } else { "" };
             let _ = writeln!(
                 out,
@@ -79,7 +82,12 @@ impl Analysis {
                 report::cost_vector_human(&f.cost)
             );
             for a in &f.arms {
-                let _ = writeln!(out, "    {}: {}", a.path, report::cost_vector_human(&a.cost));
+                let _ = writeln!(
+                    out,
+                    "    {}: {}",
+                    a.path,
+                    report::cost_vector_human(&a.cost)
+                );
             }
         }
         out.push_str(&self.diagnostics.render_human());

@@ -33,6 +33,11 @@ pub struct CtorInfo {
     pub arity: usize,
     /// Field names for diagnostics (empty strings when unnamed).
     pub field_names: Vec<Arc<str>>,
+    /// Source byte span of the declaration, when the constructor came
+    /// from surface source (`None` for builder-made programs). The
+    /// profiler and analysis layers use this to map constructor ids
+    /// back to source locations.
+    pub span: Option<(u32, u32)>,
 }
 
 /// Description of one data type.
@@ -103,9 +108,16 @@ impl TypeTable {
             tag,
             arity: field_names.len(),
             field_names,
+            span: None,
         });
         self.datas[data.0 as usize].ctors.push(id);
         id
+    }
+
+    /// Records the source byte span of a constructor declaration (the
+    /// front end calls this right after [`TypeTable::add_ctor`]).
+    pub fn set_ctor_span(&mut self, id: CtorId, span: (u32, u32)) {
+        self.ctors[id.0 as usize].span = Some(span);
     }
 
     /// Convenience: adds a constructor with `arity` unnamed fields.
@@ -189,6 +201,12 @@ pub struct Program {
     /// what keeps programs garbage-free. Filled by the opt-in
     /// [`passes::borrow`](crate::passes::borrow) pass.
     pub borrows: Vec<Vec<bool>>,
+    /// Source byte spans of the function definitions, indexed like
+    /// `funs` (empty for builder-made programs, which have no source).
+    /// Filled by the front end; passes never add or remove functions,
+    /// so the table stays aligned with `FunId` through the pipeline and
+    /// into the backend's `Compiled` form.
+    pub fun_spans: Vec<(u32, u32)>,
 }
 
 impl Program {
@@ -200,6 +218,7 @@ impl Program {
             entry: None,
             var_gen: VarGen::default(),
             borrows: Vec::new(),
+            fun_spans: Vec::new(),
         }
     }
 

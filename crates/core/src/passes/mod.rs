@@ -417,7 +417,11 @@ impl fmt::Display for StageError {
             self.pass,
             self.violation,
             self.counterexample_defs,
-            if self.counterexample_defs == 1 { "" } else { "s" },
+            if self.counterexample_defs == 1 {
+                ""
+            } else {
+                "s"
+            },
             self.counterexample
         )
     }
@@ -907,7 +911,9 @@ mod tests {
         let c = PassConfig::perceus().with_reuse(false);
         assert!(!c.reuse() && !c.reuse_spec());
         // Reuse specialization cannot be enabled without reuse.
-        let c = PassConfig::perceus().with_reuse(false).with_reuse_spec(true);
+        let c = PassConfig::perceus()
+            .with_reuse(false)
+            .with_reuse_spec(true);
         assert!(!c.reuse_spec());
     }
 

@@ -68,6 +68,13 @@ pub fn compile_str_with_spans(src: &str) -> Result<(Program, Vec<Span>), LangErr
     Ok((program, spans))
 }
 
+// Lowering also records the same spans *inside* the program
+// (`Program::fun_spans`, plus `CtorInfo::span` on the type table), so
+// consumers that only see the core program — the pass pipeline, the
+// backend `Compiled` form, the runtime profiler — carry provenance
+// without holding a side table. `compile_str_with_spans` remains the
+// richer front-end API (it returns `Span` values with `line_col`).
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +117,28 @@ fun main(): int { double(21) }
         let text = |s: Span| &src[s.start as usize..s.end as usize];
         assert!(text(spans[double.0 as usize]).contains("double(x"));
         assert!(text(spans[main.0 as usize]).starts_with("fun main"));
+        // The program itself carries the same table (profiler provenance).
+        assert_eq!(
+            p.fun_spans,
+            spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ctor_spans_are_recorded_on_the_type_table() {
+        let src = r#"
+type list<a> { Nil; Cons(head: a, tail: list<a>) }
+fun main(): int { 0 }
+"#;
+        let p = compile_str(src).unwrap();
+        let cons = p.types.find_ctor("Cons").unwrap();
+        let (s, e) = p.types.ctor(cons).span.unwrap();
+        assert!(src[s as usize..e as usize].starts_with("Cons"));
+        // Built-ins have no source.
+        assert!(p
+            .types
+            .ctor(perceus_core::ir::TypeTable::TRUE)
+            .span
+            .is_none());
     }
 }

@@ -61,6 +61,7 @@ pub fn lower_checked(
         // demotes an explicit request — a consuming use just retains).
         out.borrows
             .push(fd.params.iter().map(|p| p.borrowed).collect());
+        out.fun_spans.push((fd.span.start, fd.span.end));
         out.add_fun(FunDef {
             name: fd.name.clone().into(),
             params,

@@ -141,6 +141,7 @@ pub fn resolve(p: &SProgram) -> Result<Symbols, LangError> {
                 .map(|(n, _)| Arc::from(n.clone().unwrap_or_default().as_str()))
                 .collect();
             let id = types.add_ctor(data, cd.name.clone(), field_names);
+            types.set_ctor_span(id, (cd.span.start, cd.span.end));
             // Validate field types mention only known names / the
             // parent's parameters.
             for (_, ft) in &cd.fields {

@@ -139,6 +139,10 @@ pub struct Compiled {
     pub lambdas: Vec<CodeLam>,
     /// The entry point.
     pub entry: Option<FunId>,
+    /// Source byte spans of the functions, indexed like `funs` (empty
+    /// for builder-made programs). Carried verbatim from
+    /// [`Program::fun_spans`] so profiler reports can point at source.
+    pub fun_spans: Vec<(u32, u32)>,
 }
 
 impl Compiled {
@@ -158,6 +162,7 @@ pub fn compile(p: &Program) -> Result<Compiled, RuntimeError> {
         funs: Vec::with_capacity(p.funs.len()),
         lambdas: Vec::new(),
         entry: p.entry,
+        fun_spans: p.fun_spans.clone(),
     };
     for (_, f) in p.funs() {
         let mut cx = FrameCx::new(&p.types);

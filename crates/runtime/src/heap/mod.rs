@@ -39,6 +39,7 @@ pub use shared::SharedHeap;
 pub use stats::Stats;
 
 use crate::error::RuntimeError;
+use crate::profile::{FrameKind, ProfCounts, Profiler};
 use crate::trace::{Event, Trace};
 use crate::value::{Addr, Value};
 use perceus_core::ir::CtorId;
@@ -187,6 +188,9 @@ pub struct Heap {
     /// Runtime statistics.
     pub stats: Stats,
     trace: Option<Trace>,
+    /// The attributed profiler (see [`crate::profile`]), boxed to keep
+    /// the disabled-by-default case one pointer wide.
+    prof: Option<Box<Profiler>>,
 }
 
 impl Heap {
@@ -208,6 +212,7 @@ impl Heap {
             shared: None,
             stats: Stats::default(),
             trace: None,
+            prof: None,
         }
     }
 
@@ -238,6 +243,85 @@ impl Heap {
     fn tr(&mut self, e: Event) {
         if let Some(t) = &mut self.trace {
             t.record(e);
+        }
+    }
+
+    // ---- attributed profiling ---------------------------------------
+    //
+    // Every public entry point below that mutates an attributable
+    // `Stats` counter is a thin wrapper: snapshot the counters
+    // (`prof_begin`), run the real `*_inner` body, credit the
+    // difference to the profiler's current calling context
+    // (`prof_commit`). Internal calls go to the `_inner` forms so no
+    // event is counted twice; the exactness test in `perceus-suite`
+    // (profile totals == final `Stats`) keeps this split honest. With
+    // the profiler disabled each hook is a single `None` branch.
+
+    /// Enables the attributed profiler (see [`crate::profile`]).
+    pub fn enable_profile(&mut self) {
+        self.prof = Some(Box::default());
+    }
+
+    /// The profile accumulated so far, when enabled.
+    pub fn profile(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    /// Detaches the profile, disabling further profiling.
+    pub fn take_profile(&mut self) -> Option<Profiler> {
+        self.prof.take().map(|b| *b)
+    }
+
+    /// Machine hook: a call frame was entered.
+    #[inline]
+    pub fn prof_enter(&mut self, frame: FrameKind) {
+        if let Some(p) = &mut self.prof {
+            p.enter(frame);
+        }
+    }
+
+    /// Machine hook: the current call frame returned.
+    #[inline]
+    pub fn prof_exit(&mut self) {
+        if let Some(p) = &mut self.prof {
+            p.exit();
+        }
+    }
+
+    /// Machine hook: the current call frame was replaced by a tail call.
+    #[inline]
+    pub fn prof_tail(&mut self, frame: FrameKind) {
+        if let Some(p) = &mut self.prof {
+            p.tail(frame);
+        }
+    }
+
+    #[inline]
+    fn prof_begin(&self) -> Option<ProfCounts> {
+        self.prof.as_ref().map(|_| ProfCounts::capture(&self.stats))
+    }
+
+    #[inline]
+    fn prof_commit(&mut self, snap: Option<ProfCounts>) {
+        if let Some(before) = snap {
+            let delta = ProfCounts::capture(&self.stats).diff(&before);
+            if let Some(p) = &mut self.prof {
+                p.record(&delta);
+            }
+        }
+    }
+
+    #[inline]
+    fn prof_on_alloc(&mut self, index: u32, tag: BlockTag, words: u64) {
+        if let Some(p) = &mut self.prof {
+            p.on_alloc(index, tag, words);
+        }
+    }
+
+    #[inline]
+    fn prof_on_release(&mut self, index: u32) {
+        if let Some(p) = &mut self.prof {
+            p.on_release(index);
         }
     }
 
@@ -369,10 +453,13 @@ impl Heap {
     /// recycled storage when the matching size class has a free block —
     /// the hot path: a free-list hit touches no global allocator at all.
     pub fn alloc_slice(&mut self, tag: BlockTag, vals: &[Value]) -> Addr {
-        if let Some(addr) = self.recycle_fit(tag, vals) {
-            return addr;
-        }
-        self.install(tag, vals.to_vec().into_boxed_slice())
+        let snap = self.prof_begin();
+        let addr = match self.recycle_fit(tag, vals) {
+            Some(addr) => addr,
+            None => self.install(tag, vals.to_vec().into_boxed_slice()),
+        };
+        self.prof_commit(snap);
+        addr
     }
 
     /// Allocates a fresh block with reference count 1 from an owned
@@ -380,10 +467,13 @@ impl Heap {
     /// point has already paid the allocation for `fields`, so a
     /// free-list hit merely swaps which storage is kept.
     pub fn alloc(&mut self, tag: BlockTag, fields: Box<[Value]>) -> Addr {
-        if let Some(addr) = self.recycle_fit(tag, &fields) {
-            return addr;
-        }
-        self.install(tag, fields)
+        let snap = self.prof_begin();
+        let addr = match self.recycle_fit(tag, &fields) {
+            Some(addr) => addr,
+            None => self.install(tag, fields),
+        };
+        self.prof_commit(snap);
+        addr
     }
 
     /// Serves an allocation from the matching size-class free list, if
@@ -423,6 +513,7 @@ impl Heap {
         self.stats.field_writes += vals.len() as u64;
         self.stats.freelist_hits += 1;
         self.stats.recycled_words += block_words;
+        self.prof_on_alloc(addr.index, tag, block_words);
         self.tr(Event::Recycle(addr, block_words));
         Some(addr)
     }
@@ -453,6 +544,7 @@ impl Heap {
                 Addr { index, gen: 0 }
             }
         };
+        self.prof_on_alloc(addr.index, tag, words);
         self.tr(Event::Alloc(addr, words));
         addr
     }
@@ -466,6 +558,24 @@ impl Heap {
     /// checked whenever [`HeapConfig::validation`] is active (always
     /// under [`Validation::Full`], including release builds).
     pub fn alloc_into(
+        &mut self,
+        token: Addr,
+        ctor: CtorId,
+        args: &[Value],
+        skip: &[bool],
+    ) -> Result<Addr, RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.alloc_into_inner(token, ctor, args, skip);
+        self.prof_commit(snap);
+        if r.is_ok() {
+            if let Some(p) = &mut self.prof {
+                p.on_reuse(ctor);
+            }
+        }
+        r
+    }
+
+    fn alloc_into_inner(
         &mut self,
         token: Addr,
         ctor: CtorId,
@@ -524,6 +634,13 @@ impl Heap {
     /// first check for the by-far most common case: a uniquely-owned
     /// cell (header exactly 1) skips even the sign test's general path.
     pub fn dup(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.dup_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn dup_inner(&mut self, v: Value) -> Result<(), RuntimeError> {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
         }
@@ -564,6 +681,13 @@ impl Heap {
     /// (header 1) is checked first: it frees immediately without the
     /// shared-sign test.
     pub fn drop_value(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.drop_value_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn drop_value_inner(&mut self, v: Value) -> Result<(), RuntimeError> {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
         }
@@ -628,6 +752,7 @@ impl Heap {
                     self.spare.push(addr.index);
                 }
                 self.stats.on_free(words);
+                self.prof_on_release(addr.index);
                 self.tr(Event::Drop(addr, 0));
                 self.tr(Event::Free(addr));
             } else if b.header > 1 {
@@ -663,6 +788,13 @@ impl Heap {
     /// `decref v` — decrement without the zero check; only emitted in
     /// the shared branch of an `is-unique`, where the count is ≥ 2.
     pub fn decref(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.decref_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn decref_inner(&mut self, v: Value) -> Result<(), RuntimeError> {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
         }
@@ -689,7 +821,7 @@ impl Heap {
                     self.retire(addr)?;
                     for f in fields {
                         if f.is_ref() {
-                            self.drop_value(f)?;
+                            self.drop_value_inner(f)?;
                             // The child release is part of this free, not
                             // a program-emitted drop instruction.
                             self.stats.drops -= 1;
@@ -709,6 +841,13 @@ impl Heap {
     /// `is-unique(v)` — thread-shared blocks are never unique (in-place
     /// mutation of shared data is racy, §2.7.3).
     pub fn is_unique(&mut self, v: Value) -> Result<bool, RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.is_unique_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn is_unique_inner(&mut self, v: Value) -> Result<bool, RuntimeError> {
         self.stats.unique_tests += 1;
         let unique = match v {
             Value::Ref(addr) if addr.is_shared() => {
@@ -730,6 +869,13 @@ impl Heap {
     /// transferred to the surrounding match binders (fast path of
     /// Fig. 1d). Requires a unique cell.
     pub fn free_cell(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.free_cell_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn free_cell_inner(&mut self, v: Value) -> Result<(), RuntimeError> {
         let Value::Ref(addr) = v else {
             return Err(RuntimeError::Internal("free of a non-reference".into()));
         };
@@ -776,6 +922,13 @@ impl Heap {
     /// children and claim the cell; otherwise decrement and return the
     /// null token.
     pub fn drop_reuse(&mut self, v: Value) -> Result<Value, RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.drop_reuse_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn drop_reuse_inner(&mut self, v: Value) -> Result<Value, RuntimeError> {
         match v {
             Value::Ref(addr) if addr.is_shared() => {
                 // Shared blocks are never unique: decrement (possibly
@@ -842,7 +995,7 @@ impl Heap {
                 if b.header == 0 {
                     // Shared count hit zero here: free fully.
                     b.header = 1;
-                    return self.drop_value(Value::Ref(addr));
+                    return self.drop_value_inner(Value::Ref(addr));
                 }
             }
         } else {
@@ -856,6 +1009,13 @@ impl Heap {
 
     /// `drop-token t` — release an unused token, freeing the held memory.
     pub fn drop_token(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.drop_token_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn drop_token_inner(&mut self, v: Value) -> Result<(), RuntimeError> {
         match v {
             Value::Token(Some(addr)) => {
                 let b = self.entry(addr)?;
@@ -876,6 +1036,13 @@ impl Heap {
     /// `tshare v` — mark a value and everything reachable from it as
     /// thread-shared (§2.7.2). Idempotent; safe on cyclic ref structures.
     pub fn tshare(&mut self, v: Value) -> Result<(), RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.tshare_inner(v);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn tshare_inner(&mut self, v: Value) -> Result<(), RuntimeError> {
         let mut work = Vec::new();
         if let Value::Ref(a) = v {
             work.push(a);
@@ -922,6 +1089,17 @@ impl Heap {
     /// rejected — shared data must be immutable (§2.7.3), which is also
     /// what makes the moved closure acyclic and the traversal total.
     pub fn mark_shared(
+        &mut self,
+        v: Value,
+        segment: &mut SharedHeap,
+    ) -> Result<Value, RuntimeError> {
+        let snap = self.prof_begin();
+        let r = self.mark_shared_inner(v, segment);
+        self.prof_commit(snap);
+        r
+    }
+
+    fn mark_shared_inner(
         &mut self,
         v: Value,
         segment: &mut SharedHeap,
@@ -1000,6 +1178,7 @@ impl Heap {
         self.spare.push(addr.index);
         self.stats.live_blocks -= 1;
         self.stats.live_words -= block.words();
+        self.prof_on_release(addr.index);
         Ok(())
     }
 
@@ -1037,6 +1216,7 @@ impl Heap {
             self.spare.push(addr.index);
         }
         self.stats.on_free(words);
+        self.prof_on_release(addr.index);
         self.tr(Event::Free(addr));
         Ok(())
     }
@@ -1072,6 +1252,13 @@ impl Heap {
     /// Collector support: sweep unmarked blocks onto the free lists;
     /// returns count swept.
     pub(crate) fn sweep(&mut self) -> u64 {
+        let snap = self.prof_begin();
+        let swept = self.sweep_inner();
+        self.prof_commit(snap);
+        swept
+    }
+
+    fn sweep_inner(&mut self) -> u64 {
         let mut swept = 0;
         for i in 0..self.slots.len() {
             let e = &mut self.slots[i];
@@ -1091,6 +1278,7 @@ impl Heap {
                         self.spare.push(i as u32);
                     }
                     self.stats.on_free(words);
+                    self.prof_on_release(i as u32);
                     swept += 1;
                 }
             }
@@ -1324,7 +1512,12 @@ mod tests {
         // Claim says field 0 already holds the argument, but it holds 1,
         // not 7: under Full validation this is an error even in release.
         let err = h
-            .alloc_into(t, CtorId(9), &[Value::Int(7), Value::Int(5)], &[true, false])
+            .alloc_into(
+                t,
+                CtorId(9),
+                &[Value::Int(7), Value::Int(5)],
+                &[true, false],
+            )
             .unwrap_err();
         assert!(
             matches!(&err, RuntimeError::Internal(m) if m.contains("skipped field")),
@@ -1344,9 +1537,16 @@ mod tests {
             vec![Value::Int(1), Value::Int(2)].into_boxed_slice(),
         );
         let tok = h2.drop_reuse(Value::Ref(b)).unwrap();
-        let Value::Token(Some(t2)) = tok else { panic!() };
-        h2.alloc_into(t2, CtorId(9), &[Value::Int(1), Value::Int(5)], &[true, false])
-            .unwrap();
+        let Value::Token(Some(t2)) = tok else {
+            panic!()
+        };
+        h2.alloc_into(
+            t2,
+            CtorId(9),
+            &[Value::Int(1), Value::Int(5)],
+            &[true, false],
+        )
+        .unwrap();
         h2.drop_value(Value::Ref(t2)).unwrap();
     }
 
@@ -1363,17 +1563,16 @@ mod tests {
         assert_eq!(seg.live_blocks(), 2);
         assert_eq!(h.stats.shared_marks, 2);
         // Stale local addresses fail deterministically.
-        assert!(matches!(
-            h.block(root),
-            Err(RuntimeError::UseAfterFree(_))
-        ));
+        assert!(matches!(h.block(root), Err(RuntimeError::UseAfterFree(_))));
         // The moved structure is readable through the attached segment.
         let seg = Arc::new(seg);
         h.attach_shared(seg.clone());
         let view = h.view(sroot).unwrap();
         assert_eq!(view.header, -1);
         assert!(view.shared);
-        let Value::Ref(schild) = view.fields[0] else { panic!() };
+        let Value::Ref(schild) = view.fields[0] else {
+            panic!()
+        };
         assert!(schild.is_shared(), "intra-closure references rewritten");
         assert_eq!(h.view(schild).unwrap().fields[0], Value::Int(7));
         // Dropping the only reference empties the segment; the drops

@@ -141,7 +141,9 @@ impl SharedHeap {
         if *h > STICKY {
             // More negative = more references; clamping at the sticky
             // floor pins the block (the overflow discipline of §2.7.2).
-            *h = h.saturating_sub(extra.min(i32::MAX as u32) as i32).max(STICKY);
+            *h = h
+                .saturating_sub(extra.min(i32::MAX as u32) as i32)
+                .max(STICKY);
         }
         Ok(())
     }
@@ -183,13 +185,15 @@ impl SharedHeap {
     /// header after the operation.
     pub(crate) fn dup(&self, addr: Addr, stats: &mut Stats) -> Result<i32, RuntimeError> {
         let slot = self.slot(addr)?;
-        match slot.header.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |h| {
-            if h > STICKY && h < 0 {
-                Some(h - 1)
-            } else {
-                None
-            }
-        }) {
+        match slot
+            .header
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |h| {
+                if h > STICKY && h < 0 {
+                    Some(h - 1)
+                } else {
+                    None
+                }
+            }) {
             Ok(prev) => {
                 stats.atomic_ops += 1;
                 Ok(prev - 1)
@@ -214,13 +218,15 @@ impl SharedHeap {
         work: &mut Vec<Addr>,
     ) -> Result<i32, RuntimeError> {
         let slot = self.slot(addr)?;
-        match slot.header.fetch_update(Ordering::AcqRel, Ordering::Acquire, |h| {
-            if h > STICKY && h < 0 {
-                Some(h + 1)
-            } else {
-                None
-            }
-        }) {
+        match slot
+            .header
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |h| {
+                if h > STICKY && h < 0 {
+                    Some(h + 1)
+                } else {
+                    None
+                }
+            }) {
             Ok(prev) => {
                 stats.atomic_ops += 1;
                 let after = prev + 1;

@@ -15,7 +15,11 @@
 //! * [`standard`] — the plain semantics of Fig. 6, the differential
 //!   oracle for Theorem 1;
 //! * [`audit`] — executable checks for the garbage-free theorems
-//!   (Thm. 2/4) and the exact-count property (Appendix D.3).
+//!   (Thm. 2/4) and the exact-count property (Appendix D.3);
+//! * [`profile`] — the attributed profiler: every heap/RC event
+//!   credited to the executing function (calling-context tree,
+//!   per-constructor reuse rates, per-function peak liveness), exact
+//!   against [`heap::Stats`] and free when disabled.
 //!
 //! Typical use (see `perceus-suite` for a one-call driver):
 //!
@@ -42,6 +46,7 @@ pub mod error;
 pub mod gc;
 pub mod heap;
 pub mod machine;
+pub mod profile;
 pub mod standard;
 pub mod trace;
 pub mod value;
@@ -49,4 +54,5 @@ pub mod value;
 pub use error::RuntimeError;
 pub use heap::{Heap, ReclaimMode, SharedHeap, Stats};
 pub use machine::{DeepValue, Machine, RunConfig};
+pub use profile::{FrameKind, ProfCounts, ProfMetric, Profiler};
 pub use value::Value;

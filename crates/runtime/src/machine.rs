@@ -21,6 +21,7 @@ use crate::code::{Atom, Compiled, RArm, RExpr, Slot};
 use crate::error::RuntimeError;
 use crate::gc::{Collector, GcConfig};
 use crate::heap::{BlockTag, Heap, HeapConfig, ReclaimMode};
+use crate::profile::FrameKind;
 use crate::value::Value;
 use perceus_core::ir::expr::PrimOp;
 use perceus_core::ir::{CtorId, FunId, TypeTable};
@@ -49,6 +50,10 @@ pub struct RunConfig {
     /// [`crate::heap::HeapConfig::validation`]). `Full` makes release
     /// builds also verify reuse-specialization skip masks.
     pub validation: Validation,
+    /// Attribute every heap/RC event to the executing function (see
+    /// [`crate::profile`]). Off by default: the disabled profiler costs
+    /// one predictable branch per heap entry point and nothing else.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
@@ -60,6 +65,7 @@ impl Default for RunConfig {
             trace_capacity: None,
             heap_recycle: true,
             validation: Validation::default(),
+            profile: false,
         }
     }
 }
@@ -112,6 +118,9 @@ impl<'p> Machine<'p> {
         );
         if let Some(cap) = config.trace_capacity {
             heap.enable_trace(cap);
+        }
+        if config.profile {
+            heap.enable_profile();
         }
         Machine {
             code,
@@ -186,7 +195,10 @@ impl<'p> Machine<'p> {
             )));
         }
         self.env = frame_env(args, f.nslots);
-        self.exec(&f.body)
+        self.heap.prof_enter(FrameKind::Fun(fun));
+        let r = self.exec(&f.body);
+        self.heap.prof_exit();
+        r
     }
 
     // ---- the main loop ------------------------------------------------
@@ -216,15 +228,15 @@ impl<'p> Machine<'p> {
                 }
                 RExpr::Let { slot, rhs, body } => match &**rhs {
                     RExpr::Call { fun, args } => {
-                        let (env, callee) = self.prepare_call(*fun, args)?;
-                        self.push_call_frame(Some(*slot), Some(body));
+                        let (env, callee, fk) = self.prepare_call(*fun, args)?;
+                        self.push_call_frame(fk, Some(*slot), Some(body));
                         self.env = env;
                         cur = callee;
                     }
                     RExpr::App { fun, args } => {
                         let f = self.read(*fun);
-                        let (env, callee) = self.prepare_apply(f, args)?;
-                        self.push_call_frame(Some(*slot), Some(body));
+                        let (env, callee, fk) = self.prepare_apply(f, args)?;
+                        self.push_call_frame(fk, Some(*slot), Some(body));
                         self.env = env;
                         cur = callee;
                     }
@@ -243,15 +255,15 @@ impl<'p> Machine<'p> {
                 },
                 RExpr::Seq(a, b) => match &**a {
                     RExpr::Call { fun, args } => {
-                        let (env, callee) = self.prepare_call(*fun, args)?;
-                        self.push_call_frame(None, Some(b));
+                        let (env, callee, fk) = self.prepare_call(*fun, args)?;
+                        self.push_call_frame(fk, None, Some(b));
                         self.env = env;
                         cur = callee;
                     }
                     RExpr::App { fun, args } => {
                         let f = self.read(*fun);
-                        let (env, callee) = self.prepare_apply(f, args)?;
-                        self.push_call_frame(None, Some(b));
+                        let (env, callee, fk) = self.prepare_apply(f, args)?;
+                        self.push_call_frame(fk, None, Some(b));
                         self.env = env;
                         cur = callee;
                     }
@@ -265,25 +277,27 @@ impl<'p> Machine<'p> {
                     }
                 },
                 RExpr::Call { fun, args } => {
-                    let (env, callee) = self.prepare_call(*fun, args)?;
+                    let (env, callee, fk) = self.prepare_call(*fun, args)?;
                     if self.tail_position() {
                         // Tail call: the current frame dies here.
+                        self.heap.prof_tail(fk);
                         let dead = std::mem::replace(&mut self.env, env);
                         self.recycle_env(dead);
                     } else {
-                        self.push_call_frame(None, None);
+                        self.push_call_frame(fk, None, None);
                         self.env = env;
                     }
                     cur = callee;
                 }
                 RExpr::App { fun, args } => {
                     let f = self.read(*fun);
-                    let (env, callee) = self.prepare_apply(f, args)?;
+                    let (env, callee, fk) = self.prepare_apply(f, args)?;
                     if self.tail_position() {
+                        self.heap.prof_tail(fk);
                         let dead = std::mem::replace(&mut self.env, env);
                         self.recycle_env(dead);
                     } else {
-                        self.push_call_frame(None, None);
+                        self.push_call_frame(fk, None, None);
                         self.env = env;
                     }
                     cur = callee;
@@ -361,7 +375,8 @@ impl<'p> Machine<'p> {
         )
     }
 
-    fn push_call_frame(&mut self, dst: Option<Slot>, cont: Option<&'p RExpr>) {
+    fn push_call_frame(&mut self, fk: FrameKind, dst: Option<Slot>, cont: Option<&'p RExpr>) {
+        self.heap.prof_enter(fk);
         let env = std::mem::take(&mut self.env);
         self.frames.push(Frame::Call { env, dst, cont });
     }
@@ -372,6 +387,7 @@ impl<'p> Machine<'p> {
             match self.frames.pop() {
                 None => return None,
                 Some(Frame::Call { env, dst, cont }) => {
+                    self.heap.prof_exit();
                     let dead = std::mem::replace(&mut self.env, env);
                     self.recycle_env(dead);
                     if let Some(d) = dst {
@@ -409,7 +425,7 @@ impl<'p> Machine<'p> {
         &mut self,
         fun: FunId,
         args: &[Atom],
-    ) -> Result<(Vec<Value>, &'p RExpr), RuntimeError> {
+    ) -> Result<(Vec<Value>, &'p RExpr, FrameKind), RuntimeError> {
         let f = &self.code.funs[fun.0 as usize];
         if f.arity != args.len() {
             return Err(RuntimeError::TypeMismatch(format!(
@@ -422,7 +438,7 @@ impl<'p> Machine<'p> {
         let nslots = f.nslots;
         let body = &f.body;
         let env = self.build_env(args, nslots);
-        Ok((env, body))
+        Ok((env, body, FrameKind::Fun(fun)))
     }
 
     /// Application of a first-class function value — rule (appᵣ):
@@ -431,7 +447,7 @@ impl<'p> Machine<'p> {
         &mut self,
         f: Value,
         args: &[Atom],
-    ) -> Result<(Vec<Value>, &'p RExpr), RuntimeError> {
+    ) -> Result<(Vec<Value>, &'p RExpr, FrameKind), RuntimeError> {
         match f {
             Value::Global(id) => self.prepare_call(id, args),
             Value::Ref(addr) => {
@@ -464,7 +480,7 @@ impl<'p> Machine<'p> {
                     self.heap.dup(capture)?;
                 }
                 self.heap.drop_value(f)?;
-                Ok((env, body))
+                Ok((env, body, FrameKind::Lam(lam)))
             }
             other => Err(RuntimeError::TypeMismatch(format!(
                 "application of non-function value {other}"

@@ -198,7 +198,11 @@ impl CheckOutcome {
     }
 }
 
-fn compile(program: &Program, strategy: Strategy, cfg: &FuzzConfig) -> Result<Compiled, SuiteError> {
+fn compile(
+    program: &Program,
+    strategy: Strategy,
+    cfg: &FuzzConfig,
+) -> Result<Compiled, SuiteError> {
     let mut pipeline = Pipeline::new(strategy.pass_config().with_validation(cfg.validation));
     if let Some((pass, mutation)) = cfg.mutation {
         pipeline = pipeline.with_mutation_after(pass, mutation);
@@ -237,7 +241,11 @@ pub fn differential_check(program: &Program, cfg: &FuzzConfig) -> CheckOutcome {
         };
         let run_config = RunConfig {
             step_limit: cfg.step_limit,
-            audit_every: if strategy.is_rc() { cfg.audit_every } else { None },
+            audit_every: if strategy.is_rc() {
+                cfg.audit_every
+            } else {
+                None
+            },
             // The fuzzer is exactly where release builds should pay for
             // the full runtime invariant checks (skip-mask width and
             // skipped-field equality on every reuse).
@@ -373,8 +381,14 @@ impl FuzzReport {
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
-            s.push_str(&format!("      \"original_nodes\": {},\n", f.original_nodes));
-            s.push_str(&format!("      \"reported_nodes\": {},\n", f.reported_nodes));
+            s.push_str(&format!(
+                "      \"original_nodes\": {},\n",
+                f.original_nodes
+            ));
+            s.push_str(&format!(
+                "      \"reported_nodes\": {},\n",
+                f.reported_nodes
+            ));
             s.push_str(&format!("      \"shrink_steps\": {},\n", f.shrink_steps));
             s.push_str(&format!(
                 "      \"program\": \"{}\"\n",

@@ -9,7 +9,7 @@ use perceus_lang::LangError;
 use perceus_runtime::code::{self, Compiled};
 use perceus_runtime::machine::{DeepValue, Machine, RunConfig};
 use perceus_runtime::standard::{to_deep, Oracle, OracleError, SValue};
-use perceus_runtime::{ReclaimMode, RuntimeError, Stats, Value};
+use perceus_runtime::{Profiler, ReclaimMode, RuntimeError, Stats, Value};
 use std::fmt;
 
 /// The memory-management strategies compared in the evaluation.
@@ -221,6 +221,9 @@ pub struct RunOutcome {
     /// when `RunConfig::audit_every` was set; each audit verified heap
     /// reachability and reference-count adequacy mid-run).
     pub audits: u64,
+    /// The attributed profile, when `RunConfig::profile` was set (see
+    /// [`perceus_runtime::profile`]).
+    pub profile: Option<Profiler>,
 }
 
 /// Runs a compiled workload's `main(n)`.
@@ -244,6 +247,7 @@ pub fn run_workload(
         trace_tail: m.heap.trace().map(|t| t.render_tail(64)),
         free_list_occupancy: m.heap.free_list_occupancy(),
         audits: m.audits_run(),
+        profile: m.heap.take_profile(),
     })
 }
 

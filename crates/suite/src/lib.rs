@@ -28,7 +28,9 @@ pub mod parallel;
 pub mod shrink;
 pub mod workloads;
 
-pub use diff::{differential_check, fuzz, CheckOutcome, Divergence, Failure, FuzzConfig, FuzzReport};
+pub use diff::{
+    differential_check, fuzz, CheckOutcome, Divergence, Failure, FuzzConfig, FuzzReport,
+};
 pub use driver::{
     compile_and_run, compile_with_config, compile_workload, oracle_run, run_workload, RunOutcome,
     Strategy, SuiteError,

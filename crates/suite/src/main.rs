@@ -10,6 +10,9 @@
 //!                       [--json] [--deny L2]
 //! perceus-suite parallel [--workload map] [--threads 4] [--n SIZE]
 //!                        [--strategy perceus] [--json]
+//! perceus-suite profile [--workload map] [--n SIZE] [--threads 1]
+//!                       [--strategy perceus] [--json | --folded]
+//!                       [--metric rc-ops]
 //! ```
 //!
 //! `fuzz` drives random programs through every strategy plus the
@@ -24,8 +27,13 @@
 //! exit. `parallel` runs N machines concurrently over a shared
 //! immutable input (see [`perceus_suite::parallel`]) and reports
 //! aggregate throughput, merged statistics and the join-time
-//! garbage-free audit. JSON schemas are documented in
-//! `docs/ANALYSIS.md`.
+//! garbage-free audit. `profile` runs a workload with the attributed
+//! profiler enabled ([`perceus_runtime::profile`]) and reports
+//! per-function and per-constructor reference-count/allocation
+//! behaviour; `--folded` emits flamegraph-compatible folded stacks and
+//! `--json` the full calling-context report (schema in
+//! `docs/OBSERVABILITY.md`). JSON schemas for the other subcommands are
+//! documented in `docs/ANALYSIS.md`.
 //!
 //! Exit codes: 0 success, 1 operational failure (including denied
 //! lints), 2 usage error.
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
         Some("stages") => run_stages(&args[1..]),
         Some("analyze") => run_analyze(&args[1..]),
         Some("parallel") => run_parallel_cmd(&args[1..]),
+        Some("profile") => run_profile_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -96,6 +105,21 @@ subcommands:
     --n <size>           problem size           (default per workload)
     --strategy <name>    as for stages          (default perceus)
     --json               machine-readable output
+
+  profile  run one workload with the attributed profiler and report
+           per-function / per-constructor RC and allocation behaviour
+    --workload <name>    workload to profile    (default map)
+    --n <size>           problem size           (default per-workload
+                         test size)
+    --threads <n>        1 = single machine; >1 profiles a parallel
+                         run and merges the per-thread profiles
+                         (default 1)
+    --strategy <name>    as for stages          (default perceus)
+    --json               full calling-context report
+                         (docs/OBSERVABILITY.md)
+    --folded             flamegraph-compatible folded stacks
+    --metric <m>         folded-stack weight: rc-ops | allocs |
+                         alloc-words | reuses  (default rc-ops)
 
 exit codes: 0 ok, 1 failure (divergence, pipeline error, denied lint,
             failed join audit), 2 usage error
@@ -390,7 +414,10 @@ fn run_analyze(args: &[String]) -> ExitCode {
         }
     }
     if targets.is_empty() {
-        targets.push(("map".to_string(), workload("map").unwrap().source.to_string()));
+        targets.push((
+            "map".to_string(),
+            workload("map").unwrap().source.to_string(),
+        ));
     }
 
     let mut violations = 0usize;
@@ -477,7 +504,11 @@ fn run_analyze(args: &[String]) -> ExitCode {
                 print!("{}", s.analysis.render_human());
             }
             for (c, n) in &denied {
-                println!("denied: {n} {} ({}) lint(s) in final stage", c.code(), c.name());
+                println!(
+                    "denied: {n} {} ({}) lint(s) in final stage",
+                    c.code(),
+                    c.name()
+                );
             }
         }
     }
@@ -614,6 +645,179 @@ fn run_parallel_cmd(args: &[String]) -> ExitCode {
             None => println!("  join audit: skipped (non-rc strategy)"),
         }
     }
+    ExitCode::SUCCESS
+}
+
+fn run_profile_cmd(args: &[String]) -> ExitCode {
+    use perceus_runtime::machine::RunConfig;
+    use perceus_runtime::{ProfMetric, Profiler};
+
+    let mut workload_name = "map".to_string();
+    let mut threads: u32 = 1;
+    let mut n: Option<i64> = None;
+    let mut strategy = Strategy::Perceus;
+    let mut json = false;
+    let mut folded = false;
+    let mut metric = ProfMetric::RcOps;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => workload_name = next_value(args, &mut i, "--workload").to_string(),
+            "--threads" => {
+                threads = parse_u64(next_value(args, &mut i, "--threads"), "thread count") as u32;
+                if threads == 0 {
+                    return usage_error("--threads must be at least 1");
+                }
+            }
+            "--n" => n = Some(parse_u64(next_value(args, &mut i, "--n"), "size") as i64),
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
+                };
+            }
+            "--json" => json = true,
+            "--folded" => folded = true,
+            "--metric" => {
+                let name = next_value(args, &mut i, "--metric");
+                metric = match ProfMetric::parse(name) {
+                    Some(m) => m,
+                    None => {
+                        let names: Vec<&str> = ProfMetric::ALL.iter().map(|(_, n)| *n).collect();
+                        return usage_error(&format!(
+                            "unknown metric `{name}`; available: {}",
+                            names.join(", ")
+                        ));
+                    }
+                };
+            }
+            other => return usage_error(&format!("unknown profile option `{other}`")),
+        }
+        i += 1;
+    }
+    if json && folded {
+        return usage_error("--json and --folded are mutually exclusive");
+    }
+
+    let w = match workload(&workload_name) {
+        Some(w) => w,
+        None => {
+            return usage_error(&format!(
+                "unknown workload `{workload_name}`; available: {}",
+                workload_names().join(", ")
+            ))
+        }
+    };
+    // Profiling attributes *every* heap event, so the per-workload test
+    // size keeps even the interpreted tree workloads interactive.
+    let n = n.unwrap_or(w.test_n);
+    let config = RunConfig {
+        profile: true,
+        ..RunConfig::default()
+    };
+
+    let compiled = match perceus_suite::compile_workload(w.source, strategy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: {e}", w.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let profiler: Profiler = if threads == 1 {
+        match perceus_suite::run_workload(&compiled, strategy, n, config) {
+            Ok(out) => match out.profile {
+                Some(p) => p,
+                None => {
+                    eprintln!("{}: run produced no profile", w.name);
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match perceus_suite::run_parallel(&w, strategy, n, threads, config) {
+            Ok(out) => match out.profile {
+                Some(p) => p,
+                None => {
+                    eprintln!("{}: run produced no profile", w.name);
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if folded {
+        print!("{}", profiler.render_folded(&compiled, metric));
+        return ExitCode::SUCCESS;
+    }
+    if json {
+        println!(
+            "{{\"workload\":\"{}\",\"strategy\":\"{}\",\"n\":{n},\"threads\":{threads},\
+             \"profile\":{}}}",
+            json_escape(w.name),
+            json_escape(strategy.label()),
+            profiler.render_json(&compiled, Some(w.source))
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{} under {}: n={n}, {} thread{}",
+        w.name,
+        strategy.label(),
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
+    println!(
+        "  {:<24} {:>8} {:>10} {:>8} {:>10} {:>8} {:>10}",
+        "function", "calls", "rc ops", "allocs", "words", "reuses", "peak words"
+    );
+    for r in profiler.per_frame() {
+        println!(
+            "  {:<24} {:>8} {:>10} {:>8} {:>10} {:>8} {:>10}",
+            r.frame.name(&compiled),
+            r.calls,
+            r.counts.rc_ops(),
+            r.counts.allocations,
+            r.counts.alloc_words,
+            r.counts.reuses,
+            r.peak_live_words
+        );
+    }
+    let ctors = profiler.per_ctor();
+    if !ctors.is_empty() {
+        println!(
+            "  {:<24} {:>8} {:>8} {:>8}",
+            "constructor", "allocs", "reuses", "reuse%"
+        );
+        for (id, c) in &ctors {
+            let info = compiled.types.ctor(*id);
+            println!(
+                "  {:<24} {:>8} {:>8} {:>7.1}%",
+                info.name,
+                c.allocs,
+                c.reuses,
+                c.reuse_rate() * 100.0
+            );
+        }
+    }
+    let t = profiler.totals();
+    println!(
+        "  totals: rc ops {}  allocations {}  words {}  reuses {}  frees {}",
+        t.rc_ops(),
+        t.allocations,
+        t.alloc_words,
+        t.reuses,
+        t.frees
+    );
     ExitCode::SUCCESS
 }
 

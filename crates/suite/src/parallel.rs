@@ -30,7 +30,7 @@ use crate::driver::{compile_workload, Strategy, SuiteError};
 use crate::workloads::Workload;
 use perceus_runtime::audit::{self, SharedAudit};
 use perceus_runtime::machine::{DeepValue, Machine, RunConfig};
-use perceus_runtime::{RuntimeError, SharedHeap, Stats, Value};
+use perceus_runtime::{Profiler, RuntimeError, SharedHeap, Stats, Value};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,13 @@ pub struct ParallelOutcome {
     /// The join-time audit of the shared segment (`None` under non-rc
     /// strategies, whose workers do not maintain shared counts).
     pub shared_audit: Option<SharedAudit>,
+    /// The attributed profile when `RunConfig::profile` was set: builder
+    /// and workers merged in spawn order (associative
+    /// [`Profiler::merge`], so the totals are deterministic; on the
+    /// shared-input path the *per-function split* of shared-segment
+    /// frees still depends on which thread won each closing decrement —
+    /// see `docs/OBSERVABILITY.md`).
+    pub profile: Option<Profiler>,
 }
 
 impl ParallelOutcome {
@@ -102,6 +109,7 @@ pub fn run_parallel(
     // hand every worker its own reference before the segment freezes.
     let mut seg = SharedHeap::new();
     let mut stats = Stats::default();
+    let mut profile: Option<Profiler> = None;
     let mut shared_root = Value::Unit;
     let mut consume = None;
     if let Some(spec) = spec {
@@ -126,12 +134,14 @@ pub fn run_parallel(
         }
         seg.retain(shared_root, threads - 1)?;
         stats = b.heap.stats;
+        profile = b.heap.take_profile();
     }
     let shared_installs = seg.len() as u64;
     let seg = Arc::new(seg);
 
     let start = Instant::now();
-    let results: Vec<Result<(DeepValue, Stats), SuiteError>> = std::thread::scope(|s| {
+    type WorkerResult = (DeepValue, Stats, Option<Profiler>);
+    let results: Vec<Result<WorkerResult, SuiteError>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let seg = Arc::clone(&seg);
@@ -158,7 +168,8 @@ pub fn run_parallel(
                         }
                         audit::check_heap(&m.heap, &[]).map_err(SuiteError::Audit)?;
                     }
-                    Ok((value, m.heap.stats))
+                    let profile = m.heap.take_profile();
+                    Ok((value, m.heap.stats, profile))
                 })
             })
             .collect();
@@ -171,7 +182,7 @@ pub fn run_parallel(
 
     let mut value: Option<DeepValue> = None;
     for r in results {
-        let (v, st) = r?;
+        let (v, st, p) = r?;
         match &value {
             None => value = Some(v),
             Some(first) if *first != v => {
@@ -182,6 +193,12 @@ pub fn run_parallel(
             Some(_) => {}
         }
         stats = stats.merge(&st);
+        // Fold profiles in spawn order (merge is associative, so the
+        // combined totals do not depend on which worker finished first).
+        profile = match (profile, p) {
+            (Some(a), Some(b)) => Some(a.merge(&b)),
+            (a, b) => a.or(b),
+        };
     }
     stats = stats.merge(&seg.snapshot());
 
@@ -201,5 +218,6 @@ pub fn run_parallel(
         shared_input: spec.is_some(),
         shared_installs,
         shared_audit,
+        profile,
     })
 }

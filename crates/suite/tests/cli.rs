@@ -26,22 +26,34 @@ fn stderr(out: &Output) -> String {
 fn no_args_prints_usage_and_succeeds() {
     let out = run(&[]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
-    assert!(stdout(&out).to_lowercase().contains("usage"), "usage text expected");
-    assert!(stdout(&out).contains("analyze"), "usage lists the analyze subcommand");
+    assert!(
+        stdout(&out).to_lowercase().contains("usage"),
+        "usage text expected"
+    );
+    assert!(
+        stdout(&out).contains("analyze"),
+        "usage lists the analyze subcommand"
+    );
 }
 
 #[test]
 fn unknown_subcommand_exits_2() {
     let out = run(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
-    assert!(stderr(&out).contains("frobnicate"), "names the offending word");
+    assert!(
+        stderr(&out).contains("frobnicate"),
+        "names the offending word"
+    );
 }
 
 #[test]
 fn unknown_option_exits_2() {
     let out = run(&["fuzz", "--bogus"]);
     assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
-    assert!(stderr(&out).contains("--bogus"), "names the offending option");
+    assert!(
+        stderr(&out).contains("--bogus"),
+        "names the offending option"
+    );
 }
 
 #[test]
@@ -113,21 +125,38 @@ fn analyze_deny_json_emits_the_full_report_before_failing() {
     let text = stdout(&out);
     let json = text.trim();
     assert!(json.starts_with('{') && json.ends_with('}'), "got: {json}");
-    assert!(json.contains("\"denied\":[{\"code\":\"L4\",\"count\":"), "got: {json}");
+    assert!(
+        json.contains("\"denied\":[{\"code\":\"L4\",\"count\":"),
+        "got: {json}"
+    );
     assert!(json.contains("\"violations\":"), "got: {json}");
-    assert!(json.contains("\"stages\""), "the report body is present too");
+    assert!(
+        json.contains("\"stages\""),
+        "the report body is present too"
+    );
 }
 
 #[test]
 fn analyze_deny_json_reports_empty_denied_on_success() {
     let out = run(&["analyze", "--workload", "map", "--deny", "L2", "--json"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
-    assert!(stdout(&out).contains("\"denied\":[]"), "clean gate, empty list");
+    assert!(
+        stdout(&out).contains("\"denied\":[]"),
+        "clean gate, empty list"
+    );
 }
 
 #[test]
 fn parallel_runs_and_reports_the_join_audit() {
-    let out = run(&["parallel", "--workload", "map", "--threads", "2", "--n", "200"]);
+    let out = run(&[
+        "parallel",
+        "--workload",
+        "map",
+        "--threads",
+        "2",
+        "--n",
+        "200",
+    ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("2 threads"), "got: {text}");
@@ -138,7 +167,14 @@ fn parallel_runs_and_reports_the_join_audit() {
 #[test]
 fn parallel_json_is_well_formed() {
     let out = run(&[
-        "parallel", "--workload", "map", "--threads", "2", "--n", "200", "--json",
+        "parallel",
+        "--workload",
+        "map",
+        "--threads",
+        "2",
+        "--n",
+        "200",
+        "--json",
     ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let text = stdout(&out);

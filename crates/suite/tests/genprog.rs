@@ -41,9 +41,8 @@ fn generated_programs_pass_the_linear_checker_pre_insertion() {
     for seed in 0..200u64 {
         let mut p = random_program(seed, 24);
         normalize::normalize_program(&mut p);
-        wf::check_program(&p).unwrap_or_else(|e| {
-            panic!("seed {seed}: ill-formed: {e}\n{}", program_to_string(&p))
-        });
+        wf::check_program(&p)
+            .unwrap_or_else(|e| panic!("seed {seed}: ill-formed: {e}\n{}", program_to_string(&p)));
         check::check_program_with(&p, Discipline::Relaxed).unwrap_or_else(|e| {
             panic!(
                 "seed {seed}: rejected pre-insertion: {e}\n{}",

@@ -4,8 +4,8 @@
 //! Thm. 2/4).
 
 use perceus_runtime::machine::{DeepValue, RunConfig};
-use perceus_suite::{run_parallel, run_workload, workload, workloads, Strategy};
 use perceus_suite::driver::compile_workload;
+use perceus_suite::{run_parallel, run_workload, workload, workloads, Strategy};
 
 /// The acceptance bar: every Fig. 9 workload at four threads, free-list
 /// recycling on (the default), passes the join-time audit. These

@@ -110,5 +110,8 @@ fn l3_fires_under_owned_config_somewhere() {
         let p = perceus_lang::compile_str(w.source).unwrap();
         l3_count(PassConfig::perceus(), p) > 0
     });
-    assert!(fired, "no workload produced an L3 lint under the owned config");
+    assert!(
+        fired,
+        "no workload produced an L3 lint under the owned config"
+    );
 }

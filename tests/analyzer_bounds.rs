@@ -31,7 +31,9 @@ use perceus_suite::{compile_workload, run_workload, workloads, Strategy};
 /// program).
 fn entry_cost(src: &str, strategy: Strategy) -> perceus_core::analysis::CostVector {
     let program = perceus_lang::compile_str(src).unwrap();
-    let analyzed = Pipeline::new(strategy.pass_config()).analyze(program).unwrap();
+    let analyzed = Pipeline::new(strategy.pass_config())
+        .analyze(program)
+        .unwrap();
     analyzed
         .final_stage()
         .analysis
@@ -172,7 +174,10 @@ fn l2_stage_trend_on_map() {
     let trend = analyzed.lint_trend(LintCode::UnfusedDupDrop);
     // Pre-insertion stages have no dup/drop at all.
     for (pass, n) in &trend {
-        if matches!(pass, PassName::Normalize | PassName::Inline | PassName::Reuse) {
+        if matches!(
+            pass,
+            PassName::Normalize | PassName::Inline | PassName::Reuse
+        ) {
             assert_eq!(*n, 0, "no rc ops before insertion: {trend:?}");
         }
     }
@@ -193,7 +198,9 @@ fn analyzer_runs_on_every_workload_at_every_stage() {
     for w in workloads() {
         for &strategy in Strategy::ALL.iter() {
             let program = perceus_lang::compile_str(w.source).unwrap();
-            let analyzed = Pipeline::new(strategy.pass_config()).analyze(program).unwrap();
+            let analyzed = Pipeline::new(strategy.pass_config())
+                .analyze(program)
+                .unwrap();
             for stage in &analyzed.stages {
                 assert!(
                     !stage.analysis.functions.is_empty(),

@@ -125,7 +125,10 @@ fun main(n: int): int {
         "  val xs = build(0, n)\n  tshare(xs)\n  sum(xs, 0)",
     );
     let out = compile_and_run(&shared_src, Strategy::Perceus, 500, RunConfig::default()).unwrap();
-    assert!(out.stats.local_shared_ops > 0, "shared data pays the slow path");
+    assert!(
+        out.stats.local_shared_ops > 0,
+        "shared data pays the slow path"
+    );
     assert_eq!(out.stats.atomic_ops, 0, "single-threaded: no real atomics");
     assert_eq!(out.stats.shared_marks, 500, "every cons marked");
     assert_eq!(out.leaked_blocks, 0, "shared data still reclaimed");

@@ -101,10 +101,6 @@ fn differential_fuzz_smoke_is_clean() {
         audit_every: Some(32),
         ..FuzzConfig::default()
     });
-    assert!(
-        report.clean(),
-        "divergences found:\n{}",
-        report.to_json()
-    );
+    assert!(report.clean(), "divergences found:\n{}", report.to_json());
     assert!(report.audits > 0, "in-flight audits should have run");
 }
