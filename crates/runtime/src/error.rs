@@ -18,6 +18,12 @@ pub enum RuntimeError {
     BadAddress(Addr),
     /// The configured step budget was exhausted.
     StepLimit(u64),
+    /// The configured live-memory budget was exceeded: the session's
+    /// live heap grew past `limit_words` (it reached `live_words`).
+    /// Because the heap is garbage-free (Thm. 2), the live words at any
+    /// step are exactly the program's reachable data — so this limit is
+    /// a *deterministic* sandbox, not an allocator-dependent OOM.
+    MemoryLimit { limit_words: u64, live_words: u64 },
     /// A value had the wrong shape for the operation (a compiler bug or
     /// an ill-typed hand-built program).
     TypeMismatch(String),
@@ -35,6 +41,13 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UseAfterFree(a) => write!(f, "use after free at {a}"),
             RuntimeError::BadAddress(a) => write!(f, "bad address {a}"),
             RuntimeError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            RuntimeError::MemoryLimit {
+                limit_words,
+                live_words,
+            } => write!(
+                f,
+                "memory limit of {limit_words} words exceeded ({live_words} live)"
+            ),
             RuntimeError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             RuntimeError::MatchFailure(m) => write!(f, "match failure: {m}"),
             RuntimeError::Internal(m) => write!(f, "internal error: {m}"),

@@ -1182,6 +1182,57 @@ impl Heap {
         Ok(())
     }
 
+    // ---- session recycling ------------------------------------------
+
+    /// Resets the heap between serving sessions: every live block
+    /// (including cells claimed by an abandoned reuse token) is
+    /// force-retired onto the size-class free lists, every slot
+    /// generation is bumped so *any* address the previous session might
+    /// have leaked fails deterministically, statistics are zeroed, and
+    /// the attached shared segment is detached. Returns the number of
+    /// blocks reclaimed — zero after a well-behaved garbage-free
+    /// session, nonzero when the previous session was aborted mid-run
+    /// (fuel or memory exhaustion) with values still rooted in its
+    /// machine.
+    ///
+    /// The retained storage is the point: the next session's
+    /// allocations are served from the warm free lists
+    /// ([`HeapConfig::recycle`]), so a long-lived worker amortizes its
+    /// allocator traffic across thousands of sessions. Everything
+    /// *observable* is as if the heap were freshly constructed — the
+    /// generation check is what makes cross-session reuse of the same
+    /// slots safe (see `docs/RUNTIME.md`).
+    pub fn reset(&mut self) -> u64 {
+        let mut reclaimed = 0;
+        for (i, e) in self.slots.iter_mut().enumerate() {
+            if let SlotState::Used(_) = e.state {
+                reclaimed += 1;
+                e.gen = e.gen.wrapping_add(1);
+                let SlotState::Used(block) = std::mem::replace(&mut e.state, SlotState::Free)
+                else {
+                    unreachable!()
+                };
+                let class = block.fields.len();
+                if self.config.recycle && class < NUM_SIZE_CLASSES {
+                    e.state = SlotState::Listed(block);
+                    self.classes[class].push(i as u32);
+                } else {
+                    self.spare.push(i as u32);
+                }
+            }
+        }
+        self.drop_work.clear();
+        self.shared = None;
+        self.stats = Stats::default();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+        if self.prof.is_some() {
+            self.prof = Some(Box::default());
+        }
+        reclaimed
+    }
+
     // ---- reclamation plumbing ---------------------------------------
 
     /// Retires a block: bumps the slot generation (making every

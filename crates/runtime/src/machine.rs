@@ -32,8 +32,18 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Abort with [`RuntimeError::StepLimit`] after this many steps
-    /// (`None` = unlimited).
+    /// (`None` = unlimited). Steps are counted in
+    /// [`crate::heap::Stats::steps`], which a serving worker zeroes at
+    /// every [`Heap::reset`] — so under the serving harness this is a
+    /// *per-session* fuel budget.
     pub step_limit: Option<u64>,
+    /// Abort with [`RuntimeError::MemoryLimit`] once the live heap
+    /// exceeds this many words (`None` = unlimited). Enforced in the
+    /// machine loop against `Stats::live_words`; under a garbage-free
+    /// strategy that quantity is exactly the reachable data, so the
+    /// limit is deterministic (the same program at the same size always
+    /// hits it at the same step — or never).
+    pub memory_limit_words: Option<u64>,
     /// Collector policy (GC mode only; `None` uses the default).
     pub gc: Option<GcConfig>,
     /// Run the garbage-free/soundness auditor every N steps (expensive;
@@ -60,6 +70,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             step_limit: None,
+            memory_limit_words: None,
             gc: None,
             audit_every: None,
             trace_capacity: None,
@@ -133,6 +144,52 @@ impl<'p> Machine<'p> {
             env_pool: Vec::new(),
             audits: 0,
         }
+    }
+
+    /// Creates a machine over an *existing* heap — the serving-harness
+    /// entry point, where a long-lived worker recycles one heap across
+    /// thousands of sessions ([`Heap::reset`] between them) so each
+    /// session's allocations hit the previous sessions' warm free
+    /// lists. The heap keeps its own reclaim mode and allocator policy;
+    /// the run configuration contributes the per-session limits and
+    /// turns tracing/profiling on if the heap doesn't have them yet.
+    ///
+    /// The machine holds no state besides the heap and this call's
+    /// fresh frames/environment, so a `with_heap` → run →
+    /// [`Machine::into_heap`] round trip is fully reentrant: any number
+    /// of sequential sessions can share the heap with no bleed-through
+    /// (and the generation check catches a leaked address from a
+    /// previous tenant deterministically).
+    pub fn with_heap(code: &'p Compiled, mut heap: Heap, config: RunConfig) -> Self {
+        let collector = match heap.mode() {
+            ReclaimMode::Gc => Some(Collector::new(config.gc.unwrap_or_default())),
+            _ => None,
+        };
+        if let Some(cap) = config.trace_capacity {
+            if heap.trace().is_none() {
+                heap.enable_trace(cap);
+            }
+        }
+        if config.profile && heap.profile().is_none() {
+            heap.enable_profile();
+        }
+        Machine {
+            code,
+            heap,
+            frames: Vec::new(),
+            env: Vec::new(),
+            output: Vec::new(),
+            collector,
+            config,
+            env_pool: Vec::new(),
+            audits: 0,
+        }
+    }
+
+    /// Consumes the machine and returns its heap (the serving worker
+    /// takes it back after a session to reset and reuse it).
+    pub fn into_heap(self) -> Heap {
+        self.heap
     }
 
     /// How many in-flight garbage-free audits ran (each one checked
@@ -210,6 +267,14 @@ impl<'p> Machine<'p> {
             if let Some(limit) = self.config.step_limit {
                 if self.heap.stats.steps > limit {
                     return Err(RuntimeError::StepLimit(limit));
+                }
+            }
+            if let Some(limit) = self.config.memory_limit_words {
+                if self.heap.stats.live_words > limit {
+                    return Err(RuntimeError::MemoryLimit {
+                        limit_words: limit,
+                        live_words: self.heap.stats.live_words,
+                    });
                 }
             }
             if let Some(every) = self.config.audit_every {

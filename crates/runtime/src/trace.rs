@@ -78,6 +78,12 @@ impl Trace {
         self.total += 1;
     }
 
+    /// Discards every retained event, keeping the capacity (used when a
+    /// serving worker recycles its heap between sessions).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// The retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &Event> + '_ {
         self.events.iter()

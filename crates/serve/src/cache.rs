@@ -1,0 +1,239 @@
+//! Server-side caches: compiled programs keyed by source hash, and
+//! frozen shared immutable inputs keyed by (program, size).
+//!
+//! The program cache is the reason a serving daemon beats a batch CLI
+//! at all: the pipeline (parse → HM inference → passes → resource check
+//! → backend) costs orders of magnitude more than one interpreted
+//! session, so a thousand sessions of the same program must pay it
+//! once. Entries are `Arc`-shared with every worker; a cache hit is a
+//! lock + clone.
+//!
+//! The shared-input cache extends PR 4's share barrier across
+//! *sessions* instead of threads: the first session that asks for a
+//! workload's shared input builds it on a scratch heap, moves it
+//! through [`perceus_runtime::Heap::mark_shared`] into an atomic-header
+//! segment, and every later session (on any worker) attaches the
+//! frozen segment and pays one atomic `dup` for its reference. The
+//! cache itself holds the builder's original reference, so the count
+//! never reaches zero while the entry lives — and because shared
+//! blocks are immutable by construction (`mark_shared` rejects mutable
+//! refs), no session can observe another session through it.
+
+use crate::protocol::RunRequest;
+use perceus_runtime::code::Compiled;
+use perceus_runtime::{SharedHeap, Value};
+use perceus_suite::{compile_workload, workload, ParallelSpec, Strategy, SuiteError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over the source text and strategy label: the program cache
+/// key. Deterministic across runs (ids in logs are stable).
+pub fn program_key(source: &str, strategy: Strategy) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes().chain(strategy.label().bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A compiled program, shared by every worker that runs it.
+pub struct CachedProgram {
+    /// Cache key (source + strategy hash).
+    pub key: u64,
+    /// Strategy the program was compiled under.
+    pub strategy: Strategy,
+    /// The executable form.
+    pub compiled: Compiled,
+    /// The shared-input split, when the program is a registry workload
+    /// that declares one.
+    pub spec: Option<ParallelSpec>,
+    /// Display name (workload name, or `source-<key>` for inline
+    /// sources).
+    pub name: String,
+    /// Default problem size (registry test size, or 0 for inline
+    /// sources).
+    pub default_n: i64,
+}
+
+/// The compiled-program cache.
+pub struct ProgramCache {
+    map: Mutex<HashMap<u64, Arc<CachedProgram>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache bounded at `capacity` programs.
+    pub fn new(capacity: usize) -> Self {
+        ProgramCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves a run request to a compiled program, compiling on miss;
+    /// the flag says whether this call hit the cache (reported per
+    /// session on the wire). Compilation happens outside the lock, so
+    /// concurrent misses on *different* programs compile in parallel
+    /// (racing misses on the same program both compile; the first
+    /// insert wins and the loser's work is dropped — correct because
+    /// compilation is deterministic).
+    pub fn resolve(&self, req: &RunRequest) -> Result<(Arc<CachedProgram>, bool), SuiteError> {
+        let (source, name, spec, default_n) = match (&req.workload, &req.source) {
+            (Some(w), _) => {
+                let w = workload(w).ok_or_else(|| {
+                    SuiteError::Audit(format!("unknown workload {w:?} (see `workloads()`)"))
+                })?;
+                (w.source, w.name.to_string(), w.parallel, w.test_n)
+            }
+            (None, Some(src)) => (src.as_str(), String::new(), None, 0),
+            (None, None) => unreachable!("protocol validation requires one"),
+        };
+        let key = program_key(source, req.strategy);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = compile_workload(source, req.strategy)?;
+        let name = if name.is_empty() {
+            format!("source-{key:016x}")
+        } else {
+            name
+        };
+        let entry = Arc::new(CachedProgram {
+            key,
+            strategy: req.strategy,
+            compiled,
+            spec,
+            name,
+            default_n,
+        });
+        let mut map = self.map.lock().unwrap();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // The population is small (the suite plus ad-hoc sources);
+            // arbitrary eviction keeps the bound without LRU bookkeeping.
+            if let Some(&victim) = map.keys().next() {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((Arc::clone(map.entry(key).or_insert(entry)), false))
+    }
+
+    /// `(programs, hits, misses, evictions)` for the stats endpoint.
+    pub fn stats(&self) -> (usize, u64, u64, u64) {
+        (
+            self.map.lock().unwrap().len(),
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A frozen cross-session shared input.
+pub struct SharedInput {
+    /// The atomic-header segment holding the input.
+    pub seg: Arc<SharedHeap>,
+    /// The rewritten root (a shared-segment address). The cache's own
+    /// reference keeps the count ≥ 1 for the entry's lifetime.
+    pub root: Value,
+    /// Live shared blocks right after the freeze — the drift baseline:
+    /// a drained server must read exactly this many again.
+    pub live_baseline: u64,
+}
+
+/// The shared-input cache, keyed by (program key, problem size).
+#[derive(Default)]
+pub struct SharedInputs {
+    map: Mutex<HashMap<(u64, i64), Arc<SharedInput>>>,
+}
+
+impl SharedInputs {
+    /// Looks up a frozen input.
+    pub fn get(&self, key: u64, n: i64) -> Option<Arc<SharedInput>> {
+        self.map.lock().unwrap().get(&(key, n)).cloned()
+    }
+
+    /// Inserts a freshly built input unless a racing builder won;
+    /// returns the entry that ended up cached.
+    pub fn insert(&self, key: u64, n: i64, input: SharedInput) -> Arc<SharedInput> {
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(map.entry((key, n)).or_insert_with(|| Arc::new(input)))
+    }
+
+    /// `(entries, live_blocks_total, baseline_total)` for the stats
+    /// endpoint. A drained server must read `live == baseline`: every
+    /// session returned exactly the references it took.
+    pub fn stats(&self) -> (usize, u64, u64) {
+        let map = self.map.lock().unwrap();
+        let live = map.values().map(|e| e.seg.live_blocks()).sum();
+        let baseline = map.values().map(|e| e.live_baseline).sum();
+        (map.len(), live, baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_req(workload: &str) -> RunRequest {
+        RunRequest {
+            id: 1,
+            workload: Some(workload.into()),
+            source: None,
+            n: None,
+            strategy: Strategy::Perceus,
+            fuel: None,
+            memory: None,
+            shared: false,
+            profile: false,
+        }
+    }
+
+    #[test]
+    fn second_resolve_is_a_hit() {
+        let cache = ProgramCache::new(8);
+        let (a, hit_a) = cache.resolve(&run_req("map")).unwrap();
+        let (b, hit_b) = cache.resolve(&run_req("map")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!hit_a);
+        assert!(hit_b);
+        let (len, hits, misses, _) = cache.stats();
+        assert_eq!((len, hits, misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn strategies_cache_separately() {
+        let cache = ProgramCache::new(8);
+        let (a, _) = cache.resolve(&run_req("map")).unwrap();
+        let mut req = run_req("map");
+        req.strategy = Strategy::Scoped;
+        let (b, _) = cache.resolve(&req).unwrap();
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = ProgramCache::new(1);
+        cache.resolve(&run_req("map")).unwrap();
+        cache.resolve(&run_req("rbtree")).unwrap();
+        let (len, _, _, evictions) = cache.stats();
+        assert_eq!(len, 1);
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let cache = ProgramCache::new(8);
+        assert!(cache.resolve(&run_req("nope")).is_err());
+    }
+}

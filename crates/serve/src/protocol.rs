@@ -1,0 +1,206 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Responses to `run` requests carry the
+//! client's `id`, and a connection may keep many runs in flight —
+//! responses come back in *completion* order (sessions execute on
+//! different workers), so the `id` is the correlation key. See
+//! `docs/SERVING.md` for the full schema.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"run","id":1,"workload":"rbtree","n":400}
+//! {"op":"run","id":2,"source":"fun main(n: int): int { n }","n":7,
+//!  "strategy":"perceus","fuel":1000000,"memory":200000,
+//!  "shared":false,"profile":false}
+//! {"op":"stats"}      {"op":"health"}      {"op":"shutdown"}
+//! ```
+
+use crate::json::{self, Json};
+use perceus_suite::Strategy;
+
+/// Default per-session fuel (machine steps) when neither the request
+/// nor the server configuration says otherwise.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Default per-session live-memory limit in words.
+pub const DEFAULT_MEMORY_WORDS: u64 = 64 << 20;
+
+/// A parsed `run` request.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Client correlation id (echoed in the response).
+    pub id: u64,
+    /// Workload name from the suite registry, if given.
+    pub workload: Option<String>,
+    /// Inline surface-language source, if given (exclusive with
+    /// `workload`).
+    pub source: Option<String>,
+    /// Problem size passed to `main` (or the consume function on the
+    /// shared path). Defaults to the workload's test size.
+    pub n: Option<i64>,
+    /// Memory-management strategy (must be garbage-free; see
+    /// [`crate::worker`]).
+    pub strategy: Strategy,
+    /// Per-session step budget (clamped to the server maximum).
+    pub fuel: Option<u64>,
+    /// Per-session live-word budget (clamped to the server maximum).
+    pub memory: Option<u64>,
+    /// Run over the cross-session shared immutable input (requires a
+    /// workload with a [`perceus_suite::ParallelSpec`]).
+    pub shared: bool,
+    /// Attribute this session's heap events to functions and fold the
+    /// profile into the server aggregate.
+    pub profile: bool,
+}
+
+/// Any parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Run(Box<RunRequest>),
+    Stats,
+    Health,
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line)?;
+    let op = v.get("op").and_then(Json::as_str).unwrap_or("run");
+    match op {
+        "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let id = v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("run request needs a numeric \"id\"")?;
+            let workload = v.get("workload").and_then(Json::as_str).map(str::to_string);
+            let source = v.get("source").and_then(Json::as_str).map(str::to_string);
+            if workload.is_none() && source.is_none() {
+                return Err("run request needs \"workload\" or \"source\"".into());
+            }
+            if workload.is_some() && source.is_some() {
+                return Err("run request takes \"workload\" or \"source\", not both".into());
+            }
+            let strategy = match v.get("strategy").and_then(Json::as_str) {
+                None => Strategy::Perceus,
+                Some(label) => Strategy::ALL
+                    .into_iter()
+                    .find(|s| s.label() == label)
+                    .ok_or_else(|| format!("unknown strategy {label:?}"))?,
+            };
+            Ok(Request::Run(Box::new(RunRequest {
+                id,
+                workload,
+                source,
+                n: v.get("n").and_then(Json::as_i64),
+                strategy,
+                fuel: v.get("fuel").and_then(Json::as_u64),
+                memory: v.get("memory").and_then(Json::as_u64),
+                shared: v.get("shared").and_then(Json::as_bool).unwrap_or(false),
+                profile: v.get("profile").and_then(Json::as_bool).unwrap_or(false),
+            })))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// How a session ended (the terminal states of the lifecycle state
+/// machine in `docs/SERVING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion; result and counters attached.
+    Ok,
+    /// The per-session step budget ran out mid-run.
+    FuelExhausted,
+    /// The per-session live-memory budget was exceeded mid-run.
+    MemoryLimit,
+    /// Compilation (front end, passes, resource check, backend) failed.
+    CompileError,
+    /// Any other runtime failure (abort, type error, …).
+    Failed,
+    /// Admission control turned the session away before it ran.
+    Rejected,
+}
+
+impl Outcome {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::FuelExhausted => "fuel-exhausted",
+            Outcome::MemoryLimit => "memory-limit",
+            Outcome::CompileError => "compile-error",
+            Outcome::Failed => "failed",
+            Outcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// Renders an error response for a `run` request.
+pub fn error_response(id: u64, outcome: Outcome, msg: &str) -> String {
+    json::ObjBuilder::new()
+        .u64("id", id)
+        .bool("ok", false)
+        .str("outcome", outcome.label())
+        .str("error", msg)
+        .finish()
+}
+
+/// Renders a protocol-level error (unparsable line, unknown op).
+pub fn protocol_error(msg: &str) -> String {
+    json::ObjBuilder::new()
+        .bool("ok", false)
+        .str("outcome", "bad-request")
+        .str("error", msg)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_run() {
+        let r = parse_request(r#"{"op":"run","id":3,"workload":"map"}"#).unwrap();
+        let Request::Run(r) = r else { panic!() };
+        assert_eq!(r.id, 3);
+        assert_eq!(r.workload.as_deref(), Some("map"));
+        assert_eq!(r.strategy, Strategy::Perceus);
+        assert!(!r.shared);
+    }
+
+    #[test]
+    fn run_needs_id_and_program() {
+        assert!(parse_request(r#"{"op":"run","workload":"map"}"#).is_err());
+        assert!(parse_request(r#"{"op":"run","id":1}"#).is_err());
+        assert!(
+            parse_request(r#"{"op":"run","id":1,"workload":"map","source":"x"}"#).is_err(),
+            "workload and source are exclusive"
+        );
+    }
+
+    #[test]
+    fn strategy_labels_resolve() {
+        let r = parse_request(r#"{"op":"run","id":1,"workload":"map","strategy":"scoped-rc"}"#)
+            .unwrap();
+        let Request::Run(r) = r else { panic!() };
+        assert_eq!(r.strategy, Strategy::Scoped);
+        assert!(parse_request(r#"{"op":"run","id":1,"workload":"map","strategy":"zap"}"#).is_err());
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+}

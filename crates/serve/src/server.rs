@@ -1,0 +1,349 @@
+//! The daemon: a TCP front end over a sharded pool of session workers.
+//!
+//! Architecture (see `docs/SERVING.md` for the full picture):
+//!
+//! ```text
+//! client ──line──▶ connection reader ──Job──▶ worker shard queue (bounded)
+//!                        │                          │ session on recycled heap
+//! client ◀──line── connection writer ◀──String──────┘
+//! ```
+//!
+//! Each accepted connection gets a reader thread (parses
+//! newline-delimited requests, runs admission control, dispatches to a
+//! worker shard round-robin) and a writer thread (serializes response
+//! lines back; workers on different shards finish out of order, which
+//! is why responses carry the client's `id`). Admission control is two
+//! gates: a global in-flight cap, and the bounded per-shard queue —
+//! when every shard's queue is full the session is rejected
+//! immediately instead of queuing without bound, so an overloaded
+//! server degrades by fast rejection rather than by latency collapse.
+
+use crate::cache::{ProgramCache, SharedInputs};
+use crate::json::ObjBuilder;
+use crate::protocol::{self, Outcome, Request, DEFAULT_FUEL, DEFAULT_MEMORY_WORDS};
+use crate::worker::{worker_loop, Aggregate, Job, ServeCtx};
+use perceus_bench::counters::counter_values;
+use perceus_bench::COUNTER_KEYS;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker shards (each owns one recycled heap).
+    pub workers: usize,
+    /// Bounded depth of each shard's job queue.
+    pub queue_depth: usize,
+    /// Global cap on admitted-but-unanswered sessions.
+    pub max_inflight: u64,
+    /// Per-session fuel when the request doesn't ask / hard ceiling.
+    pub default_fuel: u64,
+    pub max_fuel: u64,
+    /// Per-session live words when the request doesn't ask / ceiling.
+    pub default_memory: u64,
+    pub max_memory: u64,
+    /// Compiled-program cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16);
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_depth: 128,
+            max_inflight: (workers * 128) as u64,
+            default_fuel: DEFAULT_FUEL,
+            max_fuel: DEFAULT_FUEL,
+            default_memory: DEFAULT_MEMORY_WORDS,
+            max_memory: DEFAULT_MEMORY_WORDS,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServeCtx>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared server state (tests read aggregates directly).
+    pub fn ctx(&self) -> &Arc<ServeCtx> {
+        &self.ctx
+    }
+
+    /// Raises the shutdown flag; workers and the acceptor drain out.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Shuts down and joins every daemon thread.
+    pub fn join(mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the daemon: binds, spawns the worker pool and the acceptor,
+/// returns immediately.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let ctx = Arc::new(ServeCtx {
+        programs: ProgramCache::new(config.cache_capacity),
+        inputs: SharedInputs::default(),
+        aggregate: Mutex::new(Aggregate::default()),
+        default_fuel: config.default_fuel.min(config.max_fuel),
+        max_fuel: config.max_fuel,
+        default_memory: config.default_memory.min(config.max_memory),
+        max_memory: config.max_memory,
+        inflight: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let mut threads = Vec::new();
+    let mut shards = Vec::with_capacity(config.workers);
+    for _ in 0..config.workers.max(1) {
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        shards.push(tx);
+        let ctx = Arc::clone(&ctx);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || worker_loop(rx, ctx, shutdown)));
+    }
+
+    let acceptor = {
+        let ctx = Arc::clone(&ctx);
+        let shutdown = Arc::clone(&shutdown);
+        let shards = Arc::new(shards);
+        let max_inflight = config.max_inflight;
+        let workers = config.workers;
+        std::thread::spawn(move || {
+            let next_shard = Arc::new(AtomicUsize::new(0));
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let ctx = Arc::clone(&ctx);
+                        let shutdown = Arc::clone(&shutdown);
+                        let shards = Arc::clone(&shards);
+                        let next_shard = Arc::clone(&next_shard);
+                        conns.push(std::thread::spawn(move || {
+                            connection(
+                                stream,
+                                ctx,
+                                shutdown,
+                                shards,
+                                next_shard,
+                                max_inflight,
+                                workers,
+                            );
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+                conns.retain(|c| !c.is_finished());
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        })
+    };
+    threads.push(acceptor);
+
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        shutdown,
+        threads,
+    })
+}
+
+/// One client connection: reader here, writer on a side thread.
+#[allow(clippy::too_many_arguments)]
+fn connection(
+    stream: TcpStream,
+    ctx: Arc<ServeCtx>,
+    shutdown: Arc<AtomicBool>,
+    shards: Arc<Vec<SyncSender<Job>>>,
+    next_shard: Arc<AtomicUsize>,
+    max_inflight: u64,
+    workers: usize,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // Responses (from workers and from the control plane) funnel
+    // through one channel so lines never interleave on the socket.
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        while let Ok(line) = reply_rx.recv() {
+            if out
+                .write_all(line.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+        let _ = out.shutdown(std::net::Shutdown::Write);
+    });
+
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match protocol::parse_request(trimmed) {
+                    Err(e) => {
+                        let _ = reply_tx.send(protocol::protocol_error(&e));
+                    }
+                    Ok(Request::Health) => {
+                        let _ = reply_tx.send(
+                            ObjBuilder::new()
+                                .bool("ok", true)
+                                .u64("workers", workers as u64)
+                                .u64("inflight", ctx.inflight.load(Ordering::Relaxed))
+                                .finish(),
+                        );
+                    }
+                    Ok(Request::Stats) => {
+                        let _ = reply_tx.send(render_stats(&ctx, workers));
+                    }
+                    Ok(Request::Shutdown) => {
+                        let _ = reply_tx.send(ObjBuilder::new().bool("ok", true).finish());
+                        shutdown.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    Ok(Request::Run(req)) => {
+                        // Gate 1: the global in-flight cap.
+                        if ctx.inflight.fetch_add(1, Ordering::Relaxed) >= max_inflight {
+                            ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                            ctx.rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(protocol::error_response(
+                                req.id,
+                                Outcome::Rejected,
+                                "server at capacity (in-flight cap)",
+                            ));
+                            continue;
+                        }
+                        // Gate 2: a bounded shard queue, round-robin
+                        // with fallover so one slow shard doesn't
+                        // reject while others sit idle.
+                        let id = req.id;
+                        let mut job = Job {
+                            req: *req,
+                            reply: reply_tx.clone(),
+                        };
+                        let start = next_shard.fetch_add(1, Ordering::Relaxed);
+                        let mut admitted = false;
+                        for i in 0..shards.len() {
+                            let shard = &shards[(start + i) % shards.len()];
+                            match shard.try_send(job) {
+                                Ok(()) => {
+                                    admitted = true;
+                                    break;
+                                }
+                                Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
+                                    job = j;
+                                }
+                            }
+                        }
+                        if !admitted {
+                            ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                            ctx.rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(protocol::error_response(
+                                id,
+                                Outcome::Rejected,
+                                "server at capacity (all shard queues full)",
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// The `stats` response: lifecycle totals, cache effectiveness, shared
+/// segments, and the merged gated counters of every session so far.
+fn render_stats(ctx: &ServeCtx, workers: usize) -> String {
+    let (programs, hits, misses, evictions) = ctx.programs.stats();
+    let (inputs, shared_live, shared_baseline) = ctx.inputs.stats();
+    let agg = ctx.aggregate.lock().unwrap();
+    let mut counters = ObjBuilder::new();
+    for (key, value) in COUNTER_KEYS.iter().zip(counter_values(&agg.stats)) {
+        counters = counters.u64(key, value);
+    }
+    ObjBuilder::new()
+        .bool("ok", true)
+        .u64("workers", workers as u64)
+        .u64("sessions", agg.sessions)
+        .u64("sessions_ok", agg.ok)
+        .u64("fuel_exhausted", agg.fuel_exhausted)
+        .u64("memory_limit", agg.memory_limit)
+        .u64("compile_errors", agg.compile_errors)
+        .u64("failed", agg.failed)
+        .u64("rejected", ctx.rejected.load(Ordering::Relaxed))
+        .u64("inflight", ctx.inflight.load(Ordering::Relaxed))
+        .u64("leaked_blocks", agg.leaked_blocks)
+        .u64("reclaimed_blocks", agg.reclaimed_blocks)
+        .u64("audit_failures", agg.audit_failures)
+        .u64("cache_programs", programs as u64)
+        .u64("cache_hits", hits)
+        .u64("cache_misses", misses)
+        .u64("cache_evictions", evictions)
+        .u64("shared_inputs", inputs as u64)
+        .u64("shared_live_blocks", shared_live)
+        .u64("shared_baseline_blocks", shared_baseline)
+        .bool("profiled", agg.profile.is_some())
+        .raw("counters", &counters.finish())
+        .finish()
+}

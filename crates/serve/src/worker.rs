@@ -1,0 +1,495 @@
+//! The session worker: one OS thread owning one long-lived [`Heap`],
+//! recycled across thousands of tenant sessions.
+//!
+//! This is the serving payoff of the paper's garbage-freedom theorems
+//! (Thm. 2/4). Because a Perceus session frees everything it allocates
+//! by the time its result is dropped, a worker does not need a fresh
+//! heap per tenant: it runs a session with [`Machine::with_heap`],
+//! takes the heap back with [`Machine::into_heap`], and calls
+//! [`Heap::reset`] — which retires whatever an *aborted* session left
+//! behind (fuel/memory-limited runs die mid-expression with values
+//! still rooted in machine frames), bumps the generation of every
+//! retired slot so stale addresses from the dead tenant fail
+//! deterministically, and feeds the slots back to the size-class free
+//! lists. A well-behaved session reclaims zero blocks at reset and its
+//! successor allocates straight out of the previous tenants' warm free
+//! lists.
+//!
+//! After every reset the worker audits its heap with
+//! [`audit::check_heap`]: the per-session garbage-free check that makes
+//! "zero leaks across N tenants" an asserted property instead of a
+//! hope. Session statistics and (optional) attributed profiles fold
+//! into the server-wide aggregate with the associative [`Stats::merge`]
+//! / [`Profiler::merge`], so the totals are independent of completion
+//! order under churn.
+
+use crate::cache::{ProgramCache, SharedInput, SharedInputs};
+use crate::json::ObjBuilder;
+use crate::protocol::{Outcome, RunRequest};
+use perceus_bench::counters::counter_values;
+use perceus_bench::COUNTER_KEYS;
+use perceus_runtime::audit;
+use perceus_runtime::machine::{Machine, RunConfig};
+use perceus_runtime::{Heap, Profiler, ReclaimMode, RuntimeError, SharedHeap, Stats, Value};
+use perceus_suite::ParallelSpec;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A session admitted to a worker queue: the parsed request plus the
+/// owning connection's writer channel.
+pub struct Job {
+    pub req: RunRequest,
+    pub reply: Sender<String>,
+}
+
+/// Server-wide totals, folded under one lock at session completion.
+#[derive(Default)]
+pub struct Aggregate {
+    /// Sessions that ran to some terminal state on a worker.
+    pub sessions: u64,
+    pub ok: u64,
+    pub fuel_exhausted: u64,
+    pub memory_limit: u64,
+    pub compile_errors: u64,
+    pub failed: u64,
+    /// Blocks still live after an *ok* session dropped its result —
+    /// genuine leaks; the serve-smoke gate requires this to stay zero.
+    pub leaked_blocks: u64,
+    /// Blocks [`Heap::reset`] retired after aborted sessions (expected
+    /// to be nonzero exactly when sessions hit fuel/memory limits).
+    pub reclaimed_blocks: u64,
+    /// Post-reset [`audit::check_heap`] failures (must stay zero).
+    pub audit_failures: u64,
+    /// All session heap statistics, merged associatively.
+    pub stats: Stats,
+    /// Merged attributed profile of every `profile:true` session.
+    pub profile: Option<Profiler>,
+}
+
+/// State shared by every worker, connection, and the control plane.
+pub struct ServeCtx {
+    pub programs: ProgramCache,
+    pub inputs: SharedInputs,
+    pub aggregate: Mutex<Aggregate>,
+    /// Fuel (steps) granted when the request doesn't ask.
+    pub default_fuel: u64,
+    /// Hard per-session fuel ceiling (requests are clamped).
+    pub max_fuel: u64,
+    /// Live-word budget granted when the request doesn't ask.
+    pub default_memory: u64,
+    /// Hard per-session live-word ceiling (requests are clamped).
+    pub max_memory: u64,
+    /// Sessions admitted but not yet answered (admission control).
+    pub inflight: AtomicU64,
+    /// Sessions turned away by admission control.
+    pub rejected: AtomicU64,
+}
+
+/// The worker loop: pull a job, run the session on the recycled heap,
+/// answer, repeat. Exits when the shutdown flag rises or the queue's
+/// senders are gone.
+pub fn worker_loop(jobs: Receiver<Job>, ctx: Arc<ServeCtx>, shutdown: Arc<AtomicBool>) {
+    // Workers serve only garbage-free (rc) strategies, so one Rc-mode
+    // heap works for every tenant regardless of which rc strategy
+    // compiled its program.
+    let mut heap = Heap::new(ReclaimMode::Rc);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match jobs.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => {
+                let (returned, response) = run_session(heap, &ctx, &job.req);
+                heap = returned;
+                // A dead connection just discards the response.
+                let _ = job.reply.send(response);
+                ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one session on the worker's heap and returns the heap (reset,
+/// ready for the next tenant) and the response line.
+pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, String) {
+    let start = Instant::now();
+    let (prog, cached) = match ctx.programs.resolve(req) {
+        Ok(p) => p,
+        Err(e) => {
+            finish_failed(ctx, Outcome::CompileError);
+            return (
+                heap,
+                run_error(req.id, Outcome::CompileError, &e.to_string()),
+            );
+        }
+    };
+    if !prog.strategy.is_rc() {
+        // Per-session audits and heap recycling both lean on
+        // garbage-freedom; a deferred-reclamation tenant would leave
+        // floating garbage the reset would misreport as a leak.
+        finish_failed(ctx, Outcome::Rejected);
+        let msg = format!(
+            "strategy {:?} is not garbage-free; serve accepts rc strategies only",
+            prog.strategy.label()
+        );
+        return (heap, run_error(req.id, Outcome::Rejected, &msg));
+    }
+    let n = req.n.unwrap_or(prog.default_n);
+    let fuel = req.fuel.unwrap_or(ctx.default_fuel).min(ctx.max_fuel);
+    let memory = req.memory.unwrap_or(ctx.default_memory).min(ctx.max_memory);
+    let config = RunConfig {
+        step_limit: Some(fuel),
+        memory_limit_words: Some(memory),
+        profile: req.profile,
+        ..RunConfig::default()
+    };
+
+    let shared = if req.shared {
+        let Some(spec) = prog.spec else {
+            finish_failed(ctx, Outcome::Rejected);
+            let msg = format!("workload `{}` declares no shared input", prog.name);
+            return (heap, run_error(req.id, Outcome::Rejected, &msg));
+        };
+        match shared_input(ctx, &prog, spec, n) {
+            Ok(input) => Some((input, spec)),
+            Err(e) => {
+                finish_failed(ctx, Outcome::Failed);
+                return (heap, run_error(req.id, Outcome::Failed, &e));
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut m = Machine::with_heap(&prog.compiled, heap, config);
+    let run = match &shared {
+        Some((input, spec)) => {
+            m.heap.attach_shared(Arc::clone(&input.seg));
+            // Mint this session's own reference with a real atomic RMW
+            // (the cache holds the builder's reference, so the count
+            // stays ≥ 1 between sessions); the consume call's owned
+            // calling convention spends it.
+            m.heap.dup(input.root).and_then(|()| {
+                let f = prog.compiled.find_fun(spec.consume).ok_or_else(|| {
+                    RuntimeError::Internal(format!("no consume function `{}`", spec.consume))
+                })?;
+                m.run_fun(f, (spec.consume_args)(input.root, n))
+            })
+        }
+        None => m.run_entry(vec![Value::Int(n)]),
+    };
+
+    let (outcome, value, error) = match run {
+        Ok(v) => match m.read_back(v).and_then(|dv| {
+            m.drop_result(v)?;
+            Ok(dv)
+        }) {
+            Ok(dv) => (Outcome::Ok, Some(dv.to_string()), None),
+            Err(e) => (Outcome::Failed, None, Some(e.to_string())),
+        },
+        Err(RuntimeError::StepLimit(_)) => (
+            Outcome::FuelExhausted,
+            None,
+            Some(format!("fuel budget of {fuel} steps exhausted")),
+        ),
+        Err(RuntimeError::MemoryLimit { live_words, .. }) => (
+            Outcome::MemoryLimit,
+            None,
+            Some(format!(
+                "memory budget of {memory} words exceeded ({live_words} live)"
+            )),
+        ),
+        Err(e) => (Outcome::Failed, None, Some(e.to_string())),
+    };
+
+    let output = m.output().to_vec();
+    let mut heap = m.into_heap();
+    let stats = heap.stats;
+    let profile = heap.take_profile();
+    let leaked = heap.live_blocks();
+    let reclaimed = heap.reset();
+    let audit_ok = audit::check_heap(&heap, &[]).is_ok();
+
+    {
+        let mut agg = ctx.aggregate.lock().unwrap();
+        agg.sessions += 1;
+        match outcome {
+            Outcome::Ok => agg.ok += 1,
+            Outcome::FuelExhausted => agg.fuel_exhausted += 1,
+            Outcome::MemoryLimit => agg.memory_limit += 1,
+            Outcome::CompileError => agg.compile_errors += 1,
+            Outcome::Failed | Outcome::Rejected => agg.failed += 1,
+        }
+        if outcome == Outcome::Ok {
+            agg.leaked_blocks += leaked;
+        }
+        agg.reclaimed_blocks += reclaimed;
+        if !audit_ok {
+            agg.audit_failures += 1;
+        }
+        agg.stats = agg.stats.merge(&stats);
+        agg.profile = match (agg.profile.take(), profile) {
+            (Some(a), Some(b)) => Some(a.merge(&b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    let mut b = ObjBuilder::new()
+        .u64("id", req.id)
+        .bool("ok", outcome == Outcome::Ok)
+        .str("outcome", outcome.label())
+        .str("program", &prog.name)
+        .str("strategy", prog.strategy.label())
+        .i64("n", n)
+        .bool("cached", cached)
+        .bool("shared", shared.is_some())
+        .u64("micros", start.elapsed().as_micros() as u64)
+        .u64("leaked_blocks", leaked)
+        .u64("reclaimed_blocks", reclaimed)
+        .bool("audit_ok", audit_ok)
+        .raw("counters", &render_counters(&stats));
+    if let Some(v) = &value {
+        b = b.str("value", v);
+    }
+    if let Some(e) = &error {
+        b = b.str("error", e);
+    }
+    if !output.is_empty() {
+        let mut arr = String::from("[");
+        for (i, v) in output.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let _ = write!(arr, "{v}");
+        }
+        arr.push(']');
+        b = b.raw("output", &arr);
+    }
+    (heap, b.finish())
+}
+
+/// All 18 gated counters of one session, as a JSON object fragment in
+/// [`COUNTER_KEYS`] order (the loadtest drift check reads these).
+fn render_counters(stats: &Stats) -> String {
+    let mut b = ObjBuilder::new();
+    for (key, value) in COUNTER_KEYS.iter().zip(counter_values(stats)) {
+        b = b.u64(key, value);
+    }
+    b.finish()
+}
+
+/// Looks up the frozen shared input for `(program, n)`, building and
+/// freezing it on first use. Racing builders are benign: the loser's
+/// segment is dropped and both sessions use the cached winner.
+fn shared_input(
+    ctx: &ServeCtx,
+    prog: &crate::cache::CachedProgram,
+    spec: ParallelSpec,
+    n: i64,
+) -> Result<Arc<SharedInput>, String> {
+    if let Some(input) = ctx.inputs.get(prog.key, n) {
+        return Ok(input);
+    }
+    let build = prog
+        .compiled
+        .find_fun(spec.build)
+        .ok_or_else(|| format!("no build function `{}`", spec.build))?;
+    // Build on a throwaway machine, not the worker heap: after the
+    // share barrier the builder heap must be empty anyway, and a build
+    // failure must not contaminate the tenant heap.
+    let mut builder = Machine::new(
+        &prog.compiled,
+        prog.strategy.reclaim_mode(),
+        RunConfig::default(),
+    );
+    let v = builder
+        .run_fun(build, (spec.build_args)(n))
+        .map_err(|e| format!("shared-input build failed: {e}"))?;
+    let mut seg = SharedHeap::new();
+    let root = builder
+        .heap
+        .mark_shared(v, &mut seg)
+        .map_err(|e| format!("share barrier failed: {e}"))?;
+    if builder.heap.live_blocks() != 0 {
+        return Err(format!(
+            "builder heap retains {} blocks after the share barrier",
+            builder.heap.live_blocks()
+        ));
+    }
+    {
+        let mut agg = ctx.aggregate.lock().unwrap();
+        agg.stats = agg.stats.merge(&builder.heap.stats);
+    }
+    let live_baseline = seg.live_blocks();
+    Ok(ctx.inputs.insert(
+        prog.key,
+        n,
+        SharedInput {
+            seg: Arc::new(seg),
+            root,
+            live_baseline,
+        },
+    ))
+}
+
+/// Books a session that never reached the machine.
+fn finish_failed(ctx: &ServeCtx, outcome: Outcome) {
+    let mut agg = ctx.aggregate.lock().unwrap();
+    agg.sessions += 1;
+    match outcome {
+        Outcome::CompileError => agg.compile_errors += 1,
+        _ => agg.failed += 1,
+    }
+}
+
+/// An error response for a session that produced no counters.
+fn run_error(id: u64, outcome: Outcome, msg: &str) -> String {
+    crate::protocol::error_response(id, outcome, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perceus_suite::Strategy;
+
+    fn ctx() -> ServeCtx {
+        ServeCtx {
+            programs: ProgramCache::new(64),
+            inputs: SharedInputs::default(),
+            aggregate: Mutex::new(Aggregate::default()),
+            default_fuel: 10_000_000,
+            max_fuel: 100_000_000,
+            default_memory: 1 << 20,
+            max_memory: 64 << 20,
+            inflight: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn req(workload: &str) -> RunRequest {
+        RunRequest {
+            id: 1,
+            workload: Some(workload.into()),
+            source: None,
+            n: None,
+            strategy: Strategy::Perceus,
+            fuel: None,
+            memory: None,
+            shared: false,
+            profile: false,
+        }
+    }
+
+    #[test]
+    fn ok_session_leaves_heap_clean() {
+        let ctx = ctx();
+        let (heap, resp) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &req("map"));
+        assert!(resp.contains("\"outcome\":\"ok\""), "{resp}");
+        assert!(resp.contains("\"leaked_blocks\":0"), "{resp}");
+        assert!(resp.contains("\"reclaimed_blocks\":0"), "{resp}");
+        assert_eq!(heap.live_blocks(), 0);
+        let agg = ctx.aggregate.lock().unwrap();
+        assert_eq!((agg.sessions, agg.ok, agg.leaked_blocks), (1, 1, 0));
+        assert_eq!(agg.audit_failures, 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reclaimed_and_audited() {
+        let ctx = ctx();
+        let mut r = req("rbtree");
+        r.fuel = Some(2_000); // dies mid-build with live frames
+        let (heap, resp) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &r);
+        assert!(resp.contains("\"outcome\":\"fuel-exhausted\""), "{resp}");
+        assert!(resp.contains("\"audit_ok\":true"), "{resp}");
+        assert_eq!(
+            heap.live_blocks(),
+            0,
+            "reset must retire the tenant's garbage"
+        );
+        let agg = ctx.aggregate.lock().unwrap();
+        assert_eq!(agg.fuel_exhausted, 1);
+        assert!(
+            agg.reclaimed_blocks > 0,
+            "an aborted build leaves blocks to retire"
+        );
+        assert_eq!(agg.audit_failures, 0);
+    }
+
+    #[test]
+    fn memory_limit_is_enforced() {
+        let ctx = ctx();
+        let mut r = req("rbtree");
+        r.memory = Some(64); // far below the tree's live size
+        let (_, resp) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &r);
+        assert!(resp.contains("\"outcome\":\"memory-limit\""), "{resp}");
+    }
+
+    #[test]
+    fn non_rc_strategies_are_rejected() {
+        let ctx = ctx();
+        let mut r = req("map");
+        r.strategy = Strategy::Gc;
+        let (_, resp) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &r);
+        assert!(resp.contains("\"outcome\":\"rejected\""), "{resp}");
+    }
+
+    #[test]
+    fn warm_session_matches_cold_schedule_counters() {
+        // The drift-gate property: a session on a recycled heap must
+        // reproduce a fresh heap's schedule counters exactly (only the
+        // freelist trio may differ).
+        let ctx = ctx();
+        let (heap, cold) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &req("map"));
+        let (_, warm) = run_session(heap, &ctx, &req("map"));
+        let cold = crate::json::parse(&cold).unwrap();
+        let warm = crate::json::parse(&warm).unwrap();
+        let exempt = ["freelist_hits", "freelist_misses", "recycled_words"];
+        for key in COUNTER_KEYS {
+            if exempt.contains(&key) {
+                continue;
+            }
+            assert_eq!(
+                cold.get("counters").and_then(|c| c.get(key)),
+                warm.get("counters").and_then(|c| c.get(key)),
+                "counter {key} drifted between cold and warm sessions"
+            );
+        }
+        // And the warm heap actually recycled: the second session's
+        // allocations came off the first session's free lists.
+        let hits = warm
+            .get("counters")
+            .and_then(|c| c.get("freelist_hits"))
+            .and_then(crate::json::Json::as_u64)
+            .unwrap();
+        assert!(hits > 0, "warm session must hit the recycled free lists");
+    }
+
+    #[test]
+    fn shared_sessions_reuse_one_frozen_input() {
+        let ctx = ctx();
+        let mut r = req("map");
+        r.shared = true;
+        let (heap, a) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &r);
+        let (_, b) = run_session(heap, &ctx, &r);
+        assert!(a.contains("\"outcome\":\"ok\""), "{a}");
+        assert!(b.contains("\"outcome\":\"ok\""), "{b}");
+        let (entries, _, _) = ctx.inputs.stats();
+        assert_eq!(entries, 1, "second session must reuse the frozen input");
+        // The cached entry keeps its baseline reference: the segment is
+        // exactly as live as the moment it was frozen.
+        let input = ctx.inputs.get(
+            crate::cache::program_key(
+                perceus_suite::workload("map").unwrap().source,
+                Strategy::Perceus,
+            ),
+            perceus_suite::workload("map").unwrap().test_n,
+        );
+        let input = input.unwrap();
+        assert_eq!(input.seg.live_blocks(), input.live_baseline);
+    }
+}

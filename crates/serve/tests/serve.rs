@@ -1,0 +1,264 @@
+//! End-to-end daemon tests: real TCP connections against an in-process
+//! `perceus-serve`, covering the session lifecycle, heap recycling
+//! across tenants, cross-session shared inputs, admission control, and
+//! the loadtest drift gate against `BENCH_BASELINE.json`.
+
+use perceus_serve::json::{self, Json};
+use perceus_serve::loadtest::{self, LoadConfig};
+use perceus_serve::server::{start, ServeConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn server(configure: impl FnOnce(&mut ServeConfig)) -> perceus_serve::ServerHandle {
+    let mut config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    configure(&mut config);
+    start(config).expect("daemon binds")
+}
+
+/// Sends every line, then reads one response per line; `run` responses
+/// are keyed by id, control responses by arrival order under keys
+/// ≥ `CONTROL_BASE`.
+const CONTROL_BASE: u64 = 1 << 60;
+
+fn roundtrip(addr: std::net::SocketAddr, lines: &[String]) -> HashMap<u64, Json> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    for line in lines {
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+    }
+    let mut reader = BufReader::new(stream);
+    let mut out = HashMap::new();
+    let mut control = CONTROL_BASE;
+    for _ in 0..lines.len() {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "early EOF");
+        let v = json::parse(line.trim()).expect("valid response json");
+        let key = v.get("id").and_then(Json::as_u64).unwrap_or_else(|| {
+            control += 1;
+            control
+        });
+        out.insert(key, v);
+    }
+    out
+}
+
+fn run_line(id: u64, workload: &str, extra: &str) -> String {
+    format!(r#"{{"op":"run","id":{id},"workload":"{workload}"{extra}}}"#)
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key)
+        .unwrap_or_else(|| panic!("response missing {key}: {v:?}"))
+}
+
+#[test]
+fn sessions_compile_once_and_run_correct() {
+    let h = server(|_| {});
+    // The first map session completes before the second is sent, so
+    // the second is a guaranteed program-cache hit (two pipelined
+    // misses may legitimately race and both compile).
+    let mut rs = roundtrip(h.addr(), &[run_line(1, "map", "")]);
+    rs.extend(roundtrip(
+        h.addr(),
+        &[run_line(2, "map", ""), run_line(3, "rbtree", "")],
+    ));
+    for id in [1, 2, 3] {
+        assert_eq!(
+            field(&rs[&id], "outcome").as_str(),
+            Some("ok"),
+            "{:?}",
+            rs[&id]
+        );
+        assert_eq!(field(&rs[&id], "leaked_blocks").as_u64(), Some(0));
+        assert_eq!(field(&rs[&id], "audit_ok").as_bool(), Some(true));
+    }
+    // map at its test size n=500: sum of 1..=500.
+    assert_eq!(field(&rs[&1], "value").as_str(), Some("125250"));
+    assert_eq!(field(&rs[&2], "value").as_str(), Some("125250"));
+    assert_eq!(field(&rs[&1], "cached").as_bool(), Some(false));
+    assert_eq!(field(&rs[&2], "cached").as_bool(), Some(true), "{rs:?}");
+    h.join();
+}
+
+#[test]
+fn starved_tenant_is_reclaimed_and_next_tenant_matches_baseline() {
+    // One worker: the starved session and its successor share a heap.
+    let h = server(|c| c.workers = 1);
+    let starved = roundtrip(h.addr(), &[run_line(1, "rbtree", r#","fuel":2000"#)]);
+    let r = &starved[&1];
+    assert_eq!(field(r, "outcome").as_str(), Some("fuel-exhausted"));
+    assert!(field(r, "reclaimed_blocks").as_u64().unwrap() > 0);
+    assert_eq!(field(r, "audit_ok").as_bool(), Some(true));
+
+    // The next tenant on the same (recycled) heap reproduces the
+    // committed counter baseline exactly, minus the placement trio.
+    let baseline_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_BASELINE.json"
+    ))
+    .expect("baseline present");
+    let baseline = perceus_bench::Baseline::parse_json(&baseline_src).unwrap();
+    let row = baseline
+        .workloads
+        .iter()
+        .find(|w| w.name == "rbtree")
+        .unwrap();
+    let after = roundtrip(h.addr(), &[run_line(2, "rbtree", "")]);
+    let counters = field(&after[&2], "counters");
+    for (key, expected) in &row.counters {
+        if loadtest::PLACEMENT_COUNTERS.contains(&key.as_str()) {
+            continue;
+        }
+        assert_eq!(
+            counters.get(key).and_then(Json::as_u64),
+            Some(*expected),
+            "counter {key} drifted after a starved tenant"
+        );
+    }
+    // And the recycling actually happened: the warm tenant found the
+    // starved tenant's retired slots on the free lists.
+    assert!(
+        counters
+            .get("freelist_hits")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    h.join();
+}
+
+#[test]
+fn shared_inputs_are_frozen_once_and_isolated() {
+    let h = server(|_| {});
+    let rs = roundtrip(
+        h.addr(),
+        &[
+            run_line(1, "map", r#","shared":true"#),
+            run_line(2, "map", r#","shared":true"#),
+            run_line(3, "refs", r#","shared":true"#),
+            run_line(4, "refs", r#","shared":true"#),
+        ],
+    );
+    for id in [1, 2, 3, 4] {
+        assert_eq!(
+            field(&rs[&id], "outcome").as_str(),
+            Some("ok"),
+            "{:?}",
+            rs[&id]
+        );
+        assert_eq!(field(&rs[&id], "shared").as_bool(), Some(true));
+        assert_eq!(field(&rs[&id], "leaked_blocks").as_u64(), Some(0));
+    }
+    // Isolation: sessions over the same frozen input agree exactly —
+    // nothing one session did (all its work is private-heap) is
+    // observable to the other, and the input itself is immutable by
+    // the share barrier's construction.
+    assert_eq!(
+        field(&rs[&1], "value").as_str(),
+        field(&rs[&2], "value").as_str()
+    );
+    assert_eq!(
+        field(&rs[&3], "value").as_str(),
+        field(&rs[&4], "value").as_str()
+    );
+
+    // The segments drained back to their freeze-time baseline: every
+    // session returned exactly the reference it minted.
+    let stats = roundtrip(h.addr(), &[r#"{"op":"stats"}"#.to_string()]);
+    let stats = &stats[&(CONTROL_BASE + 1)];
+    assert_eq!(field(stats, "shared_inputs").as_u64(), Some(2));
+    assert_eq!(
+        field(stats, "shared_live_blocks").as_u64(),
+        field(stats, "shared_baseline_blocks").as_u64()
+    );
+    assert_eq!(field(stats, "leaked_blocks").as_u64(), Some(0));
+    assert_eq!(field(stats, "audit_failures").as_u64(), Some(0));
+    h.join();
+}
+
+#[test]
+fn admission_control_rejects_at_capacity() {
+    let h = server(|c| c.max_inflight = 0);
+    let rs = roundtrip(h.addr(), &[run_line(1, "map", "")]);
+    assert_eq!(field(&rs[&1], "outcome").as_str(), Some("rejected"));
+    let stats = roundtrip(h.addr(), &[r#"{"op":"stats"}"#.to_string()]);
+    assert_eq!(
+        field(&stats[&(CONTROL_BASE + 1)], "rejected").as_u64(),
+        Some(1)
+    );
+    h.join();
+}
+
+#[test]
+fn health_shutdown_and_bad_requests() {
+    let h = server(|_| {});
+    let rs = roundtrip(
+        h.addr(),
+        &[
+            r#"{"op":"health"}"#.to_string(),
+            "this is not json".to_string(),
+            r#"{"op":"run","id":9,"workload":"no-such-workload"}"#.to_string(),
+        ],
+    );
+    let by_outcome: Vec<&str> = rs
+        .values()
+        .filter_map(|v| v.get("outcome").and_then(Json::as_str))
+        .collect();
+    assert!(by_outcome.contains(&"bad-request"), "{rs:?}");
+    assert_eq!(
+        field(&rs[&9], "outcome").as_str(),
+        Some("compile-error"),
+        "{rs:?}"
+    );
+    let _ = roundtrip(h.addr(), &[r#"{"op":"shutdown"}"#.to_string()]);
+    // The flag is up; join must complete rather than hang.
+    h.join();
+}
+
+#[test]
+fn loadtest_sustains_concurrent_mixed_sessions_with_zero_drift() {
+    let h = server(|c| {
+        c.max_inflight = 4096;
+        c.queue_depth = 256;
+    });
+    let baseline_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_BASELINE.json"
+    ))
+    .expect("baseline present");
+    let cfg = LoadConfig {
+        addr: h.addr().to_string(),
+        sessions: 240,
+        connections: 6,
+        window: 20,
+        baseline: Some(perceus_bench::Baseline::parse_json(&baseline_src).unwrap()),
+        ..LoadConfig::default()
+    };
+    let report = loadtest::run(&cfg).expect("loadtest runs");
+    assert!(
+        report.passed(),
+        "drift={:?} leaks={} audits={} other={}",
+        report.drift_violations,
+        report.leaked_blocks,
+        report.audit_violations,
+        report.other_outcomes
+    );
+    assert!(report.drift_checked > 0, "the gate must actually check");
+    assert!(report.fuel_exhausted > 0, "the mix must exercise aborts");
+    assert!(report.shared_sessions > 0, "the mix must exercise sharing");
+    assert!(report.cache_hit_sessions > 0);
+
+    let stats = loadtest::final_stats(&cfg.addr).unwrap();
+    assert_eq!(field(&stats, "leaked_blocks").as_u64(), Some(0));
+    assert_eq!(field(&stats, "audit_failures").as_u64(), Some(0));
+    assert_eq!(
+        field(&stats, "shared_live_blocks").as_u64(),
+        field(&stats, "shared_baseline_blocks").as_u64()
+    );
+    h.join();
+}
