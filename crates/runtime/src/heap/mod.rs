@@ -185,6 +185,14 @@ pub struct Heap {
     /// The attached thread-shared segment, when this heap belongs to a
     /// worker thread of a parallel run (see [`Heap::attach_shared`]).
     shared: Option<Arc<SharedHeap>>,
+    /// Net shared-segment references this heap currently holds: +1 per
+    /// counted shared `dup`, -1 per counted shared `drop`, with a
+    /// freed shared block's outgoing references credited to the ledger
+    /// the moment its children enter the drop worklist (they are then
+    /// consumed by this heap). A balanced session ends at zero; a
+    /// nonzero residue after [`Heap::reset`] is the session's
+    /// un-returned shared references (see [`Heap::take_shared_drift`]).
+    shared_held: u64,
     /// Runtime statistics.
     pub stats: Stats,
     trace: Option<Trace>,
@@ -210,6 +218,7 @@ impl Heap {
             config,
             mode,
             shared: None,
+            shared_held: 0,
             stats: Stats::default(),
             trace: None,
             prof: None,
@@ -226,6 +235,28 @@ impl Heap {
     /// The attached shared segment, if any.
     pub fn shared_segment(&self) -> Option<&SharedHeap> {
         self.shared.as_deref()
+    }
+
+    /// Net shared-segment references this heap currently holds: counted
+    /// `dup`s minus counted `drop`s, with a freed shared block's
+    /// outgoing references transferring onto the ledger as they enter
+    /// the drop worklist. Zero whenever the heap's owner has spent
+    /// every reference it minted.
+    pub fn shared_refs_held(&self) -> u64 {
+        self.shared_held
+    }
+
+    /// Takes the shared-reference ledger residue (and zeroes it). The
+    /// serving worker calls this after [`Heap::reset`]: a well-behaved
+    /// session reads zero; a session aborted by a fuel/memory limit may
+    /// die with shared references still rooted in dead machine frames,
+    /// which cannot be returned safely (a consumed environment slot is
+    /// indistinguishable from a live one without liveness info, and an
+    /// over-drop could free a block other sessions still reference) —
+    /// so the residue is surfaced as measured drift instead of
+    /// vanishing silently.
+    pub fn take_shared_drift(&mut self) -> u64 {
+        std::mem::take(&mut self.shared_held)
     }
 
     /// Enables the reference-count event tracer (see [`crate::trace`]),
@@ -651,7 +682,10 @@ impl Heap {
                 .shared
                 .as_deref()
                 .ok_or(RuntimeError::BadAddress(addr))?;
-            let after = sh.dup(addr, &mut self.stats)?;
+            let (after, counted) = sh.dup(addr, &mut self.stats)?;
+            if counted {
+                self.shared_held += 1;
+            }
             self.tr(Event::Dup(addr, after));
             return Ok(());
         }
@@ -711,7 +745,18 @@ impl Heap {
                     .shared
                     .as_deref()
                     .ok_or(RuntimeError::BadAddress(addr))?;
-                let after = sh.drop_ref(addr, &mut self.stats, work)?;
+                let before = work.len();
+                let (after, counted) = sh.drop_ref(addr, &mut self.stats, work)?;
+                if counted {
+                    // One held reference spent; if this drop won the
+                    // closing CAS, the dead block's outgoing references
+                    // just became ours to consume (they are on the
+                    // worklist), so credit them to the ledger now.
+                    self.shared_held = self.shared_held.saturating_sub(1);
+                    if after == 0 {
+                        self.shared_held += (work.len() - before) as u64;
+                    }
+                }
                 self.tr(Event::Drop(addr, after));
                 if after == 0 {
                     self.tr(Event::Free(addr));
@@ -1203,6 +1248,34 @@ impl Heap {
     /// generation check is what makes cross-session reuse of the same
     /// slots safe (see `docs/RUNTIME.md`).
     pub fn reset(&mut self) -> u64 {
+        // Repay the shared-segment references held by live blocks'
+        // fields before force-retiring them: a field owns exactly one
+        // reference, so this part of an aborted session's holdings can
+        // be returned precisely (with real atomic drops). References
+        // still rooted in the dead machine's frames are *not*
+        // recoverable here — a consumed slot is indistinguishable from
+        // a live one without liveness info — so they stay on the ledger
+        // and surface through [`Heap::take_shared_drift`].
+        if self.mode == ReclaimMode::Rc && self.shared.is_some() {
+            let mut held: Vec<Addr> = Vec::new();
+            for e in self.slots.iter() {
+                if let SlotState::Used(block) = &e.state {
+                    if block.header == 0 {
+                        continue; // claimed by a reuse token: contents meaningless
+                    }
+                    for f in block.fields.iter() {
+                        if let Value::Ref(a) = f {
+                            if a.is_shared() {
+                                held.push(*a);
+                            }
+                        }
+                    }
+                }
+            }
+            if !held.is_empty() {
+                let _ = self.drop_loop(&mut held);
+            }
+        }
         let mut reclaimed = 0;
         for (i, e) in self.slots.iter_mut().enumerate() {
             if let SlotState::Used(_) = e.state {
@@ -1224,6 +1297,8 @@ impl Heap {
         self.drop_work.clear();
         self.shared = None;
         self.stats = Stats::default();
+        // Deliberately *not* zeroed: `shared_held` carries the aborted
+        // session's un-returned references out to `take_shared_drift`.
         if let Some(t) = &mut self.trace {
             t.clear();
         }
@@ -1447,6 +1522,55 @@ mod tests {
         h.drop_token(tok).unwrap();
         assert_eq!(h.live_blocks(), 0);
         assert_eq!(h.stats.token_frees, 1);
+    }
+
+    #[test]
+    fn reset_repays_field_held_shared_refs_and_surfaces_frame_drift() {
+        let mut h = heap();
+        let mut seg = SharedHeap::new();
+        let inner = cell(&mut h, vec![Value::Int(1)]);
+        let root = cell(&mut h, vec![Value::Ref(inner)]);
+        let shared = h.mark_shared(Value::Ref(root), &mut seg).unwrap();
+        let Value::Ref(sa) = shared else { panic!() };
+        h.attach_shared(Arc::new(seg));
+        // Mint two references: one will be stored into a local block's
+        // field, the other stays loose (a dead machine frame's root
+        // after an abort). The barrier-transferred count itself belongs
+        // to the segment's owner, not this ledger.
+        h.dup(shared).unwrap();
+        h.dup(shared).unwrap();
+        assert_eq!(h.shared_refs_held(), 2);
+        let _holder = cell(&mut h, vec![shared]);
+        assert_eq!(
+            h.shared_segment().unwrap().view(sa).unwrap().header,
+            -3,
+            "owner + two minted references"
+        );
+        // Abort-style reset: the holder's field reference is repaid
+        // with a real atomic drop; the loose one becomes measured
+        // drift.
+        let seg = Arc::clone(h.shared.as_ref().unwrap());
+        let reclaimed = h.reset();
+        assert_eq!(reclaimed, 1, "only the holder block was live");
+        assert_eq!(seg.view(sa).unwrap().header, -2, "field ref returned");
+        assert_eq!(h.take_shared_drift(), 1, "the frame-held reference");
+        assert_eq!(h.take_shared_drift(), 0, "take zeroes the ledger");
+    }
+
+    #[test]
+    fn balanced_shared_sessions_leave_no_drift() {
+        let mut h = heap();
+        let mut seg = SharedHeap::new();
+        let inner = cell(&mut h, vec![Value::Int(7)]);
+        let root = cell(&mut h, vec![Value::Ref(inner)]);
+        let shared = h.mark_shared(Value::Ref(root), &mut seg).unwrap();
+        h.attach_shared(Arc::new(seg));
+        h.dup(shared).unwrap();
+        assert_eq!(h.shared_refs_held(), 1);
+        h.drop_value(shared).unwrap();
+        assert_eq!(h.shared_refs_held(), 0);
+        h.reset();
+        assert_eq!(h.take_shared_drift(), 0);
     }
 
     #[test]

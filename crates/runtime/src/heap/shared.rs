@@ -182,8 +182,11 @@ impl SharedHeap {
     /// `dup` on a shared block: one real atomic RMW toward the sticky
     /// floor (relaxed ordering suffices for increments, as in `Arc`).
     /// Pinned blocks are left untouched without any RMW. Returns the
-    /// header after the operation.
-    pub(crate) fn dup(&self, addr: Addr, stats: &mut Stats) -> Result<i32, RuntimeError> {
+    /// header after the operation and whether an RMW actually happened
+    /// (false for pinned blocks, whose counts are frozen by design) —
+    /// the caller's per-session reference ledger only moves when the
+    /// count does.
+    pub(crate) fn dup(&self, addr: Addr, stats: &mut Stats) -> Result<(i32, bool), RuntimeError> {
         let slot = self.slot(addr)?;
         match slot
             .header
@@ -196,10 +199,10 @@ impl SharedHeap {
             }) {
             Ok(prev) => {
                 stats.atomic_ops += 1;
-                Ok(prev - 1)
+                Ok((prev - 1, true))
             }
             Err(0) => Err(RuntimeError::UseAfterFree(addr)),
-            Err(pinned) if pinned <= STICKY => Ok(pinned),
+            Err(pinned) if pinned <= STICKY => Ok((pinned, false)),
             Err(bad) => Err(RuntimeError::Internal(format!(
                 "shared block {addr} has non-shared header {bad}"
             ))),
@@ -210,13 +213,14 @@ impl SharedHeap {
     /// acquire-release ordering. Exactly one thread observes the count
     /// reach zero; that thread pushes the children onto `work` (they are
     /// shared blocks themselves) and updates the live gauges. Returns
-    /// the header after the operation.
+    /// the header after the operation and whether an RMW actually
+    /// happened (false for pinned blocks).
     pub(crate) fn drop_ref(
         &self,
         addr: Addr,
         stats: &mut Stats,
         work: &mut Vec<Addr>,
-    ) -> Result<i32, RuntimeError> {
+    ) -> Result<(i32, bool), RuntimeError> {
         let slot = self.slot(addr)?;
         match slot
             .header
@@ -249,10 +253,10 @@ impl SharedHeap {
                     self.live_words.fetch_sub(slot.words(), Ordering::AcqRel);
                     self.frees.fetch_add(1, Ordering::AcqRel);
                 }
-                Ok(after)
+                Ok((after, true))
             }
             Err(0) => Err(RuntimeError::UseAfterFree(addr)),
-            Err(pinned) if pinned <= STICKY => Ok(pinned),
+            Err(pinned) if pinned <= STICKY => Ok((pinned, false)),
             Err(bad) => Err(RuntimeError::Internal(format!(
                 "shared block {addr} has non-shared header {bad}"
             ))),

@@ -86,7 +86,10 @@ pub struct LoadReport {
     pub sessions: u64,
     pub ok: u64,
     pub fuel_exhausted: u64,
-    pub rejected_retries: u64,
+    /// Sessions turned away with `busy` (transient backpressure) and
+    /// re-sent after backoff. Permanent `rejected` outcomes are *not*
+    /// retried — they land in `other_outcomes` and fail the run.
+    pub busy_retries: u64,
     pub other_outcomes: u64,
     pub shared_sessions: u64,
     pub cache_hit_sessions: u64,
@@ -140,7 +143,7 @@ impl LoadReport {
             .u64("sessions_ok", self.ok)
             .u64("fuel_exhausted", self.fuel_exhausted)
             .u64("other_outcomes", self.other_outcomes)
-            .u64("rejected_retries", self.rejected_retries)
+            .u64("busy_retries", self.busy_retries)
             .u64("shared_sessions", self.shared_sessions)
             .u64("cache_hit_sessions", self.cache_hit_sessions)
             .u64("leaked_blocks", self.leaked_blocks)
@@ -307,10 +310,13 @@ fn client(
         };
         let outcome = resp.get("outcome").and_then(Json::as_str).unwrap_or("?");
 
-        if outcome == "rejected" {
-            // Admission control turned it away: back off briefly and
-            // retry the same session (the id keeps its identity).
-            local.rejected_retries += 1;
+        if outcome == "busy" {
+            // Transient backpressure: back off briefly and retry the
+            // same session (the id keeps its identity). Permanent
+            // "rejected" outcomes deliberately fall through to
+            // `other_outcomes` below — retrying a request the server
+            // can never serve would livelock the client.
+            local.busy_retries += 1;
             std::thread::sleep(std::time::Duration::from_millis(2));
             send(id, &mut writer, &mut inflight)?;
             continue;
@@ -328,6 +334,17 @@ fn client(
                     .unwrap_or(0);
                 local.leaked_blocks += leaked;
                 if resp.get("audit_ok").and_then(Json::as_bool) != Some(true) {
+                    local.audit_violations += 1;
+                }
+                // An ok session must have returned every shared
+                // reference it minted; drift is tolerated (and
+                // documented) only for limit-killed sessions.
+                if resp
+                    .get("shared_ref_drift")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+                    != 0
+                {
                     local.audit_violations += 1;
                 }
                 if resp.get("cached").and_then(Json::as_bool) == Some(true) {
@@ -360,7 +377,7 @@ fn client(
     let mut r = report.lock().unwrap();
     r.ok += local.ok;
     r.fuel_exhausted += local.fuel_exhausted;
-    r.rejected_retries += local.rejected_retries;
+    r.busy_retries += local.busy_retries;
     r.other_outcomes += local.other_outcomes;
     r.shared_sessions += local.shared_sessions;
     r.cache_hit_sessions += local.cache_hit_sessions;

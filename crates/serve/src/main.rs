@@ -66,8 +66,9 @@ fn serve_cmd(mut args: std::env::Args) -> Result<ExitCode, String> {
     let handle = server::start(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("perceus-serve listening on {}", handle.addr());
     // The daemon runs until a client sends {"op":"shutdown"} (or the
-    // process is killed); join blocks on that.
-    handle.join();
+    // process is killed). `wait` parks on the shutdown flag without
+    // raising it — `join` here would stop the server immediately.
+    handle.wait();
     Ok(ExitCode::SUCCESS)
 }
 

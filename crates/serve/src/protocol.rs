@@ -122,8 +122,13 @@ pub enum Outcome {
     CompileError,
     /// Any other runtime failure (abort, type error, …).
     Failed,
-    /// Admission control turned the session away before it ran.
+    /// Permanently unservable (non-rc strategy, workload without a
+    /// shared spec): retrying the same request can never succeed.
     Rejected,
+    /// Transient backpressure (in-flight cap hit, every shard queue
+    /// full): the session never ran and a retry after backoff is
+    /// expected to succeed.
+    Busy,
 }
 
 impl Outcome {
@@ -136,6 +141,7 @@ impl Outcome {
             Outcome::CompileError => "compile-error",
             Outcome::Failed => "failed",
             Outcome::Rejected => "rejected",
+            Outcome::Busy => "busy",
         }
     }
 }

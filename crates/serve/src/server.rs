@@ -14,9 +14,11 @@
 //! lines back; workers on different shards finish out of order, which
 //! is why responses carry the client's `id`). Admission control is two
 //! gates: a global in-flight cap, and the bounded per-shard queue —
-//! when every shard's queue is full the session is rejected
-//! immediately instead of queuing without bound, so an overloaded
-//! server degrades by fast rejection rather than by latency collapse.
+//! when every shard's queue is full the session is turned away
+//! immediately with `outcome: "busy"` (transient backpressure, retry
+//! after backoff; `"rejected"` is reserved for permanently unservable
+//! requests) instead of queuing without bound, so an overloaded server
+//! degrades by fast refusal rather than by latency collapse.
 
 use crate::cache::{ProgramCache, SharedInputs};
 use crate::json::ObjBuilder;
@@ -24,7 +26,7 @@ use crate::protocol::{self, Outcome, Request, DEFAULT_FUEL, DEFAULT_MEMORY_WORDS
 use crate::worker::{worker_loop, Aggregate, Job, ServeCtx};
 use perceus_bench::counters::counter_values;
 use perceus_bench::COUNTER_KEYS;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
@@ -100,6 +102,20 @@ impl ServerHandle {
     /// Shuts down and joins every daemon thread.
     pub fn join(mut self) {
         self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Parks until the shutdown flag rises — a client's
+    /// `{"op":"shutdown"}` or another thread's [`ServerHandle::shutdown`]
+    /// — then joins every daemon thread. Unlike [`ServerHandle::join`],
+    /// this never initiates the shutdown itself: it is how the `serve`
+    /// command keeps the daemon alive for its whole service life.
+    pub fn wait(mut self) {
+        while !self.shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -218,90 +234,52 @@ fn connection(
         let _ = out.shutdown(std::net::Shutdown::Write);
     });
 
+    // Requests are read as raw bytes and split on '\n' by hand. A
+    // `BufReader::read_line` over a socket with a read timeout would
+    // *truncate* a partially-received line when the timeout fires
+    // mid-line (`append_to_string` discards the consumed bytes on
+    // `Err`), silently corrupting any request split across a >100ms
+    // gap — a slow client, or a large inline source spread over
+    // delayed TCP segments. The timeout exists only so the shutdown
+    // flag is polled; partial data survives in `buf` across timeouts.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                match protocol::parse_request(trimmed) {
-                    Err(e) => {
-                        let _ = reply_tx.send(protocol::protocol_error(&e));
-                    }
-                    Ok(Request::Health) => {
-                        let _ = reply_tx.send(
-                            ObjBuilder::new()
-                                .bool("ok", true)
-                                .u64("workers", workers as u64)
-                                .u64("inflight", ctx.inflight.load(Ordering::Relaxed))
-                                .finish(),
-                        );
-                    }
-                    Ok(Request::Stats) => {
-                        let _ = reply_tx.send(render_stats(&ctx, workers));
-                    }
-                    Ok(Request::Shutdown) => {
-                        let _ = reply_tx.send(ObjBuilder::new().bool("ok", true).finish());
-                        shutdown.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                    Ok(Request::Run(req)) => {
-                        // Gate 1: the global in-flight cap.
-                        if ctx.inflight.fetch_add(1, Ordering::Relaxed) >= max_inflight {
-                            ctx.inflight.fetch_sub(1, Ordering::Relaxed);
-                            ctx.rejected.fetch_add(1, Ordering::Relaxed);
-                            let _ = reply_tx.send(protocol::error_response(
-                                req.id,
-                                Outcome::Rejected,
-                                "server at capacity (in-flight cap)",
-                            ));
-                            continue;
-                        }
-                        // Gate 2: a bounded shard queue, round-robin
-                        // with fallover so one slow shard doesn't
-                        // reject while others sit idle.
-                        let id = req.id;
-                        let mut job = Job {
-                            req: *req,
-                            reply: reply_tx.clone(),
-                        };
-                        let start = next_shard.fetch_add(1, Ordering::Relaxed);
-                        let mut admitted = false;
-                        for i in 0..shards.len() {
-                            let shard = &shards[(start + i) % shards.len()];
-                            match shard.try_send(job) {
-                                Ok(()) => {
-                                    admitted = true;
-                                    break;
-                                }
-                                Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
-                                    job = j;
-                                }
-                            }
-                        }
-                        if !admitted {
-                            ctx.inflight.fetch_sub(1, Ordering::Relaxed);
-                            ctx.rejected.fetch_add(1, Ordering::Relaxed);
-                            let _ = reply_tx.send(protocol::error_response(
-                                id,
-                                Outcome::Rejected,
-                                "server at capacity (all shard queues full)",
-                            ));
-                        }
-                    }
-                }
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut scanned = 0; // bytes before this hold no '\n'
+    'conn: while !shutdown.load(Ordering::Relaxed) {
+        while let Some(nl) = buf[scanned..].iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..scanned + nl + 1).collect();
+            scanned = 0;
+            let line = String::from_utf8_lossy(&line);
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
             }
+            if !dispatch(
+                trimmed,
+                &ctx,
+                &shutdown,
+                &shards,
+                &next_shard,
+                max_inflight,
+                workers,
+                &reply_tx,
+            ) {
+                break 'conn; // client-initiated shutdown
+            }
+        }
+        scanned = buf.len();
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
             {
                 continue;
             }
@@ -310,6 +288,89 @@ fn connection(
     }
     drop(reply_tx);
     let _ = writer.join();
+}
+
+/// Handles one request line on a connection. Returns `false` when the
+/// client asked the daemon to shut down (the connection stops reading).
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    trimmed: &str,
+    ctx: &Arc<ServeCtx>,
+    shutdown: &AtomicBool,
+    shards: &[SyncSender<Job>],
+    next_shard: &AtomicUsize,
+    max_inflight: u64,
+    workers: usize,
+    reply_tx: &mpsc::Sender<String>,
+) -> bool {
+    match protocol::parse_request(trimmed) {
+        Err(e) => {
+            let _ = reply_tx.send(protocol::protocol_error(&e));
+        }
+        Ok(Request::Health) => {
+            let _ = reply_tx.send(
+                ObjBuilder::new()
+                    .bool("ok", true)
+                    .u64("workers", workers as u64)
+                    .u64("inflight", ctx.inflight.load(Ordering::Relaxed))
+                    .finish(),
+            );
+        }
+        Ok(Request::Stats) => {
+            let _ = reply_tx.send(render_stats(ctx, workers));
+        }
+        Ok(Request::Shutdown) => {
+            let _ = reply_tx.send(ObjBuilder::new().bool("ok", true).finish());
+            shutdown.store(true, Ordering::Relaxed);
+            return false;
+        }
+        Ok(Request::Run(req)) => {
+            // Gate 1: the global in-flight cap. Backpressure is
+            // `busy` — transient by definition — never `rejected`,
+            // which is reserved for requests that can *never* succeed.
+            if ctx.inflight.fetch_add(1, Ordering::Relaxed) >= max_inflight {
+                ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                ctx.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(protocol::error_response(
+                    req.id,
+                    Outcome::Busy,
+                    "server at capacity (in-flight cap)",
+                ));
+                return true;
+            }
+            // Gate 2: a bounded shard queue, round-robin with failover
+            // so one slow shard doesn't reject while others sit idle.
+            let id = req.id;
+            let mut job = Job {
+                req: *req,
+                reply: reply_tx.clone(),
+            };
+            let start = next_shard.fetch_add(1, Ordering::Relaxed);
+            let mut admitted = false;
+            for i in 0..shards.len() {
+                let shard = &shards[(start + i) % shards.len()];
+                match shard.try_send(job) {
+                    Ok(()) => {
+                        admitted = true;
+                        break;
+                    }
+                    Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
+                        job = j;
+                    }
+                }
+            }
+            if !admitted {
+                ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                ctx.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(protocol::error_response(
+                    id,
+                    Outcome::Busy,
+                    "server at capacity (all shard queues full)",
+                ));
+            }
+        }
+    }
+    true
 }
 
 /// The `stats` response: lifecycle totals, cache effectiveness, shared
@@ -336,6 +397,7 @@ fn render_stats(ctx: &ServeCtx, workers: usize) -> String {
         .u64("leaked_blocks", agg.leaked_blocks)
         .u64("reclaimed_blocks", agg.reclaimed_blocks)
         .u64("audit_failures", agg.audit_failures)
+        .u64("shared_ref_drift", agg.shared_ref_drift)
         .u64("cache_programs", programs as u64)
         .u64("cache_hits", hits)
         .u64("cache_misses", misses)

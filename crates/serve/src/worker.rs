@@ -63,6 +63,16 @@ pub struct Aggregate {
     pub reclaimed_blocks: u64,
     /// Post-reset [`audit::check_heap`] failures (must stay zero).
     pub audit_failures: u64,
+    /// Shared-segment references that aborted shared sessions failed
+    /// to return (the one-way drift documented in `docs/SERVING.md`):
+    /// a session killed by a fuel/memory limit may die with shared
+    /// references still rooted in dead machine frames. [`Heap::reset`]
+    /// repays the references held by local block *fields*; the
+    /// frame-held residue only pins shared blocks (counts inflate, so
+    /// they are never freed early) and is bounded by the segment,
+    /// whose storage is released wholesale when the cache entry drops.
+    /// Must stay zero for every *ok* session.
+    pub shared_ref_drift: u64,
     /// All session heap statistics, merged associatively.
     pub stats: Stats,
     /// Merged attributed profile of every `profile:true` session.
@@ -98,7 +108,7 @@ pub fn worker_loop(jobs: Receiver<Job>, ctx: Arc<ServeCtx>, shutdown: Arc<Atomic
     let mut heap = Heap::new(ReclaimMode::Rc);
     loop {
         if shutdown.load(Ordering::Relaxed) {
-            return;
+            break;
         }
         match jobs.recv_timeout(Duration::from_millis(100)) {
             Ok(job) => {
@@ -106,6 +116,27 @@ pub fn worker_loop(jobs: Receiver<Job>, ctx: Arc<ServeCtx>, shutdown: Arc<Atomic
                 heap = returned;
                 // A dead connection just discards the response.
                 let _ = job.reply.send(response);
+                ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+    // Shutdown with jobs possibly still queued (or racing in from
+    // connections that haven't seen the flag yet): every admitted job
+    // must still be answered and the inflight gauge returned to zero,
+    // or its client hangs until EOF. Keep receiving until the last
+    // sender is gone — connection threads exit on the same flag, so
+    // disconnection is guaranteed.
+    loop {
+        match jobs.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => {
+                let _ = job.reply.send(crate::protocol::error_response(
+                    job.req.id,
+                    Outcome::Rejected,
+                    "server shutting down",
+                ));
+                ctx.rejected.fetch_add(1, Ordering::Relaxed);
                 ctx.inflight.fetch_sub(1, Ordering::Relaxed);
             }
             Err(RecvTimeoutError::Timeout) => continue,
@@ -213,6 +244,10 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
     let profile = heap.take_profile();
     let leaked = heap.live_blocks();
     let reclaimed = heap.reset();
+    // References the session minted into the shared segment but never
+    // spent (nonzero only for shared sessions aborted by a limit; the
+    // reset already repaid the block-field-held part).
+    let shared_drift = heap.take_shared_drift();
     let audit_ok = audit::check_heap(&heap, &[]).is_ok();
 
     {
@@ -223,12 +258,13 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
             Outcome::FuelExhausted => agg.fuel_exhausted += 1,
             Outcome::MemoryLimit => agg.memory_limit += 1,
             Outcome::CompileError => agg.compile_errors += 1,
-            Outcome::Failed | Outcome::Rejected => agg.failed += 1,
+            Outcome::Failed | Outcome::Rejected | Outcome::Busy => agg.failed += 1,
         }
         if outcome == Outcome::Ok {
             agg.leaked_blocks += leaked;
         }
         agg.reclaimed_blocks += reclaimed;
+        agg.shared_ref_drift += shared_drift;
         if !audit_ok {
             agg.audit_failures += 1;
         }
@@ -251,6 +287,7 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
         .u64("micros", start.elapsed().as_micros() as u64)
         .u64("leaked_blocks", leaked)
         .u64("reclaimed_blocks", reclaimed)
+        .u64("shared_ref_drift", shared_drift)
         .bool("audit_ok", audit_ok)
         .raw("counters", &render_counters(&stats));
     if let Some(v) = &value {
@@ -467,6 +504,75 @@ mod tests {
             .and_then(crate::json::Json::as_u64)
             .unwrap();
         assert!(hits > 0, "warm session must hit the recycled free lists");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_with_rejection() {
+        use std::sync::mpsc;
+        let ctx = Arc::new(ctx());
+        let (tx, rx) = mpsc::sync_channel::<Job>(8);
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        for id in 0..3 {
+            ctx.inflight.fetch_add(1, Ordering::Relaxed);
+            tx.send(Job {
+                req: RunRequest { id, ..req("map") },
+                reply: reply_tx.clone(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        drop(reply_tx);
+        let shutdown = Arc::new(AtomicBool::new(true));
+        worker_loop(rx, Arc::clone(&ctx), shutdown);
+        let replies: Vec<String> = reply_rx.try_iter().collect();
+        assert_eq!(replies.len(), 3, "every queued job must be answered");
+        for r in &replies {
+            assert!(r.contains("\"outcome\":\"rejected\""), "{r}");
+            assert!(r.contains("shutting down"), "{r}");
+        }
+        assert_eq!(
+            ctx.inflight.load(Ordering::Relaxed),
+            0,
+            "the inflight gauge must return to zero"
+        );
+        assert_eq!(ctx.rejected.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn aborted_shared_session_reports_ref_drift_and_never_unpins_the_input() {
+        let ctx = ctx();
+        // A healthy shared session freezes the input and balances its
+        // ledger.
+        let mut warm = req("map");
+        warm.shared = true;
+        let (heap, a) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &warm);
+        assert!(a.contains("\"outcome\":\"ok\""), "{a}");
+        assert!(a.contains("\"shared_ref_drift\":0"), "{a}");
+        // Starve a shared session: it dies with shared references
+        // still rooted in dead machine frames.
+        let mut starved = req("map");
+        starved.shared = true;
+        starved.fuel = Some(800);
+        let (heap, b) = run_session(heap, &ctx, &starved);
+        assert!(b.contains("\"outcome\":\"fuel-exhausted\""), "{b}");
+        assert!(b.contains("\"audit_ok\":true"), "{b}");
+        assert_eq!(heap.live_blocks(), 0, "local heap still resets clean");
+        let agg = ctx.aggregate.lock().unwrap();
+        assert!(
+            agg.shared_ref_drift > 0,
+            "the un-returned references must surface as measured drift"
+        );
+        drop(agg);
+        // Drift only *pins* shared blocks (counts inflate): the
+        // segment's live gauge never moves, so successors are safe.
+        let (_, live, baseline) = ctx.inputs.stats();
+        assert_eq!(live, baseline);
+        // And a successor shared session on the same heap still works.
+        let mut again = req("map");
+        again.shared = true;
+        let (_, c) = run_session(heap, &ctx, &again);
+        assert!(c.contains("\"outcome\":\"ok\""), "{c}");
+        assert!(c.contains("\"shared_ref_drift\":0"), "{c}");
     }
 
     #[test]

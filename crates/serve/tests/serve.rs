@@ -182,16 +182,77 @@ fn shared_inputs_are_frozen_once_and_isolated() {
 }
 
 #[test]
-fn admission_control_rejects_at_capacity() {
+fn admission_control_turns_away_at_capacity_as_busy() {
     let h = server(|c| c.max_inflight = 0);
     let rs = roundtrip(h.addr(), &[run_line(1, "map", "")]);
-    assert_eq!(field(&rs[&1], "outcome").as_str(), Some("rejected"));
+    // Capacity is transient backpressure: the client may retry.
+    assert_eq!(field(&rs[&1], "outcome").as_str(), Some("busy"));
     let stats = roundtrip(h.addr(), &[r#"{"op":"stats"}"#.to_string()]);
     assert_eq!(
         field(&stats[&(CONTROL_BASE + 1)], "rejected").as_u64(),
         Some(1)
     );
     h.join();
+}
+
+#[test]
+fn permanently_unservable_requests_are_rejected_not_busy() {
+    let h = server(|_| {});
+    // A non-garbage-free strategy can never be served: retrying is
+    // pointless, so the outcome must be the terminal "rejected", not
+    // the retryable "busy".
+    let rs = roundtrip(
+        h.addr(),
+        &[run_line(1, "map", r#","strategy":"tracing-gc""#)],
+    );
+    assert_eq!(
+        field(&rs[&1], "outcome").as_str(),
+        Some("rejected"),
+        "{:?}",
+        rs[&1]
+    );
+    h.join();
+}
+
+#[test]
+fn slow_clients_survive_read_timeouts_mid_line() {
+    let h = server(|_| {});
+    let mut stream = TcpStream::connect(h.addr()).expect("connect");
+    let line = run_line(5, "map", "");
+    let (head, tail) = line.as_bytes().split_at(line.len() / 2);
+    // Stall longer than the server's 100ms read-poll interval with a
+    // request line half-written: the reader must keep the partial
+    // bytes intact across the timeout.
+    stream.write_all(head).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(350));
+    stream.write_all(tail).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    assert!(reader.read_line(&mut resp).unwrap() > 0, "early EOF");
+    let v = json::parse(resp.trim()).expect("valid response json");
+    assert_eq!(field(&v, "id").as_u64(), Some(5));
+    assert_eq!(field(&v, "outcome").as_str(), Some("ok"), "{v:?}");
+    h.join();
+}
+
+#[test]
+fn wait_parks_until_a_client_requests_shutdown() {
+    let h = server(|_| {});
+    let addr = h.addr();
+    let driver = std::thread::spawn(move || {
+        // If wait() returned on its own (the old join() behaviour shut
+        // the daemon down ~immediately), this session would fail to
+        // connect or get no reply — failing the test from this thread.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let rs = roundtrip(addr, &[run_line(1, "map", "")]);
+        assert_eq!(field(&rs[&1], "outcome").as_str(), Some("ok"));
+        let _ = roundtrip(addr, &[r#"{"op":"shutdown"}"#.to_string()]);
+    });
+    // Parks until the driver's shutdown request raises the flag.
+    h.wait();
+    driver.join().expect("driver thread succeeds");
 }
 
 #[test]
