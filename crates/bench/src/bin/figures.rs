@@ -385,10 +385,7 @@ fn alloc_ablation(opts: &Options) {
         let n = size_for(opts, &w).min(50_000);
         let compiled = compile_with_config(w.source, PassConfig::perceus()).expect("compile");
         for (label, recycle) in [("on", true), ("off", false)] {
-            let cfg = RunConfig {
-                heap_recycle: recycle,
-                ..RunConfig::default()
-            };
+            let cfg = RunConfig::new().with_heap_recycle(recycle);
             let start = std::time::Instant::now();
             let out = run_workload(&compiled, Strategy::Perceus, n, cfg).expect("run");
             let t = start.elapsed();

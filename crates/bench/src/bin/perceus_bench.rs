@@ -274,10 +274,7 @@ fn main() -> ExitCode {
 /// `--profile`: one extra (untimed) run with the attributed profiler on,
 /// reporting where the RC traffic and allocations come from.
 fn run_profile_section(w: &perceus_suite::Workload, opts: &Options, n: i64) -> ExitCode {
-    let config = RunConfig {
-        profile: true,
-        ..RunConfig::default()
-    };
+    let config = RunConfig::new().with_profile(true);
     let compiled = match perceus_suite::compile_workload(w.source, opts.strategy) {
         Ok(c) => c,
         Err(e) => {

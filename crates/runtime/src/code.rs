@@ -143,6 +143,8 @@ pub struct Compiled {
     /// for builder-made programs). Carried verbatim from
     /// [`Program::fun_spans`] so profiler reports can point at source.
     pub fun_spans: Vec<(u32, u32)>,
+    /// Unique identity of this compiled instance (see [`Compiled::uid`]).
+    uid: CodeUid,
 }
 
 impl Compiled {
@@ -152,6 +154,34 @@ impl Compiled {
             .iter()
             .position(|f| &*f.name == name)
             .map(|i| FunId(i as u32))
+    }
+
+    /// A process-unique id for this `Compiled` *instance*. Cloning
+    /// mints a fresh id (a clone's expression nodes live at different
+    /// addresses), which lets a parked [`crate::machine::Checkpoint`]
+    /// prove it is being resumed against the very program it was
+    /// suspended from before any erased code pointer is followed.
+    pub fn uid(&self) -> u64 {
+        self.uid.0
+    }
+}
+
+/// Identity token for one `Compiled` value: fresh on construction *and*
+/// on clone, so two structurally identical programs never share a uid.
+#[derive(Debug)]
+struct CodeUid(u64);
+
+impl CodeUid {
+    fn fresh() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        CodeUid(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl Clone for CodeUid {
+    fn clone(&self) -> Self {
+        CodeUid::fresh()
     }
 }
 
@@ -163,6 +193,7 @@ pub fn compile(p: &Program) -> Result<Compiled, RuntimeError> {
         lambdas: Vec::new(),
         entry: p.entry,
         fun_spans: p.fun_spans.clone(),
+        uid: CodeUid::fresh(),
     };
     for (_, f) in p.funs() {
         let mut cx = FrameCx::new(&p.types);

@@ -4,7 +4,13 @@ use crate::value::Addr;
 use std::fmt;
 
 /// An error raised while executing a compiled program.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm,
+/// so adding an error variant is not a breaking change. Every variant
+/// has a stable machine-readable code ([`RuntimeError::code`]) that
+/// wire protocols report verbatim.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// `abort(...)` was executed (non-exhaustive match, etc.).
     Abort(String),
@@ -31,6 +37,26 @@ pub enum RuntimeError {
     MatchFailure(String),
     /// An internal invariant of the heap or machine was violated.
     Internal(String),
+}
+
+impl RuntimeError {
+    /// The stable machine-readable code for this error, one per
+    /// variant. These strings are a wire-protocol contract (see
+    /// docs/SERVING.md): they never change for an existing variant, and
+    /// a new variant must introduce a new code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuntimeError::Abort(_) => "abort",
+            RuntimeError::DivisionByZero => "division-by-zero",
+            RuntimeError::UseAfterFree(_) => "use-after-free",
+            RuntimeError::BadAddress(_) => "bad-address",
+            RuntimeError::StepLimit(_) => "step-limit",
+            RuntimeError::MemoryLimit { .. } => "memory-limit",
+            RuntimeError::TypeMismatch(_) => "type-mismatch",
+            RuntimeError::MatchFailure(_) => "match-failure",
+            RuntimeError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {

@@ -29,45 +29,33 @@ use perceus_core::passes::Validation;
 use std::fmt;
 
 /// Machine configuration.
+///
+/// Built with the `with_*` methods (the [`perceus_core::passes::PassConfig`]
+/// pattern: private fields, chainable setters, accessors), so growing a
+/// new knob — per-resume budgets, say — is never a breaking
+/// struct-literal change for downstream callers:
+///
+/// ```
+/// use perceus_runtime::RunConfig;
+/// let config = RunConfig::new().with_step_limit(Some(10_000)).with_profile(true);
+/// assert_eq!(config.step_limit(), Some(10_000));
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunConfig {
-    /// Abort with [`RuntimeError::StepLimit`] after this many steps
-    /// (`None` = unlimited). Steps are counted in
-    /// [`crate::heap::Stats::steps`], which a serving worker zeroes at
-    /// every [`Heap::reset`] — so under the serving harness this is a
-    /// *per-session* fuel budget.
-    pub step_limit: Option<u64>,
-    /// Abort with [`RuntimeError::MemoryLimit`] once the live heap
-    /// exceeds this many words (`None` = unlimited). Enforced in the
-    /// machine loop against `Stats::live_words`; under a garbage-free
-    /// strategy that quantity is exactly the reachable data, so the
-    /// limit is deterministic (the same program at the same size always
-    /// hits it at the same step — or never).
-    pub memory_limit_words: Option<u64>,
-    /// Collector policy (GC mode only; `None` uses the default).
-    pub gc: Option<GcConfig>,
-    /// Run the garbage-free/soundness auditor every N steps (expensive;
-    /// for tests). See [`crate::audit`].
-    pub audit_every: Option<u64>,
-    /// Retain the most recent N reference-count events for debugging
-    /// (see [`crate::trace`]); `None` disables tracing.
-    pub trace_capacity: Option<usize>,
-    /// Serve allocations from the heap's size-class free lists (on by
-    /// default); off restores the free-and-reallocate discipline for
-    /// the allocator ablation.
-    pub heap_recycle: bool,
-    /// Runtime invariant-check policy (see
-    /// [`crate::heap::HeapConfig::validation`]). `Full` makes release
-    /// builds also verify reuse-specialization skip masks.
-    pub validation: Validation,
-    /// Attribute every heap/RC event to the executing function (see
-    /// [`crate::profile`]). Off by default: the disabled profiler costs
-    /// one predictable branch per heap entry point and nothing else.
-    pub profile: bool,
+    step_limit: Option<u64>,
+    memory_limit_words: Option<u64>,
+    gc: Option<GcConfig>,
+    audit_every: Option<u64>,
+    trace_capacity: Option<usize>,
+    heap_recycle: bool,
+    validation: Validation,
+    profile: bool,
 }
 
-impl Default for RunConfig {
-    fn default() -> Self {
+impl RunConfig {
+    /// The default configuration: no limits, allocator recycling on,
+    /// default validation, no tracing or profiling.
+    pub fn new() -> Self {
         RunConfig {
             step_limit: None,
             memory_limit_words: None,
@@ -78,6 +66,118 @@ impl Default for RunConfig {
             validation: Validation::default(),
             profile: false,
         }
+    }
+
+    /// Abort with [`RuntimeError::StepLimit`] after this many steps
+    /// (`None` = unlimited). Steps are counted in
+    /// [`crate::heap::Stats::steps`], which survives suspension — so for
+    /// a resumable [`Execution`] this is the *cumulative* fuel ceiling
+    /// across all resume legs, while the per-leg budget passed to
+    /// [`Execution::run`] only suspends.
+    pub fn with_step_limit(mut self, limit: Option<u64>) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Abort with [`RuntimeError::MemoryLimit`] once the live heap
+    /// exceeds this many words (`None` = unlimited). Enforced in the
+    /// machine loop against `Stats::live_words`; under a garbage-free
+    /// strategy that quantity is exactly the reachable data, so the
+    /// limit is deterministic (the same program at the same size always
+    /// hits it at the same step — or never).
+    pub fn with_memory_limit_words(mut self, limit: Option<u64>) -> Self {
+        self.memory_limit_words = limit;
+        self
+    }
+
+    /// Collector policy (GC mode only; `None` uses the default).
+    pub fn with_gc(mut self, gc: Option<GcConfig>) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Run the garbage-free/soundness auditor every N steps (expensive;
+    /// for tests). See [`crate::audit`].
+    pub fn with_audit_every(mut self, every: Option<u64>) -> Self {
+        self.audit_every = every;
+        self
+    }
+
+    /// Retain the most recent N reference-count events for debugging
+    /// (see [`crate::trace`]); `None` disables tracing.
+    pub fn with_trace_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Serve allocations from the heap's size-class free lists (on by
+    /// default); off restores the free-and-reallocate discipline for
+    /// the allocator ablation.
+    pub fn with_heap_recycle(mut self, recycle: bool) -> Self {
+        self.heap_recycle = recycle;
+        self
+    }
+
+    /// Runtime invariant-check policy (see
+    /// [`crate::heap::HeapConfig::validation`]). `Full` makes release
+    /// builds also verify reuse-specialization skip masks.
+    pub fn with_validation(mut self, validation: Validation) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    /// Attribute every heap/RC event to the executing function (see
+    /// [`crate::profile`]). Off by default: the disabled profiler costs
+    /// one predictable branch per heap entry point and nothing else.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The step (fuel) ceiling, if any.
+    pub fn step_limit(&self) -> Option<u64> {
+        self.step_limit
+    }
+
+    /// The live-heap ceiling in words, if any.
+    pub fn memory_limit_words(&self) -> Option<u64> {
+        self.memory_limit_words
+    }
+
+    /// The collector policy override, if any.
+    pub fn gc(&self) -> Option<GcConfig> {
+        self.gc
+    }
+
+    /// The audit cadence, if any.
+    pub fn audit_every(&self) -> Option<u64> {
+        self.audit_every
+    }
+
+    /// The rc-trace ring capacity, if any.
+    pub fn trace_capacity(&self) -> Option<usize> {
+        self.trace_capacity
+    }
+
+    /// Whether allocations are served from size-class free lists.
+    pub fn heap_recycle(&self) -> bool {
+        self.heap_recycle
+    }
+
+    /// The runtime invariant-check policy.
+    pub fn validation(&self) -> Validation {
+        self.validation
+    }
+
+    /// Whether the per-function profiler is on.
+    pub fn profile(&self) -> bool {
+        self.profile
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -232,6 +332,9 @@ impl<'p> Machine<'p> {
     }
 
     /// Runs the program's entry function with the given arguments.
+    ///
+    /// A thin run-until-done wrapper over [`Machine::start`] /
+    /// [`Execution::run`].
     pub fn run_entry(&mut self, args: Vec<Value>) -> Result<Value, RuntimeError> {
         let entry = self
             .code
@@ -240,8 +343,32 @@ impl<'p> Machine<'p> {
         self.run_fun(entry, args)
     }
 
-    /// Runs an arbitrary function.
+    /// Runs an arbitrary function to completion — a thin wrapper over
+    /// [`Machine::start`] / [`Execution::run`] with no budget.
     pub fn run_fun(&mut self, fun: FunId, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        let mut exec = self.start(fun, args)?;
+        match exec.run(self, None)? {
+            StepOutcome::Done(v) => Ok(v),
+            StepOutcome::Suspended { .. } => Err(RuntimeError::Internal(
+                "unbudgeted execution suspended".into(),
+            )),
+        }
+    }
+
+    /// Begins a *resumable* execution of `fun` — the checkpoint/resume
+    /// entry point. The returned [`Execution`] owns the continuation
+    /// state (environment, frame stack, pending output) whenever it is
+    /// suspended; drive it with [`Execution::run`], giving each leg a
+    /// step budget. The profiler frame stack lives inside the heap, so
+    /// it travels with the heap across suspensions automatically.
+    ///
+    /// One machine drives one execution at a time: state is swapped
+    /// into the machine for the duration of each [`Execution::run`] leg
+    /// and back out at suspension. Starting a second execution while
+    /// another is suspended is fine (each owns its state); running two
+    /// *interleaved* legs on one machine is not — the profiler stack
+    /// would interleave.
+    pub fn start(&mut self, fun: FunId, args: Vec<Value>) -> Result<Execution<'p>, RuntimeError> {
         let f = &self.code.funs[fun.0 as usize];
         if f.arity != args.len() {
             return Err(RuntimeError::TypeMismatch(format!(
@@ -251,18 +378,47 @@ impl<'p> Machine<'p> {
                 args.len()
             )));
         }
-        self.env = frame_env(args, f.nslots);
         self.heap.prof_enter(FrameKind::Fun(fun));
-        let r = self.exec(&f.body);
-        self.heap.prof_exit();
-        r
+        Ok(Execution {
+            cur: Some(&f.body),
+            frames: Vec::new(),
+            env: frame_env(args, f.nslots),
+            output: Vec::new(),
+            steps: 0,
+            code_uid: self.code.uid(),
+            finished: false,
+        })
+    }
+
+    /// Begins a resumable execution of the program's entry function.
+    pub fn start_entry(&mut self, args: Vec<Value>) -> Result<Execution<'p>, RuntimeError> {
+        let entry = self
+            .code
+            .entry
+            .ok_or_else(|| RuntimeError::Internal("program has no entry point".into()))?;
+        self.start(entry, args)
     }
 
     // ---- the main loop ------------------------------------------------
 
-    fn exec(&mut self, start: &'p RExpr) -> Result<Value, RuntimeError> {
+    fn step_loop(
+        &mut self,
+        start: &'p RExpr,
+        step_end: Option<u64>,
+    ) -> Result<Step<'p>, RuntimeError> {
         let mut cur = start;
         loop {
+            if let Some(end) = step_end {
+                // Suspend *before* executing the instruction, and only at
+                // a non-RC instruction: Theorem 4's side condition — the
+                // same one the in-flight auditor uses — guarantees the
+                // suspended state is garbage-free and auditable. A run of
+                // RC instructions past the budget only overshoots by the
+                // length of that run.
+                if self.heap.stats.steps >= end && !is_rc_instruction(cur) {
+                    return Ok(Step::Suspend(cur));
+                }
+            }
             self.heap.stats.steps += 1;
             if let Some(limit) = self.config.step_limit {
                 if self.heap.stats.steps > limit {
@@ -288,7 +444,7 @@ impl<'p> Machine<'p> {
                     let v = self.read(*a);
                     match self.ret(v) {
                         Some(next) => cur = next,
-                        None => return Ok(v),
+                        None => return Ok(Step::Done(v)),
                     }
                 }
                 RExpr::Let { slot, rhs, body } => match &**rhs {
@@ -425,7 +581,7 @@ impl<'p> Machine<'p> {
                     let v = self.eval_simple(simple)?;
                     match self.ret(v) {
                         Some(next) => cur = next,
-                        None => return Ok(v),
+                        None => return Ok(Step::Done(v)),
                     }
                 }
             }
@@ -728,6 +884,317 @@ impl<'p> Machine<'p> {
 fn frame_env(mut vals: Vec<Value>, nslots: usize) -> Vec<Value> {
     vals.resize(nslots, Value::Unit);
     vals
+}
+
+/// What one step-loop leg produced (internal).
+enum Step<'p> {
+    Done(Value),
+    Suspend(&'p RExpr),
+}
+
+/// The outcome of one [`Execution::run`] leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// The execution finished with this result value.
+    Done(Value),
+    /// The budget ran out at an auditable point; the execution owns its
+    /// continuation and can be resumed with more fuel (or parked as a
+    /// [`Checkpoint`]).
+    Suspended {
+        /// Cumulative steps executed by this execution so far.
+        steps_used: u64,
+        /// Live heap words at the suspension point — because Perceus is
+        /// garbage-free at every step (Thm. 2/4), this is *exactly* the
+        /// reachable data, so admission control can charge it against a
+        /// memory budget with no slack for floating garbage.
+        live_words: u64,
+    },
+}
+
+/// A resumable execution: the machine's continuation state between
+/// [`Execution::run`] legs.
+///
+/// While suspended it owns the environment, the frame stack, and the
+/// output buffer; the heap (including the profiler frame stack) stays
+/// with the [`Machine`]. A suspended execution is a precise, auditable
+/// snapshot: [`Execution::root_addrs`] plus
+/// [`crate::audit::check_heap`] must report zero floating garbage —
+/// that is the suspension-point invariant this API maintains by only
+/// suspending at instructions satisfying Theorem 4's side condition.
+pub struct Execution<'p> {
+    cur: Option<&'p RExpr>,
+    frames: Vec<Frame<'p>>,
+    env: Vec<Value>,
+    output: Vec<i64>,
+    steps: u64,
+    code_uid: u64,
+    finished: bool,
+}
+
+impl<'p> Execution<'p> {
+    /// Runs until done, error, or (with a budget) suspension after
+    /// roughly `budget` more steps. `machine` must be the machine (or a
+    /// machine over the same heap and [`Compiled`]) that started this
+    /// execution: its heap carries the execution's data and profiler
+    /// stack.
+    ///
+    /// On `Done`/`Err` the execution is finished and cannot run again;
+    /// the profiler exits the entry frame exactly as the old
+    /// run-to-completion API did. On `Suspended` the continuation moves
+    /// back into `self` and the machine is left neutral (empty frames
+    /// and environment).
+    pub fn run(
+        &mut self,
+        machine: &mut Machine<'p>,
+        budget: Option<u64>,
+    ) -> Result<StepOutcome, RuntimeError> {
+        if self.finished {
+            return Err(RuntimeError::Internal(
+                "resume of a finished execution".into(),
+            ));
+        }
+        if self.code_uid != machine.code.uid() {
+            return Err(RuntimeError::Internal(
+                "execution resumed on a machine for a different program".into(),
+            ));
+        }
+        let cur = self.cur.take().ok_or_else(|| {
+            RuntimeError::Internal("resume of an execution that is already running".into())
+        })?;
+        machine.env = std::mem::take(&mut self.env);
+        machine.frames = std::mem::take(&mut self.frames);
+        if !self.output.is_empty() {
+            // Carry output printed by earlier legs (machine.output is
+            // empty unless the caller reuses one machine across legs, in
+            // which case it already holds this execution's history).
+            let mut out = std::mem::take(&mut self.output);
+            out.append(&mut machine.output);
+            machine.output = out;
+        }
+        let start_steps = machine.heap.stats.steps;
+        let step_end = budget.map(|b| start_steps.saturating_add(b));
+        let r = machine.step_loop(cur, step_end);
+        self.steps = self
+            .steps
+            .saturating_add(machine.heap.stats.steps - start_steps);
+        match r {
+            Ok(Step::Done(v)) => {
+                self.finished = true;
+                machine.heap.prof_exit();
+                Ok(StepOutcome::Done(v))
+            }
+            Ok(Step::Suspend(next)) => {
+                self.cur = Some(next);
+                self.env = std::mem::take(&mut machine.env);
+                self.frames = std::mem::take(&mut machine.frames);
+                self.output = std::mem::take(&mut machine.output);
+                Ok(StepOutcome::Suspended {
+                    steps_used: self.steps,
+                    live_words: machine.heap.stats.live_words,
+                })
+            }
+            Err(e) => {
+                self.finished = true;
+                machine.heap.prof_exit();
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether the execution has completed (or died with an error).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Cumulative steps executed across all legs so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Heap roots of the suspended continuation: every live address
+    /// reachable from the environment or a pending frame. Feed these to
+    /// [`crate::audit::check_heap`] to assert garbage-freedom at the
+    /// suspension point.
+    pub fn root_addrs(&self, heap: &Heap) -> Vec<crate::value::Addr> {
+        collect_roots(
+            heap,
+            self.env
+                .iter()
+                .chain(self.frames.iter().flat_map(frame_values)),
+        )
+    }
+
+    /// Parks the suspended execution as a lifetime-erased
+    /// [`Checkpoint`] that can outlive the `&Compiled` borrow. Errors
+    /// if the execution already finished.
+    pub fn into_checkpoint(self) -> Result<Checkpoint, RuntimeError> {
+        if self.finished {
+            return Err(RuntimeError::Internal(
+                "checkpoint of a finished execution".into(),
+            ));
+        }
+        let cur = self.cur.ok_or_else(|| {
+            RuntimeError::Internal("checkpoint of an execution that is running".into())
+        })?;
+        let frames = self
+            .frames
+            .into_iter()
+            .map(|f| match f {
+                Frame::Call { env, dst, cont } => RawFrame::Call {
+                    env,
+                    dst,
+                    cont: cont.map(erase),
+                },
+                Frame::Local { dst, cont } => RawFrame::Local {
+                    dst,
+                    cont: erase(cont),
+                },
+                Frame::Discard { cont } => RawFrame::Discard { cont: erase(cont) },
+            })
+            .collect();
+        Ok(Checkpoint {
+            code_uid: self.code_uid,
+            cur: erase(cur),
+            frames,
+            env: self.env,
+            output: self.output,
+            steps: self.steps,
+        })
+    }
+}
+
+fn erase(e: &RExpr) -> usize {
+    e as *const RExpr as usize
+}
+
+fn frame_values<'a, 'p>(f: &'a Frame<'p>) -> std::slice::Iter<'a, Value> {
+    match f {
+        Frame::Call { env, .. } => env.iter(),
+        _ => [].iter(),
+    }
+}
+
+fn collect_roots<'a>(
+    heap: &Heap,
+    values: impl Iterator<Item = &'a Value>,
+) -> Vec<crate::value::Addr> {
+    values
+        .filter_map(|v| match v {
+            Value::Ref(a) | Value::Token(Some(a)) => Some(*a),
+            _ => None,
+        })
+        .filter(|a| heap.ref_alive(*a))
+        .collect()
+}
+
+/// A parked, lifetime-erased continuation: the serialized form of a
+/// suspended [`Execution`], able to outlive the `&Compiled` borrow so a
+/// serving worker can hold it in a suspension table across requests.
+///
+/// Expression positions are stored as raw node addresses. They stay
+/// valid because a [`Compiled`] program's expression trees live in
+/// heap-allocated nodes (`Box`/`Vec`) whose addresses do not change
+/// when the `Compiled` value itself moves; what *would* invalidate them
+/// is dropping or mutating the `Compiled`, which is why
+/// [`Checkpoint::resume`] is `unsafe` and re-checks the program's
+/// unique [`Compiled::uid`].
+pub struct Checkpoint {
+    code_uid: u64,
+    cur: usize,
+    frames: Vec<RawFrame>,
+    env: Vec<Value>,
+    output: Vec<i64>,
+    steps: u64,
+}
+
+enum RawFrame {
+    Call {
+        env: Vec<Value>,
+        dst: Option<Slot>,
+        cont: Option<usize>,
+    },
+    Local {
+        dst: Slot,
+        cont: usize,
+    },
+    Discard {
+        cont: usize,
+    },
+}
+
+impl Checkpoint {
+    /// Cumulative steps executed before parking.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Heap roots of the parked continuation (safe: roots live in the
+    /// captured environments, not behind the erased code pointers), for
+    /// auditing a parked session with [`crate::audit::check_heap`].
+    pub fn root_addrs(&self, heap: &Heap) -> Vec<crate::value::Addr> {
+        collect_roots(
+            heap,
+            self.env
+                .iter()
+                .chain(self.frames.iter().flat_map(|f| match f {
+                    RawFrame::Call { env, .. } => env.iter(),
+                    _ => [].iter(),
+                })),
+        )
+    }
+
+    /// Un-parks the checkpoint against its compiled program.
+    ///
+    /// Fails (safely) if `code` is not the same *instance* the
+    /// checkpoint was taken from — every [`Compiled`] carries a unique
+    /// id, fresh even across clones, so a lookup-table mixup is caught
+    /// before any raw pointer is dereferenced.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `code` is the identical `Compiled`
+    /// value this checkpoint was parked from and that it has not been
+    /// dropped or mutated in between (e.g. it is held alive behind an
+    /// `Arc` for the checkpoint's whole lifetime). The uid check makes
+    /// accidents deterministic errors, but it cannot prove liveness:
+    /// that contract is the caller's.
+    pub unsafe fn resume<'p>(self, code: &'p Compiled) -> Result<Execution<'p>, RuntimeError> {
+        if self.code_uid != code.uid() {
+            return Err(RuntimeError::Internal(
+                "checkpoint resumed against a different compiled program".into(),
+            ));
+        }
+        // SAFETY: uid equality means `code` is the instance the erased
+        // pointers were taken from, and the caller warrants it is still
+        // alive and unmutated; node addresses are stable under moves of
+        // the `Compiled` value itself.
+        let expr = |p: usize| unsafe { &*(p as *const RExpr) };
+        let frames = self
+            .frames
+            .into_iter()
+            .map(|f| match f {
+                RawFrame::Call { env, dst, cont } => Frame::Call {
+                    env,
+                    dst,
+                    cont: cont.map(expr),
+                },
+                RawFrame::Local { dst, cont } => Frame::Local {
+                    dst,
+                    cont: expr(cont),
+                },
+                RawFrame::Discard { cont } => Frame::Discard { cont: expr(cont) },
+            })
+            .collect();
+        Ok(Execution {
+            cur: Some(expr(self.cur)),
+            frames,
+            env: self.env,
+            output: self.output,
+            steps: self.steps,
+            code_uid: self.code_uid,
+            finished: false,
+        })
+    }
 }
 
 /// Selects and binds a match arm — a borrowing bind per Fig. 1b: fields
@@ -1069,6 +1536,167 @@ mod tests {
         assert_eq!(v.as_int(), Some(23));
         // One BoxV + one closure allocated; everything freed.
         assert_eq!(st.allocations, 2);
+    }
+
+    /// A recursive list build-and-sum program — enough steps and live
+    /// heap to make budgeted suspension interesting.
+    fn list_sum_compiled() -> Compiled {
+        let mut pb = ProgramBuilder::new();
+        let (_, cs) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (cs[0], cs[1]);
+
+        // build(n) = if n < 1 then Nil else Cons(n, build(n - 1))
+        let n = pb.fresh("n");
+        let build = pb.declare("build", vec![n.clone()]);
+        let c = pb.fresh("c");
+        let t = pb.fresh("t");
+        let body = Expr::let_(
+            c.clone(),
+            Expr::Prim(PrimOp::Lt, vec![Expr::Var(n.clone()), Expr::int(1)]),
+            ite(
+                c.clone(),
+                con(nil, vec![]),
+                Expr::let_(
+                    t.clone(),
+                    Expr::Call(
+                        build,
+                        vec![Expr::Prim(
+                            PrimOp::Sub,
+                            vec![Expr::Var(n.clone()), Expr::int(1)],
+                        )],
+                    ),
+                    con(cons, vec![Expr::Var(n.clone()), Expr::Var(t.clone())]),
+                ),
+            ),
+        );
+        pb.set_body(build, body);
+
+        // sum(xs) = match xs { Nil -> 0; Cons(h, t) -> h + sum(t) }
+        let xs = pb.fresh("xs");
+        let sum = pb.declare("sum", vec![xs.clone()]);
+        let h = pb.fresh("h");
+        let t2 = pb.fresh("t2");
+        let r = pb.fresh("r");
+        let body = Expr::Match {
+            scrutinee: xs.clone(),
+            arms: vec![
+                arm0(nil, Expr::int(0)),
+                arm(
+                    cons,
+                    vec![h.clone(), t2.clone()],
+                    Expr::let_(
+                        r.clone(),
+                        Expr::Call(sum, vec![Expr::Var(t2.clone())]),
+                        Expr::Prim(
+                            PrimOp::Add,
+                            vec![Expr::Var(h.clone()), Expr::Var(r.clone())],
+                        ),
+                    ),
+                ),
+            ],
+            default: None,
+        };
+        pb.set_body(sum, body);
+
+        let m = pb.fresh("m");
+        let l = pb.fresh("l");
+        let body = Expr::let_(
+            l.clone(),
+            Expr::Call(build, vec![Expr::Var(m.clone())]),
+            Expr::Call(sum, vec![Expr::Var(l.clone())]),
+        );
+        let main = pb.fun("main", vec![m], body);
+        pb.entry(main);
+        let p = Pipeline::new(PassConfig::perceus())
+            .run(pb.finish())
+            .unwrap();
+        compile(&p).unwrap()
+    }
+
+    /// Chopping a run into fixed budgets suspends (at auditable points)
+    /// and resumes to the identical result and bit-identical stats.
+    #[test]
+    fn budgeted_legs_match_uninterrupted_run_exactly() {
+        let compiled = list_sum_compiled();
+
+        let mut m = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+        let v = m.run_entry(vec![Value::Int(50)]).unwrap();
+        m.drop_result(v).unwrap();
+        assert_eq!(m.heap.live_blocks(), 0);
+        let uninterrupted = m.heap.stats;
+
+        let mut m = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+        let mut exec = m.start_entry(vec![Value::Int(50)]).unwrap();
+        let mut suspensions = 0u64;
+        let v = loop {
+            match exec.run(&mut m, Some(97)).unwrap() {
+                StepOutcome::Done(v) => break v,
+                StepOutcome::Suspended { steps_used, .. } => {
+                    suspensions += 1;
+                    assert_eq!(steps_used, m.heap.stats.steps);
+                    // The suspension-point invariant: the parked state
+                    // is garbage-free and fully auditable.
+                    let roots = exec.root_addrs(&m.heap);
+                    crate::audit::check_heap(&m.heap, &roots).expect("suspension audit");
+                }
+            }
+        };
+        assert!(suspensions > 2, "the budget must actually bite");
+        m.drop_result(v).unwrap();
+        assert_eq!(m.heap.live_blocks(), 0, "garbage-free after resume");
+        assert_eq!(v.as_int(), Some(50 * 51 / 2));
+        assert_eq!(m.heap.stats, uninterrupted, "bit-identical schedule");
+    }
+
+    /// Park a suspended execution as a lifetime-erased checkpoint,
+    /// audit it while parked, then resume it against the same program.
+    #[test]
+    fn checkpoint_roundtrip_preserves_result() {
+        let compiled = list_sum_compiled();
+        let mut m = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+        let mut exec = m.start_entry(vec![Value::Int(40)]).unwrap();
+        let StepOutcome::Suspended { .. } = exec.run(&mut m, Some(200)).unwrap() else {
+            panic!("a 200-step budget must suspend this program");
+        };
+
+        let checkpoint = exec.into_checkpoint().unwrap();
+        let roots = checkpoint.root_addrs(&m.heap);
+        crate::audit::check_heap(&m.heap, &roots).expect("parked audit");
+
+        // A structurally identical clone is a *different* instance:
+        // resuming against it must fail before touching any pointer.
+        let clone = compiled.clone();
+        assert_ne!(clone.uid(), compiled.uid());
+        let checkpoint = match unsafe { checkpoint.resume(&clone) } {
+            Err(RuntimeError::Internal(_)) => {
+                // Re-park for the real resume below.
+                let mut m2 = Machine::new(&compiled, ReclaimMode::Rc, RunConfig::default());
+                let mut e2 = m2.start_entry(vec![Value::Int(40)]).unwrap();
+                match e2.run(&mut m2, Some(200)).unwrap() {
+                    StepOutcome::Suspended { .. } => {
+                        let cp = e2.into_checkpoint().unwrap();
+                        m = m2;
+                        cp
+                    }
+                    other => panic!("expected suspension, got {other:?}"),
+                }
+            }
+            Ok(_) => panic!("resume against a clone must fail"),
+            Err(other) => panic!("unexpected error {other}"),
+        };
+
+        // SAFETY: `compiled` is the instance the checkpoint was parked
+        // from and outlives the resumed execution.
+        let mut exec = unsafe { checkpoint.resume(&compiled) }.unwrap();
+        let v = loop {
+            match exec.run(&mut m, Some(500)).unwrap() {
+                StepOutcome::Done(v) => break v,
+                StepOutcome::Suspended { .. } => {}
+            }
+        };
+        assert_eq!(v.as_int(), Some(40 * 41 / 2));
+        m.drop_result(v).unwrap();
+        assert_eq!(m.heap.live_blocks(), 0);
     }
 
     /// Singleton constructors dispatch without touching the heap.

@@ -196,6 +196,7 @@ mod tests {
             memory: None,
             shared: false,
             profile: false,
+            resumable: false,
         }
     }
 

@@ -52,6 +52,16 @@ pub struct LoadConfig {
     /// Every k-th session gets a deliberately tiny fuel budget so the
     /// run exercises abort-and-reclaim under churn (0 disables).
     pub starve_every: u64,
+    /// When true (the default), fuel-starved sessions are sent
+    /// `resumable:true` and driven to completion with `resume` ops —
+    /// the checkpoint/resume traffic mix. Every starved session must
+    /// then end `ok` (bit-identical counters, which the drift gate
+    /// checks) or be cleanly evicted (`no-such-session` on resume).
+    /// When false, starved sessions abort with `fuel-exhausted` as in
+    /// protocol v1.
+    pub resume: bool,
+    /// Per-leg fuel for starved resumable sessions and their resumes.
+    pub resume_fuel: u64,
     /// Every k-th session requests an attributed profile (0 disables).
     pub profile_every: u64,
     /// Counter baseline for the drift gate (`None` skips it).
@@ -71,6 +81,8 @@ impl Default for LoadConfig {
                 .collect(),
             shared_every: 7,
             starve_every: 31,
+            resume: true,
+            resume_fuel: 2_000,
             profile_every: 97,
             baseline: None,
         }
@@ -91,6 +103,15 @@ pub struct LoadReport {
     /// retried — they land in `other_outcomes` and fail the run.
     pub busy_retries: u64,
     pub other_outcomes: u64,
+    /// `suspended` legs received (one starved session contributes one
+    /// per exhausted budget).
+    pub suspended_legs: u64,
+    /// Sessions that completed after at least one `resume`.
+    pub resumed_sessions: u64,
+    /// Suspended sessions whose resume found the session evicted
+    /// (`rejected` / `no-such-session`) — a clean terminal state under
+    /// park-table pressure, counted toward the answered total.
+    pub evicted_sessions: u64,
     pub shared_sessions: u64,
     pub cache_hit_sessions: u64,
     pub leaked_blocks: u64,
@@ -111,9 +132,11 @@ impl LoadReport {
     }
 
     /// Whether the run met the serve-smoke gates: every session
-    /// answered, zero leaks, zero audit violations, zero drift.
+    /// answered with a clean terminal state (ok, fuel-exhausted, or a
+    /// documented eviction), zero leaks, zero audit violations, zero
+    /// drift.
     pub fn passed(&self) -> bool {
-        self.ok + self.fuel_exhausted + self.other_outcomes == self.sessions
+        self.ok + self.fuel_exhausted + self.evicted_sessions + self.other_outcomes == self.sessions
             && self.other_outcomes == 0
             && self.leaked_blocks == 0
             && self.audit_violations == 0
@@ -143,6 +166,9 @@ impl LoadReport {
             .u64("sessions_ok", self.ok)
             .u64("fuel_exhausted", self.fuel_exhausted)
             .u64("other_outcomes", self.other_outcomes)
+            .u64("suspended_legs", self.suspended_legs)
+            .u64("resumed_sessions", self.resumed_sessions)
+            .u64("evicted_sessions", self.evicted_sessions)
             .u64("busy_retries", self.busy_retries)
             .u64("shared_sessions", self.shared_sessions)
             .u64("cache_hit_sessions", self.cache_hit_sessions)
@@ -165,13 +191,15 @@ impl LoadReport {
     }
 }
 
-/// Builds the request line for global session index `i`.
-fn request_line(cfg: &LoadConfig, i: u64) -> (String, bool) {
+/// Builds the request line for global session index `i`; returns
+/// `(line, shared, resumable)`.
+fn request_line(cfg: &LoadConfig, i: u64) -> (String, bool, bool) {
     let workload = &cfg.mix[(i % cfg.mix.len() as u64) as usize];
     let shared = cfg.shared_every != 0
         && i.is_multiple_of(cfg.shared_every)
         && SHARED_CAPABLE.contains(&workload.as_str());
     let starved = cfg.starve_every != 0 && i % cfg.starve_every == 3;
+    let resumable = starved && cfg.resume;
     let profiled = cfg.profile_every != 0 && i % cfg.profile_every == 11;
     let mut b = ObjBuilder::new()
         .str("op", "run")
@@ -182,14 +210,29 @@ fn request_line(cfg: &LoadConfig, i: u64) -> (String, bool) {
     }
     if starved {
         // Enough fuel to start allocating, nowhere near enough to
-        // finish: the session dies with live data the reset must
-        // retire.
-        b = b.u64("fuel", 2_000);
+        // finish. Resumable sessions suspend at this budget and are
+        // driven to completion leg by leg; plain sessions die with
+        // live data the reset must retire.
+        b = b.u64("fuel", cfg.resume_fuel.max(1));
+        if resumable {
+            b = b.u64("v", 2).bool("resumable", true);
+        }
     }
     if profiled {
         b = b.bool("profile", true);
     }
-    (b.finish(), shared)
+    (b.finish(), shared, resumable)
+}
+
+/// Builds the resume line for a suspended session (protocol v2).
+fn resume_line(id: u64, session: u64, fuel: u64) -> String {
+    ObjBuilder::new()
+        .str("op", "resume")
+        .u64("v", 2)
+        .u64("id", id)
+        .u64("session", session)
+        .u64("fuel", fuel.max(1))
+        .finish()
 }
 
 /// Checks one ok, non-shared session's counters against the baseline.
@@ -266,17 +309,37 @@ fn client(
     let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
     let mut reader = BufReader::new(stream);
 
-    // id → (workload, sent-at, was-shared); also the retry source.
-    let mut inflight: HashMap<u64, (String, Instant, bool)> = HashMap::new();
+    // One outstanding request per session id; a resumable session stays
+    // in the map across its suspend/resume legs (and keeps its original
+    // sent-at, so the latency covers the whole session).
+    struct Pending {
+        workload: String,
+        sent: Instant,
+        shared: bool,
+        /// `Some(token)` while the outstanding line is a `resume` op.
+        resume_of: Option<u64>,
+        /// The session has been resumed at least once.
+        resumed: bool,
+    }
+    let mut inflight: HashMap<u64, Pending> = HashMap::new();
     let mut local = LoadReport::default();
 
     let send = |id: u64,
                 writer: &mut TcpStream,
-                inflight: &mut HashMap<u64, (String, Instant, bool)>|
+                inflight: &mut HashMap<u64, Pending>|
      -> Result<(), String> {
-        let (line, shared) = request_line(cfg, id);
+        let (line, shared, _) = request_line(cfg, id);
         let workload = cfg.mix[(id % cfg.mix.len() as u64) as usize].clone();
-        inflight.insert(id, (workload, Instant::now(), shared));
+        inflight.insert(
+            id,
+            Pending {
+                workload,
+                sent: Instant::now(),
+                shared,
+                resume_of: None,
+                resumed: false,
+            },
+        );
         writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -305,29 +368,69 @@ fn client(
         let Some(id) = resp.get("id").and_then(Json::as_u64) else {
             return Err(format!("response without id: {}", line.trim()));
         };
-        let Some((workload, sent, shared)) = inflight.remove(&id) else {
+        let Some(mut pending) = inflight.remove(&id) else {
             return Err(format!("response for unknown id {id}"));
         };
         let outcome = resp.get("outcome").and_then(Json::as_str).unwrap_or("?");
 
         if outcome == "busy" {
             // Transient backpressure: back off briefly and retry the
-            // same session (the id keeps its identity). Permanent
-            // "rejected" outcomes deliberately fall through to
-            // `other_outcomes` below — retrying a request the server
-            // can never serve would livelock the client.
+            // same leg (the id keeps its identity, and a resume leg
+            // re-sends the same session token). Permanent "rejected"
+            // outcomes deliberately fall through to `other_outcomes`
+            // below — retrying a request the server can never serve
+            // would livelock the client.
             local.busy_retries += 1;
             std::thread::sleep(std::time::Duration::from_millis(2));
-            send(id, &mut writer, &mut inflight)?;
+            match pending.resume_of {
+                Some(token) => {
+                    let line = resume_line(id, token, cfg.resume_fuel);
+                    inflight.insert(id, pending);
+                    writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .map_err(|e| format!("send: {e}"))?;
+                }
+                None => send(id, &mut writer, &mut inflight)?,
+            }
+            continue;
+        }
+
+        if outcome == "suspended" {
+            // Non-terminal: the session is parked server-side. Push it
+            // forward with another budget leg under the same id; the
+            // next session is NOT dispensed until this one reaches a
+            // terminal state.
+            local.suspended_legs += 1;
+            let Some(token) = resp.get("session").and_then(Json::as_u64) else {
+                return Err(format!(
+                    "suspended response without session: {}",
+                    line.trim()
+                ));
+            };
+            let resume = resume_line(id, token, cfg.resume_fuel);
+            pending.resume_of = Some(token);
+            pending.resumed = true;
+            inflight.insert(id, pending);
+            writer
+                .write_all(resume.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| format!("send: {e}"))?;
             continue;
         }
 
         local
             .latencies_micros
-            .push(sent.elapsed().as_micros() as u64);
+            .push(pending.sent.elapsed().as_micros() as u64);
+        let (workload, shared, resumed) = (pending.workload, pending.shared, pending.resumed);
+        let resume_leg = pending.resume_of.is_some();
+        let code = resp.get("code").and_then(Json::as_str).unwrap_or("");
         match outcome {
             "ok" => {
                 local.ok += 1;
+                if resumed {
+                    local.resumed_sessions += 1;
+                }
                 let leaked = resp
                     .get("leaked_blocks")
                     .and_then(Json::as_u64)
@@ -365,6 +468,13 @@ fn client(
                     local.audit_violations += 1;
                 }
             }
+            // A resume that finds its session gone was evicted under
+            // park-table pressure — the server already audited and
+            // repaid the parked heap when it aborted the session, so
+            // this is a clean terminal state, not a failure.
+            "rejected" if resume_leg && code == "no-such-session" => {
+                local.evicted_sessions += 1;
+            }
             _ => local.other_outcomes += 1,
         }
 
@@ -379,6 +489,9 @@ fn client(
     r.fuel_exhausted += local.fuel_exhausted;
     r.busy_retries += local.busy_retries;
     r.other_outcomes += local.other_outcomes;
+    r.suspended_legs += local.suspended_legs;
+    r.resumed_sessions += local.resumed_sessions;
+    r.evicted_sessions += local.evicted_sessions;
     r.shared_sessions += local.shared_sessions;
     r.cache_hit_sessions += local.cache_hit_sessions;
     r.leaked_blocks += local.leaked_blocks;
@@ -412,13 +525,39 @@ mod tests {
     #[test]
     fn request_lines_cycle_the_mix() {
         let cfg = LoadConfig::default();
-        let (line, _) = request_line(&cfg, 1);
+        let (line, _, _) = request_line(&cfg, 1);
         assert!(line.contains("\"workload\":\"rbtree\""), "{line}");
-        let (line, shared) = request_line(&cfg, 0);
+        let (line, shared, _) = request_line(&cfg, 0);
         assert!(line.contains("\"workload\":\"map\""), "{line}");
         assert!(shared, "session 0 is map and divisible by shared_every");
-        let (line, _) = request_line(&cfg, 34);
+        let (line, _, resumable) = request_line(&cfg, 34);
         assert!(line.contains("\"fuel\":2000"), "{line}");
+        assert!(line.contains("\"resumable\":true"), "{line}");
+        assert!(line.contains("\"v\":2"), "{line}");
+        assert!(resumable, "starved sessions are resumable by default");
+    }
+
+    #[test]
+    fn starved_sessions_stay_plain_without_resume() {
+        let cfg = LoadConfig {
+            resume: false,
+            ..LoadConfig::default()
+        };
+        let (line, _, resumable) = request_line(&cfg, 34);
+        assert!(line.contains("\"fuel\":2000"), "{line}");
+        assert!(!line.contains("resumable"), "{line}");
+        assert!(!resumable);
+    }
+
+    #[test]
+    fn resume_lines_carry_version_and_token() {
+        let line = resume_line(7, (3 << 48) | 9, 500);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("resume"));
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("session").and_then(Json::as_u64), Some((3 << 48) | 9));
+        assert_eq!(v.get("fuel").and_then(Json::as_u64), Some(500));
     }
 
     #[test]
@@ -434,6 +573,27 @@ mod tests {
         r.leaked_blocks = 0;
         r.drift_violations.push("x".into());
         assert!(!r.passed());
+    }
+
+    #[test]
+    fn evictions_count_as_answered() {
+        let r = LoadReport {
+            sessions: 3,
+            ok: 1,
+            fuel_exhausted: 1,
+            evicted_sessions: 1,
+            suspended_legs: 5,
+            resumed_sessions: 1,
+            ..LoadReport::default()
+        };
+        assert!(r.passed(), "eviction is a clean terminal state");
+        let r = LoadReport {
+            sessions: 3,
+            ok: 2,
+            other_outcomes: 1,
+            ..LoadReport::default()
+        };
+        assert!(!r.passed(), "unexplained outcomes still fail the gate");
     }
 
     #[test]

@@ -10,9 +10,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          perceus-serve serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n    \
-           [--max-inflight N] [--fuel STEPS] [--memory WORDS]\n  \
+           [--max-inflight N] [--fuel STEPS] [--memory WORDS]\n    \
+           [--park-capacity N] [--park-memory WORDS]\n  \
          perceus-serve loadtest [--addr HOST:PORT] [--sessions N] [--connections N]\n    \
-           [--window N] [--mix w1,w2,...] [--baseline FILE] [--no-starve]"
+           [--window N] [--mix w1,w2,...] [--baseline FILE] [--no-starve]\n    \
+           [--starve-every N] [--resume-fuel STEPS] [--no-resume]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +62,8 @@ fn serve_cmd(mut args: std::env::Args) -> Result<ExitCode, String> {
                 config.max_memory = parse_flag(&mut args, "--memory")?;
                 config.default_memory = config.max_memory;
             }
+            "--park-capacity" => config.park_capacity = parse_flag(&mut args, "--park-capacity")?,
+            "--park-memory" => config.park_memory_words = parse_flag(&mut args, "--park-memory")?,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -88,6 +92,9 @@ fn loadtest_cmd(mut args: std::env::Args) -> Result<ExitCode, String> {
             }
             "--baseline" => baseline_path = Some(parse_flag(&mut args, "--baseline")?),
             "--no-starve" => cfg.starve_every = 0,
+            "--starve-every" => cfg.starve_every = parse_flag(&mut args, "--starve-every")?,
+            "--resume-fuel" => cfg.resume_fuel = parse_flag(&mut args, "--resume-fuel")?,
+            "--no-resume" => cfg.resume = false,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -148,6 +155,14 @@ fn loadtest_cmd(mut args: std::env::Args) -> Result<ExitCode, String> {
             }
             if audits != 0 {
                 eprintln!("FAIL: server reports {audits} audit failures");
+                failed = true;
+            }
+            let parked = stats
+                .get("parked")
+                .and_then(perceus_serve::json::Json::as_u64)
+                .unwrap_or(u64::MAX);
+            if parked != 0 {
+                eprintln!("FAIL: {parked} sessions still parked after the run drained");
                 failed = true;
             }
             if live != base {

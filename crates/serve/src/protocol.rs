@@ -1,23 +1,32 @@
 //! The wire protocol: newline-delimited JSON over TCP.
 //!
 //! Every request is one JSON object on one line; every response is one
-//! JSON object on one line. Responses to `run` requests carry the
-//! client's `id`, and a connection may keep many runs in flight —
+//! JSON object on one line. Responses to `run`/`resume` requests carry
+//! the client's `id`, and a connection may keep many runs in flight —
 //! responses come back in *completion* order (sessions execute on
 //! different workers), so the `id` is the correlation key. See
 //! `docs/SERVING.md` for the full schema.
+//!
+//! **Versioning.** Every response carries `"v":` [`PROTOCOL_VERSION`].
+//! Requests may carry `"v"`; omitting it means version 1 (the
+//! pre-resume protocol, which this daemon still speaks). A request
+//! whose version falls outside [[`MIN_PROTOCOL_VERSION`],
+//! [`PROTOCOL_VERSION`]] gets a structured `rejected` response with
+//! code `unsupported-version` and the supported range — never a silent
+//! best-effort parse.
 //!
 //! Requests:
 //!
 //! ```text
 //! {"op":"run","id":1,"workload":"rbtree","n":400}
-//! {"op":"run","id":2,"source":"fun main(n: int): int { n }","n":7,
+//! {"op":"run","v":2,"id":2,"source":"fun main(n: int): int { n }","n":7,
 //!  "strategy":"perceus","fuel":1000000,"memory":200000,
-//!  "shared":false,"profile":false}
+//!  "shared":false,"profile":false,"resumable":true}
+//! {"op":"resume","v":2,"id":3,"session":281474976710657,"fuel":50000}
 //! {"op":"stats"}      {"op":"health"}      {"op":"shutdown"}
 //! ```
 
-use crate::json::{self, Json};
+use crate::json::{self, Json, ObjBuilder};
 use perceus_suite::Strategy;
 
 /// Default per-session fuel (machine steps) when neither the request
@@ -26,6 +35,16 @@ pub const DEFAULT_FUEL: u64 = 200_000_000;
 
 /// Default per-session live-memory limit in words.
 pub const DEFAULT_MEMORY_WORDS: u64 = 64 << 20;
+
+/// The protocol version this daemon speaks (and stamps on every
+/// response). Version 2 added `resumable` runs, the `resume` op, the
+/// `suspended` outcome, and stable error `code`s.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The oldest request version still accepted. Version-1 requests (no
+/// `"v"` field) parse unchanged; their responses simply carry the new
+/// fields.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// A parsed `run` request.
 #[derive(Debug, Clone)]
@@ -43,7 +62,9 @@ pub struct RunRequest {
     /// Memory-management strategy (must be garbage-free; see
     /// [`crate::worker`]).
     pub strategy: Strategy,
-    /// Per-session step budget (clamped to the server maximum).
+    /// Per-session step budget (clamped to the server maximum). For a
+    /// resumable session this is the *per-leg* budget; running past it
+    /// suspends instead of aborting.
     pub fuel: Option<u64>,
     /// Per-session live-word budget (clamped to the server maximum).
     pub memory: Option<u64>,
@@ -53,44 +74,121 @@ pub struct RunRequest {
     /// Attribute this session's heap events to functions and fold the
     /// profile into the server aggregate.
     pub profile: bool,
+    /// Suspend (outcome `suspended`, with a `session` token) instead of
+    /// aborting when the fuel budget runs out; resume with
+    /// `{"op":"resume","session":...}`. Requires a garbage-free (rc)
+    /// strategy.
+    pub resumable: bool,
+}
+
+/// A parsed `resume` request.
+#[derive(Debug, Clone)]
+pub struct ResumeRequest {
+    /// Client correlation id (echoed in the response).
+    pub id: u64,
+    /// The session token from a `suspended` response.
+    pub session: u64,
+    /// Step budget for this leg (clamped to the server maximum;
+    /// defaults to the server's default fuel).
+    pub fuel: Option<u64>,
 }
 
 /// Any parsed request.
 #[derive(Debug, Clone)]
 pub enum Request {
     Run(Box<RunRequest>),
+    Resume(ResumeRequest),
     Stats,
     Health,
     Shutdown,
 }
 
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Debug, Clone)]
+pub enum ParseError {
+    /// Malformed JSON, missing fields, unknown op — answered with a
+    /// `bad-request` protocol error.
+    Bad(String),
+    /// The request declared a protocol version outside the supported
+    /// range — answered with a structured `rejected` carrying the range
+    /// (see [`version_error`]).
+    Version {
+        /// The version the request asked for.
+        got: u64,
+        /// The request's `id`, when one was present (so the client can
+        /// correlate the rejection).
+        id: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Bad(m) => f.write_str(m),
+            ParseError::Version { got, .. } => write!(
+                f,
+                "protocol version {got} unsupported (supported: {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+            ),
+        }
+    }
+}
+
 /// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = json::parse(line)?;
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let v = json::parse(line).map_err(ParseError::Bad)?;
+    if let Some(ver) = v.get("v") {
+        let ver = ver
+            .as_u64()
+            .ok_or_else(|| ParseError::Bad("\"v\" must be a number".into()))?;
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&ver) {
+            return Err(ParseError::Version {
+                got: ver,
+                id: v.get("id").and_then(Json::as_u64),
+            });
+        }
+    }
     let op = v.get("op").and_then(Json::as_str).unwrap_or("run");
     match op {
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
+        "resume" => {
+            let id = v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ParseError::Bad("resume request needs a numeric \"id\"".into()))?;
+            let session = v.get("session").and_then(Json::as_u64).ok_or_else(|| {
+                ParseError::Bad("resume request needs a numeric \"session\" token".into())
+            })?;
+            Ok(Request::Resume(ResumeRequest {
+                id,
+                session,
+                fuel: v.get("fuel").and_then(Json::as_u64),
+            }))
+        }
         "run" => {
             let id = v
                 .get("id")
                 .and_then(Json::as_u64)
-                .ok_or("run request needs a numeric \"id\"")?;
+                .ok_or_else(|| ParseError::Bad("run request needs a numeric \"id\"".into()))?;
             let workload = v.get("workload").and_then(Json::as_str).map(str::to_string);
             let source = v.get("source").and_then(Json::as_str).map(str::to_string);
             if workload.is_none() && source.is_none() {
-                return Err("run request needs \"workload\" or \"source\"".into());
+                return Err(ParseError::Bad(
+                    "run request needs \"workload\" or \"source\"".into(),
+                ));
             }
             if workload.is_some() && source.is_some() {
-                return Err("run request takes \"workload\" or \"source\", not both".into());
+                return Err(ParseError::Bad(
+                    "run request takes \"workload\" or \"source\", not both".into(),
+                ));
             }
             let strategy = match v.get("strategy").and_then(Json::as_str) {
                 None => Strategy::Perceus,
                 Some(label) => Strategy::ALL
                     .into_iter()
                     .find(|s| s.label() == label)
-                    .ok_or_else(|| format!("unknown strategy {label:?}"))?,
+                    .ok_or_else(|| ParseError::Bad(format!("unknown strategy {label:?}")))?,
             };
             Ok(Request::Run(Box::new(RunRequest {
                 id,
@@ -102,19 +200,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 memory: v.get("memory").and_then(Json::as_u64),
                 shared: v.get("shared").and_then(Json::as_bool).unwrap_or(false),
                 profile: v.get("profile").and_then(Json::as_bool).unwrap_or(false),
+                resumable: v.get("resumable").and_then(Json::as_bool).unwrap_or(false),
             })))
         }
-        other => Err(format!("unknown op {other:?}")),
+        other => Err(ParseError::Bad(format!("unknown op {other:?}"))),
     }
 }
 
-/// How a session ended (the terminal states of the lifecycle state
-/// machine in `docs/SERVING.md`).
+/// How a session ended (the states of the lifecycle state machine in
+/// `docs/SERVING.md`; all terminal except `Suspended`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Ran to completion; result and counters attached.
     Ok,
-    /// The per-session step budget ran out mid-run.
+    /// The per-session step budget ran out mid-run (non-resumable
+    /// sessions, or a resumable session hitting the *cumulative*
+    /// server fuel ceiling).
     FuelExhausted,
     /// The per-session live-memory budget was exceeded mid-run.
     MemoryLimit,
@@ -123,12 +224,19 @@ pub enum Outcome {
     /// Any other runtime failure (abort, type error, …).
     Failed,
     /// Permanently unservable (non-rc strategy, workload without a
-    /// shared spec): retrying the same request can never succeed.
+    /// shared spec, unknown session token, unsupported protocol
+    /// version): retrying the same request can never succeed.
     Rejected,
     /// Transient backpressure (in-flight cap hit, every shard queue
     /// full): the session never ran and a retry after backoff is
     /// expected to succeed.
     Busy,
+    /// Not terminal: the session ran out of leg fuel at an auditable
+    /// point and is parked; the response carries a `session` token for
+    /// `{"op":"resume"}`. The session may later end `ok`, `failed`, …,
+    /// or be evicted (a `rejected` with code `no-such-session` on the
+    /// next resume).
+    Suspended,
 }
 
 impl Outcome {
@@ -142,26 +250,59 @@ impl Outcome {
             Outcome::Failed => "failed",
             Outcome::Rejected => "rejected",
             Outcome::Busy => "busy",
+            Outcome::Suspended => "suspended",
         }
     }
 }
 
-/// Renders an error response for a `run` request.
-pub fn error_response(id: u64, outcome: Outcome, msg: &str) -> String {
-    json::ObjBuilder::new()
+/// Starts a response object with the protocol version stamped — every
+/// response the daemon emits goes through this.
+pub fn response() -> ObjBuilder {
+    ObjBuilder::new().u64("v", PROTOCOL_VERSION)
+}
+
+/// Renders an error response for a `run`/`resume` request. `code` is
+/// the stable machine-readable error code — for runtime failures,
+/// [`perceus_runtime::RuntimeError::code`] verbatim; for serving-layer
+/// rejections, one of the codes documented in docs/SERVING.md
+/// (`busy`, `shutdown`, `no-such-session`, `not-garbage-free`, …).
+pub fn error_response(id: u64, outcome: Outcome, code: &str, msg: &str) -> String {
+    response()
         .u64("id", id)
         .bool("ok", false)
         .str("outcome", outcome.label())
+        .str("code", code)
         .str("error", msg)
         .finish()
 }
 
 /// Renders a protocol-level error (unparsable line, unknown op).
 pub fn protocol_error(msg: &str) -> String {
-    json::ObjBuilder::new()
+    response()
         .bool("ok", false)
         .str("outcome", "bad-request")
+        .str("code", "bad-request")
         .str("error", msg)
+        .finish()
+}
+
+/// Renders the structured rejection for an unsupported protocol
+/// version: outcome `rejected`, code `unsupported-version`, and the
+/// supported range.
+pub fn version_error(got: u64, id: Option<u64>) -> String {
+    let mut b = response();
+    if let Some(id) = id {
+        b = b.u64("id", id);
+    }
+    b.bool("ok", false)
+        .str("outcome", Outcome::Rejected.label())
+        .str("code", "unsupported-version")
+        .str(
+            "error",
+            &format!("protocol version {got} unsupported by this daemon"),
+        )
+        .u64("supported_min", MIN_PROTOCOL_VERSION)
+        .u64("supported_max", PROTOCOL_VERSION)
         .finish()
 }
 
@@ -177,6 +318,7 @@ mod tests {
         assert_eq!(r.workload.as_deref(), Some("map"));
         assert_eq!(r.strategy, Strategy::Perceus);
         assert!(!r.shared);
+        assert!(!r.resumable);
     }
 
     #[test]
@@ -208,5 +350,47 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#),
             Ok(Request::Shutdown)
         ));
+    }
+
+    #[test]
+    fn resume_parses_and_validates() {
+        let r = parse_request(r#"{"op":"resume","id":9,"session":77,"fuel":1000}"#).unwrap();
+        let Request::Resume(r) = r else { panic!() };
+        assert_eq!((r.id, r.session, r.fuel), (9, 77, Some(1000)));
+        assert!(matches!(
+            parse_request(r#"{"op":"resume","id":9}"#),
+            Err(ParseError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn version_gate() {
+        // Supported versions pass; absent means v1.
+        assert!(parse_request(r#"{"op":"stats","v":1}"#).is_ok());
+        assert!(parse_request(r#"{"op":"stats","v":2}"#).is_ok());
+        assert!(parse_request(r#"{"op":"stats"}"#).is_ok());
+        // Out-of-range versions carry the id for correlation.
+        match parse_request(r#"{"op":"run","v":9,"id":4,"workload":"map"}"#) {
+            Err(ParseError::Version { got, id }) => {
+                assert_eq!((got, id), (9, Some(4)));
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+        let resp = version_error(9, Some(4));
+        assert!(resp.contains("\"supported_min\":1"), "{resp}");
+        assert!(resp.contains("\"supported_max\":2"), "{resp}");
+        assert!(resp.contains("\"code\":\"unsupported-version\""), "{resp}");
+    }
+
+    #[test]
+    fn every_response_is_version_stamped() {
+        for resp in [
+            error_response(1, Outcome::Failed, "abort", "boom"),
+            protocol_error("nope"),
+            version_error(3, None),
+            response().bool("ok", true).finish(),
+        ] {
+            assert!(resp.starts_with("{\"v\":2,"), "{resp}");
+        }
     }
 }

@@ -22,8 +22,8 @@
 
 use crate::cache::{ProgramCache, SharedInputs};
 use crate::json::ObjBuilder;
-use crate::protocol::{self, Outcome, Request, DEFAULT_FUEL, DEFAULT_MEMORY_WORDS};
-use crate::worker::{worker_loop, Aggregate, Job, ServeCtx};
+use crate::protocol::{self, Outcome, ParseError, Request, DEFAULT_FUEL, DEFAULT_MEMORY_WORDS};
+use crate::worker::{worker_loop, Aggregate, Job, ResumeJob, RunJob, ServeCtx};
 use perceus_bench::counters::counter_values;
 use perceus_bench::COUNTER_KEYS;
 use std::io::{self, Read, Write};
@@ -53,6 +53,11 @@ pub struct ServeConfig {
     pub max_memory: u64,
     /// Compiled-program cache capacity.
     pub cache_capacity: usize,
+    /// Per-shard cap on parked (suspended) resumable sessions; parking
+    /// past it evicts the shard's oldest.
+    pub park_capacity: u64,
+    /// Per-shard cap on the summed live words of parked sessions.
+    pub park_memory_words: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +76,8 @@ impl Default for ServeConfig {
             default_memory: DEFAULT_MEMORY_WORDS,
             max_memory: DEFAULT_MEMORY_WORDS,
             cache_capacity: 256,
+            park_capacity: 64,
+            park_memory_words: 32 << 20,
         }
     }
 }
@@ -137,19 +144,25 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         max_fuel: config.max_fuel,
         default_memory: config.default_memory.min(config.max_memory),
         max_memory: config.max_memory,
+        park_capacity: config.park_capacity,
+        park_memory_words: config.park_memory_words,
         inflight: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        parked: AtomicU64::new(0),
+        parked_words: AtomicU64::new(0),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
 
     let mut threads = Vec::new();
     let mut shards = Vec::with_capacity(config.workers);
-    for _ in 0..config.workers.max(1) {
+    for shard in 0..config.workers.max(1) {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         shards.push(tx);
         let ctx = Arc::clone(&ctx);
         let shutdown = Arc::clone(&shutdown);
-        threads.push(std::thread::spawn(move || worker_loop(rx, ctx, shutdown)));
+        threads.push(std::thread::spawn(move || {
+            worker_loop(shard, rx, ctx, shutdown)
+        }));
     }
 
     let acceptor = {
@@ -304,12 +317,15 @@ fn dispatch(
     reply_tx: &mpsc::Sender<String>,
 ) -> bool {
     match protocol::parse_request(trimmed) {
-        Err(e) => {
+        Err(ParseError::Bad(e)) => {
             let _ = reply_tx.send(protocol::protocol_error(&e));
+        }
+        Err(ParseError::Version { got, id }) => {
+            let _ = reply_tx.send(protocol::version_error(got, id));
         }
         Ok(Request::Health) => {
             let _ = reply_tx.send(
-                ObjBuilder::new()
+                protocol::response()
                     .bool("ok", true)
                     .u64("workers", workers as u64)
                     .u64("inflight", ctx.inflight.load(Ordering::Relaxed))
@@ -320,7 +336,7 @@ fn dispatch(
             let _ = reply_tx.send(render_stats(ctx, workers));
         }
         Ok(Request::Shutdown) => {
-            let _ = reply_tx.send(ObjBuilder::new().bool("ok", true).finish());
+            let _ = reply_tx.send(protocol::response().bool("ok", true).finish());
             shutdown.store(true, Ordering::Relaxed);
             return false;
         }
@@ -334,6 +350,7 @@ fn dispatch(
                 let _ = reply_tx.send(protocol::error_response(
                     req.id,
                     Outcome::Busy,
+                    "busy",
                     "server at capacity (in-flight cap)",
                 ));
                 return true;
@@ -341,10 +358,10 @@ fn dispatch(
             // Gate 2: a bounded shard queue, round-robin with failover
             // so one slow shard doesn't reject while others sit idle.
             let id = req.id;
-            let mut job = Job {
+            let mut job = Job::Run(RunJob {
                 req: *req,
                 reply: reply_tx.clone(),
-            };
+            });
             let start = next_shard.fetch_add(1, Ordering::Relaxed);
             let mut admitted = false;
             for i in 0..shards.len() {
@@ -365,8 +382,54 @@ fn dispatch(
                 let _ = reply_tx.send(protocol::error_response(
                     id,
                     Outcome::Busy,
+                    "busy",
                     "server at capacity (all shard queues full)",
                 ));
+            }
+        }
+        Ok(Request::Resume(req)) => {
+            // A resume has no shard freedom: the session token's high
+            // bits name the one worker whose park table holds the
+            // continuation, so there is no failover — that queue or
+            // nothing.
+            let shard_idx = (req.session >> 48) as usize;
+            if shard_idx >= shards.len() {
+                let _ = reply_tx.send(protocol::error_response(
+                    req.id,
+                    Outcome::Rejected,
+                    "no-such-session",
+                    &format!("session token {} names no worker shard", req.session),
+                ));
+                return true;
+            }
+            if ctx.inflight.fetch_add(1, Ordering::Relaxed) >= max_inflight {
+                ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                ctx.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(protocol::error_response(
+                    req.id,
+                    Outcome::Busy,
+                    "busy",
+                    "server at capacity (in-flight cap)",
+                ));
+                return true;
+            }
+            let id = req.id;
+            let job = Job::Resume(ResumeJob {
+                req,
+                reply: reply_tx.clone(),
+            });
+            match shards[shard_idx].try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                    ctx.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply_tx.send(protocol::error_response(
+                        id,
+                        Outcome::Busy,
+                        "busy",
+                        "session's worker shard queue is full",
+                    ));
+                }
             }
         }
     }
@@ -383,7 +446,7 @@ fn render_stats(ctx: &ServeCtx, workers: usize) -> String {
     for (key, value) in COUNTER_KEYS.iter().zip(counter_values(&agg.stats)) {
         counters = counters.u64(key, value);
     }
-    ObjBuilder::new()
+    protocol::response()
         .bool("ok", true)
         .u64("workers", workers as u64)
         .u64("sessions", agg.sessions)
@@ -392,6 +455,11 @@ fn render_stats(ctx: &ServeCtx, workers: usize) -> String {
         .u64("memory_limit", agg.memory_limit)
         .u64("compile_errors", agg.compile_errors)
         .u64("failed", agg.failed)
+        .u64("suspended", agg.suspended)
+        .u64("resumes", agg.resumes)
+        .u64("evicted", agg.evicted)
+        .u64("parked", ctx.parked.load(Ordering::Relaxed))
+        .u64("parked_words", ctx.parked_words.load(Ordering::Relaxed))
         .u64("rejected", ctx.rejected.load(Ordering::Relaxed))
         .u64("inflight", ctx.inflight.load(Ordering::Relaxed))
         .u64("leaked_blocks", agg.leaked_blocks)

@@ -310,16 +310,199 @@ fn loadtest_sustains_concurrent_mixed_sessions_with_zero_drift() {
         report.other_outcomes
     );
     assert!(report.drift_checked > 0, "the gate must actually check");
-    assert!(report.fuel_exhausted > 0, "the mix must exercise aborts");
+    // With resume on (the default), starved sessions suspend instead of
+    // aborting, and each must reach a clean terminal state.
+    assert!(
+        report.suspended_legs > 0,
+        "the mix must exercise suspension"
+    );
+    assert!(
+        report.resumed_sessions + report.evicted_sessions > 0,
+        "starved sessions must resume to completion or evict cleanly"
+    );
     assert!(report.shared_sessions > 0, "the mix must exercise sharing");
     assert!(report.cache_hit_sessions > 0);
 
     let stats = loadtest::final_stats(&cfg.addr).unwrap();
     assert_eq!(field(&stats, "leaked_blocks").as_u64(), Some(0));
     assert_eq!(field(&stats, "audit_failures").as_u64(), Some(0));
+    assert_eq!(field(&stats, "parked").as_u64(), Some(0), "drained");
     assert_eq!(
         field(&stats, "shared_live_blocks").as_u64(),
         field(&stats, "shared_baseline_blocks").as_u64()
     );
+    h.join();
+}
+
+#[test]
+fn loadtest_without_resume_still_exercises_aborts() {
+    let h = server(|c| {
+        c.max_inflight = 1024;
+        c.queue_depth = 128;
+    });
+    let cfg = LoadConfig {
+        addr: h.addr().to_string(),
+        sessions: 93,
+        connections: 3,
+        window: 8,
+        resume: false,
+        ..LoadConfig::default()
+    };
+    let report = loadtest::run(&cfg).expect("loadtest runs");
+    assert!(report.passed(), "other={}", report.other_outcomes);
+    assert!(report.fuel_exhausted > 0, "starved sessions abort (v1 mix)");
+    assert_eq!(report.suspended_legs, 0);
+    h.join();
+}
+
+/// Drives one resumable session to a terminal response, resuming every
+/// time it suspends; returns `(final_response, resume_legs)`.
+fn resume_to_terminal(
+    addr: std::net::SocketAddr,
+    id: u64,
+    first: String,
+    resume_fuel: u64,
+) -> (Json, u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = first;
+    let mut legs = 0u64;
+    loop {
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        assert!(reader.read_line(&mut resp).unwrap() > 0, "early EOF");
+        let v = json::parse(resp.trim()).expect("valid response json");
+        assert_eq!(field(&v, "v").as_u64(), Some(2), "{v:?}");
+        if field(&v, "outcome").as_str() != Some("suspended") {
+            return (v, legs);
+        }
+        // Suspension points are audited: Perceus' garbage-free
+        // invariant holds mid-execution, not just at session exit.
+        assert_eq!(field(&v, "audit_ok").as_bool(), Some(true), "{v:?}");
+        let token = field(&v, "session").as_u64().expect("session token");
+        legs += 1;
+        line =
+            format!(r#"{{"op":"resume","v":2,"id":{id},"session":{token},"fuel":{resume_fuel}}}"#);
+    }
+}
+
+#[test]
+fn suspended_session_resumes_to_baseline_counters_over_tcp() {
+    let h = server(|c| c.workers = 1);
+    let (v, legs) = resume_to_terminal(
+        h.addr(),
+        41,
+        run_line(41, "rbtree", r#","v":2,"fuel":2000,"resumable":true"#),
+        2000,
+    );
+    assert_eq!(field(&v, "outcome").as_str(), Some("ok"), "{v:?}");
+    assert!(legs > 0, "2000 fuel cannot finish rbtree in one leg");
+    assert_eq!(field(&v, "resumes").as_u64(), Some(legs));
+    assert_eq!(field(&v, "leaked_blocks").as_u64(), Some(0));
+    assert_eq!(field(&v, "audit_ok").as_bool(), Some(true));
+
+    // The interrupted execution reproduces the committed baseline
+    // bit-for-bit — all counters, placement trio included, because a
+    // resumable session runs on its own fresh heap exactly like the
+    // cold benchmark run did.
+    let baseline_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_BASELINE.json"
+    ))
+    .expect("baseline present");
+    let baseline = perceus_bench::Baseline::parse_json(&baseline_src).unwrap();
+    let row = baseline
+        .workloads
+        .iter()
+        .find(|w| w.name == "rbtree")
+        .unwrap();
+    let counters = field(&v, "counters");
+    for (key, expected) in &row.counters {
+        assert_eq!(
+            counters.get(key).and_then(Json::as_u64),
+            Some(*expected),
+            "counter {key} drifted across {legs} suspensions"
+        );
+    }
+    h.join();
+}
+
+#[test]
+fn resume_of_unknown_or_evicted_session_is_rejected() {
+    // park_capacity 1: parking a second session evicts the first.
+    let h = server(|c| {
+        c.workers = 1;
+        c.park_capacity = 1;
+    });
+    let a = roundtrip(
+        h.addr(),
+        &[run_line(
+            1,
+            "rbtree",
+            r#","v":2,"fuel":2000,"resumable":true"#,
+        )],
+    );
+    assert_eq!(field(&a[&1], "outcome").as_str(), Some("suspended"));
+    let tok_a = field(&a[&1], "session").as_u64().unwrap();
+
+    let b = roundtrip(
+        h.addr(),
+        &[run_line(
+            2,
+            "msort",
+            r#","v":2,"fuel":2000,"resumable":true"#,
+        )],
+    );
+    assert_eq!(field(&b[&2], "outcome").as_str(), Some("suspended"));
+    let tok_b = field(&b[&2], "session").as_u64().unwrap();
+
+    // A was evicted to make room for B: its token is now dead, and the
+    // rejection is terminal (code no-such-session), not retryable busy.
+    let r = roundtrip(
+        h.addr(),
+        &[format!(
+            r#"{{"op":"resume","v":2,"id":3,"session":{tok_a},"fuel":2000}}"#
+        )],
+    );
+    assert_eq!(field(&r[&3], "outcome").as_str(), Some("rejected"), "{r:?}");
+    assert_eq!(field(&r[&3], "code").as_str(), Some("no-such-session"));
+
+    // B is still parked and runs to completion; the eviction repaid A's
+    // heap, so the drained server reports nothing parked and no leaks.
+    let (v, _) = resume_to_terminal(
+        h.addr(),
+        4,
+        format!(r#"{{"op":"resume","v":2,"id":4,"session":{tok_b},"fuel":2000}}"#),
+        2000,
+    );
+    assert_eq!(field(&v, "outcome").as_str(), Some("ok"), "{v:?}");
+    let stats = roundtrip(h.addr(), &[r#"{"op":"stats"}"#.to_string()]);
+    let stats = &stats[&(CONTROL_BASE + 1)];
+    assert_eq!(field(stats, "parked").as_u64(), Some(0));
+    assert_eq!(field(stats, "evicted").as_u64(), Some(1));
+    assert_eq!(field(stats, "leaked_blocks").as_u64(), Some(0));
+    assert_eq!(field(stats, "audit_failures").as_u64(), Some(0));
+    h.join();
+}
+
+#[test]
+fn unsupported_protocol_version_is_rejected_with_range() {
+    let h = server(|_| {});
+    let rs = roundtrip(
+        h.addr(),
+        &[r#"{"op":"run","v":9,"id":7,"workload":"map"}"#.to_string()],
+    );
+    let r = &rs[&7];
+    assert_eq!(field(r, "outcome").as_str(), Some("rejected"), "{r:?}");
+    assert_eq!(field(r, "code").as_str(), Some("unsupported-version"));
+    assert_eq!(field(r, "supported_min").as_u64(), Some(1));
+    assert_eq!(field(r, "supported_max").as_u64(), Some(2));
+    // Version 1 requests (no "v" field) still work unchanged, and every
+    // response carries the server's version stamp.
+    let ok = roundtrip(h.addr(), &[run_line(8, "map", "")]);
+    assert_eq!(field(&ok[&8], "outcome").as_str(), Some("ok"));
+    assert_eq!(field(&ok[&8], "v").as_u64(), Some(2));
     h.join();
 }

@@ -239,19 +239,17 @@ pub fn differential_check(program: &Program, cfg: &FuzzConfig) -> CheckOutcome {
                 continue;
             }
         };
-        let run_config = RunConfig {
-            step_limit: cfg.step_limit,
-            audit_every: if strategy.is_rc() {
+        let run_config = RunConfig::new()
+            .with_step_limit(cfg.step_limit)
+            .with_audit_every(if strategy.is_rc() {
                 cfg.audit_every
             } else {
                 None
-            },
+            })
             // The fuzzer is exactly where release builds should pay for
             // the full runtime invariant checks (skip-mask width and
             // skipped-field equality on every reuse).
-            validation: Validation::Full,
-            ..RunConfig::default()
-        };
+            .with_validation(Validation::Full);
         let run = driver::run_workload(&compiled, strategy, cfg.arg, run_config);
         match (&oracle, run) {
             (Ok((value, output)), Ok(got)) => {

@@ -25,6 +25,7 @@ pub mod diff;
 pub mod driver;
 pub mod genprog;
 pub mod parallel;
+pub mod resume;
 pub mod shrink;
 pub mod workloads;
 
@@ -36,5 +37,6 @@ pub use driver::{
     Strategy, SuiteError,
 };
 pub use parallel::{run_parallel, ParallelOutcome, ParallelSpec};
+pub use resume::{determinism_divergence, run_workload_budgeted, ResumeOutcome};
 pub use shrink::{shrink_program, ShrinkOutcome};
 pub use workloads::{workload, workloads, Workload};

@@ -13,6 +13,8 @@
 //! perceus-suite profile [--workload map] [--n SIZE] [--threads 1]
 //!                       [--strategy perceus] [--json | --folded]
 //!                       [--metric rc-ops]
+//! perceus-suite resume [--workload map | --all] [--chunks 8]
+//!                      [--n SIZE] [--strategy perceus] [--json]
 //! ```
 //!
 //! `fuzz` drives random programs through every strategy plus the
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         Some("analyze") => run_analyze(&args[1..]),
         Some("parallel") => run_parallel_cmd(&args[1..]),
         Some("profile") => run_profile_cmd(&args[1..]),
+        Some("resume") => run_resume_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -120,6 +123,18 @@ subcommands:
     --folded             flamegraph-compatible folded stacks
     --metric <m>         folded-stack weight: rc-ops | allocs |
                          alloc-words | reuses  (default rc-ops)
+
+  resume   run workloads in budgeted legs over the resumable Execution
+           API, audit garbage-freedom at every suspension point, and
+           verify the interrupted schedule is bit-identical (result,
+           output, every Stats counter) to an uninterrupted run
+    --workload <name>    workload to check      (default: all)
+    --all                check every registered workload
+    --chunks <n>         legs to split the run into (default 8)
+    --n <size>           problem size           (default per-workload
+                         test size)
+    --strategy <name>    as for stages          (default perceus)
+    --json               machine-readable output
 
 exit codes: 0 ok, 1 failure (divergence, pipeline error, denied lint,
             failed join audit), 2 usage error
@@ -648,6 +663,130 @@ fn run_parallel_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_resume_cmd(args: &[String]) -> ExitCode {
+    use perceus_runtime::machine::RunConfig;
+
+    let mut workload_name: Option<String> = None;
+    let mut all = false;
+    let mut chunks: u64 = 8;
+    let mut n: Option<i64> = None;
+    let mut strategy = Strategy::Perceus;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                workload_name = Some(next_value(args, &mut i, "--workload").to_string())
+            }
+            "--all" => all = true,
+            "--chunks" => {
+                chunks = parse_u64(next_value(args, &mut i, "--chunks"), "chunk count").max(1)
+            }
+            "--n" => n = Some(parse_u64(next_value(args, &mut i, "--n"), "size") as i64),
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
+                };
+            }
+            "--json" => json = true,
+            other => return usage_error(&format!("unknown resume option `{other}`")),
+        }
+        i += 1;
+    }
+    let selected: Vec<perceus_suite::Workload> = if all || workload_name.is_none() {
+        workloads().to_vec()
+    } else {
+        let name = workload_name.as_deref().unwrap();
+        match workload(name) {
+            Some(w) => vec![w],
+            None => {
+                return usage_error(&format!(
+                    "unknown workload `{name}`; available: {}",
+                    workload_names().join(", ")
+                ))
+            }
+        }
+    };
+
+    let mut failed = false;
+    let mut rows = Vec::new();
+    for w in selected {
+        let size = n.unwrap_or(w.test_n);
+        let compiled = match perceus_suite::compile_workload(w.source, strategy) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: {e}", w.name);
+                failed = true;
+                continue;
+            }
+        };
+        let straight =
+            match perceus_suite::run_workload(&compiled, strategy, size, RunConfig::default()) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("{}: {e}", w.name);
+                    failed = true;
+                    continue;
+                }
+            };
+        let budget = (straight.stats.steps / chunks).max(1);
+        let resumed = match perceus_suite::run_workload_budgeted(
+            &compiled,
+            strategy,
+            size,
+            RunConfig::default(),
+            &[budget],
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{}: budgeted run: {e}", w.name);
+                failed = true;
+                continue;
+            }
+        };
+        let divergence = perceus_suite::determinism_divergence(&straight, &resumed);
+        if let Some(d) = &divergence {
+            eprintln!("{}: {d}", w.name);
+            failed = true;
+        }
+        if json {
+            rows.push(format!(
+                "{{\"workload\":\"{}\",\"n\":{size},\"steps\":{},\"suspensions\":{},\"deterministic\":{}}}",
+                w.name,
+                straight.stats.steps,
+                resumed.suspensions,
+                divergence.is_none()
+            ));
+        } else {
+            println!(
+                "{:>10}  n={size:<8} steps={:<12} suspensions={:<4} {}",
+                w.name,
+                straight.stats.steps,
+                resumed.suspensions,
+                if divergence.is_none() {
+                    "bit-identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        }
+    }
+    if json {
+        println!(
+            "{{\"strategy\":\"{}\",\"chunks\":{chunks},\"workloads\":[{}]}}",
+            strategy.label(),
+            rows.join(",")
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn run_profile_cmd(args: &[String]) -> ExitCode {
     use perceus_runtime::machine::RunConfig;
     use perceus_runtime::{ProfMetric, Profiler};
@@ -712,10 +851,7 @@ fn run_profile_cmd(args: &[String]) -> ExitCode {
     // Profiling attributes *every* heap event, so the per-workload test
     // size keeps even the interpreted tree workloads interactive.
     let n = n.unwrap_or(w.test_n);
-    let config = RunConfig {
-        profile: true,
-        ..RunConfig::default()
-    };
+    let config = RunConfig::new().with_profile(true);
 
     let compiled = match perceus_suite::compile_workload(w.source, strategy) {
         Ok(c) => c,

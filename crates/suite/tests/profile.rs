@@ -18,10 +18,7 @@ use perceus_suite::{compile_workload, run_parallel, run_workload, workload, Stra
 use std::process::{Command, Output};
 
 fn profiled() -> RunConfig {
-    RunConfig {
-        profile: true,
-        ..RunConfig::default()
-    }
+    RunConfig::new().with_profile(true)
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Resume determinism: suspending and resuming an execution must be
+//! invisible — the result value, the `println` output, and every
+//! [`perceus_runtime::Stats`] schedule counter must be bit-identical to
+//! an uninterrupted run, with the heap audit passing at every
+//! suspension point (the budgeted driver checks it on each leg).
+
+use perceus_bench::counters::counter_values;
+use perceus_bench::{Baseline, COUNTER_KEYS};
+use perceus_runtime::machine::RunConfig;
+use perceus_suite::{
+    compile_workload, determinism_divergence, run_workload, run_workload_budgeted, workload,
+    Strategy,
+};
+use proptest::prelude::*;
+
+fn baseline() -> Baseline {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_BASELINE.json");
+    let src = std::fs::read_to_string(path).expect("read BENCH_BASELINE.json");
+    Baseline::parse_json(&src).expect("parse BENCH_BASELINE.json")
+}
+
+/// Every BENCH_BASELINE.json workload, suspended and resumed many
+/// times, produces bit-identical `Stats` to an uninterrupted run — and
+/// both match the committed baseline counters exactly.
+#[test]
+fn baseline_workloads_resume_bit_identically() {
+    let baseline = baseline();
+    assert!(!baseline.workloads.is_empty());
+    for row in &baseline.workloads {
+        let w = workload(&row.name).expect("baseline workload is registered");
+        let compiled = compile_workload(w.source, Strategy::Perceus).expect("compile");
+        let straight =
+            run_workload(&compiled, Strategy::Perceus, row.n, RunConfig::default()).expect("run");
+
+        // Split into enough legs that suspension actually happens many
+        // times (the smallest baseline workload runs ~4.5k steps).
+        let budget = (straight.stats.steps / 23).max(1);
+        let resumed = run_workload_budgeted(
+            &compiled,
+            Strategy::Perceus,
+            row.n,
+            RunConfig::default(),
+            &[budget],
+        )
+        .expect("budgeted run");
+        assert!(
+            resumed.suspensions >= 10,
+            "{}: only {} suspensions — the budget must bite",
+            row.name,
+            resumed.suspensions
+        );
+        if let Some(d) = determinism_divergence(&straight, &resumed) {
+            panic!("{}: {d}", row.name);
+        }
+        assert_eq!(resumed.outcome.leaked_blocks, 0, "{}", row.name);
+
+        // Both runs match the committed baseline counter-for-counter.
+        let got = counter_values(&resumed.outcome.stats);
+        for (key, value) in &row.counters {
+            let Some(idx) = COUNTER_KEYS.iter().position(|k| k == key) else {
+                continue;
+            };
+            assert_eq!(
+                got[idx], *value,
+                "{}: counter {key} drifted from BENCH_BASELINE.json",
+                row.name
+            );
+        }
+    }
+}
+
+/// An irregular budget schedule (not a fixed chunk) is still invisible.
+#[test]
+fn irregular_budget_schedule_is_invisible() {
+    let w = workload("rbtree").unwrap();
+    let compiled = compile_workload(w.source, Strategy::Perceus).unwrap();
+    let straight = run_workload(&compiled, Strategy::Perceus, 100, RunConfig::default()).unwrap();
+    let resumed = run_workload_budgeted(
+        &compiled,
+        Strategy::Perceus,
+        100,
+        RunConfig::default(),
+        &[1, 7, 100, 3, 1000, 42, 999],
+    )
+    .unwrap();
+    assert!(resumed.suspensions > 0);
+    assert!(determinism_divergence(&straight, &resumed).is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random budget splits never change the result value (or anything
+    /// else the determinism check compares).
+    #[test]
+    fn random_budget_splits_never_change_the_result(
+        name in proptest::sample::select(&["map", "queue", "exn", "tmap-rec"][..]),
+        budgets in proptest::collection::vec(1usize..5_000, 1..12),
+        n in 20i64..200,
+    ) {
+        let w = workload(name).unwrap();
+        let compiled = compile_workload(w.source, Strategy::Perceus).unwrap();
+        let straight =
+            run_workload(&compiled, Strategy::Perceus, n, RunConfig::default()).unwrap();
+        let budgets: Vec<u64> = budgets.iter().map(|b| *b as u64).collect();
+        let resumed = run_workload_budgeted(
+            &compiled,
+            Strategy::Perceus,
+            n,
+            RunConfig::default(),
+            &budgets,
+        )
+        .unwrap();
+        prop_assert_eq!(&resumed.outcome.value, &straight.value);
+        prop_assert!(determinism_divergence(&straight, &resumed).is_none());
+    }
+}

@@ -102,10 +102,7 @@ fn aborted_session_is_retired_and_the_next_tenant_is_unaffected() {
 
     // Tenant 1 starves mid-build: the machine dies with the partial
     // list still rooted in its frames.
-    let starved = RunConfig {
-        step_limit: Some(120),
-        ..RunConfig::default()
-    };
+    let starved = RunConfig::new().with_step_limit(Some(120));
     let (mut heap, r) = run_session(&code, heap, starved, 100);
     assert!(matches!(r, Err(RuntimeError::StepLimit(_))), "{r:?}");
     let leaked = heap.live_blocks();
@@ -135,10 +132,7 @@ fn aborted_session_is_retired_and_the_next_tenant_is_unaffected() {
 fn stale_addresses_from_a_dead_tenant_fail_deterministically() {
     let code = compiled();
     let heap = Heap::new(ReclaimMode::Rc);
-    let starved = RunConfig {
-        step_limit: Some(120),
-        ..RunConfig::default()
-    };
+    let starved = RunConfig::new().with_step_limit(Some(120));
     let mut m = Machine::with_heap(&code, heap, starved);
     assert!(m.run_entry(vec![Value::Int(100)]).is_err());
 
@@ -166,10 +160,7 @@ fn memory_limit_is_a_deterministic_sandbox() {
     // collector-timing slack.
     let mut steps_at_trip = None;
     for _ in 0..3 {
-        let config = RunConfig {
-            memory_limit_words: Some(64),
-            ..RunConfig::default()
-        };
+        let config = RunConfig::new().with_memory_limit_words(Some(64));
         let (heap, r) = run_session(&code, Heap::new(ReclaimMode::Rc), config, 1000);
         match r {
             Err(RuntimeError::MemoryLimit { live_words, .. }) => {

@@ -98,10 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(n) = run_n {
         let compiled = compile_workload(&src, strategy)?;
-        let config = RunConfig {
-            trace_capacity: if trace { Some(64) } else { None },
-            ..RunConfig::default()
-        };
+        let config = RunConfig::new().with_trace_capacity(if trace { Some(64) } else { None });
         let start = std::time::Instant::now();
         let out = run_workload(&compiled, strategy, n, config)?;
         println!("main({n}) = {}  [{:?}]", out.value, start.elapsed());

@@ -71,13 +71,10 @@ fun spin(i: int, n: int): int {
 fun main(n: int): int { spin(0, n) }
 "#;
     // Make enough cyclic garbage to force collections.
-    let gc_cfg = RunConfig {
-        gc: Some(perceus_runtime::gc::GcConfig {
-            initial_threshold: 64,
-            growth_factor: 2.0,
-        }),
-        ..RunConfig::default()
-    };
+    let gc_cfg = RunConfig::new().with_gc(Some(perceus_runtime::gc::GcConfig {
+        initial_threshold: 64,
+        growth_factor: 2.0,
+    }));
     let out = compile_and_run(src, Strategy::Gc, 1_000, gc_cfg).unwrap();
     assert!(out.stats.gc_collections > 0, "collector must have run");
     assert!(

@@ -10,10 +10,7 @@ use perceus_suite::{compile_workload, run_workload, workload, Strategy};
 fn run_outcome_exposes_trace_tail() {
     let w = workload("map").unwrap();
     let c = compile_workload(w.source, Strategy::Perceus).unwrap();
-    let config = RunConfig {
-        trace_capacity: Some(32),
-        ..RunConfig::default()
-    };
+    let config = RunConfig::new().with_trace_capacity(Some(32));
     let out = run_workload(&c, Strategy::Perceus, 20, config).unwrap();
     let tail = out.trace_tail.expect("tracing enabled");
     assert!(tail.contains("free"), "{tail}");
@@ -46,26 +43,20 @@ fn gc_policy_is_respected() {
         &c,
         Strategy::Gc,
         500,
-        RunConfig {
-            gc: Some(perceus_runtime::gc::GcConfig {
-                initial_threshold: 64,
-                growth_factor: 1.2,
-            }),
-            ..RunConfig::default()
-        },
+        RunConfig::new().with_gc(Some(perceus_runtime::gc::GcConfig {
+            initial_threshold: 64,
+            growth_factor: 1.2,
+        })),
     )
     .unwrap();
     let lazy = run_workload(
         &c,
         Strategy::Gc,
         500,
-        RunConfig {
-            gc: Some(perceus_runtime::gc::GcConfig {
-                initial_threshold: 1 << 30,
-                growth_factor: 2.0,
-            }),
-            ..RunConfig::default()
-        },
+        RunConfig::new().with_gc(Some(perceus_runtime::gc::GcConfig {
+            initial_threshold: 1 << 30,
+            growth_factor: 2.0,
+        })),
     )
     .unwrap();
     assert!(eager.stats.gc_collections > 0);

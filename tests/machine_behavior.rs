@@ -119,10 +119,7 @@ fn step_limit_interrupts() {
 fun spin(n: int): int { spin(n) }
 fun main(n: int): int { spin(n) }
 "#;
-    let config = RunConfig {
-        step_limit: Some(10_000),
-        ..RunConfig::default()
-    };
+    let config = RunConfig::new().with_step_limit(Some(10_000));
     let err = compile_and_run(src, Strategy::Perceus, 0, config).unwrap_err();
     assert!(matches!(
         err,
@@ -189,13 +186,10 @@ fn gc_collects_during_deep_recursion() {
     // reachable for the whole run.)
     let w = perceus_suite::workload("rbtree").unwrap();
     let compiled = compile_workload(w.source, Strategy::Gc).unwrap();
-    let config = RunConfig {
-        gc: Some(perceus_runtime::gc::GcConfig {
-            initial_threshold: 256,
-            growth_factor: 1.5,
-        }),
-        ..RunConfig::default()
-    };
+    let config = RunConfig::new().with_gc(Some(perceus_runtime::gc::GcConfig {
+        initial_threshold: 256,
+        growth_factor: 1.5,
+    }));
     let out = run_workload(&compiled, Strategy::Gc, 2_000, config).unwrap();
     assert_eq!(format!("{}", out.value), "200");
     assert!(out.stats.gc_collections > 0);

@@ -135,11 +135,9 @@ fn run_pipeline_case(seed: u64, size: u32) -> Result<(), String> {
             let mut m = Machine::new(
                 &compiled,
                 mode,
-                RunConfig {
-                    audit_every: Some(7),
-                    step_limit: Some(50_000_000),
-                    ..RunConfig::default()
-                },
+                RunConfig::new()
+                    .with_audit_every(Some(7))
+                    .with_step_limit(Some(50_000_000)),
             );
             let v = m
                 .run_entry(vec![Value::Int(3)])

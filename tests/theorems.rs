@@ -104,10 +104,7 @@ fn theorem2_garbage_free_audited() {
     for w in workloads() {
         for s in [Strategy::Perceus, Strategy::PerceusNoOpt] {
             let c = compile_workload(w.source, s).unwrap();
-            let config = RunConfig {
-                audit_every: Some(97),
-                ..RunConfig::default()
-            };
+            let config = RunConfig::new().with_audit_every(Some(97));
             let out = run_workload(&c, s, w.test_n, config)
                 .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, s.label()));
             // refs.pk intentionally demonstrates reference cells; its
