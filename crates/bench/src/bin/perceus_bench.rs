@@ -40,6 +40,7 @@ struct Options {
     /// `Some("-")` prints to stdout.
     counters_json: Option<String>,
     check_baseline: Option<String>,
+    check_certs: Option<String>,
     tolerance: f64,
 }
 
@@ -49,6 +50,7 @@ fn usage() -> ! {
          \x20                    [--strategy NAME] [--repeat K] [--profile]\n\
          \x20      perceus-bench --counters-json [FILE|-]\n\
          \x20      perceus-bench --check-baseline FILE [--tolerance 0]\n\
+         \x20      perceus-bench --check-certs FILE\n\
          workloads: {}\n\
          strategies: {}",
         workloads()
@@ -75,6 +77,7 @@ fn parse_args() -> Options {
         profile: false,
         counters_json: None,
         check_baseline: None,
+        check_certs: None,
         tolerance: 0.0,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -123,6 +126,7 @@ fn parse_args() -> Options {
             "--check-baseline" => {
                 opts.check_baseline = Some(value(&args, &mut i, "--check-baseline"))
             }
+            "--check-certs" => opts.check_certs = Some(value(&args, &mut i, "--check-certs")),
             "--tolerance" => match value(&args, &mut i, "--tolerance").parse() {
                 Ok(t) if t >= 0.0 => opts.tolerance = t,
                 _ => usage(),
@@ -209,6 +213,45 @@ fn run_check_baseline(path: &str, tolerance: f64) -> ExitCode {
     }
 }
 
+/// `--check-certs`: re-certify every baseline workload and replay it
+/// under the profiler against the certified bounds.
+fn run_check_certs(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Baseline::parse_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = match perceus_bench::check_certs(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cert gate failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!(
+            "cert gate: OK — {} workloads certified, checked and replayed within bounds",
+            baseline.workloads.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("cert gate: FAILED — {} violation(s)", violations.len());
+        for v in &violations {
+            println!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(target) = &opts.counters_json {
@@ -216,6 +259,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.check_baseline {
         return run_check_baseline(path, opts.tolerance);
+    }
+    if let Some(path) = &opts.check_certs {
+        return run_check_certs(path);
     }
     let Some(w) = workload(&opts.workload) else {
         eprintln!("unknown workload `{}`", opts.workload);

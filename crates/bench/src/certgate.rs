@@ -1,0 +1,97 @@
+//! The certificate gate behind `perceus-bench --check-certs`.
+//!
+//! Complements the zero-tolerance counter baseline (`counters`): where
+//! `--check-baseline` pins the *exact* measured counters, the cert gate
+//! checks that every workload recorded in `BENCH_BASELINE.json` still
+//! satisfies its *certified* symbolic bounds
+//! ([`perceus_suite::certify`]). Each baseline workload is re-certified
+//! from source, every certificate is re-verified with the independent
+//! checker, and the workload is replayed under the attributed profiler
+//! at its recorded baseline size plus the surrounding size ladder —
+//! any measured count exceeding a certified bound is a violation.
+//!
+//! The baseline document supplies the size parameterization: its
+//! per-workload `n` is the anchor the replay ladder is built around,
+//! so regenerating the baseline at new sizes re-parameterizes the gate
+//! without code changes.
+
+use crate::counters::Baseline;
+use perceus_suite::certify::{certify_final, replay_sizes, replay_workload};
+use perceus_suite::{workload, Strategy, SuiteError};
+
+/// Re-certifies and replays every workload in `baseline`, returning
+/// one human-readable line per violation (empty = gate passes).
+pub fn check_certs(baseline: &Baseline) -> Result<Vec<String>, SuiteError> {
+    let strategy = Strategy::Perceus;
+    let mut violations = Vec::new();
+    for bw in &baseline.workloads {
+        let Some(w) = workload(&bw.name) else {
+            violations.push(format!(
+                "{}: baseline workload is not registered in the suite",
+                bw.name
+            ));
+            continue;
+        };
+        let sc = certify_final(w.source, strategy)?;
+        for e in &sc.errors {
+            violations.push(format!("{}: checker rejection: {e}", bw.name));
+        }
+        let mut sizes = replay_sizes(&w);
+        if !sizes.contains(&bw.n) {
+            sizes.push(bw.n);
+        }
+        for n in sizes {
+            let r = replay_workload(&w, strategy, n, &sc)?;
+            for x in &r.exceedances {
+                violations.push(format!("{} at n={n}: {x}", bw.name));
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{WorkloadCounters, BASELINE_VERSION};
+
+    #[test]
+    fn cert_gate_passes_on_a_two_workload_baseline() {
+        // A miniature baseline (the committed file's shape) drives the
+        // gate; sizes come from its per-workload `n`.
+        let baseline = Baseline {
+            version: BASELINE_VERSION,
+            strategy: "perceus".to_string(),
+            workloads: vec![
+                WorkloadCounters {
+                    name: "map".to_string(),
+                    n: 64,
+                    counters: Vec::new(),
+                },
+                WorkloadCounters {
+                    name: "queue".to_string(),
+                    n: 48,
+                    counters: Vec::new(),
+                },
+            ],
+        };
+        let violations = check_certs(&baseline).expect("gate runs");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn unknown_baseline_workload_is_a_violation() {
+        let baseline = Baseline {
+            version: BASELINE_VERSION,
+            strategy: "perceus".to_string(),
+            workloads: vec![WorkloadCounters {
+                name: "no-such-workload".to_string(),
+                n: 1,
+                counters: Vec::new(),
+            }],
+        };
+        let violations = check_certs(&baseline).expect("gate runs");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("not registered"));
+    }
+}

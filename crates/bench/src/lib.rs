@@ -9,10 +9,14 @@
 
 //! The `counters` module turns the deterministic counter subset of
 //! [`perceus_runtime::Stats`] into a committed baseline
-//! (`BENCH_BASELINE.json`) that CI compares at zero tolerance.
+//! (`BENCH_BASELINE.json`) that CI compares at zero tolerance; the
+//! `certgate` module replays the same baseline workloads against their
+//! certified symbolic cost bounds (`perceus-bench --check-certs`).
 
+pub mod certgate;
 pub mod counters;
 pub mod measure;
 
+pub use certgate::check_certs;
 pub use counters::{Baseline, WorkloadCounters, COUNTER_KEYS};
 pub use measure::{measure, Measurement};

@@ -1,0 +1,898 @@
+//! The shared linear-constraint language of the potential-based cost
+//! analysis (ROADMAP item 5).
+//!
+//! Everything the potential domain manipulates — candidate bounds,
+//! per-path costs, and the facts a path learns from guards and match
+//! arms — is expressed in one small affine language over two kinds of
+//! *atoms*:
+//!
+//! * [`Atom::Count`]`{param, ctor}` — the number of heap cells with
+//!   constructor `ctor` (arity ≥ 1 only; nullary constructors occupy no
+//!   cell) transitively reachable from parameter `param`. This is the
+//!   classic per-constructor potential of automatic amortized resource
+//!   analysis: `|xs.Cons|` is the length of a list, `|t.Node|` the
+//!   interior size of a tree.
+//! * [`Atom::Pos`]`(r)` — `max(r, 0)` for an affine expression `r` over
+//!   the *raw integer values* of parameters ([`RawExpr`]). This is what
+//!   makes counting loops like `build(i, n)` (which allocates
+//!   `max(n − i, 0)` cells) expressible without assuming inputs are
+//!   non-negative.
+//!
+//! Both atom kinds are non-negative by construction, which is what makes
+//! joining bounds by *pointwise coefficient max* sound and lets the
+//! entailment checker drop positively-weighted terms.
+//!
+//! [`Facts`] collects what a single evaluation path knows: raw affine
+//! expressions proved ≥ 0 (from comparison guards) and linear
+//! expressions over atoms proved ≥ 0 (from match arms: matching `Cons`
+//! proves `|xs.Cons| − 1 ≥ 0`). [`Facts::entails_nonneg`] is the one
+//! inference engine both the bound inferencer and the independent
+//! certificate checker share: a small, complete-enough decision
+//! procedure built from sound rewrites (exact `Pos` elimination,
+//! Farkas-style cancellation against one or two raw facts with
+//! non-negative rational multipliers, and lower-bound boosting for
+//! atoms) — the "hand-rolled LP" of the issue, deliberately tiny and
+//! offline.
+
+use super::super::ir::CtorId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An affine expression `k + Σ coeffs[p]·param_p` over the raw integer
+/// values of function parameters. Parameters are identified by index.
+///
+/// Raw expressions are *exact* (not bounds): the evaluator only tracks a
+/// `RawExpr` for a value when it equals that affine function of the
+/// parameters on every run reaching the program point.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RawExpr {
+    /// Constant term.
+    pub k: i64,
+    /// Per-parameter coefficients; absent means 0.
+    pub coeffs: BTreeMap<u32, i64>,
+}
+
+impl RawExpr {
+    /// The constant expression `k`.
+    pub fn konst(k: i64) -> Self {
+        RawExpr {
+            k,
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// The expression `param_p`.
+    pub fn var(p: u32) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(p, 1);
+        RawExpr { k: 0, coeffs }
+    }
+
+    /// True when the expression is a constant.
+    pub fn is_const(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The constant value, when [`is_const`](Self::is_const).
+    pub fn as_const(&self) -> Option<i64> {
+        self.is_const().then_some(self.k)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &RawExpr) -> Option<RawExpr> {
+        let mut out = self.clone();
+        out.k = out.k.checked_add(other.k)?;
+        for (&p, &c) in &other.coeffs {
+            let e = out.coeffs.entry(p).or_insert(0);
+            *e = e.checked_add(c)?;
+        }
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &RawExpr) -> Option<RawExpr> {
+        self.add(&other.scale(-1)?)
+    }
+
+    /// `c · self`. Saturates to `None` on overflow.
+    pub fn scale(&self, c: i64) -> Option<RawExpr> {
+        let mut out = RawExpr {
+            k: self.k.checked_mul(c)?,
+            coeffs: BTreeMap::new(),
+        };
+        for (&p, &v) in &self.coeffs {
+            out.coeffs.insert(p, v.checked_mul(c)?);
+        }
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self + k`.
+    pub fn add_k(&self, k: i64) -> Option<RawExpr> {
+        let mut out = self.clone();
+        out.k = out.k.checked_add(k)?;
+        Some(out)
+    }
+
+    fn normalize(&mut self) {
+        self.coeffs.retain(|_, c| *c != 0);
+    }
+
+    /// Substitutes each parameter with the given affine expression.
+    /// Returns `None` when any occurring parameter has no substitute (or
+    /// on overflow).
+    pub fn subst(&self, lookup: impl Fn(u32) -> Option<RawExpr>) -> Option<RawExpr> {
+        let mut out = RawExpr::konst(self.k);
+        for (&p, &c) in &self.coeffs {
+            let rep = lookup(p)?;
+            out = out.add(&rep.scale(c)?)?;
+        }
+        Some(out)
+    }
+
+    /// Renders the expression with parameter names from `name`.
+    pub fn render(&self, name: &impl Fn(u32) -> String) -> String {
+        let mut s = String::new();
+        for (&p, &c) in &self.coeffs {
+            let n = name(p);
+            if s.is_empty() {
+                match c {
+                    1 => s = n,
+                    -1 => s = format!("-{n}"),
+                    _ => s = format!("{c}*{n}"),
+                }
+            } else if c >= 0 {
+                if c == 1 {
+                    s.push_str(&format!(" + {n}"));
+                } else {
+                    s.push_str(&format!(" + {c}*{n}"));
+                }
+            } else if c == -1 {
+                s.push_str(&format!(" - {n}"));
+            } else {
+                s.push_str(&format!(" - {}*{n}", -c));
+            }
+        }
+        if s.is_empty() {
+            return self.k.to_string();
+        }
+        if self.k > 0 {
+            s.push_str(&format!(" + {}", self.k));
+        } else if self.k < 0 {
+            s.push_str(&format!(" - {}", -self.k));
+        }
+        s
+    }
+}
+
+/// A non-negative measure of the inputs: either a per-constructor cell
+/// count of one parameter, or the positive part of a raw affine
+/// expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// Number of `ctor` cells (arity ≥ 1) transitively reachable from
+    /// parameter `param`.
+    Count { param: u32, ctor: CtorId },
+    /// `max(expr, 0)` over raw integer parameter values.
+    Pos(RawExpr),
+}
+
+/// A linear expression `k + Σ terms[a]·a` over [`Atom`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Constant term.
+    pub k: i64,
+    /// Per-atom coefficients; absent means 0.
+    pub terms: BTreeMap<Atom, i64>,
+}
+
+impl LinExpr {
+    /// The constant expression `k`.
+    pub fn konst(k: i64) -> Self {
+        LinExpr {
+            k,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression `1·a`.
+    pub fn atom(a: Atom) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(a, 1);
+        LinExpr { k: 0, terms }
+    }
+
+    /// True when the expression is the constant `k`.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, when [`is_const`](Self::is_const).
+    pub fn as_const(&self) -> Option<i64> {
+        self.is_const().then_some(self.k)
+    }
+
+    /// `self + other`, saturating to `None` on i64 overflow.
+    pub fn add(&self, other: &LinExpr) -> Option<LinExpr> {
+        let mut out = self.clone();
+        out.k = out.k.checked_add(other.k)?;
+        for (a, &c) in &other.terms {
+            let e = out.terms.entry(a.clone()).or_insert(0);
+            *e = e.checked_add(c)?;
+        }
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &LinExpr) -> Option<LinExpr> {
+        self.add(&other.scale(-1)?)
+    }
+
+    /// `c · self`.
+    pub fn scale(&self, c: i64) -> Option<LinExpr> {
+        let mut out = LinExpr {
+            k: self.k.checked_mul(c)?,
+            terms: BTreeMap::new(),
+        };
+        for (a, &v) in &self.terms {
+            out.terms.insert(a.clone(), v.checked_mul(c)?);
+        }
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self + k`.
+    pub fn add_k(&self, k: i64) -> Option<LinExpr> {
+        let mut out = self.clone();
+        out.k = out.k.checked_add(k)?;
+        Some(out)
+    }
+
+    fn normalize(&mut self) {
+        self.terms.retain(|_, c| *c != 0);
+    }
+
+    /// Pointwise maximum of coefficients and constants. Because every
+    /// atom denotes a non-negative quantity, `max(Σaᵢxᵢ + b, Σcᵢxᵢ + d) ≤
+    /// Σmax(aᵢ,cᵢ)xᵢ + max(b,d)` for all xᵢ ≥ 0 — so this is a sound
+    /// upper bound of both arguments.
+    pub fn join(&self, other: &LinExpr) -> LinExpr {
+        let mut out = LinExpr {
+            k: self.k.max(other.k),
+            terms: self.terms.clone(),
+        };
+        for (a, &c) in &other.terms {
+            let e = out.terms.entry(a.clone()).or_insert(0);
+            *e = (*e).max(c);
+        }
+        // A term present on one side only still joins against 0.
+        for (a, c) in out.terms.iter_mut() {
+            if !other.terms.contains_key(a) || !self.terms.contains_key(a) {
+                *c = (*c).max(0);
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Renders the expression with the supplied atom printer.
+    pub fn render(&self, atom: &impl Fn(&Atom) -> String) -> String {
+        let mut s = String::new();
+        for (a, &c) in &self.terms {
+            let n = atom(a);
+            if s.is_empty() {
+                match c {
+                    1 => s = n,
+                    -1 => s = format!("-{n}"),
+                    _ => s = format!("{c}*{n}"),
+                }
+            } else if c >= 0 {
+                if c == 1 {
+                    s.push_str(&format!(" + {n}"));
+                } else {
+                    s.push_str(&format!(" + {c}*{n}"));
+                }
+            } else if c == -1 {
+                s.push_str(&format!(" - {n}"));
+            } else {
+                s.push_str(&format!(" - {}*{n}", -c));
+            }
+        }
+        if s.is_empty() {
+            return self.k.to_string();
+        }
+        if self.k > 0 {
+            s.push_str(&format!(" + {}", self.k));
+        } else if self.k < 0 {
+            s.push_str(&format!(" - {}", -self.k));
+        }
+        s
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let printer = |a: &Atom| match a {
+            Atom::Count { param, ctor } => format!("|p{param}.c{}|", ctor.0),
+            Atom::Pos(r) => format!("max({}, 0)", r.render(&|p| format!("p{p}"))),
+        };
+        f.write_str(&self.render(&printer))
+    }
+}
+
+/// A symbolic upper bound: a linear expression over atoms, or ω (no
+/// linear bound exists / analysis gave up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymBound {
+    /// A finite affine bound.
+    Finite(LinExpr),
+    /// Unbounded.
+    Omega,
+}
+
+impl SymBound {
+    /// The zero bound.
+    pub fn zero() -> Self {
+        SymBound::Finite(LinExpr::konst(0))
+    }
+
+    /// The constant bound `k`.
+    pub fn konst(k: i64) -> Self {
+        SymBound::Finite(LinExpr::konst(k))
+    }
+
+    /// True when the bound is finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, SymBound::Finite(_))
+    }
+
+    /// The inner expression of a finite bound.
+    pub fn as_finite(&self) -> Option<&LinExpr> {
+        match self {
+            SymBound::Finite(e) => Some(e),
+            SymBound::Omega => None,
+        }
+    }
+
+    /// True when the bound is a finite constant (the `O(1)` case).
+    pub fn as_const(&self) -> Option<i64> {
+        self.as_finite().and_then(|e| e.as_const())
+    }
+
+    /// `self + other`; ω absorbs.
+    pub fn add(&self, other: &SymBound) -> SymBound {
+        match (self, other) {
+            (SymBound::Finite(a), SymBound::Finite(b)) => match a.add(b) {
+                Some(e) => SymBound::Finite(e),
+                None => SymBound::Omega,
+            },
+            _ => SymBound::Omega,
+        }
+    }
+
+    /// `self + k`.
+    pub fn add_k(&self, k: i64) -> SymBound {
+        self.add(&SymBound::konst(k))
+    }
+
+    /// `c · self` for `c ≥ 0`; ω absorbs (and `0·ω = 0`).
+    pub fn scale(&self, c: i64) -> SymBound {
+        debug_assert!(c >= 0, "scaling a bound by a negative factor is unsound");
+        if c == 0 {
+            return SymBound::zero();
+        }
+        match self {
+            SymBound::Finite(e) => match e.scale(c) {
+                Some(e) => SymBound::Finite(e),
+                None => SymBound::Omega,
+            },
+            SymBound::Omega => SymBound::Omega,
+        }
+    }
+
+    /// Pointwise-max join; ω absorbs.
+    pub fn join(&self, other: &SymBound) -> SymBound {
+        match (self, other) {
+            (SymBound::Finite(a), SymBound::Finite(b)) => SymBound::Finite(a.join(b)),
+            _ => SymBound::Omega,
+        }
+    }
+}
+
+impl fmt::Display for SymBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymBound::Finite(e) => write!(f, "{e}"),
+            SymBound::Omega => f.write_str("ω"),
+        }
+    }
+}
+
+/// What one evaluation path knows. Every entry denotes `expr ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct Facts {
+    /// Raw affine expressions over parameter values proved non-negative
+    /// (from comparison guards: `i < n` on the true branch yields
+    /// `n − i − 1 ≥ 0`).
+    pub raw: Vec<RawExpr>,
+    /// Linear expressions over atoms proved non-negative (from match
+    /// arms: matching `Cons` against a scrutinee with `Cons`-count `e`
+    /// yields `e − 1 ≥ 0`).
+    pub lin: Vec<LinExpr>,
+}
+
+/// Caps for the entailment search so pathological inputs stay cheap.
+const MAX_POS_REWRITES: usize = 16;
+const MAX_FACTS_USED: usize = 24;
+
+impl Facts {
+    /// Records a raw fact `r ≥ 0`.
+    pub fn push_raw(&mut self, r: RawExpr) {
+        if r.is_const() && r.k >= 0 {
+            return; // trivially true, no information
+        }
+        if self.raw.len() < MAX_FACTS_USED && !self.raw.contains(&r) {
+            self.raw.push(r);
+        }
+    }
+
+    /// Records a linear fact `e ≥ 0`.
+    pub fn push_lin(&mut self, e: LinExpr) {
+        if e.is_const() && e.k >= 0 {
+            return;
+        }
+        if self.lin.len() < MAX_FACTS_USED && !self.lin.contains(&e) {
+            self.lin.push(e);
+        }
+    }
+
+    /// Decides (soundly, incompletely) whether the facts entail
+    /// `r ≥ 0` for a raw affine expression: either `r` is a non-negative
+    /// constant, or `r − λ·f` is a non-negative constant for some single
+    /// fact `f` and rational `λ ≥ 0`, or likewise against a non-negative
+    /// combination `λ₁·f₁ + λ₂·f₂` of two facts (2×2 rational solve).
+    pub fn raw_nonneg(&self, r: &RawExpr) -> bool {
+        if r.is_const() {
+            return r.k >= 0;
+        }
+        // Single-fact cancellation: pick λ from the first variable.
+        for f in &self.raw {
+            if single_fact_covers(r, f) {
+                return true;
+            }
+        }
+        // Two-fact cancellation with non-negative rational multipliers.
+        for (i, f1) in self.raw.iter().enumerate() {
+            for f2 in self.raw.iter().skip(i + 1) {
+                if pair_fact_covers(r, f1, f2) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Decides (soundly, incompletely) whether the facts entail
+    /// `e ≥ 0` for a linear expression over atoms. The goal is normalized
+    /// into an internal polynomial form and discharged by a bounded
+    /// search over sound rewrites; see the module docs.
+    pub fn entails_nonneg(&self, e: &LinExpr) -> bool {
+        let Some(poly) = Poly::of(e) else {
+            return false;
+        };
+        self.search(poly, MAX_POS_REWRITES)
+    }
+
+    fn search(&self, poly: Poly, fuel: usize) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        // Pick the first Pos atom still present and eliminate it.
+        let Some((r, c)) = poly.pos.iter().next().map(|(r, &c)| (r.clone(), c)) else {
+            return self.base_check(poly);
+        };
+        // Exact rewrites first: if the sign of r is known, Pos(r) is
+        // exactly r or exactly 0 — always sound and never loses
+        // precision, so commit without branching.
+        if self.raw_nonneg(&r) {
+            let mut p = poly;
+            p.pos.remove(&r);
+            return match p.fold_raw(&r, c) {
+                Some(p) => self.search(p, fuel - 1),
+                None => false,
+            };
+        }
+        if let Some(neg) = r.scale(-1) {
+            if self.raw_nonneg(&neg) {
+                let mut p = poly;
+                p.pos.remove(&r);
+                return self.search(p, fuel - 1);
+            }
+        }
+        if c > 0 {
+            // Pos(r) ≥ 0: dropping a positive term only lowers the goal,
+            // so proving the rest proves the whole.
+            let mut p = poly.clone();
+            p.pos.remove(&r);
+            if self.search(p, fuel - 1) {
+                return true;
+            }
+            // Pos(r) ≥ r: lower-bounding by the raw expression.
+            let mut p = poly;
+            p.pos.remove(&r);
+            match p.fold_raw(&r, c) {
+                Some(p) => self.search(p, fuel - 1),
+                None => false,
+            }
+        } else {
+            // Negative coefficient: we owe −c·Pos(r). Pay it from a
+            // positively-weighted Pos(r') that dominates it pointwise on
+            // this path (facts ⊨ r' − r ≥ 0 ⟹ Pos(r') − Pos(r) ≥ 0 …
+            // provided also facts ⊨ r' ≥ 0 ∨ r ≤ 0; we use the sound
+            // special case r' ≥ r ∧ (r' ≥ 0 known or both arbitrary —
+            // max is monotone, so Pos(r') ≥ Pos(r) always).
+            let candidates: Vec<RawExpr> = poly
+                .pos
+                .iter()
+                .filter(|(r2, &c2)| c2 > 0 && *r2 != &r)
+                .map(|(r2, _)| r2.clone())
+                .collect();
+            for r2 in candidates {
+                let Some(diff) = r2.sub(&r) else { continue };
+                if !self.raw_nonneg(&diff) {
+                    continue;
+                }
+                let c2 = poly.pos[&r2];
+                let pay = c2.min(-c);
+                let mut p = poly.clone();
+                *p.pos.get_mut(&r2).unwrap() -= pay;
+                let e = p.pos.get_mut(&r).unwrap();
+                *e += pay;
+                p.normalize();
+                if self.search(p, fuel - 1) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    /// Discharges a Pos-free goal: cancel the raw part against the raw
+    /// facts, require count-atom coefficients non-negative (boosting the
+    /// constant with per-atom lower bounds from the linear facts), and
+    /// check the remaining constant.
+    fn base_check(&self, mut poly: Poly) -> bool {
+        // Count atoms: negative coefficients cannot be repaired (counts
+        // are unbounded above); positive coefficients are safely ≥ 0 and
+        // may contribute via single-atom lower-bound facts.
+        let atoms: Vec<Atom> = poly.counts.keys().cloned().collect();
+        for a in atoms {
+            let c = poly.counts[&a];
+            if c < 0 {
+                return false;
+            }
+            // Lower bound b for atom a: a linear fact m·a + k ≥ 0 with
+            // m > 0 gives a ≥ ⌈−k/m⌉; combined with a ≥ 0.
+            let mut lb: i64 = 0;
+            for f in &self.lin {
+                if f.terms.len() == 1 {
+                    if let Some(&m) = f.terms.get(&a) {
+                        if m > 0 {
+                            let b = (-f.k).div_euclid(m) + i64::from((-f.k).rem_euclid(m) != 0);
+                            lb = lb.max(b);
+                        }
+                    }
+                }
+            }
+            let Some(boost) = c.checked_mul(lb) else {
+                return false;
+            };
+            let Some(k) = poly.k.checked_add(boost) else {
+                return false;
+            };
+            poly.k = k;
+            poly.counts.remove(&a);
+        }
+        let raw = RawExpr {
+            k: poly.k,
+            coeffs: poly.raw,
+        };
+        self.raw_nonneg(&raw)
+    }
+}
+
+/// Internal normal form for entailment goals: constant + raw part +
+/// count-atom part + Pos-atom part.
+#[derive(Debug, Clone)]
+struct Poly {
+    k: i64,
+    raw: BTreeMap<u32, i64>,
+    counts: BTreeMap<Atom, i64>,
+    pos: BTreeMap<RawExpr, i64>,
+}
+
+impl Poly {
+    fn of(e: &LinExpr) -> Option<Poly> {
+        let mut p = Poly {
+            k: e.k,
+            raw: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            pos: BTreeMap::new(),
+        };
+        for (a, &c) in &e.terms {
+            match a {
+                Atom::Count { .. } => {
+                    p.counts.insert(a.clone(), c);
+                }
+                Atom::Pos(r) => {
+                    p.pos.insert(r.clone(), c);
+                }
+            }
+        }
+        Some(p)
+    }
+
+    /// Adds `c · r` into the raw part.
+    fn fold_raw(mut self, r: &RawExpr, c: i64) -> Option<Poly> {
+        self.k = self.k.checked_add(r.k.checked_mul(c)?)?;
+        for (&pvar, &pc) in &r.coeffs {
+            let e = self.raw.entry(pvar).or_insert(0);
+            *e = e.checked_add(pc.checked_mul(c)?)?;
+        }
+        self.normalize();
+        Some(self)
+    }
+
+    fn normalize(&mut self) {
+        self.raw.retain(|_, c| *c != 0);
+        self.counts.retain(|_, c| *c != 0);
+        self.pos.retain(|_, c| *c != 0);
+    }
+}
+
+/// Is `r − λ·f` a non-negative constant for some rational `λ ≥ 0`?
+fn single_fact_covers(r: &RawExpr, f: &RawExpr) -> bool {
+    // λ is forced by any variable of r: λ = r[v]/f[v].
+    let Some((&v, &rv)) = r.coeffs.iter().next() else {
+        return r.k >= 0;
+    };
+    let Some(&fv) = f.coeffs.get(&v) else {
+        return false;
+    };
+    let (p, q) = (rv as i128, fv as i128); // λ = p/q
+    if p.checked_mul(q).is_none_or(|x| x < 0) {
+        return false; // λ < 0
+    }
+    // All coefficients must cancel: r[w]·q == f[w]·p for every w.
+    for w in r.coeffs.keys().chain(f.coeffs.keys()) {
+        let rw = *r.coeffs.get(w).unwrap_or(&0) as i128;
+        let fw = *f.coeffs.get(w).unwrap_or(&0) as i128;
+        if rw * q != fw * p {
+            return false;
+        }
+    }
+    // Residual constant: r.k − λ·f.k ≥ 0 ⟺ sign(q)·(r.k·q − p·f.k) ≥ 0.
+    let resid = (r.k as i128) * q - p * (f.k as i128);
+    if q >= 0 {
+        resid >= 0
+    } else {
+        resid <= 0
+    }
+}
+
+/// Is `r − λ₁·f₁ − λ₂·f₂` a non-negative constant for rationals
+/// `λ₁, λ₂ ≥ 0`? Solves the 2×2 system fixed by the first two variables
+/// of the union support, then verifies every coordinate.
+fn pair_fact_covers(r: &RawExpr, f1: &RawExpr, f2: &RawExpr) -> bool {
+    let mut vars: Vec<u32> = r.coeffs.keys().copied().collect();
+    for w in f1.coeffs.keys().chain(f2.coeffs.keys()) {
+        if !vars.contains(w) {
+            vars.push(*w);
+        }
+    }
+    if vars.len() < 2 {
+        return false; // single-fact path already covers this
+    }
+    let c = |e: &RawExpr, v: u32| *e.coeffs.get(&v).unwrap_or(&0) as i128;
+    let (v1, v2) = (vars[0], vars[1]);
+    // Solve [f1(v1) f2(v1); f1(v2) f2(v2)] · [λ1; λ2] = [r(v1); r(v2)].
+    let det = c(f1, v1) * c(f2, v2) - c(f2, v1) * c(f1, v2);
+    if det == 0 {
+        return false;
+    }
+    // λ1 = n1/det, λ2 = n2/det by Cramer's rule.
+    let n1 = c(r, v1) * c(f2, v2) - c(f2, v1) * c(r, v2);
+    let n2 = c(f1, v1) * c(r, v2) - c(r, v1) * c(f1, v2);
+    // λi ≥ 0 ⟺ ni·det ≥ 0.
+    if n1.checked_mul(det).is_none_or(|x| x < 0) || n2.checked_mul(det).is_none_or(|x| x < 0) {
+        return false;
+    }
+    // Verify all coordinates: r[w]·det == f1[w]·n1 + f2[w]·n2.
+    for &w in &vars {
+        if c(r, w) * det != c(f1, w) * n1 + c(f2, w) * n2 {
+            return false;
+        }
+    }
+    // Residual constant ≥ 0: (r.k·det − f1.k·n1 − f2.k·n2) / det ≥ 0.
+    let resid = (r.k as i128) * det - (f1.k as i128) * n1 - (f2.k as i128) * n2;
+    if det >= 0 {
+        resid >= 0
+    } else {
+        resid <= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctor(i: u32) -> CtorId {
+        CtorId(i)
+    }
+
+    fn count(p: u32, c: u32) -> Atom {
+        Atom::Count {
+            param: p,
+            ctor: ctor(c),
+        }
+    }
+
+    #[test]
+    fn raw_algebra() {
+        let n = RawExpr::var(1);
+        let i = RawExpr::var(0);
+        let e = n.sub(&i).unwrap().add_k(-1).unwrap(); // n − i − 1
+        assert_eq!(e.k, -1);
+        assert_eq!(e.coeffs[&1], 1);
+        assert_eq!(e.coeffs[&0], -1);
+        let s = e
+            .subst(|p| Some(RawExpr::konst(if p == 0 { 3 } else { 10 })))
+            .unwrap();
+        assert_eq!(s.as_const(), Some(6));
+        assert!(e.sub(&e).unwrap().is_const());
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a = LinExpr::atom(count(0, 1))
+            .scale(2)
+            .unwrap()
+            .add_k(1)
+            .unwrap();
+        let b = LinExpr::atom(count(0, 1)).add_k(5).unwrap();
+        let j = a.join(&b);
+        assert_eq!(j.terms[&count(0, 1)], 2);
+        assert_eq!(j.k, 5);
+        // Joining against a missing term clamps at 0, never negative.
+        let neg = LinExpr::atom(count(0, 2)).scale(-3).unwrap();
+        let j2 = neg.join(&LinExpr::konst(0));
+        assert!(j2.terms.is_empty());
+    }
+
+    #[test]
+    fn raw_entailment_single_fact() {
+        let mut facts = Facts::default();
+        // n − i − 1 ≥ 0
+        let f = RawExpr::var(1)
+            .sub(&RawExpr::var(0))
+            .unwrap()
+            .add_k(-1)
+            .unwrap();
+        facts.push_raw(f);
+        // ⊨ n − i ≥ 0 (λ = 1, residual 1)
+        let g = RawExpr::var(1).sub(&RawExpr::var(0)).unwrap();
+        assert!(facts.raw_nonneg(&g));
+        // ⊨ 2n − 2i ≥ 0 (λ = 2)
+        assert!(facts.raw_nonneg(&g.scale(2).unwrap()));
+        // ⊭ i − n ≥ 0
+        assert!(!facts.raw_nonneg(&g.scale(-1).unwrap()));
+        // ⊭ n ≥ 0 alone (coefficients don't cancel)
+        assert!(!facts.raw_nonneg(&RawExpr::var(1)));
+    }
+
+    #[test]
+    fn raw_entailment_two_facts() {
+        let mut facts = Facts::default();
+        facts.push_raw(RawExpr::var(0).add_k(-1).unwrap()); // a − 1 ≥ 0
+        facts.push_raw(RawExpr::var(1)); // b ≥ 0
+                                         // ⊨ a + b − 1 ≥ 0
+        let g = RawExpr::var(0)
+            .add(&RawExpr::var(1))
+            .unwrap()
+            .add_k(-1)
+            .unwrap();
+        assert!(facts.raw_nonneg(&g));
+        // ⊭ a − b ≥ 0
+        let g2 = RawExpr::var(0).sub(&RawExpr::var(1)).unwrap();
+        assert!(!facts.raw_nonneg(&g2));
+    }
+
+    #[test]
+    fn pos_elimination_build_style() {
+        // The inductive step of build(i, n): under fact n − i − 1 ≥ 0,
+        // Pos(n − i) − Pos(n − i − 1) − 1 ≥ 0 (both Pos exact).
+        let mut facts = Facts::default();
+        let nmi1 = RawExpr::var(1)
+            .sub(&RawExpr::var(0))
+            .unwrap()
+            .add_k(-1)
+            .unwrap();
+        facts.push_raw(nmi1.clone());
+        let nmi = RawExpr::var(1).sub(&RawExpr::var(0)).unwrap();
+        let goal = LinExpr::atom(Atom::Pos(nmi))
+            .sub(&LinExpr::atom(Atom::Pos(nmi1)))
+            .unwrap()
+            .add_k(-1)
+            .unwrap();
+        assert!(facts.entails_nonneg(&goal));
+        // Without the guard fact the same goal must be rejected.
+        assert!(!Facts::default().entails_nonneg(&goal));
+    }
+
+    #[test]
+    fn pos_base_case_via_negative_sign() {
+        // Base case of build: under fact i − n ≥ 0, Pos(n − i) ≥ 0 − and
+        // in fact Pos(n − i) − 0 ≥ 0 with the Pos rewritten to 0.
+        let mut facts = Facts::default();
+        facts.push_raw(RawExpr::var(0).sub(&RawExpr::var(1)).unwrap());
+        let goal = LinExpr::atom(Atom::Pos(RawExpr::var(1).sub(&RawExpr::var(0)).unwrap()));
+        assert!(facts.entails_nonneg(&goal));
+    }
+
+    #[test]
+    fn count_atoms_and_match_facts() {
+        // Claim |xs.Cons| − 1 ≥ 0 holds exactly on a Cons arm.
+        let mut facts = Facts::default();
+        facts.push_lin(LinExpr::atom(count(0, 1)).add_k(-1).unwrap());
+        assert!(facts.entails_nonneg(&LinExpr::atom(count(0, 1)).add_k(-1).unwrap()));
+        // 2·|xs.Cons| − 2 ≥ 0 via the lower bound boost.
+        assert!(facts.entails_nonneg(
+            &LinExpr::atom(count(0, 1))
+                .scale(2)
+                .unwrap()
+                .add_k(-2)
+                .unwrap()
+        ));
+        // Negative count coefficients are never entailed.
+        assert!(!facts.entails_nonneg(&LinExpr::atom(count(0, 1)).scale(-1).unwrap()));
+        // Plain non-negative coefficients need no facts at all.
+        assert!(Facts::default().entails_nonneg(&LinExpr::atom(count(0, 1))));
+    }
+
+    #[test]
+    fn map_style_inductive_step() {
+        // claim c·|xs.Cons|; cost 1 + c·(|xs.Cons| − 1) with c = 1:
+        // goal = |xs| − 1 − (|xs| − 1) = 0 ≥ 0 — pure cancellation.
+        let xs = count(0, 1);
+        let claim = LinExpr::atom(xs.clone());
+        let cost = LinExpr::atom(xs.clone()); // 1 + (|xs| − 1)
+        let goal = claim.sub(&cost).unwrap();
+        assert!(Facts::default().entails_nonneg(&goal));
+    }
+
+    #[test]
+    fn sym_bound_lattice() {
+        let a = SymBound::konst(3);
+        let b = SymBound::Finite(LinExpr::atom(count(0, 1)));
+        assert_eq!(a.join(&SymBound::Omega), SymBound::Omega);
+        assert!(a.join(&b).is_finite());
+        assert_eq!(SymBound::Omega.scale(0), SymBound::zero());
+        assert_eq!(a.add(&a).as_const(), Some(6));
+        assert_eq!(a.scale(2).as_const(), Some(6));
+    }
+
+    #[test]
+    fn display_rendering() {
+        let e = LinExpr::atom(count(0, 1))
+            .scale(2)
+            .unwrap()
+            .add_k(3)
+            .unwrap();
+        assert_eq!(format!("{e}"), "2*|p0.c1| + 3");
+        assert_eq!(format!("{}", SymBound::Omega), "ω");
+        let r = RawExpr::var(1).sub(&RawExpr::var(0)).unwrap();
+        assert_eq!(r.render(&|p| format!("p{p}")), "-p0 + p1");
+    }
+}

@@ -49,6 +49,21 @@ struct FunCx<'a> {
     out: &'a mut Diagnostics,
 }
 
+/// Mirrors `perceus_runtime::heap::NUM_SIZE_CLASSES` (core cannot
+/// depend on the runtime crate): field counts `0..=15` each map to
+/// their own exact free list, larger cells share the overflow class.
+const NUM_SIZE_CLASSES: usize = 16;
+
+/// The allocator size class a cell of `arity` fields is served from,
+/// rendered as the runtime's free-list label.
+fn size_class_label(arity: usize) -> String {
+    if arity < NUM_SIZE_CLASSES {
+        format!("size class {arity}")
+    } else {
+        format!("overflow class (≥{NUM_SIZE_CLASSES} fields)")
+    }
+}
+
 impl FunCx<'_> {
     fn emit(&mut self, code: LintCode, severity: Severity, path: &str, message: String) {
         self.out.push(Diagnostic {
@@ -89,9 +104,10 @@ impl FunCx<'_> {
                             Severity::Warning,
                             path,
                             format!(
-                                "`{x}` ({ctor}, {arity} fields) is {verb} on a path that later \
-                                 allocates a fresh {arity}-field `{found}` cell; reuse analysis \
-                                 did not pair them"
+                                "`{x}` ({ctor}, {arity} fields, {}) is {verb} on a path that \
+                                 later allocates a fresh {arity}-field `{found}` cell from the \
+                                 same free list; reuse analysis did not pair them",
+                                size_class_label(arity)
                             ),
                         );
                     }
@@ -327,6 +343,15 @@ impl FunCx<'_> {
     // ---- L4: non-FBIP recursion ------------------------------------------
 
     fn lint_non_fbip(&mut self, body: &Expr) {
+        // FBIP (§2.4) is a property of *transformers*: functions that
+        // take a structure apart and rebuild it, where every allocation
+        // could be paid for by a reuse token from a consumed cell. A
+        // pure generator (recursively building a list/tree from
+        // scalars) never destructures a cell, so it has no tokens to
+        // reuse and is not an FBIP candidate — flagging it is noise.
+        if !consumes_cells(self.p, body) {
+            return;
+        }
         let t = fbip_walk(self.p, self.fun, body);
         if t.bad {
             self.emit(
@@ -495,6 +520,20 @@ impl FbipFlags {
     }
 }
 
+/// Does the body ever destructure a constructor cell (match an arm of
+/// arity ≥ 1)? Only such functions can be "functional but in-place".
+fn consumes_cells(p: &Program, body: &Expr) -> bool {
+    let mut found = false;
+    body.visit(&mut |e| {
+        if let Expr::Match { arms, .. } = e {
+            if arms.iter().any(|a| p.types.ctor(a.ctor).arity >= 1) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
 fn fbip_walk(p: &Program, fun: FunId, e: &Expr) -> FbipFlags {
     match e {
         Expr::Call(fid, args) => {
@@ -661,6 +700,7 @@ mod tests {
         assert_eq!(d.count(LintCode::MissedReuse), 1);
         let l1 = d.iter().find(|d| d.code == LintCode::MissedReuse).unwrap();
         assert!(l1.path.contains("arm[Cons]"), "{}", l1.path);
+        assert!(l1.message.contains("size class 2"), "{}", l1.message);
     }
 
     #[test]

@@ -21,11 +21,17 @@
 //! documented in `docs/ANALYSIS.md` and served by `perceus-suite
 //! analyze`.
 
+pub mod certificate;
 pub mod cost;
+pub mod linear;
 pub mod lint;
+pub mod potential;
 pub mod report;
 
+pub use certificate::{check_cert_set, check_fun_cert, CertError, CertSet, FunCert};
 pub use cost::{ArmSummary, Bound, CostInterval, CostVector, FunSummary};
+pub use linear::{Atom, Facts, LinExpr, RawExpr, SymBound};
+pub use potential::{infer_certificates, CostMode, COUNTERS, NCOUNTERS};
 pub use report::{Diagnostic, Diagnostics, LintCode, Severity};
 
 use crate::ir::program::{FunId, Program};

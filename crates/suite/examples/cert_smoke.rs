@@ -1,0 +1,73 @@
+//! Runs certificate inference over every registered workload's
+//! final-stage program and reports finite alloc bounds + timing.
+//!
+//! ```text
+//! cargo run --release -p perceus-suite --example cert_smoke
+//! ```
+
+use perceus_core::analysis::{check_cert_set, infer_certificates, SymBound};
+use perceus_core::passes::Pipeline;
+use perceus_suite::{workloads, Strategy};
+use std::time::Instant;
+
+fn main() {
+    let mut finite_workloads = 0;
+    let mut finite_recursive = 0;
+    for w in workloads() {
+        let program = perceus_lang::compile_str(w.source).expect("workload compiles");
+        let trace = Pipeline::new(Strategy::Perceus.pass_config())
+            .stages(program)
+            .expect("pipeline runs");
+        let p = trace.final_program();
+        let t0 = Instant::now();
+        let certs = infer_certificates(p);
+        let infer_ms = t0.elapsed().as_millis();
+        let t1 = Instant::now();
+        let errs = check_cert_set(p, &certs);
+        let check_ms = t1.elapsed().as_millis();
+        let mut any_finite = false;
+        let mut lines = Vec::new();
+        for cert in &certs.funs {
+            let alloc = &cert.worst[6];
+            let fbip_alloc = &cert.fbip[6];
+            if let SymBound::Finite(_) = alloc {
+                any_finite = true;
+                if cert.recursive {
+                    finite_recursive += 1;
+                }
+            }
+            lines.push(format!(
+                "    {}{}: alloc ≤ {}   fbip alloc ≤ {}",
+                cert.name,
+                if cert.recursive { " (rec)" } else { "" },
+                perceus_core::analysis::certificate::bound_human(p, cert.fun, alloc),
+                perceus_core::analysis::certificate::bound_human(p, cert.fun, fbip_alloc),
+            ));
+        }
+        if any_finite {
+            finite_workloads += 1;
+        }
+        println!(
+            "== {} ({} funs, infer {infer_ms}ms, check {check_ms}ms, {} checker errors){}",
+            w.name,
+            certs.funs.len(),
+            errs.len(),
+            if any_finite {
+                ""
+            } else {
+                "  [NO FINITE ALLOC]"
+            }
+        );
+        for l in lines {
+            println!("{l}");
+        }
+        for e in &errs {
+            println!("    ERROR: {e}");
+        }
+    }
+    println!(
+        "\nworkloads with ≥1 finite alloc bound: {finite_workloads}/{}",
+        workloads().len()
+    );
+    println!("recursive functions with finite alloc: {finite_recursive}");
+}

@@ -1,0 +1,30 @@
+//! Prints the pretty-printed final-stage IR of a registered workload.
+//!
+//! ```text
+//! cargo run -p perceus-suite --example dump_ir -- map [stage]
+//! ```
+
+use perceus_core::passes::Pipeline;
+use perceus_suite::{workload, Strategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("map");
+    let w = workload(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let program = perceus_lang::compile_str(w.source).expect("workload compiles");
+    let pipeline = Pipeline::new(Strategy::Perceus.pass_config());
+    let trace = pipeline.stages(program).expect("pipeline runs");
+    match args.get(1) {
+        None => {
+            let p = trace.final_program();
+            println!("=== final ===\n{p}");
+        }
+        Some(stage) => {
+            for (label, p) in trace.stages() {
+                if label.to_string() == *stage {
+                    println!("=== {label} ===\n{p}");
+                }
+            }
+        }
+    }
+}

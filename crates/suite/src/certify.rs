@@ -1,0 +1,367 @@
+//! Certificate driver: inference, independent checking, and
+//! profiler-replay validation of the potential analysis
+//! (`perceus_core::analysis::potential`) over registered workloads.
+//!
+//! Three layers:
+//!
+//! * [`certify_final`] / [`certify_stages`] — compile a workload under a
+//!   strategy, run certificate inference on pass-stage snapshots, and
+//!   re-verify every certificate with the independent checker.
+//! * [`eval_bound_at`] — evaluate a symbolic bound at a concrete entry
+//!   argument, turning `2·max(n, 0) + 1` into a number the profiler can
+//!   be compared against.
+//! * [`replay_workload`] — run the workload under the attributed
+//!   profiler ([`perceus_runtime::profile`]) and assert that measured
+//!   per-function counts stay within the certified bounds: entry totals
+//!   against `main`'s worst-case bounds, per-frame counts against
+//!   constant worst-case bounds, and per-frame allocations against the
+//!   conditional FBIP bounds on frames whose uniqueness tests all hit.
+//!
+//! The comparisons mirror the analyzer↔runtime counter mapping
+//! established in `docs/ANALYSIS.md` (dup/drop/decref/is_unique are
+//! instruction counts that over-approximate the heap-value-only runtime
+//! counters; `free`/`drop_token` are not compared because the runtime
+//! counters include recursive frees no per-instruction count models).
+
+use crate::driver::{compile_workload, run_workload, Strategy, SuiteError};
+use crate::workloads::Workload;
+use perceus_core::analysis::certificate::bound_human;
+use perceus_core::analysis::{
+    check_cert_set, infer_certificates, Atom, CertError, CertSet, FunCert, SymBound,
+};
+use perceus_core::ir::Program;
+use perceus_core::passes::{PassName, Pipeline};
+use perceus_runtime::machine::RunConfig;
+use perceus_runtime::profile::FrameKind;
+
+/// Certificates for one pass-stage snapshot, with the independent
+/// checker's verdicts.
+pub struct StageCerts {
+    /// The pass whose output was certified.
+    pub pass: PassName,
+    /// The snapshot program (certificates refer to its `FunId`s).
+    pub program: Program,
+    /// The inferred certificate set.
+    pub certs: CertSet,
+    /// Checker rejections — empty for every certificate the inferencer
+    /// emits (the inferencer only keeps claims the checker accepts).
+    pub errors: Vec<CertError>,
+}
+
+/// Infers and independently re-checks certificates for one program
+/// snapshot.
+pub fn certify_snapshot(pass: PassName, program: Program) -> StageCerts {
+    let certs = infer_certificates(&program);
+    let errors = check_cert_set(&program, &certs);
+    StageCerts {
+        pass,
+        program,
+        certs,
+        errors,
+    }
+}
+
+/// Compiles `src` under `strategy` and certifies every pass-stage
+/// snapshot (expensive: inference runs once per stage).
+pub fn certify_stages(src: &str, strategy: Strategy) -> Result<Vec<StageCerts>, SuiteError> {
+    let program = perceus_lang::compile_str(src)?;
+    let trace = Pipeline::new(strategy.pass_config()).stages(program)?;
+    Ok(trace
+        .stages()
+        .map(|(pass, p)| certify_snapshot(pass, p.clone()))
+        .collect())
+}
+
+/// Compiles `src` under `strategy` and certifies the final (shipped)
+/// program only.
+pub fn certify_final(src: &str, strategy: Strategy) -> Result<StageCerts, SuiteError> {
+    let program = perceus_lang::compile_str(src)?;
+    let trace = Pipeline::new(strategy.pass_config()).stages(program)?;
+    let (pass, p) = trace.stages().last().expect("pipeline runs ≥ 1 stage");
+    Ok(certify_snapshot(pass, p.clone()))
+}
+
+/// Evaluates a bound at concrete **integer** entry arguments: `Pos`
+/// atoms evaluate exactly; `Count` atoms evaluate to 0, which is exact
+/// when the corresponding parameter is integer-typed (an integer holds
+/// no constructor cells) — true for every registered workload's
+/// `main(n: int)`. Returns `None` for ω. Saturating arithmetic.
+pub fn eval_bound_at(b: &SymBound, args: &[i64]) -> Option<i64> {
+    let e = b.as_finite()?;
+    let mut total = e.k;
+    for (atom, &c) in &e.terms {
+        let v: i64 = match atom {
+            Atom::Count { .. } => 0,
+            Atom::Pos(r) => {
+                let mut x = r.k;
+                for (p, &co) in &r.coeffs {
+                    let arg = args.get(*p as usize).copied().unwrap_or(0);
+                    x = x.saturating_add(co.saturating_mul(arg));
+                }
+                x.max(0)
+            }
+        };
+        total = total.saturating_add(c.saturating_mul(v));
+    }
+    Some(total.max(0))
+}
+
+/// The three input sizes replay validation runs a workload at: halved,
+/// nominal, doubled around `test_n` — except for workloads whose
+/// parameter drives exponential work (small `test_n`), which step by 1
+/// downward instead.
+pub fn replay_sizes(w: &Workload) -> Vec<i64> {
+    let t = w.test_n;
+    let mut sizes = if t >= 16 {
+        vec![t / 2, t, t * 2]
+    } else {
+        vec![(t - 2).max(1), (t - 1).max(1), t]
+    };
+    sizes.dedup();
+    sizes
+}
+
+/// One measured-vs-certified violation found by replay.
+#[derive(Debug, Clone)]
+pub struct Exceedance {
+    /// Which frame (`<entry>` for the whole-run totals check).
+    pub frame: String,
+    /// Which counter.
+    pub counter: &'static str,
+    /// Human description with the measured and certified numbers.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Exceedance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} / {}: {}", self.frame, self.counter, self.detail)
+    }
+}
+
+/// The outcome of replaying one workload at one size under the
+/// profiler and comparing against its certificates.
+pub struct ReplayReport {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Input size.
+    pub n: i64,
+    /// Entry-total counters with a finite certified bound that were
+    /// compared.
+    pub entry_counters_checked: usize,
+    /// Frames whose per-call constant worst-case bounds were compared.
+    pub frames_checked: usize,
+    /// Frames whose conditional FBIP allocation bound was compared
+    /// (uniqueness tests all hit).
+    pub fbip_frames_checked: usize,
+    /// Every measured count exceeding a certified bound (must be empty).
+    pub exceedances: Vec<Exceedance>,
+}
+
+/// The certificate↔profiler counter mapping: certificate slot index →
+/// profiler counter name and accessor. `free` (4) and `drop_token` (5)
+/// are excluded — see the module docs.
+const REPLAY_COUNTERS: [(usize, &str); 6] = [
+    (0, "dups"),
+    (1, "drops"),
+    (2, "decrefs"),
+    (3, "unique_tests"),
+    (6, "allocations"),
+    (7, "reuses"),
+];
+
+fn prof_counter(c: &perceus_runtime::profile::ProfCounts, name: &str) -> u64 {
+    match name {
+        "dups" => c.dups,
+        "drops" => c.drops,
+        "decrefs" => c.decrefs,
+        "unique_tests" => c.unique_tests,
+        "allocations" => c.allocations,
+        "reuses" => c.reuses,
+        _ => unreachable!("unmapped replay counter"),
+    }
+}
+
+/// True when every compared worst bound of the certificate is a
+/// constant and the function never applies its parameters as closures
+/// (so no application overhead lands in this frame on behalf of a
+/// caller-supplied bound).
+fn per_frame_checkable(cert: &FunCert) -> bool {
+    REPLAY_COUNTERS
+        .iter()
+        .all(|(slot, _)| cert.worst[*slot].as_const().is_some())
+        && cert.apps.iter().all(|a| a.as_const() == Some(0))
+}
+
+/// Runs `main(n)` under the attributed profiler and checks every
+/// measured count against `certs` (certificates of the final-stage
+/// program the compiled workload was built from).
+pub fn replay_workload(
+    w: &Workload,
+    strategy: Strategy,
+    n: i64,
+    sc: &StageCerts,
+) -> Result<ReplayReport, SuiteError> {
+    let compiled = compile_workload(w.source, strategy)?;
+    let out = run_workload(&compiled, strategy, n, RunConfig::new().with_profile(true))?;
+    let prof = out
+        .profile
+        .expect("profiling was enabled, a profile must exist");
+    let frames = prof.per_frame();
+    let mut report = ReplayReport {
+        workload: w.name.to_string(),
+        strategy: strategy.label(),
+        n,
+        entry_counters_checked: 0,
+        frames_checked: 0,
+        fbip_frames_checked: 0,
+        exceedances: Vec::new(),
+    };
+
+    // 1. Entry totals: everything measured inside function frames (the
+    //    root frame holds machine entry glue and the final result drop,
+    //    which are outside `main`'s dynamic extent) must satisfy
+    //    `main`'s worst-case bounds evaluated at n.
+    if let Some(main_cert) = sc.certs.fun_cert("main") {
+        let mut inside = perceus_runtime::profile::ProfCounts::default();
+        for f in &frames {
+            if !matches!(f.frame, FrameKind::Root) {
+                inside.add(&f.counts);
+            }
+        }
+        for (slot, name) in REPLAY_COUNTERS {
+            let Some(bound) = eval_bound_at(&main_cert.worst[slot], &[n]) else {
+                continue;
+            };
+            report.entry_counters_checked += 1;
+            let measured = prof_counter(&inside, name);
+            if measured > bound as u64 {
+                report.exceedances.push(Exceedance {
+                    frame: "<entry>".to_string(),
+                    counter: name,
+                    detail: format!(
+                        "measured {measured} exceeds certified {} = {bound} at n={n}",
+                        bound_human(&sc.program, main_cert.fun, &main_cert.worst[slot])
+                    ),
+                });
+            }
+        }
+    }
+
+    // 2. Per-frame constant bounds: a function certified with constant
+    //    worst-case bounds (and no closure-parameter applications) can
+    //    be checked per frame: its exclusive counts are bounded by
+    //    calls × per-call bound, because exclusive ≤ transitive per
+    //    call.
+    for f in &frames {
+        let FrameKind::Fun(fid) = f.frame else {
+            continue;
+        };
+        let name = f.frame.name(&compiled);
+        let Some(cert) = sc.certs.fun_cert(&name) else {
+            continue;
+        };
+        let _ = fid;
+        if per_frame_checkable(cert) {
+            report.frames_checked += 1;
+            for (slot, cname) in REPLAY_COUNTERS {
+                let per_call = cert.worst[slot].as_const().expect("checkable ⇒ const") as u64;
+                let measured = prof_counter(&f.counts, cname);
+                let allowed = f.calls.saturating_mul(per_call);
+                if measured > allowed {
+                    report.exceedances.push(Exceedance {
+                        frame: name.clone(),
+                        counter: cname,
+                        detail: format!(
+                            "measured {measured} exceeds {} calls × certified {per_call}",
+                            f.calls
+                        ),
+                    });
+                }
+            }
+        }
+        // 3. Conditional FBIP bound: on frames where every uniqueness
+        //    test hit (the Thm. 2 regime held locally), measured fresh
+        //    allocations must satisfy the FBIP allocation bound.
+        let fbip_ok = f.counts.unique_tests == f.counts.unique_hits;
+        if fbip_ok && cert.apps.iter().all(|a| a.as_const() == Some(0)) {
+            if let Some(per_call) = cert.fbip[6].as_const() {
+                report.fbip_frames_checked += 1;
+                let allowed = f.calls.saturating_mul(per_call as u64);
+                if f.counts.allocations > allowed {
+                    report.exceedances.push(Exceedance {
+                        frame: name.clone(),
+                        counter: "allocations (fbip)",
+                        detail: format!(
+                            "all {} uniqueness tests hit, yet {} allocations exceed {} calls × fbip bound {per_call}",
+                            f.counts.unique_tests, f.counts.allocations, f.calls
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Certifies a workload and replays it at every [`replay_sizes`] size;
+/// the returned reports must all have empty `exceedances`.
+pub fn certify_and_replay(
+    w: &Workload,
+    strategy: Strategy,
+) -> Result<(StageCerts, Vec<ReplayReport>), SuiteError> {
+    let sc = certify_final(w.source, strategy)?;
+    let mut reports = Vec::new();
+    for n in replay_sizes(w) {
+        reports.push(replay_workload(w, strategy, n, &sc)?);
+    }
+    Ok((sc, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::workload;
+    use perceus_core::analysis::{LinExpr, RawExpr};
+
+    #[test]
+    fn eval_bound_at_handles_all_atom_kinds() {
+        // 2·max(n − 3, 0) + 5 at n = 10 → 2·7 + 5 = 19.
+        let r = RawExpr::var(0).add_k(-3).unwrap();
+        let e = LinExpr::atom(Atom::Pos(r))
+            .scale(2)
+            .unwrap()
+            .add_k(5)
+            .unwrap();
+        assert_eq!(eval_bound_at(&SymBound::Finite(e), &[10]), Some(19));
+        // Below the hinge the positive part clamps: n = 1 → 0·2 + 5.
+        let r = RawExpr::var(0).add_k(-3).unwrap();
+        let e = LinExpr::atom(Atom::Pos(r))
+            .scale(2)
+            .unwrap()
+            .add_k(5)
+            .unwrap();
+        assert_eq!(eval_bound_at(&SymBound::Finite(e), &[1]), Some(5));
+        assert_eq!(eval_bound_at(&SymBound::Omega, &[1]), None);
+    }
+
+    #[test]
+    fn replay_sizes_ladders() {
+        let map = workload("map").unwrap();
+        assert_eq!(replay_sizes(&map), vec![250, 500, 1000]);
+        let nqueens = workload("nqueens").unwrap();
+        assert_eq!(replay_sizes(&nqueens), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn map_certifies_and_replays_clean() {
+        let w = workload("map").unwrap();
+        let (sc, reports) = certify_and_replay(&w, Strategy::Perceus).unwrap();
+        assert!(sc.errors.is_empty(), "{:?}", sc.errors);
+        for r in &reports {
+            assert!(r.exceedances.is_empty(), "n={}: {:?}", r.n, r.exceedances);
+            assert!(r.entry_counters_checked > 0, "main has finite bounds");
+        }
+    }
+}

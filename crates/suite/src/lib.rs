@@ -21,6 +21,7 @@
 //! programs) and [`shrink`] (greedy counterexample reduction); the
 //! `perceus-suite` binary exposes it as the `fuzz` subcommand.
 
+pub mod certify;
 pub mod diff;
 pub mod driver;
 pub mod genprog;
@@ -29,6 +30,10 @@ pub mod resume;
 pub mod shrink;
 pub mod workloads;
 
+pub use certify::{
+    certify_and_replay, certify_final, certify_stages, eval_bound_at, replay_sizes,
+    replay_workload, Exceedance, ReplayReport, StageCerts,
+};
 pub use diff::{
     differential_check, fuzz, CheckOutcome, Divergence, Failure, FuzzConfig, FuzzReport,
 };

@@ -8,6 +8,9 @@
 //! perceus-suite analyze [--workload map | --file F | --all]
 //!                       [--strategy perceus] [--stage final]
 //!                       [--json] [--deny L2]
+//! perceus-suite certify [--workload map | --file F | --all]
+//!                       [--strategy perceus] [--stage final]
+//!                       [--json] [--deny] [--replay]
 //! perceus-suite parallel [--workload map] [--threads 4] [--n SIZE]
 //!                        [--strategy perceus] [--json]
 //! perceus-suite profile [--workload map] [--n SIZE] [--threads 1]
@@ -26,6 +29,14 @@
 //! snapshots; `--deny` turns selected lint codes into a failing exit
 //! for CI gating — in `--json` mode the complete report (including the
 //! per-target `denied` counts) is always emitted before the failing
+//! exit. `certify` runs the potential-based resource analysis
+//! (`perceus_core::analysis::potential`), printing per-function
+//! symbolic cost certificates (linear bounds over input sizes, ω where
+//! no linear potential exists) after re-verifying each with the
+//! independent checker; `--replay` additionally runs registered
+//! workloads under the attributed profiler at three input sizes and
+//! checks measured counts against the certified bounds, and `--deny`
+//! turns any checker rejection or measured exceedance into a failing
 //! exit. `parallel` runs N machines concurrently over a shared
 //! immutable input (see [`perceus_suite::parallel`]) and reports
 //! aggregate throughput, merged statistics and the join-time
@@ -56,6 +67,7 @@ fn main() -> ExitCode {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("stages") => run_stages(&args[1..]),
         Some("analyze") => run_analyze(&args[1..]),
+        Some("certify") => run_certify(&args[1..]),
         Some("parallel") => run_parallel_cmd(&args[1..]),
         Some("profile") => run_profile_cmd(&args[1..]),
         Some("resume") => run_resume_cmd(&args[1..]),
@@ -99,6 +111,21 @@ subcommands:
     --json               machine-readable report
     --deny <code>        exit 1 if the final stage carries this lint
                          (repeatable; L1..L4 or a lint name)
+
+  certify  potential-based cost certificates: per-function linear
+           bounds on RC counters, independently re-checked, optionally
+           validated against profiler measurements (docs/ANALYSIS.md)
+    --workload <name>    certify a registered workload (default map)
+    --file <path>        certify a surface-language source file
+    --all                certify every registered workload
+    --strategy <name>    as for stages          (default perceus)
+    --stage <sel>        final | all | a pass label (default final)
+    --json               machine-readable certificates
+    --replay             run registered workloads under the profiler
+                         at three input sizes and check measured
+                         counts against the certified bounds
+    --deny               exit 1 on any checker rejection or (with
+                         --replay) measured-count exceedance
 
   parallel run N machines concurrently; workloads with a shared-input
            split (map, refs) share one immutable structure through the
@@ -545,6 +572,262 @@ fn run_analyze(args: &[String]) -> ExitCode {
     }
 
     if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_certify(args: &[String]) -> ExitCode {
+    use perceus_suite::certify::{certify_snapshot, replay_sizes, replay_workload, StageCerts};
+    use perceus_suite::Workload;
+
+    let mut workload_names_sel: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut strategy = Strategy::Perceus;
+    let mut stage_sel = StageSel::Final;
+    let mut json = false;
+    let mut deny = false;
+    let mut replay = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                workload_names_sel.push(next_value(args, &mut i, "--workload").to_string())
+            }
+            "--file" => files.push(next_value(args, &mut i, "--file").to_string()),
+            "--all" => all = true,
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
+                };
+            }
+            "--stage" => {
+                let sel = next_value(args, &mut i, "--stage");
+                stage_sel = match sel {
+                    "final" => StageSel::Final,
+                    "all" => StageSel::All,
+                    label => match PassName::ALL.iter().find(|p| p.label() == label) {
+                        Some(p) => StageSel::One(*p),
+                        None => {
+                            return usage_error(&format!(
+                                "unknown stage `{label}` (use final, all, or a pass label)"
+                            ))
+                        }
+                    },
+                };
+            }
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--replay" => replay = true,
+            other => return usage_error(&format!("unknown certify option `{other}`")),
+        }
+        i += 1;
+    }
+
+    // Resolve targets: (name, source, registered workload if any —
+    // replay needs the workload's runner and size ladder).
+    let mut targets: Vec<(String, String, Option<Workload>)> = Vec::new();
+    if all {
+        for w in workloads() {
+            targets.push((w.name.to_string(), w.source.to_string(), Some(*w)));
+        }
+    }
+    for name in &workload_names_sel {
+        match workload(name) {
+            Some(w) => targets.push((w.name.to_string(), w.source.to_string(), Some(w))),
+            None => {
+                return usage_error(&format!(
+                    "unknown workload `{name}`; available: {}",
+                    workload_names().join(", ")
+                ))
+            }
+        }
+    }
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => targets.push((path.clone(), src, None)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if targets.is_empty() {
+        let w = workload("map").unwrap();
+        targets.push((w.name.to_string(), w.source.to_string(), Some(w)));
+    }
+
+    let mut violations = 0usize;
+    let mut json_targets: Vec<String> = Vec::new();
+    for (name, src, wl) in &targets {
+        let program = match perceus_lang::compile_str(src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: front end failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match Pipeline::new(strategy.pass_config()).stages(program) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{name}: pipeline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snaps: Vec<_> = trace.stages().collect();
+        let selected: Vec<StageCerts> = match stage_sel {
+            StageSel::Final => {
+                let (pass, p) = *snaps.last().expect("pipeline runs ≥ 1 stage");
+                vec![certify_snapshot(pass, p.clone())]
+            }
+            StageSel::All => snaps
+                .iter()
+                .map(|(pass, p)| certify_snapshot(*pass, (*p).clone()))
+                .collect(),
+            StageSel::One(pass) => match snaps.iter().find(|(sp, _)| *sp == pass) {
+                Some((sp, p)) => vec![certify_snapshot(*sp, (*p).clone())],
+                None => {
+                    eprintln!(
+                        "{name}: stage `{}` did not run under strategy {}",
+                        pass.label(),
+                        strategy.label()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        violations += selected.iter().map(|s| s.errors.len()).sum::<usize>();
+
+        // Replay validates against the shipped program's certificates,
+        // independently of which snapshots are displayed.
+        let mut replays: Vec<perceus_suite::ReplayReport> = Vec::new();
+        if replay {
+            if let Some(w) = wl {
+                let last_pass = snaps.last().map(|(p, _)| *p);
+                let owned_final;
+                let final_sc = match selected.iter().find(|s| Some(s.pass) == last_pass) {
+                    Some(sc) => sc,
+                    None => {
+                        let (pass, p) = *snaps.last().expect("pipeline runs ≥ 1 stage");
+                        owned_final = certify_snapshot(pass, p.clone());
+                        violations += owned_final.errors.len();
+                        &owned_final
+                    }
+                };
+                for n in replay_sizes(w) {
+                    match replay_workload(w, strategy, n, final_sc) {
+                        Ok(r) => {
+                            violations += r.exceedances.len();
+                            replays.push(r);
+                        }
+                        Err(e) => {
+                            eprintln!("{name}: replay at n={n} failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            } else if !json {
+                println!("note: --replay skipped for file target {name} (no registered runner)");
+            }
+        }
+
+        if json {
+            let mut t = format!(
+                "{{\"name\":\"{}\",\"strategy\":\"{}\",\"stages\":[",
+                json_escape(name),
+                json_escape(strategy.label()),
+            );
+            for (i, s) in selected.iter().enumerate() {
+                if i > 0 {
+                    t.push(',');
+                }
+                let errs: Vec<String> = s
+                    .errors
+                    .iter()
+                    .map(|e| format!("\"{}\"", json_escape(&e.to_string())))
+                    .collect();
+                t.push_str(&format!(
+                    "{{\"stage\":\"{}\",\"checker_errors\":[{}],\"certificates\":{}}}",
+                    s.pass.label(),
+                    errs.join(","),
+                    s.certs.to_json(&s.program)
+                ));
+            }
+            t.push_str("],\"replay\":[");
+            for (i, r) in replays.iter().enumerate() {
+                if i > 0 {
+                    t.push(',');
+                }
+                let exc: Vec<String> = r
+                    .exceedances
+                    .iter()
+                    .map(|x| format!("\"{}\"", json_escape(&x.to_string())))
+                    .collect();
+                t.push_str(&format!(
+                    "{{\"n\":{},\"entry_counters_checked\":{},\"frames_checked\":{},\
+                     \"fbip_frames_checked\":{},\"exceedances\":[{}]}}",
+                    r.n,
+                    r.entry_counters_checked,
+                    r.frames_checked,
+                    r.fbip_frames_checked,
+                    exc.join(",")
+                ));
+            }
+            t.push_str("]}");
+            json_targets.push(t);
+        } else {
+            for s in &selected {
+                println!(
+                    "== {name} under {} (stage {}) ==",
+                    strategy.label(),
+                    s.pass.label()
+                );
+                print!("{}", s.certs.render_human(&s.program));
+                if s.errors.is_empty() {
+                    println!("  checker: all certificates verified");
+                } else {
+                    println!("  checker: {} rejection(s):", s.errors.len());
+                    for e in &s.errors {
+                        println!("    {e}");
+                    }
+                }
+            }
+            for r in &replays {
+                println!(
+                    "replay n={}: {} entry counters, {} frames, {} fbip frames checked, {} exceedance(s)",
+                    r.n,
+                    r.entry_counters_checked,
+                    r.frames_checked,
+                    r.fbip_frames_checked,
+                    r.exceedances.len()
+                );
+                for x in &r.exceedances {
+                    println!("    {x}");
+                }
+            }
+        }
+    }
+
+    if json {
+        println!(
+            "{{\"targets\":[{}],\"deny\":{},\"violations\":{}}}",
+            json_targets.join(","),
+            deny,
+            violations
+        );
+    } else if deny {
+        println!(
+            "deny gate: {} violation(s) across {} target(s)",
+            violations,
+            targets.len()
+        );
+    }
+
+    if deny && violations > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

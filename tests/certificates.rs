@@ -1,0 +1,271 @@
+//! End-to-end validation of the potential-based cost certificates
+//! (`perceus_core::analysis::potential` / `certificate`, surfaced as
+//! `perceus-suite certify`):
+//!
+//! * the acceptance floor — a clear majority of the registered
+//!   workloads get *finite linear* worst-case allocation bounds,
+//!   including recursive functions;
+//! * a recursive FBIP workload is certified `allocs ∈ O(1)` (in fact
+//!   exactly 0) under the `perceus` strategy, and profiler replay
+//!   confirms the measurement at three input sizes;
+//! * every inferred certificate passes the independent checker, across
+//!   every baseline workload × every RC strategy;
+//! * the checker is not vacuous: lowering any single finite coordinate
+//!   of an inferred certificate (property-tested over random
+//!   coordinates) produces a claim the checker rejects;
+//! * profiler replay finds zero measured counts exceeding certified
+//!   bounds on any baseline workload at any ladder size.
+
+use perceus_core::analysis::{check_cert_set, Atom, CertSet, COUNTERS};
+use perceus_suite::certify::{certify_final, replay_sizes, replay_workload, StageCerts};
+use perceus_suite::{compile_workload, run_workload, workload, workloads, Strategy};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Index of the fresh-allocation counter in certificate slot order.
+fn alloc_slot() -> usize {
+    COUNTERS.iter().position(|c| *c == "alloc").unwrap()
+}
+
+/// Certification is the expensive step (seconds per workload), and
+/// several tests plus every proptest case need the same certificate
+/// sets — so they share one process-wide cache keyed by
+/// (workload, strategy).
+fn certified(widx: usize, sidx: usize) -> Arc<StageCerts> {
+    type Cache = Mutex<HashMap<(usize, usize), Arc<StageCerts>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = cache.lock().unwrap();
+    g.entry((widx, sidx))
+        .or_insert_with(|| {
+            let w = &workloads()[widx];
+            let s = Strategy::ALL[sidx];
+            Arc::new(
+                certify_final(w.source, s)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, s.label())),
+            )
+        })
+        .clone()
+}
+
+fn perceus_idx() -> usize {
+    Strategy::ALL
+        .iter()
+        .position(|s| *s == Strategy::Perceus)
+        .unwrap()
+}
+
+#[test]
+fn linear_alloc_bounds_cover_the_acceptance_floor() {
+    let alloc = alloc_slot();
+    let mut finite_workloads = Vec::new();
+    let mut finite_recursive = 0usize;
+    for (i, w) in workloads().iter().enumerate() {
+        let sc = certified(i, perceus_idx());
+        assert!(sc.errors.is_empty(), "{}: {:?}", w.name, sc.errors);
+        let mut any = false;
+        for c in &sc.certs.funs {
+            if c.worst[alloc].as_finite().is_some() {
+                any = true;
+                if c.recursive {
+                    finite_recursive += 1;
+                }
+            }
+        }
+        if any {
+            finite_workloads.push(w.name);
+        }
+    }
+    // The issue's floor is 8 workloads and 3 recursive functions; the
+    // current analysis clears it with room (13 / 27 at the time of
+    // writing), so a regression has margin to show up before the gate
+    // trips.
+    assert!(
+        finite_workloads.len() >= 8,
+        "only {} workloads have a finite worst-case alloc bound: {finite_workloads:?}",
+        finite_workloads.len()
+    );
+    assert!(
+        finite_recursive >= 3,
+        "only {finite_recursive} recursive functions have finite alloc bounds"
+    );
+}
+
+#[test]
+fn recursive_fbip_workload_is_certified_constant_alloc_and_replay_confirms() {
+    let alloc = alloc_slot();
+    let widx = workloads().iter().position(|w| w.name == "tmap").unwrap();
+    let sc = certified(widx, perceus_idx());
+
+    // The in-place tree-map kernels are recursive and certified to
+    // allocate exactly 0 fresh cells in the FBIP regime (every Node
+    // rebuilt from a reuse token) — allocs ∈ O(1), Thm. 2's
+    // garbage-free bound at its strongest.
+    for name in ["tmap-fbip", "tmap"] {
+        let c = sc
+            .certs
+            .fun_cert(name)
+            .unwrap_or_else(|| panic!("no cert for {name}"));
+        assert!(c.recursive, "{name} is recursive");
+        assert_eq!(
+            c.fbip[alloc].as_const(),
+            Some(0),
+            "{name}'s FBIP alloc bound should be the constant 0"
+        );
+    }
+
+    // Replay at three sizes: the conditional FBIP check must fire (the
+    // kernels' uniqueness tests all hit on a fresh tree) and nothing
+    // may exceed a bound.
+    let w = workload("tmap").unwrap();
+    let sizes = replay_sizes(&w);
+    assert_eq!(sizes.len(), 3);
+    for &n in &sizes {
+        let r = replay_workload(&w, Strategy::Perceus, n, &sc).unwrap();
+        assert!(r.exceedances.is_empty(), "n={n}: {:?}", r.exceedances);
+        assert!(r.fbip_frames_checked >= 1, "n={n}: FBIP check never fired");
+
+        // And directly: the tmap-fbip frame ran in the FBIP regime and
+        // allocated nothing.
+        let compiled = compile_workload(w.source, Strategy::Perceus).unwrap();
+        let out = run_workload(
+            &compiled,
+            Strategy::Perceus,
+            n,
+            perceus_runtime::machine::RunConfig::new().with_profile(true),
+        )
+        .unwrap();
+        let prof = out.profile.unwrap();
+        let frame = prof
+            .per_frame()
+            .into_iter()
+            .find(|f| f.frame.name(&compiled) == "tmap-fbip")
+            .expect("tmap-fbip ran");
+        assert_eq!(
+            frame.counts.unique_tests, frame.counts.unique_hits,
+            "n={n}: every uniqueness test hits on a fresh tree"
+        );
+        assert_eq!(
+            frame.counts.allocations, 0,
+            "n={n}: the FBIP kernel allocates nothing"
+        );
+    }
+}
+
+#[test]
+fn inferred_certificates_pass_the_checker_under_every_strategy() {
+    for (sidx, s) in Strategy::ALL.iter().enumerate() {
+        for (widx, w) in workloads().iter().enumerate() {
+            let sc = certified(widx, sidx);
+            assert!(
+                sc.errors.is_empty(),
+                "{} under {}: {:?}",
+                w.name,
+                s.label(),
+                sc.errors
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_finds_zero_exceedances_on_every_baseline_workload() {
+    for (widx, w) in workloads().iter().enumerate() {
+        let sc = certified(widx, perceus_idx());
+        for n in replay_sizes(w) {
+            let r = replay_workload(w, Strategy::Perceus, n, &sc).unwrap();
+            assert!(
+                r.exceedances.is_empty(),
+                "{} at n={n}: {:?}",
+                w.name,
+                r.exceedances
+            );
+        }
+    }
+}
+
+// ---- downward perturbation ---------------------------------------------
+
+/// One finite coordinate of a certificate set that can be lowered:
+/// which function, which mode (worst = true), which counter slot, and
+/// which coordinate of its linear bound (None = the constant, Some =
+/// that atom's coefficient).
+type Coord = (usize, bool, usize, Option<Atom>);
+
+fn perturbable_coords(certs: &CertSet) -> Vec<Coord> {
+    let mut out = Vec::new();
+    for (fi, c) in certs.funs.iter().enumerate() {
+        for (worst, bounds) in [(true, &c.worst), (false, &c.fbip)] {
+            for (slot, b) in bounds.iter().enumerate() {
+                if let Some(e) = b.as_finite() {
+                    out.push((fi, worst, slot, None));
+                    for (a, &coeff) in &e.terms {
+                        if coeff >= 1 {
+                            out.push((fi, worst, slot, Some(a.clone())));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lowers the chosen coordinate by one (removing a term whose
+/// coefficient reaches zero).
+fn perturb(certs: &mut CertSet, (fi, worst, slot, atom): &Coord) {
+    let c = &mut certs.funs[*fi];
+    let bounds = if *worst { &mut c.worst } else { &mut c.fbip };
+    let e = bounds[*slot]
+        .as_finite()
+        .expect("coord points at a finite bound");
+    let mut e = e.clone();
+    match atom {
+        None => e.k -= 1,
+        Some(a) => {
+            let coeff = e.terms.get_mut(a).expect("coord points at a present atom");
+            *coeff -= 1;
+            if *coeff == 0 {
+                e.terms.remove(a);
+            }
+        }
+    }
+    bounds[*slot] = perceus_core::analysis::SymBound::Finite(e);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Coordinate minimization leaves every published bound at the
+    /// rejection boundary: lowering *any single coordinate* of *any*
+    /// finite bound — random workload, random strategy, random
+    /// coordinate — yields a certificate set the independent checker
+    /// refuses. (The unperturbed set is accepted by construction,
+    /// re-checked in `inferred_certificates_pass_the_checker_...`.)
+    #[test]
+    fn downward_perturbed_certificates_are_rejected(
+        widx in 0..13usize,
+        sidx in 0..5usize,
+        pick in any::<u64>(),
+    ) {
+        assert_eq!(workloads().len(), 13);
+        assert_eq!(Strategy::ALL.len(), 5);
+        let sc = certified(widx, sidx);
+        let coords = perturbable_coords(&sc.certs);
+        if coords.is_empty() {
+            return Ok(());
+        }
+        let coord = &coords[(pick % coords.len() as u64) as usize];
+        let mut perturbed = sc.certs.clone();
+        perturb(&mut perturbed, coord);
+        let errs = check_cert_set(&sc.program, &perturbed);
+        prop_assert!(
+            !errs.is_empty(),
+            "{} under {}: lowering {:?} went unnoticed",
+            workloads()[widx].name,
+            Strategy::ALL[sidx].label(),
+            coord
+        );
+    }
+}
