@@ -52,7 +52,10 @@ struct FunCx<'a> {
 /// Mirrors `perceus_runtime::heap::NUM_SIZE_CLASSES` (core cannot
 /// depend on the runtime crate): field counts `0..=15` each map to
 /// their own exact free list, larger cells share the overflow class.
-const NUM_SIZE_CLASSES: usize = 16;
+/// Public so a crate that depends on both (the suite) can assert the
+/// two constants stay equal — drift would make L1 diagnostics report
+/// wrong size classes.
+pub const NUM_SIZE_CLASSES: usize = 16;
 
 /// The allocator size class a cell of `arity` fields is served from,
 /// rendered as the runtime's free-list label.

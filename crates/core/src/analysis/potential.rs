@@ -352,10 +352,21 @@ pub(crate) fn eval_fun_paths(
         .into_iter()
         .filter(|(st, _)| !st.aborted)
         .map(|(st, v)| PathOut {
-            facts: st.facts,
+            // An exploded state stands for every path beyond the cap
+            // but evaluation continued with only path #0's environment
+            // and value: its result counts and any facts learned after
+            // the collapse describe a strict subset of the real paths.
+            // Claim nothing, so every finite slot claim — ret included —
+            // fails against this path in both inference and the
+            // independent checker (costs and apps are already sticky-ω).
+            ret: if st.exploded { None } else { v.counts },
+            facts: if st.exploded {
+                Facts::default()
+            } else {
+                st.facts
+            },
             cost: st.cost,
             apps: st.apps,
-            ret: v.counts,
             self_calls: st.self_calls,
         })
         .collect()
@@ -384,7 +395,12 @@ fn eval_list(cx: &Cx, exprs: &[Expr], st: State) -> Vec<(State, Vec<AbsVal>)> {
 }
 
 /// Enforces the path cap by collapsing an oversized path set into one
-/// exploded (all-ω) state.
+/// exploded (all-ω) state. The survivor keeps path #0's environment and
+/// value only so evaluation can continue; the sticky `exploded` flag
+/// marks everything derived from them as untrusted, and
+/// [`eval_fun_paths`] strips the final value's counts and the
+/// accumulated facts from exploded paths before they reach any claim
+/// check.
 fn cap_paths<T>(cx: &Cx, mut paths: Vec<T>, state_of: impl Fn(&mut T) -> &mut State) -> Vec<T> {
     if paths.len() <= cx.path_cap {
         return paths;
@@ -1665,6 +1681,50 @@ mod tests {
                 })
                 .copied(),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn path_cap_collapse_claims_nothing() {
+        // fun wide(b0, …, b9) =
+        //   let t0 = if b0 then 0 else 0 in … let t8 = … in
+        //   if b9 then Nil else Cons(0, Nil)
+        // 2^10 = 1024 > PATH_CAP paths, so evaluation collapses to the
+        // exploded all-True path #0 — which returns Nil, while the
+        // paths the collapse swallowed return one Cons cell. The
+        // collapsed path must claim nothing: inference may not ship a
+        // finite ret bound derived from path #0, and the independent
+        // checker must reject an understated hand-written one.
+        let mut pb = ProgramBuilder::new();
+        let (_, ctors) = pb.data("list", &[("Nil", 0), ("Cons", 2)]);
+        let (nil, cons) = (ctors[0], ctors[1]);
+        let params: Vec<_> = (0..10).map(|i| pb.fresh(&format!("b{i}"))).collect();
+        let f = pb.declare("wide", params.clone());
+        let mut body = ite(
+            params[9].clone(),
+            con(nil, vec![]),
+            con(cons, vec![Expr::int(0), con(nil, vec![])]),
+        );
+        for j in (0..9).rev() {
+            let t = pb.fresh("t");
+            body = Expr::let_(
+                t,
+                ite(params[j].clone(), Expr::int(0), Expr::int(0)),
+                body,
+            );
+        }
+        pb.set_body(f, body);
+        let p = pb.finish();
+        assert!(1 << params.len() > PATH_CAP);
+        let certs = infer_certificates(&p);
+        let cert = &certs.funs[f.0 as usize];
+        assert!(!cert.ret.get(&cons).unwrap().is_finite());
+        assert!(!cert.worst[C_ALLOC].is_finite());
+        let mut bad = certs.clone();
+        bad.funs[f.0 as usize].ret.insert(cons, SymBound::konst(0));
+        assert!(
+            crate::analysis::certificate::check_fun_cert(&p, &bad, f, CostMode::Worst).is_err(),
+            "checker accepted a ret claim true only on the collapsed path #0"
         );
     }
 

@@ -15,7 +15,8 @@
 //!   per-function counts stay within the certified bounds: entry totals
 //!   against `main`'s worst-case bounds, per-frame counts against
 //!   constant worst-case bounds, and per-frame allocations against the
-//!   conditional FBIP bounds on frames whose uniqueness tests all hit.
+//!   conditional FBIP bounds on frames whose uniqueness tests all hit
+//!   and whose reuse tokens never cross frames.
 //!
 //! The comparisons mirror the analyzer↔runtime counter mapping
 //! established in `docs/ANALYSIS.md` (dup/drop/decref/is_unique are
@@ -29,7 +30,7 @@ use perceus_core::analysis::certificate::bound_human;
 use perceus_core::analysis::{
     check_cert_set, infer_certificates, Atom, CertError, CertSet, FunCert, SymBound,
 };
-use perceus_core::ir::Program;
+use perceus_core::ir::{Expr, Program};
 use perceus_core::passes::{PassName, Pipeline};
 use perceus_runtime::machine::RunConfig;
 use perceus_runtime::profile::FrameKind;
@@ -194,6 +195,32 @@ fn per_frame_checkable(cert: &FunCert) -> bool {
         && cert.apps.iter().all(|a| a.as_const() == Some(0))
 }
 
+/// True when every reuse token the function consumes was created in its
+/// own frame: no parameter is used as the token of a `Con@ru`. The
+/// conditional per-frame FBIP check relies on this — a token created in
+/// one frame (where a failed uniqueness test is counted) but consumed
+/// in another whose own tests all hit would let the consuming frame
+/// allocate fresh while still passing the `unique_tests == unique_hits`
+/// gate, producing a spurious exceedance. The current reuse analysis
+/// never emits cross-frame tokens, so this is a defensive structural
+/// guard that keeps the gate honest if that ever changes.
+fn tokens_are_frame_local(p: &Program, cert: &FunCert) -> bool {
+    let f = &p.funs[cert.fun.0 as usize];
+    let params: Vec<u32> = f.params.iter().map(|v| v.id()).collect();
+    let mut local = true;
+    f.body.visit(&mut |e| {
+        if let Expr::Con {
+            reuse: Some(tok), ..
+        } = e
+        {
+            if params.contains(&tok.id()) {
+                local = false;
+            }
+        }
+    });
+    local
+}
+
 /// Runs `main(n)` under the attributed profiler and checks every
 /// measured count against `certs` (certificates of the final-stage
 /// program the compiled workload was built from).
@@ -283,9 +310,14 @@ pub fn replay_workload(
         }
         // 3. Conditional FBIP bound: on frames where every uniqueness
         //    test hit (the Thm. 2 regime held locally), measured fresh
-        //    allocations must satisfy the FBIP allocation bound.
+        //    allocations must satisfy the FBIP allocation bound. Only
+        //    applicable when the function's reuse tokens are created in
+        //    its own frame — see `tokens_are_frame_local`.
         let fbip_ok = f.counts.unique_tests == f.counts.unique_hits;
-        if fbip_ok && cert.apps.iter().all(|a| a.as_const() == Some(0)) {
+        if fbip_ok
+            && cert.apps.iter().all(|a| a.as_const() == Some(0))
+            && tokens_are_frame_local(&sc.program, cert)
+        {
             if let Some(per_call) = cert.fbip[6].as_const() {
                 report.fbip_frames_checked += 1;
                 let allowed = f.calls.saturating_mul(per_call as u64);
@@ -344,6 +376,18 @@ mod tests {
             .unwrap();
         assert_eq!(eval_bound_at(&SymBound::Finite(e), &[1]), Some(5));
         assert_eq!(eval_bound_at(&SymBound::Omega, &[1]), None);
+    }
+
+    #[test]
+    fn lint_size_classes_match_runtime() {
+        // The L1 lint renders allocator size classes so findings can be
+        // cross-referenced with the profiler's allocs-by-size-class
+        // table; core cannot depend on the runtime crate, so the
+        // constant is duplicated there. This is the drift gate.
+        assert_eq!(
+            perceus_core::analysis::lint::NUM_SIZE_CLASSES,
+            perceus_runtime::heap::NUM_SIZE_CLASSES
+        );
     }
 
     #[test]
