@@ -27,11 +27,13 @@
 
 use perceus_bench::counters::Baseline;
 use perceus_runtime::machine::RunConfig;
-use perceus_suite::{run_parallel, workload, workloads, Strategy};
+use perceus_suite::{run_contended, run_parallel, workload, workloads, ReadMode, Strategy};
 use std::process::ExitCode;
 
 struct Options {
-    workload: String,
+    /// `None` means the per-mode default (rbtree for the throughput
+    /// bench, map for `--read-scaling`).
+    workload: Option<String>,
     threads: u32,
     n: Option<i64>,
     strategy: Strategy,
@@ -42,6 +44,8 @@ struct Options {
     check_baseline: Option<String>,
     check_certs: Option<String>,
     tolerance: f64,
+    /// `Some("-")` prints to stdout.
+    read_scaling: Option<String>,
 }
 
 fn usage() -> ! {
@@ -51,6 +55,7 @@ fn usage() -> ! {
          \x20      perceus-bench --counters-json [FILE|-]\n\
          \x20      perceus-bench --check-baseline FILE [--tolerance 0]\n\
          \x20      perceus-bench --check-certs FILE\n\
+         \x20      perceus-bench --read-scaling [FILE|-] [--workload map] [--n SIZE]\n\
          workloads: {}\n\
          strategies: {}",
         workloads()
@@ -69,7 +74,7 @@ fn usage() -> ! {
 
 fn parse_args() -> Options {
     let mut opts = Options {
-        workload: "rbtree".to_string(),
+        workload: None,
         threads: 4,
         n: None,
         strategy: Strategy::Perceus,
@@ -79,6 +84,7 @@ fn parse_args() -> Options {
         check_baseline: None,
         check_certs: None,
         tolerance: 0.0,
+        read_scaling: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,7 +97,7 @@ fn parse_args() -> Options {
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--workload" => opts.workload = value(&args, &mut i, "--workload"),
+            "--workload" => opts.workload = Some(value(&args, &mut i, "--workload")),
             "--threads" => match value(&args, &mut i, "--threads").parse() {
                 Ok(t) if t > 0 => opts.threads = t,
                 _ => usage(),
@@ -127,6 +133,16 @@ fn parse_args() -> Options {
                 opts.check_baseline = Some(value(&args, &mut i, "--check-baseline"))
             }
             "--check-certs" => opts.check_certs = Some(value(&args, &mut i, "--check-certs")),
+            "--read-scaling" => {
+                // The file operand is optional, as for --counters-json.
+                match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        opts.read_scaling = Some(next.clone());
+                        i += 1;
+                    }
+                    _ => opts.read_scaling = Some("-".to_string()),
+                }
+            }
             "--tolerance" => match value(&args, &mut i, "--tolerance").parse() {
                 Ok(t) if t >= 0.0 => opts.tolerance = t,
                 _ => usage(),
@@ -252,6 +268,89 @@ fn run_check_certs(path: &str) -> ExitCode {
     }
 }
 
+/// `--read-scaling`: the contended read-mostly workload at 1, 8 and 32
+/// worker threads, under both guard-protected snapshot reads and the
+/// owned atomic-RMW baseline, emitted as one JSON record (the artifact
+/// the CI threaded-smoke job records). Fails if any snapshot run pays
+/// an atomic RMW or leaves the segment undrained — the wall-clock
+/// ratio is reported but not gated, since it only means something on
+/// hardware with real parallelism (`cores` is in the record).
+fn run_read_scaling(opts: &Options, target: &str) -> ExitCode {
+    let name = opts.workload.as_deref().unwrap_or("map");
+    let Some(w) = workload(name) else {
+        eprintln!("unknown workload `{name}`");
+        usage();
+    };
+    if w.parallel.is_none() {
+        eprintln!("workload `{name}` has no shared-input split");
+        return ExitCode::FAILURE;
+    }
+    let n = opts.n.unwrap_or(w.test_n);
+    let reps: u32 = 8;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+    let mut gate_ok = true;
+    for threads in [1u32, 8, 32] {
+        let mut tputs = [0.0f64; 2];
+        for (slot, mode) in [ReadMode::Snapshot, ReadMode::Owned]
+            .into_iter()
+            .enumerate()
+        {
+            let out = match run_contended(&w, mode, n, threads, reps, RunConfig::default()) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("{name} ({} @ {threads} threads): {e}", mode.label());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if mode == ReadMode::Snapshot
+                && (out.read_atomics != 0 || out.shared_audit.live_blocks != 0)
+            {
+                eprintln!(
+                    "{name} (snapshot @ {threads} threads): gate failed — \
+                     {} read-phase atomic RMWs, {} live blocks at join",
+                    out.read_atomics, out.shared_audit.live_blocks
+                );
+                gate_ok = false;
+            }
+            tputs[slot] = out.throughput();
+            entries.push(format!(
+                "{{\"threads\":{threads},\"mode\":\"{}\",\"elapsed_secs\":{:.6},\
+                 \"throughput\":{:.3},\"read_atomics\":{},\"reclaimed_blocks\":{}}}",
+                mode.label(),
+                out.elapsed.as_secs_f64(),
+                out.throughput(),
+                out.read_atomics,
+                out.reclaimed_blocks,
+            ));
+        }
+        entries.push(format!(
+            "{{\"threads\":{threads},\"mode\":\"ratio\",\"snapshot_over_owned\":{:.3}}}",
+            tputs[0] / tputs[1].max(1e-9)
+        ));
+    }
+    let json = format!(
+        "{{\"workload\":\"{name}\",\"n\":{n},\"reps\":{reps},\"cores\":{cores},\
+         \"entries\":[{}]}}\n",
+        entries.join(",")
+    );
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("cannot write {target}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote read-scaling record to {target}");
+    }
+    if gate_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(target) = &opts.counters_json {
@@ -263,8 +362,12 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.check_certs {
         return run_check_certs(path);
     }
-    let Some(w) = workload(&opts.workload) else {
-        eprintln!("unknown workload `{}`", opts.workload);
+    if let Some(target) = opts.read_scaling.clone() {
+        return run_read_scaling(&opts, &target);
+    }
+    let name = opts.workload.as_deref().unwrap_or("rbtree");
+    let Some(w) = workload(name) else {
+        eprintln!("unknown workload `{name}`");
         usage();
     };
     let n = opts.n.unwrap_or(w.default_n);

@@ -1707,11 +1707,7 @@ mod tests {
         );
         for j in (0..9).rev() {
             let t = pb.fresh("t");
-            body = Expr::let_(
-                t,
-                ite(params[j].clone(), Expr::int(0), Expr::int(0)),
-                body,
-            );
+            body = Expr::let_(t, ite(params[j].clone(), Expr::int(0), Expr::int(0)), body);
         }
         pb.set_body(f, body);
         let p = pb.finish();

@@ -247,13 +247,19 @@ fn on_cycle(heap: &Heap, start: Addr) -> bool {
 /// Join-time report over the thread-shared segment.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SharedAudit {
-    /// Slots whose count reached zero during the run (reclaimed).
+    /// Slots whose strong count reached zero during the run.
     pub freed_blocks: u64,
     /// Slots still live at join.
     pub live_blocks: u64,
     /// Live slots pinned at the sticky floor or held by pinned slots
     /// (tolerated, §2.7.2).
     pub pinned_blocks: u64,
+    /// Outstanding weak counts summed over every slot (live or dead —
+    /// a weak of a dead block is legal and still owns its count).
+    pub weak_refs: u64,
+    /// Dead slots whose field storage was physically released by epoch
+    /// reclamation (the rest release at the next `try_reclaim`).
+    pub reclaimed_blocks: u64,
 }
 
 /// Audits the thread-shared segment **after every worker has joined**
@@ -264,9 +270,16 @@ pub struct SharedAudit {
 /// exactly (no races remain).
 pub fn check_shared_at_join(segment: &SharedHeap) -> Result<SharedAudit, String> {
     let mut internal: HashMap<u32, u32> = HashMap::new();
+    let mut weak_internal: HashMap<u32, u32> = HashMap::new();
+    let mut weak_counts: HashMap<u32, u32> = HashMap::new();
     let mut live = Vec::new();
     let mut freed_blocks = 0;
-    for (addr, header, fields) in segment.iter_slots() {
+    let mut weak_refs = 0u64;
+    for (addr, header, weak, fields) in segment.iter_slots() {
+        weak_refs += weak as u64;
+        if weak > 0 {
+            weak_counts.insert(addr.index, weak);
+        }
         if header == 0 {
             freed_blocks += 1;
             continue;
@@ -278,13 +291,22 @@ pub fn check_shared_at_join(segment: &SharedHeap) -> Result<SharedAudit, String>
         }
         live.push((addr, header));
         for f in fields.iter() {
-            if let Value::Ref(child) = f {
-                if !child.is_shared() {
-                    return Err(format!(
-                        "shared block {addr} holds thread-local reference {child}"
-                    ));
+            match f {
+                Value::Ref(child) => {
+                    if !child.is_shared() {
+                        return Err(format!(
+                            "shared block {addr} holds thread-local reference {child}"
+                        ));
+                    }
+                    *internal.entry(child.index).or_insert(0) += 1;
                 }
-                *internal.entry(child.index).or_insert(0) += 1;
+                // Weak fields are not strong references: they confer no
+                // liveness and are excluded from strong adequacy. Each
+                // owns one *weak* count, checked below.
+                Value::Weak(child) => {
+                    *weak_internal.entry(child.index).or_insert(0) += 1;
+                }
+                _ => {}
             }
         }
     }
@@ -295,6 +317,19 @@ pub fn check_shared_at_join(segment: &SharedHeap) -> Result<SharedAudit, String>
             return Err(format!(
                 "shared block {addr} has count {} but {refs} internal references at join",
                 header.unsigned_abs()
+            ));
+        }
+    }
+    // Weak adequacy: every weak field of a live block owns one weak
+    // count on its target (the target's slot entry outlives its
+    // storage, so a dangling weak is legal — but an *uncounted* one is
+    // a bookkeeping bug that would later over-release).
+    for (&index, &refs) in weak_internal.iter() {
+        let have = weak_counts.get(&index).copied().unwrap_or(0);
+        if have < refs {
+            return Err(format!(
+                "shared slot {index} has weak count {have} but {refs} weak references \
+                 from live blocks at join"
             ));
         }
     }
@@ -332,6 +367,8 @@ pub fn check_shared_at_join(segment: &SharedHeap) -> Result<SharedAudit, String>
         freed_blocks,
         live_blocks: live.len() as u64,
         pinned_blocks,
+        weak_refs,
+        reclaimed_blocks: segment.reclaimed().0,
     })
 }
 

@@ -143,6 +143,14 @@ pub struct Compiled {
     /// for builder-made programs). Carried verbatim from
     /// [`Program::fun_spans`] so profiler reports can point at source.
     pub fun_spans: Vec<(u32, u32)>,
+    /// Per-function borrow masks (indexed like `funs`), carried from
+    /// the borrow-inference pass: `fun_borrows[f][i]` is true when
+    /// parameter `i` of function `f` is *borrowed* — the function never
+    /// consumes it, so a caller that retains ownership can pass a
+    /// shared value without any `dup`/`drop` at all (the zero-RMW
+    /// snapshot-read calling convention). Empty masks mean "all owned"
+    /// (borrow inference off).
+    pub fun_borrows: Vec<Box<[bool]>>,
     /// Unique identity of this compiled instance (see [`Compiled::uid`]).
     uid: CodeUid,
 }
@@ -154,6 +162,21 @@ impl Compiled {
             .iter()
             .position(|f| &*f.name == name)
             .map(|i| FunId(i as u32))
+    }
+
+    /// The borrow mask of `f`'s parameters, if borrow inference ran
+    /// (`None` means every parameter is owned).
+    pub fn borrow_mask(&self, f: FunId) -> Option<&[bool]> {
+        self.fun_borrows
+            .get(f.0 as usize)
+            .filter(|m| !m.is_empty())
+            .map(|m| &m[..])
+    }
+
+    /// True when parameter `i` of `f` is borrowed (never consumed by
+    /// the function — callers retain ownership across the call).
+    pub fn param_borrowed(&self, f: FunId, i: usize) -> bool {
+        self.borrow_mask(f).is_some_and(|m| m.get(i) == Some(&true))
     }
 
     /// A process-unique id for this `Compiled` *instance*. Cloning
@@ -193,6 +216,14 @@ pub fn compile(p: &Program) -> Result<Compiled, RuntimeError> {
         lambdas: Vec::new(),
         entry: p.entry,
         fun_spans: p.fun_spans.clone(),
+        fun_borrows: p
+            .funs()
+            .map(|(id, _)| {
+                p.borrow_mask(id)
+                    .map(|m| m.to_vec().into_boxed_slice())
+                    .unwrap_or_default()
+            })
+            .collect(),
         uid: CodeUid::fresh(),
     };
     for (_, f) in p.funs() {

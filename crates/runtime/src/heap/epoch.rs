@@ -1,0 +1,232 @@
+//! Epoch-based reclamation for the thread-shared segment — the guard
+//! layer under CIRC-style snapshot reads (SNIPPETS.md snippet 1).
+//!
+//! The shared segment's problem: when a block's strong count hits zero,
+//! exactly one thread wins the closing CAS and the block is dead — but
+//! another thread may *right now* be reading the block's fields through
+//! a [`crate::heap::BlockView`] it obtained while the count was still
+//! positive. Freeing the field storage at the CAS would be a
+//! use-after-free on that reader. The pre-epoch runtime solved this by
+//! never freeing: dead slots kept their storage until the whole segment
+//! dropped, which is unbounded retention for the long-lived segments
+//! `perceus-serve` holds across sessions.
+//!
+//! The epoch scheme bounds the wait instead:
+//!
+//! * a **global epoch** (a monotone `u64`) advances on every retirement;
+//! * every heap that attaches the segment registers a **participant**
+//!   and *pins* itself at the then-current epoch. The pin is a promise:
+//!   "every field slice I can still be holding was obtained at or after
+//!   my pin epoch". A participant re-pins ([`Collector::repin`]) only at
+//!   *quiescent points* — places where the borrow checker proves no
+//!   `BlockView` borrow of the heap is outstanding (`&mut Heap`
+//!   methods);
+//! * a dead block's storage is **retired**, not freed: pushed on a queue
+//!   stamped with the epoch at retirement. Retired storage is
+//!   reclaimable once every participant is inactive or pinned *strictly
+//!   after* the stamp — no participant can still hold a view of it: a
+//!   pin taken after the retirement can only observe the dead header
+//!   (the closing CAS happens-before the epoch advance, which
+//!   happens-before the later pin), so no new view of the slot can ever
+//!   be created under that pin.
+//!
+//! Orderings are `SeqCst` throughout: every operation here is on the
+//! cold path (attach, retire, reclaim, quiescent ticks). The hot read
+//! path — the snapshot borrows of the L3/borrow-inferred code — never
+//! touches the collector at all; that is the whole point.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// A participant's pin slot. `INACTIVE` means "holds no views at all".
+const INACTIVE: u64 = u64::MAX;
+
+/// One registered reader (one attached [`crate::heap::Heap`]).
+#[derive(Debug)]
+pub struct Participant {
+    /// The epoch this participant is pinned at, or [`INACTIVE`].
+    epoch: AtomicU64,
+}
+
+impl Participant {
+    /// The currently pinned epoch, if active.
+    pub fn pinned_at(&self) -> Option<u64> {
+        match self.epoch.load(SeqCst) {
+            INACTIVE => None,
+            e => Some(e),
+        }
+    }
+}
+
+/// The per-segment collector: global epoch, participant registry, and
+/// the deferred-retirement queue (slot indices into the owning
+/// [`crate::heap::SharedHeap`]).
+#[derive(Debug, Default)]
+pub struct Collector {
+    /// The global epoch. Advanced by one on every retirement, so a pin
+    /// taken after a retirement is strictly greater than its stamp.
+    global: AtomicU64,
+    /// Registered participants. Guarded by a mutex: registration and
+    /// deregistration are cold (attach/detach), and the reclaimer must
+    /// see a stable set while computing the safe frontier.
+    participants: Mutex<Vec<Arc<Participant>>>,
+    /// Retired slot indices with their epoch stamps. The mutex also
+    /// serializes reclaimers: an index drained here is owned by exactly
+    /// one caller, which is what makes the storage swap in
+    /// `SharedHeap::try_reclaim` race-free.
+    retired: Mutex<Vec<(u64, u32)>>,
+}
+
+impl Collector {
+    /// A fresh collector at epoch zero.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// The current global epoch (diagnostics).
+    pub fn global_epoch(&self) -> u64 {
+        self.global.load(SeqCst)
+    }
+
+    /// Registers a new participant, pinned at the current epoch.
+    pub fn register(&self) -> Arc<Participant> {
+        let p = Arc::new(Participant {
+            epoch: AtomicU64::new(self.global.load(SeqCst)),
+        });
+        self.participants.lock().unwrap().push(Arc::clone(&p));
+        p
+    }
+
+    /// Deregisters a participant (its pin no longer blocks reclamation).
+    pub fn unregister(&self, p: &Arc<Participant>) {
+        p.epoch.store(INACTIVE, SeqCst);
+        self.participants
+            .lock()
+            .unwrap()
+            .retain(|q| !Arc::ptr_eq(q, p));
+    }
+
+    /// Advances `p`'s pin to the current epoch. **Quiescent points
+    /// only**: the caller must guarantee `p`'s owner holds no field
+    /// borrow obtained under the old pin — in practice this is called
+    /// from `&mut Heap` methods, where the borrow checker proves it.
+    pub fn repin(&self, p: &Participant) {
+        p.epoch.store(self.global.load(SeqCst), SeqCst);
+    }
+
+    /// Retires `item` (a dead slot's index), stamped with the current
+    /// epoch, then advances the global epoch past the stamp. Returns
+    /// the stamp.
+    pub fn retire(&self, item: u32) -> u64 {
+        let mut retired = self.retired.lock().unwrap();
+        // fetch_add returns the pre-increment epoch: that is the stamp,
+        // and the increment guarantees every later pin exceeds it.
+        let stamp = self.global.fetch_add(1, SeqCst);
+        retired.push((stamp, item));
+        stamp
+    }
+
+    /// Retired items not yet reclaimed (diagnostics / tests).
+    pub fn pending(&self) -> usize {
+        self.retired.lock().unwrap().len()
+    }
+
+    /// Drains every retired item whose stamp is strictly below all
+    /// active pins into `out`. Each drained index is handed to exactly
+    /// one caller, ever.
+    pub fn drain_safe(&self, out: &mut Vec<u32>) {
+        let mut retired = self.retired.lock().unwrap();
+        if retired.is_empty() {
+            return;
+        }
+        let frontier = {
+            let participants = self.participants.lock().unwrap();
+            participants
+                .iter()
+                .map(|p| p.epoch.load(SeqCst))
+                .min()
+                .unwrap_or(INACTIVE)
+        };
+        retired.retain(|&(stamp, item)| {
+            if stamp < frontier {
+                out.push(item);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpinned_world_reclaims_immediately() {
+        let c = Collector::new();
+        c.retire(7);
+        c.retire(9);
+        let mut out = Vec::new();
+        c.drain_safe(&mut out);
+        assert_eq!(out, vec![7, 9]);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn a_pin_taken_before_retirement_blocks_reclaim() {
+        let c = Collector::new();
+        let p = c.register();
+        c.retire(1);
+        let mut out = Vec::new();
+        c.drain_safe(&mut out);
+        assert!(out.is_empty(), "pinned at {:?}", p.pinned_at());
+        // Repinning past the stamp (a quiescent point) releases it.
+        c.repin(&p);
+        c.drain_safe(&mut out);
+        assert_eq!(out, vec![1]);
+        c.unregister(&p);
+    }
+
+    #[test]
+    fn a_pin_taken_after_retirement_does_not_block() {
+        let c = Collector::new();
+        c.retire(4);
+        let p = c.register(); // pins at stamp+1
+        let mut out = Vec::new();
+        c.drain_safe(&mut out);
+        assert_eq!(out, vec![4], "late pin cannot hold a view of the slot");
+        c.unregister(&p);
+    }
+
+    #[test]
+    fn deregistration_releases_the_frontier() {
+        let c = Collector::new();
+        let p = c.register();
+        let q = c.register();
+        c.retire(2);
+        let mut out = Vec::new();
+        c.drain_safe(&mut out);
+        assert!(out.is_empty());
+        c.unregister(&p);
+        c.drain_safe(&mut out);
+        assert!(out.is_empty(), "q still pinned");
+        c.unregister(&q);
+        c.drain_safe(&mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn each_retired_item_is_drained_exactly_once() {
+        let c = Collector::new();
+        for i in 0..100 {
+            c.retire(i);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        c.drain_safe(&mut a);
+        c.drain_safe(&mut b);
+        assert_eq!(a.len(), 100);
+        assert!(b.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 //! modes the counting entry points are inert and reclamation is driven
 //! by [`crate::gc`] (or not at all).
 
+pub mod epoch;
 pub mod shared;
 pub mod stats;
 
@@ -185,6 +186,13 @@ pub struct Heap {
     /// The attached thread-shared segment, when this heap belongs to a
     /// worker thread of a parallel run (see [`Heap::attach_shared`]).
     shared: Option<Arc<SharedHeap>>,
+    /// This heap's pin in the segment's epoch collector: registered on
+    /// attach, re-pinned at quiescent points (`&mut self` methods that
+    /// just dropped shared references — the borrow checker proves no
+    /// [`BlockView`] is outstanding), deregistered on reset/drop. The
+    /// pin is what makes every field borrow this heap hands out safe
+    /// against concurrent reclamation of dead shared slots.
+    epoch_pin: Option<Arc<epoch::Participant>>,
     /// Net shared-segment references this heap currently holds: +1 per
     /// counted shared `dup`, -1 per counted shared `drop`, with a
     /// freed shared block's outgoing references credited to the ledger
@@ -218,6 +226,7 @@ impl Heap {
             config,
             mode,
             shared: None,
+            epoch_pin: None,
             shared_held: 0,
             stats: Stats::default(),
             trace: None,
@@ -228,8 +237,41 @@ impl Heap {
     /// Attaches a frozen thread-shared segment. Shared addresses (high
     /// bit set) route to it from every counting entry point; without an
     /// attachment they are [`RuntimeError::BadAddress`].
+    ///
+    /// Attaching registers this heap as a pinned participant in the
+    /// segment's epoch collector: from here until [`Heap::reset`] (or
+    /// drop), any dead slot the heap might still be reading keeps its
+    /// storage. Attach also opportunistically reclaims storage retired
+    /// before this pin.
     pub fn attach_shared(&mut self, segment: Arc<SharedHeap>) {
+        self.detach_shared();
+        self.epoch_pin = Some(segment.collector().register());
+        segment.try_reclaim();
         self.shared = Some(segment);
+    }
+
+    /// Detaches the shared segment (if any): deregisters the epoch pin
+    /// — releasing this heap's hold on retired storage — and reclaims
+    /// whatever became safe.
+    fn detach_shared(&mut self) {
+        if let Some(sh) = self.shared.take() {
+            if let Some(pin) = self.epoch_pin.take() {
+                sh.collector().unregister(&pin);
+            }
+            sh.try_reclaim();
+        }
+        self.epoch_pin = None;
+    }
+
+    /// Re-pins this heap's epoch participant at the current epoch. Only
+    /// called from `&mut self` methods — quiescent points where the
+    /// borrow checker proves no [`BlockView`] borrow of this heap is
+    /// outstanding — after shared drops that may have retired slots.
+    #[inline]
+    fn epoch_tick(&self) {
+        if let (Some(sh), Some(pin)) = (self.shared.as_deref(), self.epoch_pin.as_deref()) {
+            sh.collector().repin(pin);
+        }
     }
 
     /// The attached shared segment, if any.
@@ -675,6 +717,17 @@ impl Heap {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
         }
+        if let Value::Weak(addr) = v {
+            // Weak references clone on the weak half only (one RMW);
+            // the strong count — and liveness — never move.
+            self.stats.dups += 1;
+            let sh = self
+                .shared
+                .as_deref()
+                .ok_or(RuntimeError::BadAddress(addr))?;
+            sh.weak_dup(addr, &mut self.stats)?;
+            return Ok(());
+        }
         let Value::Ref(addr) = v else { return Ok(()) };
         self.stats.dups += 1;
         if addr.is_shared() {
@@ -725,6 +778,15 @@ impl Heap {
         if self.mode != ReclaimMode::Rc {
             return Ok(());
         }
+        if let Value::Weak(addr) = v {
+            self.stats.drops += 1;
+            let sh = self
+                .shared
+                .as_deref()
+                .ok_or(RuntimeError::BadAddress(addr))?;
+            sh.weak_drop(addr, &mut self.stats)?;
+            return Ok(());
+        }
         let Value::Ref(addr) = v else { return Ok(()) };
         self.stats.drops += 1;
         let mut work = std::mem::take(&mut self.drop_work);
@@ -732,10 +794,21 @@ impl Heap {
         let r = self.drop_loop(&mut work);
         work.clear();
         self.drop_work = work;
+        // Quiescent point: this drop may have retired shared slots
+        // (directly, or through a local block's shared children), and
+        // this heap provably holds no views (we have `&mut self`) —
+        // advance the pin so reclamation can proceed. No-op when no
+        // segment is attached.
+        self.epoch_tick();
         r
     }
 
     fn drop_loop(&mut self, work: &mut Vec<Addr>) -> Result<(), RuntimeError> {
+        // Weak references released by freed local blocks. Weak drops
+        // never cascade, so they drain in one batch at the end (which
+        // also sidesteps borrowing the shared segment while a local
+        // slot entry is held).
+        let mut weak_drops: Vec<Addr> = Vec::new();
         while let Some(addr) = work.pop() {
             if addr.is_shared() {
                 // Shared segment: one real atomic RMW; the winning
@@ -779,8 +852,10 @@ impl Heap {
                 // so the alloc+drop hot loop pays one slot lookup, not
                 // two.
                 for f in b.fields.iter() {
-                    if let Value::Ref(child) = f {
-                        work.push(*child);
+                    match f {
+                        Value::Ref(child) => work.push(*child),
+                        Value::Weak(child) => weak_drops.push(*child),
+                        _ => {}
                     }
                 }
                 e.gen = e.gen.wrapping_add(1);
@@ -817,8 +892,10 @@ impl Heap {
                     if b.header == 0 {
                         let fields = std::mem::take(&mut b.fields);
                         for f in fields.iter() {
-                            if let Value::Ref(child) = f {
-                                work.push(*child);
+                            match f {
+                                Value::Ref(child) => work.push(*child),
+                                Value::Weak(child) => weak_drops.push(*child),
+                                _ => {}
                             }
                         }
                         b.fields = fields;
@@ -826,6 +903,10 @@ impl Heap {
                     }
                 }
             }
+        }
+        for wa in weak_drops {
+            let sh = self.shared.as_deref().ok_or(RuntimeError::BadAddress(wa))?;
+            sh.weak_drop(wa, &mut self.stats)?;
         }
         Ok(())
     }
@@ -865,7 +946,7 @@ impl Heap {
                     let fields: Vec<Value> = b.fields.to_vec();
                     self.retire(addr)?;
                     for f in fields {
-                        if f.is_ref() {
+                        if f.is_ref() || matches!(f, Value::Weak(_)) {
                             self.drop_value_inner(f)?;
                             // The child release is part of this free, not
                             // a program-emitted drop instruction.
@@ -992,19 +1073,26 @@ impl Heap {
                     // back), then drop the children — via the pooled
                     // worklist, so the roundtrip allocates nothing.
                     let mut work = std::mem::take(&mut self.drop_work);
+                    let mut weak_children: Vec<Addr> = Vec::new();
                     let b = Self::lookup_mut(&mut self.slots, addr)?;
                     b.header = 0;
                     for f in b.fields.iter() {
-                        if let Value::Ref(child) = f {
-                            work.push(*child);
+                        match f {
+                            Value::Ref(child) => work.push(*child),
+                            Value::Weak(child) => weak_children.push(*child),
+                            _ => {}
                         }
                     }
-                    self.stats.drops += work.len() as u64;
+                    self.stats.drops += (work.len() + weak_children.len()) as u64;
                     self.tr(Event::Claim(addr));
                     let r = self.drop_loop(&mut work);
                     work.clear();
                     self.drop_work = work;
                     r?;
+                    for wa in weak_children {
+                        let sh = self.shared.as_deref().ok_or(RuntimeError::BadAddress(wa))?;
+                        sh.weak_drop(wa, &mut self.stats)?;
+                    }
                     Ok(Value::Token(Some(addr)))
                 } else {
                     self.decref_or_shared_drop(addr)?;
@@ -1025,6 +1113,7 @@ impl Heap {
         let r = self.drop_loop(&mut work);
         work.clear();
         self.drop_work = work;
+        self.epoch_tick(); // quiescent point: see `drop_value_inner`
         r
     }
 
@@ -1050,6 +1139,56 @@ impl Heap {
             )));
         }
         Ok(())
+    }
+
+    /// Mints a weak reference to a live shared block (the CIRC-style
+    /// `downgrade`): one RMW on the weak half of the packed header.
+    /// Weak references never keep the block alive and never read its
+    /// fields; see [`Value::Weak`].
+    pub fn downgrade(&mut self, v: Value) -> Result<Value, RuntimeError> {
+        let Value::Ref(addr) = v else {
+            return Err(RuntimeError::Internal(
+                "downgrade of a non-reference".into(),
+            ));
+        };
+        if !addr.is_shared() {
+            return Err(RuntimeError::Internal(format!(
+                "downgrade of thread-local block {addr} (weak references are a \
+                 shared-segment feature)"
+            )));
+        }
+        let sh = self
+            .shared
+            .as_deref()
+            .ok_or(RuntimeError::BadAddress(addr))?;
+        // Validate liveness first: downgrading a dead block is a stale
+        // address, not a weak-of-dead (those arise only by outliving).
+        sh.view(addr)?;
+        sh.weak_dup(addr, &mut self.stats)?;
+        Ok(Value::Weak(addr))
+    }
+
+    /// Attempts to upgrade a weak reference to a strong one. Returns
+    /// `Some(Value::Ref(..))` — the caller now owns one counted strong
+    /// reference — while the block lives, or `None`, deterministically,
+    /// once it is dead. The weak reference itself is not consumed.
+    pub fn upgrade_weak(&mut self, v: Value) -> Result<Option<Value>, RuntimeError> {
+        let Value::Weak(addr) = v else {
+            return Err(RuntimeError::Internal("upgrade of a non-weak value".into()));
+        };
+        let sh = self
+            .shared
+            .as_deref()
+            .ok_or(RuntimeError::BadAddress(addr))?;
+        match sh.upgrade(addr, &mut self.stats)? {
+            Some((_, counted)) => {
+                if counted {
+                    self.shared_held += 1;
+                }
+                Ok(Some(Value::Ref(addr)))
+            }
+            None => Ok(None),
+        }
     }
 
     /// `drop-token t` — release an unused token, freeing the held memory.
@@ -1258,22 +1397,28 @@ impl Heap {
         // and surface through [`Heap::take_shared_drift`].
         if self.mode == ReclaimMode::Rc && self.shared.is_some() {
             let mut held: Vec<Addr> = Vec::new();
+            let mut weak_held: Vec<Addr> = Vec::new();
             for e in self.slots.iter() {
                 if let SlotState::Used(block) = &e.state {
                     if block.header == 0 {
                         continue; // claimed by a reuse token: contents meaningless
                     }
                     for f in block.fields.iter() {
-                        if let Value::Ref(a) = f {
-                            if a.is_shared() {
-                                held.push(*a);
-                            }
+                        match f {
+                            Value::Ref(a) if a.is_shared() => held.push(*a),
+                            Value::Weak(a) => weak_held.push(*a),
+                            _ => {}
                         }
                     }
                 }
             }
             if !held.is_empty() {
                 let _ = self.drop_loop(&mut held);
+            }
+            for wa in weak_held {
+                if let Some(sh) = self.shared.as_deref() {
+                    let _ = sh.weak_drop(wa, &mut self.stats);
+                }
             }
         }
         let mut reclaimed = 0;
@@ -1295,7 +1440,11 @@ impl Heap {
             }
         }
         self.drop_work.clear();
-        self.shared = None;
+        // Unpin from the epoch collector and reclaim whatever this
+        // session's drops retired — the serving-layer retention fix:
+        // dead shared slots give their storage back here, not at
+        // segment teardown.
+        self.detach_shared();
         self.stats = Stats::default();
         // Deliberately *not* zeroed: `shared_held` carries the aborted
         // session's un-returned references out to `take_shared_drift`.
@@ -1411,6 +1560,16 @@ impl Heap {
         }
         self.stats.gc_swept += swept;
         swept
+    }
+}
+
+impl Drop for Heap {
+    fn drop(&mut self) {
+        // A dropped heap must not leave its epoch pin registered: a
+        // stale pin would block the segment's reclamation forever
+        // (worker heaps die at thread join while the driver still holds
+        // the segment).
+        self.detach_shared();
     }
 }
 

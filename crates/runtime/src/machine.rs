@@ -1311,6 +1311,10 @@ pub enum DeepValue {
     Closure,
     /// Mutable reference cell.
     MutRef(Box<DeepValue>),
+    /// A weak shared reference, read back opaquely: following it would
+    /// recurse through cycles (that is what weak back-edges are for),
+    /// and its target's liveness is another thread's business.
+    Weak,
 }
 
 impl fmt::Display for DeepValue {
@@ -1334,6 +1338,7 @@ impl fmt::Display for DeepValue {
             }
             DeepValue::Closure => f.write_str("<fun>"),
             DeepValue::MutRef(v) => write!(f, "ref({v})"),
+            DeepValue::Weak => f.write_str("<weak>"),
         }
     }
 }
@@ -1342,6 +1347,7 @@ impl fmt::Display for DeepValue {
 pub fn read_back_in(heap: &Heap, types: &TypeTable, v: Value) -> Result<DeepValue, RuntimeError> {
     match v {
         Value::Unit | Value::Token(_) => Ok(DeepValue::Unit),
+        Value::Weak(_) => Ok(DeepValue::Weak),
         Value::Int(i) => Ok(DeepValue::Int(i)),
         Value::Enum(c) => Ok(DeepValue::Ctor(types.ctor(c).name.to_string(), Vec::new())),
         Value::Global(_) => Ok(DeepValue::Closure),

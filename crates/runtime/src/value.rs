@@ -39,12 +39,15 @@ impl Addr {
         self.index & Self::SHARED_BIT != 0
     }
 
-    /// Builds a shared-segment address for `slot`.
-    pub(crate) fn shared(slot: u32) -> Addr {
+    /// Builds a shared-segment address for `slot`, stamped with the
+    /// slot's generation (bumped when the slot's storage is reclaimed,
+    /// so a stale shared address fails deterministically even across a
+    /// hypothetical slot reuse).
+    pub(crate) fn shared(slot: u32, gen: u32) -> Addr {
         debug_assert!(slot & Self::SHARED_BIT == 0, "shared segment overflow");
         Addr {
             index: slot | Self::SHARED_BIT,
-            gen: 0,
+            gen,
         }
     }
 
@@ -80,6 +83,14 @@ pub enum Value {
     Global(FunId),
     /// A reuse token (§2.4): memory to build into, or null.
     Token(Option<Addr>),
+    /// A weak reference to a *shared-segment* block (the CIRC-style
+    /// `Weak` of §2.7.3's cycle scenario): owns one weak count, never
+    /// keeps the block alive, and upgrades to a strong reference only
+    /// while the block still lives — deterministically failing once it
+    /// is dead. The runtime mints these via
+    /// [`crate::heap::SharedHeap::downgrade`]; surface programs never
+    /// construct them.
+    Weak(Addr),
 }
 
 impl Value {
@@ -125,6 +136,7 @@ impl fmt::Display for Value {
             Value::Global(g) => write!(f, "fun{}", g.0),
             Value::Token(Some(a)) => write!(f, "ru@{a}"),
             Value::Token(None) => f.write_str("ru@NULL"),
+            Value::Weak(a) => write!(f, "weak@{a}"),
         }
     }
 }

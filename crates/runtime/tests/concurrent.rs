@@ -130,6 +130,183 @@ fn pinned_shared_blocks_survive_concurrent_drops() {
     assert_eq!(report.pinned_blocks, 1);
 }
 
+/// The closing CAS races epoch retirement and reclamation: droppers
+/// release their references while a pinned reader walks the structure
+/// through guard-protected views (zero RMWs) and a dedicated thread
+/// hammers [`SharedHeap::try_reclaim`] the whole time. The pins must
+/// keep every viewed block's storage valid; once the world quiesces,
+/// every slot must have been freed exactly once and physically
+/// reclaimed.
+#[test]
+fn epoch_reclaim_races_the_closing_cas() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const DROPPERS: u32 = 6;
+    for _ in 0..20 {
+        let (seg, shared) = build_shared(DROPPERS + 1);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let reclaimer_seg = seg.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    reclaimer_seg.try_reclaim();
+                    std::hint::spin_loop();
+                }
+            });
+            for _ in 0..DROPPERS {
+                let seg = seg.clone();
+                s.spawn(move || {
+                    let mut h = Heap::new(ReclaimMode::Rc);
+                    h.attach_shared(seg);
+                    h.drop_value(shared).unwrap();
+                });
+            }
+            let reader_seg = seg.clone();
+            let reader = s.spawn(move || {
+                let mut h = Heap::new(ReclaimMode::Rc);
+                h.attach_shared(reader_seg);
+                for _ in 0..200 {
+                    // Walk the whole spine through views: the reader's
+                    // reference keeps it live, the epoch pin keeps the
+                    // storage valid against the concurrent reclaimer.
+                    let mut v = shared;
+                    let mut expect = 15;
+                    while let Value::Ref(a) = v {
+                        let view = h.view(a).unwrap();
+                        assert_eq!(view.fields[0], Value::Int(expect));
+                        v = *view.fields.get(1).unwrap_or(&Value::Unit);
+                        expect -= 1;
+                    }
+                    assert_eq!(expect, -1, "walked all 16 cells");
+                }
+                assert_eq!(h.stats.atomic_ops, 0, "views are RMW-free");
+                // Release the reader's reference: whoever drops last
+                // wins the closing CAS and retires the whole spine
+                // while the reclaimer is still running.
+                h.drop_value(shared).unwrap();
+            });
+            reader.join().unwrap();
+            stop.store(true, Ordering::Relaxed);
+        });
+        seg.try_reclaim();
+        assert_eq!(seg.live_blocks(), 0);
+        let report = audit::check_shared_at_join(&seg).unwrap();
+        assert_eq!(report.freed_blocks, 16, "each cell freed exactly once");
+        assert_eq!(seg.reclaimed().0, 16, "all storage physically reclaimed");
+    }
+}
+
+/// Weak upgrades race the death of their target: every racer sees
+/// either a successful upgrade (a real strong reference it must then
+/// drop) or a deterministic `None` — never garbage, never a panic —
+/// and once the block is dead every subsequent upgrade returns `None`.
+#[test]
+fn weak_upgrade_after_free_is_deterministic() {
+    use perceus_runtime::heap::BlockTag;
+    const RACERS: u32 = 8;
+    for _ in 0..20 {
+        let mut seg = SharedHeap::new();
+        let a = seg.alloc(
+            BlockTag::Ctor(CtorId(0)),
+            vec![Value::Int(7)].into_boxed_slice(),
+            1,
+        );
+        let weak = seg.downgrade(a).unwrap();
+        let strong = Value::Ref(a);
+        let seg = Arc::new(seg);
+        std::thread::scope(|s| {
+            // One thread drops the only strong reference...
+            let dropper_seg = seg.clone();
+            s.spawn(move || {
+                let mut h = Heap::new(ReclaimMode::Rc);
+                h.attach_shared(dropper_seg);
+                h.drop_value(strong).unwrap();
+            });
+            // ...while the racers upgrade the weak reference.
+            for _ in 0..RACERS {
+                let seg = seg.clone();
+                s.spawn(move || {
+                    let mut h = Heap::new(ReclaimMode::Rc);
+                    h.attach_shared(seg);
+                    for _ in 0..100 {
+                        if let Some(v) = h.upgrade_weak(weak).unwrap() {
+                            // A successful upgrade is a real strong
+                            // reference: the field is readable and
+                            // the reference must be released.
+                            let Value::Ref(a) = v else { panic!() };
+                            assert_eq!(h.view(a).unwrap().fields[0], Value::Int(7));
+                            h.drop_value(v).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // The block is dead; upgrades fail deterministically forever.
+        let mut h = Heap::new(ReclaimMode::Rc);
+        h.attach_shared(seg.clone());
+        for _ in 0..10 {
+            assert_eq!(h.upgrade_weak(weak).unwrap(), None);
+        }
+        h.drop_value(weak).unwrap();
+        drop(h);
+        assert_eq!(seg.live_blocks(), 0);
+        let report = audit::check_shared_at_join(&seg).unwrap();
+        assert_eq!(report.freed_blocks, 1);
+        assert_eq!(report.weak_refs, 0, "the probe weak was released");
+        assert_eq!(
+            seg.reclaimed().0,
+            1,
+            "storage reclaimed before segment drop"
+        );
+    }
+}
+
+/// The §2.7.3 cycle demonstration, made reclaimable: a ring with
+/// strong forward edges and a weak back edge. Plain reference counting
+/// would leak a strong ring forever; with the back edge weak, dropping
+/// the external root cascades through the whole ring, the weak edge
+/// confers no liveness, and every slot is freed and reclaimed — the
+/// garbage-free audit passes over the drained segment.
+#[test]
+fn cyclic_structure_with_weak_back_edge_reclaims() {
+    use perceus_runtime::heap::BlockTag;
+    let tag = BlockTag::Ctor(CtorId(0));
+    let mut seg = SharedHeap::new();
+    // Three nodes: [payload, next, back]. Forward edges are strong,
+    // the ring-closing back edge (n2 -> n0) is weak.
+    let n0 = seg.alloc(tag, vec![Value::Int(0), Value::Unit, Value::Unit].into(), 1);
+    let n1 = seg.alloc(tag, vec![Value::Int(1), Value::Unit, Value::Unit].into(), 1);
+    let n2 = seg.alloc(tag, vec![Value::Int(2), Value::Unit, Value::Unit].into(), 1);
+    seg.link(n0, 1, Value::Ref(n1)).unwrap();
+    seg.link(n1, 1, Value::Ref(n2)).unwrap();
+    let back = seg.downgrade(n0).unwrap();
+    seg.link(n2, 2, back).unwrap();
+    // An external probe into the ring, to interrogate it after death.
+    let probe = seg.downgrade(n1).unwrap();
+    let seg = Arc::new(seg);
+
+    let mut h = Heap::new(ReclaimMode::Rc);
+    h.attach_shared(seg.clone());
+    // The ring is alive and navigable: n0 -> n1 -> n2 -~> n0.
+    assert_eq!(h.view(n2).unwrap().fields[0], Value::Int(2));
+    let upgraded = h.upgrade_weak(probe).unwrap().expect("ring is live");
+    h.drop_value(upgraded).unwrap();
+
+    // Drop the only external strong reference: the cascade must free
+    // the entire ring — the weak back edge confers no liveness.
+    h.drop_value(Value::Ref(n0)).unwrap();
+    assert_eq!(seg.live_blocks(), 0, "the ring is garbage and was freed");
+    assert_eq!(h.upgrade_weak(probe).unwrap(), None, "the ring is dead");
+    h.drop_value(probe).unwrap();
+    drop(h); // detach: unpin and reclaim retired slots
+    assert_eq!(seg.reclaimed().0, 3, "all three nodes physically reclaimed");
+    let report = audit::check_shared_at_join(&seg).unwrap();
+    assert_eq!(report.live_blocks, 0);
+    assert_eq!(report.freed_blocks, 3);
+    assert_eq!(report.weak_refs, 0);
+    assert_eq!(report.reclaimed_blocks, 3);
+}
+
 #[test]
 fn worker_audits_tolerate_shared_references_mid_run() {
     // A worker holding shared data inside local blocks passes the

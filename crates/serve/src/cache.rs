@@ -20,18 +20,28 @@
 //! refs), no session can observe another session through it.
 
 use crate::protocol::RunRequest;
+use crate::relock;
 use perceus_runtime::code::Compiled;
 use perceus_runtime::{SharedHeap, Value};
-use perceus_suite::{compile_workload, workload, ParallelSpec, Strategy, SuiteError};
+use perceus_suite::{
+    compile_borrowing, compile_workload, workload, ParallelSpec, Strategy, SuiteError,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// FNV-1a over the source text and strategy label: the program cache
-/// key. Deterministic across runs (ids in logs are stable).
-pub fn program_key(source: &str, strategy: Strategy) -> u64 {
+/// FNV-1a over the source text, strategy label, and borrow flag: the
+/// program cache key. Deterministic across runs (ids in logs are
+/// stable). The borrow-inferred (snapshot-read) build of a program is
+/// a different executable, so it caches under a different key.
+pub fn program_key(source: &str, strategy: Strategy, borrow: bool) -> u64 {
+    let marker: &[u8] = if borrow { b"+borrow" } else { b"" };
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in source.bytes().chain(strategy.label().bytes()) {
+    for b in source
+        .bytes()
+        .chain(strategy.label().bytes())
+        .chain(marker.iter().copied())
+    {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -40,10 +50,17 @@ pub fn program_key(source: &str, strategy: Strategy) -> u64 {
 
 /// A compiled program, shared by every worker that runs it.
 pub struct CachedProgram {
-    /// Cache key (source + strategy hash).
+    /// Cache key (source + strategy + borrow hash).
     pub key: u64,
+    /// The borrow-agnostic key. Shared inputs are cached under *this*,
+    /// so the borrowed and owned builds of one program attach the same
+    /// frozen segment instead of freezing it twice.
+    pub input_key: u64,
     /// Strategy the program was compiled under.
     pub strategy: Strategy,
+    /// Whether the program was compiled under borrow inference (the
+    /// snapshot-read variant).
+    pub borrow: bool,
     /// The executable form.
     pub compiled: Compiled,
     /// The shared-input split, when the program is a registry workload
@@ -96,13 +113,17 @@ impl ProgramCache {
             (None, Some(src)) => (src.as_str(), String::new(), None, 0),
             (None, None) => unreachable!("protocol validation requires one"),
         };
-        let key = program_key(source, req.strategy);
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        let key = program_key(source, req.strategy, req.borrow);
+        if let Some(hit) = relock(&self.map).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(hit), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = compile_workload(source, req.strategy)?;
+        let compiled = if req.borrow {
+            compile_borrowing(source)?
+        } else {
+            compile_workload(source, req.strategy)?
+        };
         let name = if name.is_empty() {
             format!("source-{key:016x}")
         } else {
@@ -110,13 +131,15 @@ impl ProgramCache {
         };
         let entry = Arc::new(CachedProgram {
             key,
+            input_key: program_key(source, req.strategy, false),
             strategy: req.strategy,
+            borrow: req.borrow,
             compiled,
             spec,
             name,
             default_n,
         });
-        let mut map = self.map.lock().unwrap();
+        let mut map = relock(&self.map);
         if map.len() >= self.capacity && !map.contains_key(&key) {
             // The population is small (the suite plus ad-hoc sources);
             // arbitrary eviction keeps the bound without LRU bookkeeping.
@@ -131,7 +154,7 @@ impl ProgramCache {
     /// `(programs, hits, misses, evictions)` for the stats endpoint.
     pub fn stats(&self) -> (usize, u64, u64, u64) {
         (
-            self.map.lock().unwrap().len(),
+            relock(&self.map).len(),
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             self.evictions.load(Ordering::Relaxed),
@@ -160,13 +183,13 @@ pub struct SharedInputs {
 impl SharedInputs {
     /// Looks up a frozen input.
     pub fn get(&self, key: u64, n: i64) -> Option<Arc<SharedInput>> {
-        self.map.lock().unwrap().get(&(key, n)).cloned()
+        relock(&self.map).get(&(key, n)).cloned()
     }
 
     /// Inserts a freshly built input unless a racing builder won;
     /// returns the entry that ended up cached.
     pub fn insert(&self, key: u64, n: i64, input: SharedInput) -> Arc<SharedInput> {
-        let mut map = self.map.lock().unwrap();
+        let mut map = relock(&self.map);
         Arc::clone(map.entry((key, n)).or_insert_with(|| Arc::new(input)))
     }
 
@@ -174,7 +197,7 @@ impl SharedInputs {
     /// endpoint. A drained server must read `live == baseline`: every
     /// session returned exactly the references it took.
     pub fn stats(&self) -> (usize, u64, u64) {
-        let map = self.map.lock().unwrap();
+        let map = relock(&self.map);
         let live = map.values().map(|e| e.seg.live_blocks()).sum();
         let baseline = map.values().map(|e| e.live_baseline).sum();
         (map.len(), live, baseline)
@@ -195,6 +218,7 @@ mod tests {
             fuel: None,
             memory: None,
             shared: false,
+            borrow: false,
             profile: false,
             resumable: false,
         }
@@ -220,6 +244,21 @@ mod tests {
         req.strategy = Strategy::Scoped;
         let (b, _) = cache.resolve(&req).unwrap();
         assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn borrowed_builds_cache_separately_but_share_the_input_key() {
+        let cache = ProgramCache::new(8);
+        let (owned, _) = cache.resolve(&run_req("map")).unwrap();
+        let mut req = run_req("map");
+        req.borrow = true;
+        let (borrowed, _) = cache.resolve(&req).unwrap();
+        assert_ne!(owned.key, borrowed.key, "different executables");
+        assert!(borrowed.borrow);
+        assert_eq!(
+            owned.input_key, borrowed.input_key,
+            "one frozen shared input serves both builds"
+        );
     }
 
     #[test]

@@ -195,7 +195,10 @@ impl<'a> Parser<'a> {
                     // copied through unchanged).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = s.chars().next().unwrap();
+                    // Non-empty by the peek above, but a request line is
+                    // attacker-controlled: fail the parse, never panic
+                    // the connection thread.
+                    let c = s.chars().next().ok_or("empty utf-8 sequence")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

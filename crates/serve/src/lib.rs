@@ -34,3 +34,16 @@ pub use cache::{CachedProgram, ProgramCache, SharedInputs};
 pub use loadtest::{LoadConfig, LoadReport};
 pub use protocol::{Outcome, Request, RunRequest};
 pub use server::{start, ServeConfig, ServerHandle};
+
+/// Locks a daemon-shared mutex, recovering the data if a panicking
+/// thread poisoned it. Every mutex in the daemon guards plain counters
+/// or maps whose critical sections are single-assignment small — they
+/// are internally consistent at every instruction boundary — so poison
+/// carries no integrity information here. Propagating it instead
+/// (`.lock().unwrap()`) would turn one panicking session into a panic
+/// in *every* subsequent session that touches the aggregate: the
+/// daemon keeps accepting connections while every worker dies, which
+/// clients observe as a hang, not an error.
+pub(crate) fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -292,7 +292,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     let mut report = Arc::try_unwrap(report)
         .map_err(|_| "report still shared")?
         .into_inner()
-        .unwrap();
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     report.elapsed_secs = start.elapsed().as_secs_f64();
     report.sessions = cfg.sessions;
     Ok(report)
@@ -484,7 +484,7 @@ fn client(
         }
     }
 
-    let mut r = report.lock().unwrap();
+    let mut r = crate::relock(&report);
     r.ok += local.ok;
     r.fuel_exhausted += local.fuel_exhausted;
     r.busy_retries += local.busy_retries;

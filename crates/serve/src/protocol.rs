@@ -21,7 +21,7 @@
 //! {"op":"run","id":1,"workload":"rbtree","n":400}
 //! {"op":"run","v":2,"id":2,"source":"fun main(n: int): int { n }","n":7,
 //!  "strategy":"perceus","fuel":1000000,"memory":200000,
-//!  "shared":false,"profile":false,"resumable":true}
+//!  "shared":false,"borrow":false,"profile":false,"resumable":true}
 //! {"op":"resume","v":2,"id":3,"session":281474976710657,"fuel":50000}
 //! {"op":"stats"}      {"op":"health"}      {"op":"shutdown"}
 //! ```
@@ -71,6 +71,13 @@ pub struct RunRequest {
     /// Run over the cross-session shared immutable input (requires a
     /// workload with a [`perceus_suite::ParallelSpec`]).
     pub shared: bool,
+    /// Borrow the shared input instead of minting a per-session
+    /// reference: the consume function is compiled under borrow
+    /// inference and the traversal pays **zero** atomic RMWs (snapshot
+    /// reads — the worker heap's epoch pin carries liveness). Requires
+    /// `shared:true`, the `perceus` strategy, and a non-resumable
+    /// session; anything else gets a structured `rejected`.
+    pub borrow: bool,
     /// Attribute this session's heap events to functions and fold the
     /// profile into the server aggregate.
     pub profile: bool,
@@ -199,6 +206,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                 fuel: v.get("fuel").and_then(Json::as_u64),
                 memory: v.get("memory").and_then(Json::as_u64),
                 shared: v.get("shared").and_then(Json::as_bool).unwrap_or(false),
+                borrow: v.get("borrow").and_then(Json::as_bool).unwrap_or(false),
                 profile: v.get("profile").and_then(Json::as_bool).unwrap_or(false),
                 resumable: v.get("resumable").and_then(Json::as_bool).unwrap_or(false),
             })))
@@ -318,6 +326,7 @@ mod tests {
         assert_eq!(r.workload.as_deref(), Some("map"));
         assert_eq!(r.strategy, Strategy::Perceus);
         assert!(!r.shared);
+        assert!(!r.borrow);
         assert!(!r.resumable);
     }
 
@@ -329,6 +338,16 @@ mod tests {
             parse_request(r#"{"op":"run","id":1,"workload":"map","source":"x"}"#).is_err(),
             "workload and source are exclusive"
         );
+    }
+
+    #[test]
+    fn borrow_flag_parses() {
+        let line = r#"{"op":"run","id":1,"workload":"map","shared":true,"borrow":true}"#;
+        let Request::Run(r) = parse_request(line).unwrap() else {
+            panic!()
+        };
+        assert!(r.shared);
+        assert!(r.borrow);
     }
 
     #[test]

@@ -441,7 +441,7 @@ fn dispatch(
 fn render_stats(ctx: &ServeCtx, workers: usize) -> String {
     let (programs, hits, misses, evictions) = ctx.programs.stats();
     let (inputs, shared_live, shared_baseline) = ctx.inputs.stats();
-    let agg = ctx.aggregate.lock().unwrap();
+    let agg = crate::relock(&ctx.aggregate);
     let mut counters = ObjBuilder::new();
     for (key, value) in COUNTER_KEYS.iter().zip(counter_values(&agg.stats)) {
         counters = counters.u64(key, value);
@@ -473,6 +473,7 @@ fn render_stats(ctx: &ServeCtx, workers: usize) -> String {
         .u64("shared_inputs", inputs as u64)
         .u64("shared_live_blocks", shared_live)
         .u64("shared_baseline_blocks", shared_baseline)
+        .u64("atomic_ops", agg.stats.atomic_ops)
         .bool("profiled", agg.profile.is_some())
         .raw("counters", &counters.finish())
         .finish()

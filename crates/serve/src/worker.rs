@@ -254,6 +254,9 @@ struct SessionMeta {
     n: i64,
     cached: bool,
     shared: bool,
+    /// Whether the session read the shared input through the borrowed
+    /// (snapshot) path — zero RMWs, no per-session reference.
+    borrow: bool,
     /// Whether this session went through the resumable path (its
     /// responses then carry a `resumes` count).
     resumable: bool,
@@ -271,10 +274,48 @@ struct SessionMeta {
     start: Instant,
 }
 
+/// The admission gate for `borrow` (snapshot-read) sessions: every
+/// combination rejected here can *never* be served, so the answer is a
+/// terminal structured `rejected` (not `busy`), before any compilation
+/// happens. Returns `None` when the request is servable.
+fn reject_borrow(ctx: &ServeCtx, req: &RunRequest) -> Option<String> {
+    if !req.borrow {
+        return None;
+    }
+    let (code, msg) = if !req.shared {
+        (
+            "borrow-without-shared",
+            "\"borrow\":true requires \"shared\":true — snapshot reads borrow the frozen shared input".to_string(),
+        )
+    } else if req.strategy != Strategy::Perceus {
+        (
+            "borrow-unsupported",
+            format!(
+                "strategy {:?} has no borrow-inference variant; snapshot reads require \"perceus\"",
+                req.strategy.label()
+            ),
+        )
+    } else if req.resumable {
+        (
+            "borrow-not-resumable",
+            "a borrowed session cannot suspend: its epoch pin would stall shared-segment \
+             reclamation for as long as it stayed parked"
+                .to_string(),
+        )
+    } else {
+        return None;
+    };
+    finish_failed(ctx, Outcome::Rejected);
+    Some(run_error(req.id, Outcome::Rejected, code, &msg))
+}
+
 /// Runs one session on the worker's heap and returns the heap (reset,
 /// ready for the next tenant) and the response line.
 pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, String) {
     let start = Instant::now();
+    if let Some(resp) = reject_borrow(ctx, req) {
+        return (heap, resp);
+    }
     let (prog, cached) = match ctx.programs.resolve(req) {
         Ok(p) => p,
         Err(e) => {
@@ -332,6 +373,31 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
         None
     };
 
+    // A borrowed session needs the consume function's first parameter
+    // actually borrow-inferred — a workload whose traversal consumes
+    // its argument can never serve snapshot reads, which is a terminal
+    // rejection, not a runtime failure.
+    if req.borrow {
+        if let Some((_, spec)) = &shared {
+            let borrowed = prog
+                .compiled
+                .find_fun(spec.consume)
+                .is_some_and(|f| prog.compiled.param_borrowed(f, 0));
+            if !borrowed {
+                finish_failed(ctx, Outcome::Rejected);
+                let msg = format!(
+                    "borrow inference did not borrow `{}`'s first parameter; \
+                     workload `{}` cannot serve snapshot reads",
+                    spec.consume, prog.name
+                );
+                return (
+                    heap,
+                    run_error(req.id, Outcome::Rejected, "not-borrowable", &msg),
+                );
+            }
+        }
+    }
+
     let meta = SessionMeta {
         id: req.id,
         name: prog.name.clone(),
@@ -339,6 +405,7 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
         n,
         cached,
         shared: shared.is_some(),
+        borrow: req.borrow,
         resumable: false,
         resumes: 0,
         fuel_limit: fuel,
@@ -350,15 +417,26 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
     let run = match &shared {
         Some((input, spec)) => {
             m.heap.attach_shared(Arc::clone(&input.seg));
-            // Mint this session's own reference with a real atomic RMW
-            // (the cache holds the builder's reference, so the count
-            // stays ≥ 1 between sessions); the consume call's owned
-            // calling convention spends it.
-            m.heap.dup(input.root).and_then(|()| {
-                let f = prog.compiled.find_fun(spec.consume).ok_or_else(|| {
-                    RuntimeError::Internal(format!("no consume function `{}`", spec.consume))
-                })?;
-                m.run_fun(f, (spec.consume_args)(input.root, n))
+            let f = prog.compiled.find_fun(spec.consume).ok_or_else(|| {
+                RuntimeError::Internal(format!("no consume function `{}`", spec.consume))
+            });
+            f.and_then(|f| {
+                if req.borrow {
+                    // Snapshot path: the session never mints a
+                    // reference. The cache's own reference plus the
+                    // heap's epoch pin keep the input alive, and the
+                    // borrowed calling convention never consumes the
+                    // root — zero atomic RMWs end to end.
+                    m.run_fun(f, (spec.consume_args)(input.root, n))
+                } else {
+                    // Mint this session's own reference with a real
+                    // atomic RMW (the cache holds the builder's
+                    // reference, so the count stays ≥ 1 between
+                    // sessions); the consume call's owned calling
+                    // convention spends it.
+                    m.heap.dup(input.root)?;
+                    m.run_fun(f, (spec.consume_args)(input.root, n))
+                }
             })
         }
         None => m.run_entry(vec![Value::Int(n)]),
@@ -372,6 +450,9 @@ pub fn run_session(heap: Heap, ctx: &ServeCtx, req: &RunRequest) -> (Heap, Strin
 /// never holds a tenant's live data across jobs.
 fn run_resumable(parked: &mut ParkTable, ctx: &ServeCtx, req: &RunRequest) -> String {
     let start = Instant::now();
+    if let Some(resp) = reject_borrow(ctx, req) {
+        return resp;
+    }
     let (prog, cached) = match ctx.programs.resolve(req) {
         Ok(p) => p,
         Err(e) => {
@@ -430,6 +511,7 @@ fn run_resumable(parked: &mut ParkTable, ctx: &ServeCtx, req: &RunRequest) -> St
         n,
         cached,
         shared: shared.is_some(),
+        borrow: false, // borrow + resumable is rejected above
         resumable: true,
         resumes: 0,
         fuel_limit: ctx.max_fuel,
@@ -481,7 +563,7 @@ fn resume_session(parked: &mut ParkTable, ctx: &ServeCtx, req: &ResumeRequest) -
     meta.id = req.id;
     meta.resumes += 1;
     meta.start = Instant::now();
-    ctx.aggregate.lock().unwrap().resumes += 1;
+    crate::relock(&ctx.aggregate).resumes += 1;
     // The heap already carries the session's profiler (if any), trace,
     // and cumulative [`Stats`]; the config re-applies the session's
     // limits ([`Machine::with_heap`] only *enables* profiling when the
@@ -544,7 +626,7 @@ fn advance<'p>(
                 ctx,
             );
             {
-                let mut agg = ctx.aggregate.lock().unwrap();
+                let mut agg = crate::relock(&ctx.aggregate);
                 agg.suspended += 1;
                 if !audit_ok {
                     agg.audit_failures += 1;
@@ -628,7 +710,7 @@ fn conclude(
     let audit_ok = audit::check_heap(&heap, &[]).is_ok();
 
     {
-        let mut agg = ctx.aggregate.lock().unwrap();
+        let mut agg = crate::relock(&ctx.aggregate);
         agg.sessions += 1;
         match outcome {
             Outcome::Ok => agg.ok += 1,
@@ -663,10 +745,15 @@ fn conclude(
         .i64("n", meta.n)
         .bool("cached", meta.cached)
         .bool("shared", meta.shared)
+        .bool("borrow", meta.borrow)
         .u64("micros", meta.start.elapsed().as_micros() as u64)
         .u64("leaked_blocks", leaked)
         .u64("reclaimed_blocks", reclaimed)
         .u64("shared_ref_drift", shared_drift)
+        // Not part of the gated `counters` (the baseline is
+        // single-threaded); reported separately so borrowed sessions
+        // can prove their zero-RMW read path on the wire.
+        .u64("atomic_ops", stats.atomic_ops)
         .bool("audit_ok", audit_ok)
         .raw("counters", &render_counters(&stats));
     if meta.resumable {
@@ -794,7 +881,7 @@ impl ParkTable {
         let reclaimed = heap.reset();
         let shared_drift = heap.take_shared_drift();
         let audit_ok = audit::check_heap(&heap, &[]).is_ok();
-        let mut agg = ctx.aggregate.lock().unwrap();
+        let mut agg = crate::relock(&ctx.aggregate);
         agg.sessions += 1;
         agg.evicted += 1;
         agg.reclaimed_blocks += reclaimed;
@@ -837,7 +924,7 @@ fn shared_input(
     spec: ParallelSpec,
     n: i64,
 ) -> Result<Arc<SharedInput>, String> {
-    if let Some(input) = ctx.inputs.get(prog.key, n) {
+    if let Some(input) = ctx.inputs.get(prog.input_key, n) {
         return Ok(input);
     }
     let build = prog
@@ -867,12 +954,12 @@ fn shared_input(
         ));
     }
     {
-        let mut agg = ctx.aggregate.lock().unwrap();
+        let mut agg = crate::relock(&ctx.aggregate);
         agg.stats = agg.stats.merge(&builder.heap.stats);
     }
     let live_baseline = seg.live_blocks();
     Ok(ctx.inputs.insert(
-        prog.key,
+        prog.input_key,
         n,
         SharedInput {
             seg: Arc::new(seg),
@@ -884,7 +971,7 @@ fn shared_input(
 
 /// Books a session that never reached the machine.
 fn finish_failed(ctx: &ServeCtx, outcome: Outcome) {
-    let mut agg = ctx.aggregate.lock().unwrap();
+    let mut agg = crate::relock(&ctx.aggregate);
     agg.sessions += 1;
     match outcome {
         Outcome::CompileError => agg.compile_errors += 1,
@@ -931,6 +1018,7 @@ mod tests {
             fuel: None,
             memory: None,
             shared: false,
+            borrow: false,
             profile: false,
             resumable: false,
         }
@@ -1099,6 +1187,80 @@ mod tests {
         drop(agg);
         assert_eq!(ctx.parked.load(Ordering::Relaxed), 0);
         assert_eq!(ctx.parked_words.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn borrowed_snapshot_session_pays_zero_atomics() {
+        let ctx = ctx();
+        let mut owned = req("map");
+        owned.shared = true;
+        let (heap, a) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &owned);
+        let a = json::parse(&a).unwrap();
+        assert_eq!(a.get("outcome").and_then(Json::as_str), Some("ok"));
+        assert!(
+            a.get("atomic_ops").and_then(Json::as_u64).unwrap() > 0,
+            "owned shared reads pay per-visit RMWs"
+        );
+
+        let mut borrowed = req("map");
+        borrowed.shared = true;
+        borrowed.borrow = true;
+        let (_, b) = run_session(heap, &ctx, &borrowed);
+        let b = json::parse(&b).unwrap();
+        assert_eq!(b.get("outcome").and_then(Json::as_str), Some("ok"), "{b:?}");
+        assert_eq!(b.get("borrow").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            b.get("atomic_ops").and_then(Json::as_u64),
+            Some(0),
+            "the snapshot path must be RMW-free: {b:?}"
+        );
+        assert_eq!(b.get("shared_ref_drift").and_then(Json::as_u64), Some(0));
+        assert_eq!(b.get("leaked_blocks").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            a.get("value").and_then(Json::as_str),
+            b.get("value").and_then(Json::as_str),
+            "owned and borrowed reads agree"
+        );
+        // The borrowed build attached the owned build's frozen input
+        // (keyed borrow-agnostically), and the segment is untouched.
+        let (entries, live, baseline) = ctx.inputs.stats();
+        assert_eq!(entries, 1, "one frozen input serves both builds");
+        assert_eq!(live, baseline);
+    }
+
+    #[test]
+    fn unservable_borrow_combinations_are_rejected() {
+        let ctx = ctx();
+        let mut r = req("map");
+        r.borrow = true; // missing shared
+        let (_, resp) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &r);
+        assert!(resp.contains("\"outcome\":\"rejected\""), "{resp}");
+        assert!(
+            resp.contains("\"code\":\"borrow-without-shared\""),
+            "{resp}"
+        );
+
+        let mut r = req("map");
+        r.borrow = true;
+        r.shared = true;
+        r.strategy = Strategy::Scoped;
+        let (_, resp) = run_session(Heap::new(ReclaimMode::Rc), &ctx, &r);
+        assert!(resp.contains("\"code\":\"borrow-unsupported\""), "{resp}");
+
+        let mut r = req("map");
+        r.borrow = true;
+        r.shared = true;
+        r.resumable = true;
+        let mut table = ParkTable::new(0);
+        let resp = run_resumable(&mut table, &ctx, &r);
+        assert!(resp.contains("\"code\":\"borrow-not-resumable\""), "{resp}");
+
+        let agg = ctx.aggregate.lock().unwrap();
+        assert_eq!(
+            (agg.sessions, agg.failed),
+            (3, 3),
+            "each rejection is a booked terminal session"
+        );
     }
 
     #[test]
@@ -1283,6 +1445,7 @@ mod tests {
             crate::cache::program_key(
                 perceus_suite::workload("map").unwrap().source,
                 Strategy::Perceus,
+                false,
             ),
             perceus_suite::workload("map").unwrap().test_n,
         );

@@ -282,6 +282,91 @@ fn health_shutdown_and_bad_requests() {
 }
 
 #[test]
+fn malformed_requests_get_structured_answers_and_the_connection_survives() {
+    let h = server(|_| {});
+    let rs = roundtrip(
+        h.addr(),
+        &[
+            // Truncated JSON, a non-JSON line, an unknown op, and a run
+            // without an id: each must come back as a structured
+            // `bad-request`, not a dropped connection or a panic.
+            r#"{"op":"run","id":"#.to_string(),
+            "garbage over the wire".to_string(),
+            r#"{"op":"frobnicate","id":1}"#.to_string(),
+            r#"{"op":"run","workload":"map"}"#.to_string(),
+            // Parsable but permanently unservable: borrow without
+            // shared gets a terminal `rejected` with a stable code.
+            r#"{"op":"run","id":3,"workload":"map","borrow":true}"#.to_string(),
+            // And the same connection still serves a healthy session.
+            run_line(4, "map", ""),
+        ],
+    );
+    let bad_requests = rs
+        .values()
+        .filter(|v| v.get("outcome").and_then(Json::as_str) == Some("bad-request"))
+        .count();
+    assert_eq!(bad_requests, 4, "{rs:?}");
+    assert_eq!(
+        field(&rs[&3], "outcome").as_str(),
+        Some("rejected"),
+        "{rs:?}"
+    );
+    assert_eq!(
+        field(&rs[&3], "code").as_str(),
+        Some("borrow-without-shared")
+    );
+    assert_eq!(field(&rs[&4], "outcome").as_str(), Some("ok"), "{rs:?}");
+    h.join();
+}
+
+#[test]
+fn borrowed_snapshot_sessions_pay_zero_atomics_over_tcp() {
+    let h = server(|_| {});
+    // Freeze the input with an owned session first (so the borrowed
+    // session below is deterministic about which build froze it), then
+    // contrast the two read paths.
+    let owned = roundtrip(h.addr(), &[run_line(1, "map", r#","shared":true"#)]);
+    let borrowed = roundtrip(
+        h.addr(),
+        &[run_line(2, "map", r#","shared":true,"borrow":true"#)],
+    );
+    assert_eq!(field(&owned[&1], "outcome").as_str(), Some("ok"));
+    assert_eq!(
+        field(&borrowed[&2], "outcome").as_str(),
+        Some("ok"),
+        "{borrowed:?}"
+    );
+    assert!(
+        field(&owned[&1], "atomic_ops").as_u64().unwrap() > 0,
+        "owned shared reads pay per-visit RMWs"
+    );
+    assert_eq!(field(&borrowed[&2], "borrow").as_bool(), Some(true));
+    assert_eq!(
+        field(&borrowed[&2], "atomic_ops").as_u64(),
+        Some(0),
+        "the snapshot read path is RMW-free end to end"
+    );
+    assert_eq!(field(&borrowed[&2], "shared_ref_drift").as_u64(), Some(0));
+    assert_eq!(field(&borrowed[&2], "leaked_blocks").as_u64(), Some(0));
+    assert_eq!(
+        field(&owned[&1], "value").as_str(),
+        field(&borrowed[&2], "value").as_str(),
+        "both read paths agree on the result"
+    );
+    // One frozen input served both builds (the borrow-agnostic input
+    // key), and the segment sits exactly at its freeze-time baseline.
+    let stats = roundtrip(h.addr(), &[r#"{"op":"stats"}"#.to_string()]);
+    let stats = &stats[&(CONTROL_BASE + 1)];
+    assert_eq!(field(stats, "shared_inputs").as_u64(), Some(1));
+    assert_eq!(
+        field(stats, "shared_live_blocks").as_u64(),
+        field(stats, "shared_baseline_blocks").as_u64()
+    );
+    assert_eq!(field(stats, "audit_failures").as_u64(), Some(0));
+    h.join();
+}
+
+#[test]
 fn loadtest_sustains_concurrent_mixed_sessions_with_zero_drift() {
     let h = server(|c| {
         c.max_inflight = 4096;

@@ -197,6 +197,14 @@ pub fn compile_with_config(src: &str, config: PassConfig) -> Result<Compiled, Su
     Ok(code::compile(&program)?)
 }
 
+/// Compiles under the Perceus strategy with borrow inference on — the
+/// snapshot-read variant: borrowed parameters are never consumed, so a
+/// pure traversal of a shared-segment structure emits no reference
+/// count operations at all (zero atomic RMWs on the read path).
+pub fn compile_borrowing(src: &str) -> Result<Compiled, SuiteError> {
+    compile_with_config(src, PassConfig::perceus_borrowing())
+}
+
 /// The outcome of one run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {

@@ -38,10 +38,12 @@ pub use diff::{
     differential_check, fuzz, CheckOutcome, Divergence, Failure, FuzzConfig, FuzzReport,
 };
 pub use driver::{
-    compile_and_run, compile_with_config, compile_workload, oracle_run, run_workload, RunOutcome,
-    Strategy, SuiteError,
+    compile_and_run, compile_borrowing, compile_with_config, compile_workload, oracle_run,
+    run_workload, RunOutcome, Strategy, SuiteError,
 };
-pub use parallel::{run_parallel, ParallelOutcome, ParallelSpec};
+pub use parallel::{
+    run_contended, run_parallel, ContendedOutcome, ParallelOutcome, ParallelSpec, ReadMode,
+};
 pub use resume::{determinism_divergence, run_workload_budgeted, ResumeOutcome};
 pub use shrink::{shrink_program, ShrinkOutcome};
 pub use workloads::{workload, workloads, Workload};

@@ -13,6 +13,9 @@
 //!                       [--json] [--deny] [--replay]
 //! perceus-suite parallel [--workload map] [--threads 4] [--n SIZE]
 //!                        [--strategy perceus] [--json]
+//! perceus-suite contended [--workload map] [--mode snapshot|owned]
+//!                         [--threads 8] [--reps 16] [--n SIZE]
+//!                         [--json] [--require-zero-atomics]
 //! perceus-suite profile [--workload map] [--n SIZE] [--threads 1]
 //!                       [--strategy perceus] [--json | --folded]
 //!                       [--metric rc-ops]
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
         Some("analyze") => run_analyze(&args[1..]),
         Some("certify") => run_certify(&args[1..]),
         Some("parallel") => run_parallel_cmd(&args[1..]),
+        Some("contended") => run_contended_cmd(&args[1..]),
         Some("profile") => run_profile_cmd(&args[1..]),
         Some("resume") => run_resume_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -135,6 +139,22 @@ subcommands:
     --n <size>           problem size           (default per workload)
     --strategy <name>    as for stages          (default perceus)
     --json               machine-readable output
+
+  contended run the contended read-mostly workload: N workers each
+           traverse one shared immutable input R times, under either
+           guard-protected snapshot reads (borrow-inferred, zero atomic
+           RMWs) or the owned atomic-RMW baseline
+    --workload <name>    workload to run        (default map; needs a
+                         shared-input split)
+    --mode <m>           snapshot | owned       (default snapshot)
+    --threads <n>        worker thread count    (default 8)
+    --reps <n>           consume calls per worker (default 16)
+    --n <size>           problem size           (default per workload)
+    --json               machine-readable output
+    --require-zero-atomics
+                         exit 1 unless the read phase performed zero
+                         atomic RMWs and the segment fully drained
+                         (the CI gate for the snapshot path)
 
   profile  run one workload with the attributed profiler and report
            per-function / per-constructor RC and allocation behaviour
@@ -942,6 +962,121 @@ fn run_parallel_cmd(args: &[String]) -> ExitCode {
             ),
             None => println!("  join audit: skipped (non-rc strategy)"),
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_contended_cmd(args: &[String]) -> ExitCode {
+    use perceus_runtime::machine::RunConfig;
+    use perceus_suite::ReadMode;
+
+    let mut workload_name = "map".to_string();
+    let mut mode = ReadMode::Snapshot;
+    let mut threads: u32 = 8;
+    let mut reps: u32 = 16;
+    let mut n: Option<i64> = None;
+    let mut json = false;
+    let mut gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => workload_name = next_value(args, &mut i, "--workload").to_string(),
+            "--mode" => {
+                mode = match next_value(args, &mut i, "--mode") {
+                    "snapshot" => ReadMode::Snapshot,
+                    "owned" => ReadMode::Owned,
+                    other => return usage_error(&format!("unknown mode `{other}`")),
+                };
+            }
+            "--threads" => {
+                threads = parse_u64(next_value(args, &mut i, "--threads"), "thread count") as u32;
+                if threads == 0 {
+                    return usage_error("--threads must be at least 1");
+                }
+            }
+            "--reps" => {
+                reps = parse_u64(next_value(args, &mut i, "--reps"), "repetition count") as u32;
+                if reps == 0 {
+                    return usage_error("--reps must be at least 1");
+                }
+            }
+            "--n" => n = Some(parse_u64(next_value(args, &mut i, "--n"), "size") as i64),
+            "--json" => json = true,
+            "--require-zero-atomics" => gate = true,
+            other => return usage_error(&format!("unknown contended option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let w = match workload(&workload_name) {
+        Some(w) => w,
+        None => {
+            return usage_error(&format!(
+                "unknown workload `{workload_name}`; available: {}",
+                workload_names().join(", ")
+            ))
+        }
+    };
+    let n = n.unwrap_or(w.test_n);
+    let out = match perceus_suite::run_contended(&w, mode, n, threads, reps, RunConfig::default()) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{}: {e}", w.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let a = &out.shared_audit;
+    if json {
+        println!(
+            "{{\"workload\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"reps\":{},\"n\":{},\
+             \"result\":\"{}\",\"elapsed_secs\":{:.6},\"throughput\":{:.3},\
+             \"read_atomics\":{},\"reclaimed_blocks\":{},\
+             \"join_audit\":{{\"freed_blocks\":{},\"live_blocks\":{},\"pinned_blocks\":{},\
+             \"weak_refs\":{}}}}}",
+            json_escape(w.name),
+            json_escape(mode.label()),
+            out.threads,
+            out.reps,
+            n,
+            json_escape(&out.value.to_string()),
+            out.elapsed.as_secs_f64(),
+            out.throughput(),
+            out.read_atomics,
+            out.reclaimed_blocks,
+            a.freed_blocks,
+            a.live_blocks,
+            a.pinned_blocks,
+            a.weak_refs,
+        );
+    } else {
+        println!(
+            "{} contended ({} reads): {} threads x {} reps, n={n}",
+            w.name,
+            mode.label(),
+            out.threads,
+            out.reps
+        );
+        println!("  result: {} (all workers, all reps agree)", out.value);
+        println!(
+            "  elapsed: {:.3}s  throughput: {:.1} reads/s",
+            out.elapsed.as_secs_f64(),
+            out.throughput()
+        );
+        println!(
+            "  read-phase atomic RMWs: {}  reclaimed slots: {}",
+            out.read_atomics, out.reclaimed_blocks
+        );
+        println!(
+            "  join audit: ok — {} freed, {} live, {} pinned, {} weak refs",
+            a.freed_blocks, a.live_blocks, a.pinned_blocks, a.weak_refs
+        );
+    }
+    if gate && (out.read_atomics != 0 || a.live_blocks != 0) {
+        eprintln!(
+            "{}: gate failed — {} read-phase atomic RMWs, {} live blocks at join",
+            w.name, out.read_atomics, a.live_blocks
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
