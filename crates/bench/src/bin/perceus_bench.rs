@@ -24,6 +24,14 @@
 //! `--check-baseline` compares the current counters against a committed
 //! file, exiting 1 on any drift beyond `--tolerance` (a relative
 //! fraction; the CI gate uses 0).
+//!
+//! `--backend native` routes execution through the codegen backend
+//! (docs/CODEGEN.md): with `--check-baseline` the counters come from
+//! the compiled executor (the same committed baseline must hold at
+//! zero tolerance — the schedule-identity proof); without it, the
+//! default mode becomes a machine-vs-native wall-clock record over a
+//! comma-separated `--workload` list, emitted as one JSON line (the
+//! `native-speedup` CI artifact).
 
 use perceus_bench::counters::Baseline;
 use perceus_runtime::machine::RunConfig;
@@ -46,6 +54,16 @@ struct Options {
     tolerance: f64,
     /// `Some("-")` prints to stdout.
     read_scaling: Option<String>,
+    backend: Backend,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The abstract machine (interpreter) — the default.
+    Machine,
+    /// The codegen backend: workloads compiled to Rust and run in the
+    /// native executor subprocess.
+    Native,
 }
 
 fn usage() -> ! {
@@ -56,6 +74,8 @@ fn usage() -> ! {
          \x20      perceus-bench --check-baseline FILE [--tolerance 0]\n\
          \x20      perceus-bench --check-certs FILE\n\
          \x20      perceus-bench --read-scaling [FILE|-] [--workload map] [--n SIZE]\n\
+         \x20      perceus-bench --backend native [--workload rbtree,map] [--repeat 3]\n\
+         \x20      perceus-bench --backend native --check-baseline FILE [--tolerance 0]\n\
          workloads: {}\n\
          strategies: {}",
         workloads()
@@ -85,6 +105,7 @@ fn parse_args() -> Options {
         check_certs: None,
         tolerance: 0.0,
         read_scaling: None,
+        backend: Backend::Machine,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -143,6 +164,11 @@ fn parse_args() -> Options {
                     _ => opts.read_scaling = Some("-".to_string()),
                 }
             }
+            "--backend" => match value(&args, &mut i, "--backend").as_str() {
+                "machine" => opts.backend = Backend::Machine,
+                "native" => opts.backend = Backend::Native,
+                _ => usage(),
+            },
             "--tolerance" => match value(&args, &mut i, "--tolerance").parse() {
                 Ok(t) if t >= 0.0 => opts.tolerance = t,
                 _ => usage(),
@@ -184,8 +210,10 @@ fn run_counters_json(target: &str) -> ExitCode {
     }
 }
 
-/// `--check-baseline`: recompute the counters and gate on drift.
-fn run_check_baseline(path: &str, tolerance: f64) -> ExitCode {
+/// `--check-baseline`: recompute the counters — on the machine or, with
+/// `--backend native`, through the compiled executor — and gate on
+/// drift against the committed file.
+fn run_check_baseline(path: &str, tolerance: f64, backend: Backend) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -200,24 +228,39 @@ fn run_check_baseline(path: &str, tolerance: f64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let current = match perceus_bench::counters::collect() {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("counter collection failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let current = match backend {
+        Backend::Machine => match perceus_bench::counters::collect() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("counter collection failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Backend::Native => match perceus_bench::counters::collect_native() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("native counter collection failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let label = match backend {
+        Backend::Machine => "machine",
+        Backend::Native => "native",
     };
     let violations = baseline.check(&current, tolerance);
     if violations.is_empty() {
         println!(
-            "counter gate: OK — {} workloads x {} counters match {path} (tolerance {tolerance})",
+            "counter gate ({label}): OK — {} workloads x {} counters match {path} \
+             (tolerance {tolerance})",
             baseline.workloads.len(),
             perceus_bench::COUNTER_KEYS.len(),
         );
         ExitCode::SUCCESS
     } else {
         println!(
-            "counter gate: FAILED — {} violation(s) against {path} (tolerance {tolerance})",
+            "counter gate ({label}): FAILED — {} violation(s) against {path} \
+             (tolerance {tolerance})",
             violations.len()
         );
         for v in &violations {
@@ -351,19 +394,99 @@ fn run_read_scaling(opts: &Options, target: &str) -> ExitCode {
     }
 }
 
+/// `--backend native` (no gate flag): the machine-vs-native wall-clock
+/// record. Both executors run the same compiled workloads; each side
+/// keeps its best-of-`--repeat` run time. The record is one JSON line
+/// on stdout (the CI `native-speedup` artifact) — informational, not a
+/// gate: wall time is hardware-dependent, unlike the counters.
+fn run_native_speedup(opts: &Options) -> ExitCode {
+    use perceus_suite::native::NativeHarness;
+
+    let list = opts.workload.clone().unwrap_or_else(|| "rbtree,map".into());
+    let names: Vec<&str> = list.split(',').map(str::trim).collect();
+    let mut selected = Vec::new();
+    for name in &names {
+        match workload(name) {
+            Some(w) => selected.push(w),
+            None => {
+                eprintln!("unknown workload `{name}`");
+                usage();
+            }
+        }
+    }
+    let harness = match NativeHarness::for_workloads(&names, opts.strategy) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("native build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows = Vec::new();
+    for w in &selected {
+        let n = opts.n.unwrap_or(w.default_n);
+        let (mut machine_ns, mut native_ns) = (u64::MAX, u64::MAX);
+        for _ in 0..opts.repeat {
+            let m = match harness.run_machine(w.name, n) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{}: {e}", w.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let nv = match harness.run_native(w.name, n) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{}: {e}", w.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !m.ok || !nv.ok {
+                eprintln!(
+                    "{}: run failed (machine ok={}, native ok={})",
+                    w.name, m.ok, nv.ok
+                );
+                return ExitCode::FAILURE;
+            }
+            machine_ns = machine_ns.min(m.wall_ns);
+            native_ns = native_ns.min(nv.wall_ns);
+        }
+        let speedup = machine_ns as f64 / (native_ns as f64).max(1.0);
+        eprintln!(
+            "{:>10}  n={n:<8} machine={machine_ns:>12}ns native={native_ns:>12}ns \
+             speedup={speedup:.2}x",
+            w.name
+        );
+        rows.push(format!(
+            "{{\"name\":\"{}\",\"n\":{n},\"machine_ns\":{machine_ns},\
+             \"native_ns\":{native_ns},\"speedup\":{speedup:.3}}}",
+            w.name
+        ));
+    }
+    println!(
+        "{{\"backend\":\"native\",\"strategy\":\"{}\",\"repeat\":{},\"workloads\":[{}]}}",
+        opts.strategy.label(),
+        opts.repeat,
+        rows.join(",")
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(target) = &opts.counters_json {
         return run_counters_json(target);
     }
     if let Some(path) = &opts.check_baseline {
-        return run_check_baseline(path, opts.tolerance);
+        return run_check_baseline(path, opts.tolerance, opts.backend);
     }
     if let Some(path) = &opts.check_certs {
         return run_check_certs(path);
     }
     if let Some(target) = opts.read_scaling.clone() {
         return run_read_scaling(&opts, &target);
+    }
+    if opts.backend == Backend::Native {
+        return run_native_speedup(&opts);
     }
     let name = opts.workload.as_deref().unwrap_or("rbtree");
     let Some(w) = workload(name) else {

@@ -22,59 +22,24 @@
 //! ```
 
 use perceus_runtime::machine::RunConfig;
-use perceus_runtime::Stats;
+use perceus_runtime::{Stats, SCHEDULE_KEYS};
+use perceus_suite::native::{NativeError, NativeHarness};
 use perceus_suite::{compile_workload, run_workload, workloads, Strategy, SuiteError};
 
 /// Schema version of the baseline document.
 pub const BASELINE_VERSION: u64 = 1;
 
-/// The gated counters, in canonical render order. All are exact event
-/// counts or high-water marks of a single-threaded run; the volatile
+/// The gated counters, in canonical render order: the runtime's RC
+/// *schedule* ([`perceus_runtime::SCHEDULE_KEYS`]) — exact event counts
+/// and high-water marks of a single-threaded run. The volatile
 /// quantities (wall time, thread interleavings, `atomic_ops`) are
-/// deliberately excluded.
-pub const COUNTER_KEYS: [&str; 18] = [
-    "allocations",
-    "alloc_words",
-    "reuses",
-    "frees",
-    "dups",
-    "drops",
-    "decrefs",
-    "unique_tests",
-    "unique_hits",
-    "freelist_hits",
-    "freelist_misses",
-    "recycled_words",
-    "field_writes",
-    "skipped_writes",
-    "token_frees",
-    "peak_live_blocks",
-    "peak_live_words",
-    "steps",
-];
+/// deliberately excluded. The native backend reports the same 18 keys
+/// in the same order, so one committed baseline gates both executors.
+pub const COUNTER_KEYS: [&str; 18] = SCHEDULE_KEYS;
 
 /// The gated counter values of one run, in [`COUNTER_KEYS`] order.
 pub fn counter_values(st: &Stats) -> [u64; 18] {
-    [
-        st.allocations,
-        st.alloc_words,
-        st.reuses,
-        st.frees,
-        st.dups,
-        st.drops,
-        st.decrefs,
-        st.unique_tests,
-        st.unique_hits,
-        st.freelist_hits,
-        st.freelist_misses,
-        st.recycled_words,
-        st.field_writes,
-        st.skipped_writes,
-        st.token_frees,
-        st.peak_live_blocks,
-        st.peak_live_words,
-        st.steps,
-    ]
+    st.schedule_values()
 }
 
 /// One workload's gated counters.
@@ -110,6 +75,45 @@ pub fn collect() -> Result<Baseline, SuiteError> {
         let counters = COUNTER_KEYS
             .iter()
             .zip(counter_values(&out.stats))
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        rows.push(WorkloadCounters {
+            name: w.name.to_string(),
+            n: w.test_n,
+            counters,
+        });
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(Baseline {
+        version: BASELINE_VERSION,
+        strategy: strategy.label().to_string(),
+        workloads: rows,
+    })
+}
+
+/// Collects the same baseline through the native codegen backend: every
+/// workload is compiled to Rust, the executor runs it at the test size,
+/// and the counters come from the subprocess report. Because the native
+/// executor mirrors the machine's RC schedule exactly, this document
+/// must be byte-identical to [`collect`]'s — checking it against the
+/// committed `BENCH_BASELINE.json` at zero tolerance is the CI proof.
+pub fn collect_native() -> Result<Baseline, NativeError> {
+    let strategy = Strategy::Perceus;
+    let names: Vec<&str> = workloads().iter().map(|w| w.name).collect();
+    let harness = NativeHarness::for_workloads(&names, strategy)?;
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let probe = harness.run_native(w.name, w.test_n)?;
+        if !probe.ok {
+            return Err(NativeError::Unsupported(format!(
+                "native run of `{}` failed: {}",
+                w.name,
+                probe.error_code.as_deref().unwrap_or("unknown error")
+            )));
+        }
+        let counters = COUNTER_KEYS
+            .iter()
+            .zip(probe.counters)
             .map(|(k, v)| (k.to_string(), v))
             .collect();
         rows.push(WorkloadCounters {

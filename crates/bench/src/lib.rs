@@ -18,5 +18,5 @@ pub mod counters;
 pub mod measure;
 
 pub use certgate::check_certs;
-pub use counters::{Baseline, WorkloadCounters, COUNTER_KEYS};
+pub use counters::{collect, collect_native, Baseline, WorkloadCounters, COUNTER_KEYS};
 pub use measure::{measure, Measurement};

@@ -1,0 +1,66 @@
+//! CLI regression tests for `perceus-bench` argument handling: the
+//! `--read-scaling` workload selection (it must honour `--workload` and
+//! reject non-shareable workloads cleanly, not fall back to a hardcoded
+//! default) and the `--backend` flag's validation.
+
+use std::process::Command;
+
+fn bench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perceus-bench"))
+}
+
+/// A workload without a shared-input split is a clean operational
+/// failure (exit 1 + a message naming the workload), not a usage error
+/// and not a silent fallback to `map`.
+#[test]
+fn read_scaling_rejects_non_shareable_workload() {
+    let out = bench()
+        .args(["--read-scaling", "-", "--workload", "rbtree"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rbtree") && stderr.contains("no shared-input split"),
+        "stderr: {stderr}"
+    );
+    assert!(out.stdout.is_empty(), "no partial record on failure");
+}
+
+/// An unknown workload name is a usage error (exit 2).
+#[test]
+fn read_scaling_rejects_unknown_workload() {
+    let out = bench()
+        .args(["--read-scaling", "-", "--workload", "no-such"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such"), "stderr: {stderr}");
+}
+
+/// `--read-scaling` honours `--workload` for any shareable workload:
+/// the emitted record names the selected workload, not the default.
+#[test]
+fn read_scaling_honours_workload_flag() {
+    let out = bench()
+        .args(["--read-scaling", "-", "--workload", "refs", "--n", "20"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"workload\":\"refs\"") && stdout.contains("\"n\":20"),
+        "stdout: {stdout}"
+    );
+}
+
+/// `--backend` only accepts the two executors.
+#[test]
+fn backend_flag_is_validated() {
+    let out = bench()
+        .args(["--backend", "bogus"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -1,0 +1,219 @@
+//! The build driver: wraps emitted source in a minimal cargo project
+//! under `target/native/` and compiles it with the workspace's own
+//! toolchain, entirely offline (the only dependencies are path deps on
+//! `perceus-runtime` and `perceus-core`).
+//!
+//! Binaries are **content-addressed**: the package name embeds a hash
+//! of the emitted source, the generated manifest, and every source file
+//! of the runtime and core crates. The last part matters in CI, where
+//! `target/` is cached across pushes keyed only on `Cargo.toml` hashes
+//! — a runtime change must roll the native binary's identity or a stale
+//! executor could answer the differential gate.
+//!
+//! The generated project sets `CARGO_TARGET_DIR=target/native` (its own
+//! lock file, so building from inside an outer `cargo test` cannot
+//! deadlock on the workspace target-dir lock) and carries an empty
+//! `[workspace]` table (so cargo does not claim it for the enclosing
+//! workspace).
+
+use crate::emit::emit_batch;
+use crate::report::{parse_report, NativeReport};
+use crate::NativeError;
+use perceus_runtime::code::Compiled;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A compiled executor binary holding one or more generated programs.
+#[derive(Debug, Clone)]
+pub struct NativeBin {
+    path: PathBuf,
+}
+
+impl NativeBin {
+    /// Path of the executor binary (content-addressed under
+    /// `target/native/release/`).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Runs one program (`--prog name --n arg`) in a subprocess and
+    /// parses its JSON report.
+    pub fn run(&self, prog: &str, n: i64) -> Result<NativeReport, NativeError> {
+        let out = Command::new(&self.path)
+            .args(["--prog", prog, "--n", &n.to_string()])
+            .output()
+            .map_err(|e| NativeError::Subprocess(format!("spawn {}: {e}", self.path.display())))?;
+        if !out.status.success() {
+            return Err(NativeError::Subprocess(format!(
+                "executor exited with {}: {}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr).trim()
+            )));
+        }
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .ok_or_else(|| NativeError::Report(format!("no JSON report on stdout: {stdout:?}")))?;
+        parse_report(line)
+    }
+
+    /// The program names the executor knows (`--list`).
+    pub fn list(&self) -> Result<Vec<String>, NativeError> {
+        let out = Command::new(&self.path)
+            .arg("--list")
+            .output()
+            .map_err(|e| NativeError::Subprocess(format!("spawn {}: {e}", self.path.display())))?;
+        Ok(String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(str::to_string)
+            .collect())
+    }
+}
+
+/// Emits, writes, and compiles a batch of programs; returns the cached
+/// binary if an identical batch (and identical runtime/core sources)
+/// was built before.
+pub fn build_programs(programs: &[(String, &Compiled)]) -> Result<NativeBin, NativeError> {
+    let source = emit_batch(programs)?;
+    build_source(&source)
+}
+
+/// Compiles already-emitted executor source (see [`emit_batch`]).
+pub fn build_source(source: &str) -> Result<NativeBin, NativeError> {
+    let root = repo_root();
+    let nroot = native_workdir();
+
+    let manifest = manifest_for("PKG", &root); // hashed with a placeholder name
+    let mut h = Fnv::new();
+    h.update(source.as_bytes());
+    h.update(manifest.as_bytes());
+    hash_crate_sources(&mut h, &root.join("crates").join("core"))?;
+    hash_crate_sources(&mut h, &root.join("crates").join("runtime"))?;
+    let pkg = format!("pnative_{:012x}", h.finish() & 0xffff_ffff_ffff);
+
+    let bin = nroot.join("release").join(&pkg);
+    if bin.is_file() {
+        return Ok(NativeBin { path: bin });
+    }
+
+    let proj = nroot.join("gen").join(&pkg);
+    fs::create_dir_all(proj.join("src"))?;
+    fs::write(proj.join("Cargo.toml"), manifest_for(&pkg, &root))?;
+    fs::write(proj.join("src").join("main.rs"), source)?;
+
+    let out = Command::new("cargo")
+        .args(["build", "--release", "--offline", "--quiet"])
+        .current_dir(&proj)
+        .env("CARGO_TARGET_DIR", &nroot)
+        .output()
+        .map_err(|e| NativeError::Build(format!("spawn cargo: {e}")))?;
+    if !out.status.success() {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let tail: Vec<&str> = stderr.lines().rev().take(40).collect();
+        let tail: Vec<&str> = tail.into_iter().rev().collect();
+        return Err(NativeError::Build(format!(
+            "cargo build failed for {} ({}):\n{}",
+            pkg,
+            proj.display(),
+            tail.join("\n")
+        )));
+    }
+    if !bin.is_file() {
+        return Err(NativeError::Build(format!(
+            "cargo build succeeded but {} is missing",
+            bin.display()
+        )));
+    }
+    Ok(NativeBin { path: bin })
+}
+
+/// Where generated projects and their artifacts live:
+/// `<repo>/target/native` (its own cargo target dir and lock).
+pub fn native_workdir() -> PathBuf {
+    repo_root().join("target").join("native")
+}
+
+fn repo_root() -> PathBuf {
+    // crates/codegen/../.. — the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("codegen crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn manifest_for(pkg: &str, root: &Path) -> String {
+    let runtime = root.join("crates").join("runtime");
+    let core = root.join("crates").join("core");
+    format!(
+        "[package]\n\
+         name = \"{pkg}\"\n\
+         version = \"0.0.0\"\n\
+         edition = \"2021\"\n\
+         publish = false\n\
+         \n\
+         # Standalone: do not join the enclosing workspace.\n\
+         [workspace]\n\
+         \n\
+         [dependencies]\n\
+         perceus-runtime = {{ path = \"{}\" }}\n\
+         perceus-core = {{ path = \"{}\" }}\n\
+         \n\
+         [profile.release]\n\
+         debug = false\n",
+        runtime.display(),
+        core.display()
+    )
+}
+
+/// Hashes a dependency crate's manifest and every `.rs` file under its
+/// `src/`, in sorted path order.
+fn hash_crate_sources(h: &mut Fnv, krate: &Path) -> Result<(), NativeError> {
+    let manifest = krate.join("Cargo.toml");
+    h.update(manifest.to_string_lossy().as_bytes());
+    h.update(&fs::read(&manifest)?);
+    let mut files = Vec::new();
+    collect_rs(&krate.join("src"), &mut files)?;
+    files.sort();
+    for f in files {
+        h.update(f.to_string_lossy().as_bytes());
+        h.update(&fs::read(&f)?);
+    }
+    Ok(())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), NativeError> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// FNV-1a 64 — tiny, deterministic, dependency-free. Collision risk is
+/// irrelevant here: a collision only means reusing a binary built from
+/// different source, and the gen dir keeps the source for inspection.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden-file snapshot tests of the emitted Rust.
+//!
+//! The emitted module for a workload is a pure function of the compiled
+//! program, so its exact text is a reviewable artifact: any emitter
+//! change shows up as a diff against `tests/golden/*.rs.golden`. When a
+//! change is intentional, regenerate with
+//!
+//! ```text
+//! BLESS=1 cargo test -p perceus-codegen --test golden
+//! ```
+//!
+//! and review the golden diff alongside the emitter diff. (The e2e
+//! differential tests prove the *behaviour* is right; these prove the
+//! *shape* of the code only changes when someone means it to.)
+
+use perceus_codegen::emit_module;
+use perceus_suite::{compile_workload, workload, Strategy};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{name}.rs.golden"))
+}
+
+fn check_golden(name: &str) {
+    let w = workload(name).expect("registered workload");
+    let compiled = compile_workload(w.source, Strategy::Perceus).expect("compiles");
+    let emitted = emit_module(0, name, &compiled).expect("emits");
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &emitted).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}; run with BLESS=1 to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        emitted,
+        expected,
+        "emitted Rust for `{name}` drifted from {}; if intentional, \
+         regenerate with BLESS=1 and review the diff",
+        path.display()
+    );
+}
+
+/// `map` exercises the core translation: cons-list construction with
+/// reuse tokens, skip masks from reuse specialization, and a
+/// self-tail-recursive loop.
+#[test]
+fn map_module_matches_golden() {
+    check_golden("map");
+}
+
+/// `exn` exercises the error path (`Abort`), `Match` arms over a
+/// mixed-arity type, and drop specialization.
+#[test]
+fn exn_module_matches_golden() {
+    check_golden("exn");
+}

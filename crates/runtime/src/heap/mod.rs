@@ -37,7 +37,7 @@ pub mod shared;
 pub mod stats;
 
 pub use shared::SharedHeap;
-pub use stats::Stats;
+pub use stats::{Stats, SCHEDULE_KEYS};
 
 use crate::error::RuntimeError;
 use crate::profile::{FrameKind, ProfCounts, Profiler};

@@ -75,12 +75,65 @@ pub struct Stats {
     pub steps: u64,
 }
 
+/// The *RC schedule*: the deterministic counters that pin a workload's
+/// exact dup/drop/alloc/reuse behaviour, in canonical order. These are
+/// the quantities gated with zero tolerance by `BENCH_BASELINE.json`
+/// and by the machine-vs-native differential check — two executors that
+/// agree on all of them (plus the result value) executed the *same*
+/// reference-counting schedule, not merely equivalent programs. The
+/// volatile quantities (wall time, thread interleavings, `atomic_ops`)
+/// are deliberately excluded.
+pub const SCHEDULE_KEYS: [&str; 18] = [
+    "allocations",
+    "alloc_words",
+    "reuses",
+    "frees",
+    "dups",
+    "drops",
+    "decrefs",
+    "unique_tests",
+    "unique_hits",
+    "freelist_hits",
+    "freelist_misses",
+    "recycled_words",
+    "field_writes",
+    "skipped_writes",
+    "token_frees",
+    "peak_live_blocks",
+    "peak_live_words",
+    "steps",
+];
+
 impl Stats {
     /// Total reference-count operations executed (the quantity §2 says
     /// Perceus optimizes: "the cost of reference counting is linear in
     /// the number of reference counting operations").
     pub fn rc_ops(&self) -> u64 {
         self.dups + self.drops + self.decrefs + self.unique_tests
+    }
+
+    /// The schedule counters in [`SCHEDULE_KEYS`] order.
+    pub fn schedule_values(&self) -> [u64; 18] {
+        [
+            self.allocations,
+            self.alloc_words,
+            self.reuses,
+            self.frees,
+            self.dups,
+            self.drops,
+            self.decrefs,
+            self.unique_tests,
+            self.unique_hits,
+            self.freelist_hits,
+            self.freelist_misses,
+            self.recycled_words,
+            self.field_writes,
+            self.skipped_writes,
+            self.token_frees,
+            self.peak_live_blocks,
+            self.peak_live_words,
+            self.steps,
+        ]
     }
 
     /// Total allocations by either path.

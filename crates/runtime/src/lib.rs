@@ -52,7 +52,7 @@ pub mod trace;
 pub mod value;
 
 pub use error::RuntimeError;
-pub use heap::{Heap, ReclaimMode, SharedHeap, Stats};
+pub use heap::{Heap, ReclaimMode, SharedHeap, Stats, SCHEDULE_KEYS};
 pub use machine::{Checkpoint, DeepValue, Execution, Machine, RunConfig, StepOutcome};
 pub use profile::{FrameKind, ProfCounts, ProfMetric, Profiler};
 pub use value::Value;

@@ -25,6 +25,7 @@ pub mod certify;
 pub mod diff;
 pub mod driver;
 pub mod genprog;
+pub mod native;
 pub mod parallel;
 pub mod resume;
 pub mod shrink;
@@ -40,6 +41,10 @@ pub use diff::{
 pub use driver::{
     compile_and_run, compile_borrowing, compile_with_config, compile_workload, oracle_run,
     run_workload, RunOutcome, Strategy, SuiteError,
+};
+pub use native::{
+    compare_probes, ensure_supported, fuzz_native, machine_probe, ExecProbe, NativeBin,
+    NativeCheck, NativeFuzzReport, NativeHarness, NativeReport,
 };
 pub use parallel::{
     run_contended, run_parallel, ContendedOutcome, ParallelOutcome, ParallelSpec, ReadMode,

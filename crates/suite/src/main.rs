@@ -21,6 +21,9 @@
 //!                       [--metric rc-ops]
 //! perceus-suite resume [--workload map | --all] [--chunks 8]
 //!                      [--n SIZE] [--strategy perceus] [--json]
+//! perceus-suite native [--workload map | --all] [--n SIZE]
+//!                      [--strategy perceus] [--json]
+//!                      [--fuzz N [--seed S] [--size SZ] [--arg A]]
 //! ```
 //!
 //! `fuzz` drives random programs through every strategy plus the
@@ -75,6 +78,7 @@ fn main() -> ExitCode {
         Some("contended") => run_contended_cmd(&args[1..]),
         Some("profile") => run_profile_cmd(&args[1..]),
         Some("resume") => run_resume_cmd(&args[1..]),
+        Some("native") => run_native_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -182,6 +186,25 @@ subcommands:
                          test size)
     --strategy <name>    as for stages          (default perceus)
     --json               machine-readable output
+
+  native   compile workloads to Rust through perceus-codegen, run the
+           native executor, and check value, output, leak count, and
+           all 18 schedule counters bit-for-bit against the machine
+           (docs/CODEGEN.md); with --fuzz, differentially check
+           generated programs instead
+    --workload <name>    workload to check      (default map;
+                         repeatable)
+    --all                check every registered workload
+    --n <size>           problem size           (default per-workload
+                         test size)
+    --strategy <name>    perceus | perceus-no-opt (the RC strategies;
+                         others are rejected)   (default perceus)
+    --json               machine-readable output
+    --fuzz <n>           differential fuzz: n generated programs,
+                         machine vs native
+    --seed <u64|0xHEX>   fuzz master seed       (default 0xC0DE6E)
+    --size <n>           fuzz generator budget  (default 28)
+    --arg <n>            fuzz argument to main  (default 5)
 
 exit codes: 0 ok, 1 failure (divergence, pipeline error, denied lint,
             failed join audit), 2 usage error
@@ -1202,6 +1225,181 @@ fn run_resume_cmd(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn run_native_cmd(args: &[String]) -> ExitCode {
+    use perceus_suite::native::{fuzz_native, NativeCheck, NativeHarness};
+
+    let mut workload_names_sel: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut n: Option<i64> = None;
+    let mut strategy = Strategy::Perceus;
+    let mut json = false;
+    let mut fuzz_iters: Option<u32> = None;
+    let mut seed: u64 = 0xC0DE6E;
+    let mut size: u32 = 28;
+    let mut arg: i64 = 5;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                workload_names_sel.push(next_value(args, &mut i, "--workload").to_string())
+            }
+            "--all" => all = true,
+            "--n" => n = Some(parse_u64(next_value(args, &mut i, "--n"), "size") as i64),
+            "--strategy" => {
+                let name = next_value(args, &mut i, "--strategy");
+                strategy = match parse_strategy(name) {
+                    Some(s) => s,
+                    None => return usage_error(&format!("unknown strategy `{name}`")),
+                };
+            }
+            "--json" => json = true,
+            "--fuzz" => {
+                fuzz_iters =
+                    Some(parse_u64(next_value(args, &mut i, "--fuzz"), "fuzz count") as u32)
+            }
+            "--seed" => seed = parse_u64(next_value(args, &mut i, "--seed"), "seed"),
+            "--size" => size = parse_u64(next_value(args, &mut i, "--size"), "size") as u32,
+            "--arg" => arg = parse_u64(next_value(args, &mut i, "--arg"), "arg") as i64,
+            other => return usage_error(&format!("unknown native option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let render_failure = |check: &NativeCheck| {
+        eprintln!("{}: DIVERGED (n={})", check.name, check.n);
+        for m in &check.mismatches {
+            eprintln!("    {m}");
+        }
+    };
+    let check_json = |check: &NativeCheck| {
+        let mismatches: Vec<String> = check
+            .mismatches
+            .iter()
+            .map(|m| format!("\"{}\"", json_escape(m)))
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"n\":{},\"ok\":{},\"value\":{},\
+             \"machine_wall_ns\":{},\"native_wall_ns\":{},\"mismatches\":[{}]}}",
+            json_escape(&check.name),
+            check.n,
+            check.passed(),
+            match &check.native.value {
+                Some(v) => format!("\"{}\"", json_escape(v)),
+                None => "null".to_string(),
+            },
+            check.machine.wall_ns,
+            check.native.wall_ns,
+            mismatches.join(",")
+        )
+    };
+
+    // Differential fuzz leg: generated programs, machine vs native.
+    if let Some(iters) = fuzz_iters {
+        let report = match fuzz_native(seed, iters, size, arg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("native fuzz: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let clean = report.failures.is_empty();
+        if json {
+            let rows: Vec<String> = report.failures.iter().map(&check_json).collect();
+            println!(
+                "{{\"backend\":\"native\",\"fuzz\":{{\"seed\":{seed},\"iters\":{iters},\
+                 \"size\":{size},\"arg\":{arg},\"failures\":[{}]}},\"ok\":{clean}}}",
+                rows.join(",")
+            );
+        }
+        if clean {
+            eprintln!(
+                "native fuzz: OK — {} generated programs bit-identical to the machine",
+                report.iters
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "native fuzz: FAILED — {} of {} programs diverged",
+                report.failures.len(),
+                report.iters
+            );
+            for f in &report.failures {
+                render_failure(f);
+            }
+            ExitCode::FAILURE
+        }
+    } else {
+        let selected: Vec<perceus_suite::Workload> = if all {
+            workloads().to_vec()
+        } else if workload_names_sel.is_empty() {
+            vec![workload("map").unwrap()]
+        } else {
+            let mut out = Vec::new();
+            for name in &workload_names_sel {
+                match workload(name) {
+                    Some(w) => out.push(w),
+                    None => {
+                        return usage_error(&format!(
+                            "unknown workload `{name}`; available: {}",
+                            workload_names().join(", ")
+                        ))
+                    }
+                }
+            }
+            out
+        };
+        let names: Vec<&str> = selected.iter().map(|w| w.name).collect();
+        let harness = match NativeHarness::for_workloads(&names, strategy) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("native: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut rows = Vec::new();
+        let mut failed = false;
+        for w in &selected {
+            let size = n.unwrap_or(w.test_n);
+            let check = match harness.check(w.name, size) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{}: {e}", w.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if json {
+                rows.push(check_json(&check));
+            } else if check.passed() {
+                println!(
+                    "{:>10}  n={:<8} machine={:>12}ns native={:>12}ns bit-identical",
+                    check.name, check.n, check.machine.wall_ns, check.native.wall_ns
+                );
+            }
+            if !check.passed() {
+                failed = true;
+                render_failure(&check);
+            }
+        }
+        if json {
+            println!(
+                "{{\"backend\":\"native\",\"strategy\":\"{}\",\"checks\":[{}],\"ok\":{}}}",
+                json_escape(strategy.label()),
+                rows.join(","),
+                !failed
+            );
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            eprintln!(
+                "native: OK — {} workload(s) bit-identical to the machine",
+                selected.len()
+            );
+            ExitCode::SUCCESS
+        }
     }
 }
 
